@@ -1,0 +1,31 @@
+//! Ablation A2: TS-GREEDY vs exhaustive enumeration on random small
+//! instances — the optimality gap behind §6.2's "comparable to exhaustive
+//! enumeration in most cases".
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+    println!("Ablation A2: TS-GREEDY vs exhaustive on {trials} random 4-object/3-disk instances");
+    println!();
+    println!("{:>5} {:>14} {:>14} {:>8}", "seed", "greedy (ms)", "optimal (ms)", "gap");
+    let rows = dblayout_bench::ablations::run_a2(trials);
+    let mut optimal_hits = 0;
+    for r in &rows {
+        if r.gap_ratio < 1.0 + 1e-9 {
+            optimal_hits += 1;
+        }
+        println!(
+            "{:>5} {:>14.2} {:>14.2} {:>7.3}x",
+            r.seed, r.greedy_cost_ms, r.optimal_cost_ms, r.gap_ratio
+        );
+    }
+    let worst = rows.iter().map(|r| r.gap_ratio).fold(1.0f64, f64::max);
+    println!();
+    println!(
+        "optimal in {optimal_hits}/{} trials; worst gap {worst:.3}x",
+        rows.len()
+    );
+    dblayout_bench::write_json("ablation_exhaustive", &rows);
+}

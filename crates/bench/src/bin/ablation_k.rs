@@ -1,0 +1,16 @@
+//! Ablation A1: the greedy step width k (paper claims k = 1 already
+//! matches exhaustive enumeration in most cases).
+
+fn main() {
+    println!("Ablation A1: TS-GREEDY greedy step width k on TPCH-22");
+    println!();
+    println!("{:>3} {:>16} {:>14} {:>12}", "k", "final cost (ms)", "runtime (ms)", "cost evals");
+    let rows = dblayout_bench::ablations::run_a1();
+    for r in &rows {
+        println!(
+            "{:>3} {:>16.1} {:>14.1} {:>12}",
+            r.k, r.final_cost_ms, r.runtime_ms, r.cost_evaluations
+        );
+    }
+    dblayout_bench::write_json("ablation_k", &rows);
+}

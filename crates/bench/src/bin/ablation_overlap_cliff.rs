@@ -1,0 +1,14 @@
+//! Ablation A5: the 0→1 co-location cost cliff (§6.2's local-minimum
+//! discussion): sweeping the overlap between two co-accessed objects'
+//! disk sets.
+
+fn main() {
+    println!("Ablation A5: cost vs overlap between two co-accessed objects (8 uniform disks)");
+    println!();
+    println!("{:>8} {:>16}", "overlap", "cost (ms)");
+    let rows = dblayout_bench::ablations::run_a5();
+    for r in &rows {
+        println!("{:>8} {:>16.1}", r.overlap_disks, r.cost_ms);
+    }
+    dblayout_bench::write_json("ablation_overlap_cliff", &rows);
+}

@@ -1,0 +1,14 @@
+//! Ablation A4: value of the (pairwise) co-access information in the
+//! access graph — real graph vs edgeless vs scrambled edges driving
+//! TS-GREEDY's step 1.
+
+fn main() {
+    println!("Ablation A4: access-graph variants on TPCH-22");
+    println!();
+    println!("{:<32} {:>16}", "graph variant", "cost (ms)");
+    let rows = dblayout_bench::ablations::run_a4();
+    for r in &rows {
+        println!("{:<32} {:>16.1}", r.graph_variant, r.cost_ms);
+    }
+    dblayout_bench::write_json("ablation_pairwise", &rows);
+}

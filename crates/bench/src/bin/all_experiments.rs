@@ -1,0 +1,78 @@
+//! Runs every experiment end to end (quick-scale variants for the
+//! scalability sweeps) and writes all JSON artifacts under `results/`.
+//!
+//! Usage: `all_experiments [--full]` — `--full` runs Figure 11 to 64 disks
+//! and Figure 12 to N=6 at SF 1.0 (several minutes).
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+
+    println!("=== Table 2 ===");
+    let t2 = dblayout_bench::table2::run();
+    for r in &t2 {
+        println!(
+            "{:<10} actual {:>5.1}%   estimated {:>5.1}%",
+            r.label, r.actual_improvement_pct, r.estimated_improvement_pct
+        );
+    }
+    dblayout_bench::write_json("table2", &t2);
+
+    println!("\n=== Cost-model validation ===");
+    let cv = dblayout_bench::costmodel_validation::run();
+    for r in &cv.rows {
+        println!("{:<12} {:>5.1}%", r.workload, r.agreement_pct);
+    }
+    println!("overall: {:.1}%", cv.overall_agreement_pct);
+    dblayout_bench::write_json("costmodel_validation", &cv);
+
+    println!("\n=== Figure 10 ===");
+    let f10 = dblayout_bench::figure10::run();
+    for r in &f10 {
+        println!(
+            "{:<10} est {:>5.1}%  actual {}",
+            r.workload,
+            r.estimated_improvement_pct,
+            r.actual_improvement_pct
+                .map(|a| format!("{a:.1}%"))
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+    dblayout_bench::write_json("figure10", &f10);
+
+    println!("\n=== Figure 11 ===");
+    let counts: &[usize] = if full { &[4, 8, 16, 32, 64] } else { &[4, 8, 16] };
+    let f11 = dblayout_bench::figure11::run_with_counts(counts);
+    for r in &f11 {
+        println!(
+            "{:<10} m={:<3} {:>10.1} ms  ({:.1}x)",
+            r.workload, r.disks, r.runtime_ms, r.ratio_to_4_disks
+        );
+    }
+    dblayout_bench::write_json("figure11", &f11);
+
+    println!("\n=== Figure 12 ===");
+    let (copies, sf): (Vec<usize>, f64) = if full {
+        ((1..=6).collect(), 1.0)
+    } else {
+        ((1..=3).collect(), 0.2)
+    };
+    let f12 = dblayout_bench::figure12::run_with(&copies, sf);
+    for r in &f12 {
+        println!(
+            "N={} ({} objects) {:>10.1} ms  ({:.1}x)",
+            r.n_copies, r.objects, r.runtime_ms, r.ratio_to_n1
+        );
+    }
+    dblayout_bench::write_json("figure12", &f12);
+
+    println!("\n=== Ablations ===");
+    dblayout_bench::write_json("ablation_k", &dblayout_bench::ablations::run_a1());
+    dblayout_bench::write_json("ablation_exhaustive", &dblayout_bench::ablations::run_a2(25));
+    dblayout_bench::write_json("ablation_steps", &dblayout_bench::ablations::run_a3());
+    dblayout_bench::write_json("ablation_pairwise", &dblayout_bench::ablations::run_a4());
+    dblayout_bench::write_json(
+        "ablation_overlap_cliff",
+        &dblayout_bench::ablations::run_a5(),
+    );
+    println!("done; JSON under results/");
+}

@@ -1,0 +1,19 @@
+//! Regenerates the cost-model ordering validation of §7.2 (the "82% of
+//! these cases" claim): 10 layouts x 8 workloads, pairwise order agreement
+//! between estimated cost and simulated execution.
+
+fn main() {
+    println!("Cost-model validation: layout-pair ordering agreement (paper: 82% overall)");
+    println!();
+    println!("{:<12} {:>6} {:>10} {:>10}", "Workload", "pairs", "agree", "percent");
+    let result = dblayout_bench::costmodel_validation::run();
+    for r in &result.rows {
+        println!(
+            "{:<12} {:>6} {:>10} {:>9.1}%",
+            r.workload, r.pairs, r.agreements, r.agreement_pct
+        );
+    }
+    println!();
+    println!("OVERALL agreement: {:.1}%", result.overall_agreement_pct);
+    dblayout_bench::write_json("costmodel_validation", &result);
+}

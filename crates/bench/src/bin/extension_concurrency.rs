@@ -1,0 +1,18 @@
+//! Extension: concurrency-aware workload modeling (paper §2.2/§9).
+
+fn main() {
+    println!("Concurrency extension: layouts for a concurrent scan mix");
+    println!();
+    println!(
+        "{:<32} {:>18} {:>12}",
+        "workload model", "mix elapsed (ms)", "disk sets"
+    );
+    let rows = dblayout_bench::extension_concurrency::run();
+    for r in &rows {
+        println!(
+            "{:<32} {:>18.0} {:>12}",
+            r.model, r.concurrent_elapsed_ms, r.distinct_disk_sets
+        );
+    }
+    dblayout_bench::write_json("extension_concurrency", &rows);
+}

@@ -1,0 +1,24 @@
+//! Regenerates paper Figure 10: estimated improvement of TS-GREEDY over
+//! FULL STRIPING per workload.
+
+fn main() {
+    println!("Figure 10: TS-GREEDY vs FULL STRIPING, estimated % improvement");
+    println!("(paper: WK-CTRL1 >25%, WK-CTRL2 >25%, TPCH-22 ~20% est / ~25% actual, SALES-45 ~38%, APB-800 ~0%)");
+    println!();
+    println!(
+        "{:<10} {:>14} {:>14} {:>11}",
+        "Workload", "estimated %", "actual %", "iterations"
+    );
+    let rows = dblayout_bench::figure10::run();
+    for r in &rows {
+        let actual = r
+            .actual_improvement_pct
+            .map(|a| format!("{a:.1}"))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<10} {:>14.1} {:>14} {:>11}",
+            r.workload, r.estimated_improvement_pct, actual, r.iterations
+        );
+    }
+    dblayout_bench::write_json("figure10", &rows);
+}

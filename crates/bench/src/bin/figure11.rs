@@ -1,0 +1,31 @@
+//! Regenerates paper Figure 11: TS-GREEDY running time vs number of disks
+//! (ratios to the 4-disk run; paper sees slightly more than quadratic,
+//! about 6x per doubling).
+//!
+//! Usage: `figure11 [max_disks]` (default 64; pass 16/32 for a quick run).
+
+fn main() {
+    let max: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let counts: Vec<usize> = dblayout_bench::figure11::DISK_COUNTS
+        .iter()
+        .copied()
+        .filter(|&m| m <= max)
+        .collect();
+    println!("Figure 11: TS-GREEDY running time vs #disks (ratio to 4 disks)");
+    println!();
+    println!(
+        "{:<10} {:>6} {:>14} {:>12} {:>12}",
+        "Workload", "disks", "runtime (ms)", "ratio", "cost evals"
+    );
+    let rows = dblayout_bench::figure11::run_with_counts(&counts);
+    for r in &rows {
+        println!(
+            "{:<10} {:>6} {:>14.1} {:>11.1}x {:>12}",
+            r.workload, r.disks, r.runtime_ms, r.ratio_to_4_disks, r.cost_evaluations
+        );
+    }
+    dblayout_bench::write_json("figure11", &rows);
+}

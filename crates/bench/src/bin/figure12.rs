@@ -1,0 +1,31 @@
+//! Regenerates paper Figure 12: TS-GREEDY running time vs number of
+//! database objects (TPCH1G-N with TPCH-88-N workloads; ratio to N=1,
+//! paper sees ~40x at N=6).
+//!
+//! Usage: `figure12 [max_copies] [scale_factor]` (defaults 6 and 1.0).
+
+fn main() {
+    let max: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let sf: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let copies: Vec<usize> = (1..=max).collect();
+    println!("Figure 12: TS-GREEDY running time vs #objects (TPCH1G-N, ratio to N=1)");
+    println!();
+    println!(
+        "{:>3} {:>8} {:>14} {:>12} {:>12}",
+        "N", "objects", "runtime (ms)", "ratio", "cost evals"
+    );
+    let rows = dblayout_bench::figure12::run_with(&copies, sf);
+    for r in &rows {
+        println!(
+            "{:>3} {:>8} {:>14.1} {:>11.1}x {:>12}",
+            r.n_copies, r.objects, r.runtime_ms, r.ratio_to_n1, r.cost_evaluations
+        );
+    }
+    dblayout_bench::write_json("figure12", &rows);
+}

@@ -1,0 +1,16 @@
+//! Regenerates paper Table 2 (and Example 1's Q3/Q10 numbers).
+
+fn main() {
+    println!("Table 2: improvement of the lineitem(5)/orders(3) split layout over FULL STRIPING");
+    println!("(paper: Q3 44%/54%, Q9 30%/40%, Q10 36%/51%, Q12 32%/55%, Q18 16%/31%, Q21 40%/9%, TPCH-22 25%/20%)");
+    println!();
+    println!("{:<10} {:>22} {:>24}", "Queries", "Execution Improvement", "Estimated Improvement");
+    let rows = dblayout_bench::table2::run();
+    for r in &rows {
+        println!(
+            "{:<10} {:>21.0}% {:>23.0}%",
+            r.label, r.actual_improvement_pct, r.estimated_improvement_pct
+        );
+    }
+    dblayout_bench::write_json("table2", &rows);
+}

@@ -1,0 +1,29 @@
+//! WK-SCALE(N): advisor time vs workload size (Table 1's scaling axis).
+//!
+//! Usage: `wkscale [max_queries]` (default 3200).
+
+fn main() {
+    let max: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3200);
+    let ns: Vec<usize> = dblayout_workloads::wkscale::WK_SCALE_SIZES
+        .iter()
+        .copied()
+        .filter(|&n| n <= max)
+        .collect();
+    println!("WK-SCALE(N): advisor scaling with workload size");
+    println!();
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "queries", "planning (ms)", "search (ms)", "improvement %"
+    );
+    let rows = dblayout_bench::wkscale_bench::run_with(&ns);
+    for r in &rows {
+        println!(
+            "{:>8} {:>14.1} {:>14.1} {:>14.1}",
+            r.queries, r.planning_ms, r.search_ms, r.estimated_improvement_pct
+        );
+    }
+    dblayout_bench::write_json("wkscale", &rows);
+}

@@ -1,0 +1,97 @@
+//! Shared experiment plumbing.
+
+use std::path::Path;
+
+use dblayout_catalog::Catalog;
+use dblayout_disksim::{DiskSpec, Layout, SimConfig, Simulator};
+use dblayout_planner::{plan_statement, PhysicalPlan};
+use dblayout_workloads::parse_all;
+
+/// Plans a list of SQL strings against a catalog, panicking with the
+/// offending query on failure (experiments use vetted workloads).
+pub fn plan_sql_workload(catalog: &Catalog, queries: &[String]) -> Vec<(PhysicalPlan, f64)> {
+    let stmts = parse_all(queries).expect("workload parses");
+    stmts
+        .iter()
+        .map(|(s, w)| {
+            (
+                plan_statement(catalog, s).unwrap_or_else(|e| panic!("planning failed: {e}")),
+                *w,
+            )
+        })
+        .collect()
+}
+
+/// Simulated ("actual") elapsed milliseconds of a weighted workload under a
+/// layout — the experiment stand-in for executing on the paper's testbed.
+pub fn simulate_workload_ms(
+    plans: &[(PhysicalPlan, f64)],
+    layout: &Layout,
+    disks: &[DiskSpec],
+    cfg: &SimConfig,
+) -> f64 {
+    let mut sim = Simulator::new(disks, layout, cfg.clone()).expect("valid layout");
+    sim.execute_workload(plans).total_elapsed_ms
+}
+
+/// `100 · (baseline − candidate) / baseline`.
+pub fn improvement_pct(baseline: f64, candidate: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        100.0 * (baseline - candidate) / baseline
+    }
+}
+
+/// Writes any serializable result to `results/<name>.json` under the
+/// workspace root (best-effort; failures are reported, not fatal).
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("(results written to {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Object sizes of a catalog, indexed by object id.
+pub fn object_sizes(catalog: &Catalog) -> Vec<u64> {
+    catalog.objects().iter().map(|o| o.size_blocks).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblayout_catalog::tpch::tpch_catalog;
+    use dblayout_disksim::paper_disks;
+
+    #[test]
+    fn improvement_math() {
+        assert_eq!(improvement_pct(100.0, 75.0), 25.0);
+        assert_eq!(improvement_pct(0.0, 10.0), 0.0);
+        assert!(improvement_pct(100.0, 120.0) < 0.0);
+    }
+
+    #[test]
+    fn plan_and_simulate_smoke() {
+        let catalog = tpch_catalog(0.05);
+        let disks = paper_disks();
+        let plans = plan_sql_workload(
+            &catalog,
+            &["SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey".into()],
+        );
+        let layout = Layout::full_striping(object_sizes(&catalog), &disks);
+        let ms = simulate_workload_ms(&plans, &layout, &disks, &SimConfig::default());
+        assert!(ms > 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Cost-model ordering validation (paper §7.2, second part): across 10
+//! layouts (4 random, 5 controlled-overlap, FULL STRIPING) and 8 workloads
+//! (WK-CTRL1, WK-CTRL2, TPCH-22, five 25-query synthetics), how often does
+//! the cost model order a pair of layouts the same way actual execution
+//! does? The paper reports 82%.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use dblayout_catalog::tpch::tpch_catalog;
+use dblayout_catalog::Catalog;
+use dblayout_core::costmodel::CostModel;
+use dblayout_disksim::{paper_disks, DiskSpec, Layout, SimConfig};
+use dblayout_workloads::qgen::validation_workloads;
+use dblayout_workloads::tpch22::tpch22;
+use dblayout_workloads::wkctrl::{wk_ctrl1, wk_ctrl2};
+
+use crate::common::{object_sizes, plan_sql_workload, simulate_workload_ms};
+
+/// Agreement stats for one workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct ValidationRow {
+    /// Workload label.
+    pub workload: String,
+    /// Layout pairs compared.
+    pub pairs: usize,
+    /// Pairs where estimated and simulated orders agree.
+    pub agreements: usize,
+    /// Percent agreement.
+    pub agreement_pct: f64,
+}
+
+/// Overall result.
+#[derive(Debug, Clone, Serialize)]
+pub struct ValidationResult {
+    /// Per-workload rows.
+    pub rows: Vec<ValidationRow>,
+    /// Aggregate agreement percent (the paper's 82% headline).
+    pub overall_agreement_pct: f64,
+}
+
+/// The ten layouts: full striping, four random, five controlled overlaps of
+/// lineitem/orders (0..4 shared disks).
+pub fn ten_layouts(catalog: &Catalog, disks: &[DiskSpec]) -> Vec<(String, Layout)> {
+    let sizes = object_sizes(catalog);
+    let mut out: Vec<(String, Layout)> = Vec::new();
+    out.push((
+        "full-striping".into(),
+        Layout::full_striping(sizes.clone(), disks),
+    ));
+
+    // Four random layouts: each object on a random non-empty disk subset.
+    let mut rng = StdRng::seed_from_u64(0xAB5);
+    for r in 0..4 {
+        loop {
+            let mut l = Layout::empty(sizes.clone(), disks.len());
+            for i in 0..sizes.len() {
+                let count = rng.gen_range(1..=disks.len());
+                let mut ids: Vec<usize> = (0..disks.len()).collect();
+                for _ in 0..(disks.len() - count) {
+                    let k = rng.gen_range(0..ids.len());
+                    ids.remove(k);
+                }
+                l.place_proportional(i, &ids, disks);
+            }
+            if l.validate(disks).is_ok() {
+                out.push((format!("random-{r}"), l));
+                break;
+            }
+        }
+    }
+
+    // Five controlled overlaps: lineitem on disks {0..5}, orders on 3 disks
+    // sharing `d` of them, everything else striped.
+    let li = catalog.object_id("lineitem").expect("lineitem").index();
+    let or = catalog.object_id("orders").expect("orders").index();
+    for d in 0..5usize {
+        let mut l = Layout::full_striping(sizes.clone(), disks);
+        let li_disks: Vec<usize> = (0..5).collect();
+        // d shared with lineitem's set, 3−d outside it.
+        let mut or_disks: Vec<usize> = (0..d).collect();
+        or_disks.extend(5..(5 + 3 - d));
+        l.place_proportional(li, &li_disks, disks);
+        l.place_proportional(or, &or_disks, disks);
+        out.push((format!("overlap-{d}"), l));
+    }
+    out
+}
+
+/// The eight validation workloads, labeled.
+pub fn eight_workloads() -> Vec<(String, Vec<String>)> {
+    let mut out = vec![
+        ("WK-CTRL1".to_string(), wk_ctrl1()),
+        ("WK-CTRL2".to_string(), wk_ctrl2()),
+        ("TPCH-22".to_string(), tpch22()),
+    ];
+    for (i, w) in validation_workloads().into_iter().enumerate() {
+        out.push((format!("SYNTH-{}", i + 1), w));
+    }
+    out
+}
+
+/// Runs the validation and reports per-workload and overall agreement.
+pub fn run() -> ValidationResult {
+    let catalog = tpch_catalog(1.0);
+    let disks = paper_disks();
+    let layouts = ten_layouts(&catalog, &disks);
+    let model = CostModel::default();
+    let sim_cfg = SimConfig::default();
+
+    let mut rows = Vec::new();
+    let mut total_pairs = 0usize;
+    let mut total_agree = 0usize;
+
+    for (name, queries) in eight_workloads() {
+        let plans = plan_sql_workload(&catalog, &queries);
+        let est: Vec<f64> = layouts
+            .iter()
+            .map(|(_, l)| model.workload_cost(&plans, l, &disks))
+            .collect();
+        let act: Vec<f64> = layouts
+            .iter()
+            .map(|(_, l)| simulate_workload_ms(&plans, l, &disks, &sim_cfg))
+            .collect();
+
+        let mut pairs = 0usize;
+        let mut agree = 0usize;
+        for i in 0..layouts.len() {
+            for j in (i + 1)..layouts.len() {
+                pairs += 1;
+                let e = (est[i] - est[j]).signum();
+                let a = (act[i] - act[j]).signum();
+                if e == a {
+                    agree += 1;
+                }
+            }
+        }
+        total_pairs += pairs;
+        total_agree += agree;
+        rows.push(ValidationRow {
+            workload: name,
+            pairs,
+            agreements: agree,
+            agreement_pct: 100.0 * agree as f64 / pairs as f64,
+        });
+    }
+
+    ValidationResult {
+        rows,
+        overall_agreement_pct: 100.0 * total_agree as f64 / total_pairs as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_layouts_all_valid_and_distinctly_shaped() {
+        let catalog = tpch_catalog(0.2);
+        let disks = paper_disks();
+        let layouts = ten_layouts(&catalog, &disks);
+        assert_eq!(layouts.len(), 10);
+        for (name, l) in &layouts {
+            l.validate(&disks).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        // Overlap layouts actually vary lineitem/orders intersection.
+        let li = catalog.object_id("lineitem").unwrap().index();
+        let or = catalog.object_id("orders").unwrap().index();
+        for d in 0..5usize {
+            let (_, l) = layouts
+                .iter()
+                .find(|(n, _)| n == &format!("overlap-{d}"))
+                .unwrap();
+            let shared = l
+                .disks_of(li)
+                .iter()
+                .filter(|j| l.disks_of(or).contains(j))
+                .count();
+            assert_eq!(shared, d, "overlap-{d}");
+        }
+    }
+
+    #[test]
+    fn eight_workloads_present() {
+        let ws = eight_workloads();
+        assert_eq!(ws.len(), 8);
+        assert_eq!(ws[2].1.len(), 22);
+    }
+
+    /// A scaled-down version of the full experiment: agreement on the
+    /// controlled workloads must be clearly better than coin-flipping.
+    #[test]
+    fn agreement_beats_chance_on_small_scale() {
+        let catalog = tpch_catalog(0.05);
+        let disks = paper_disks();
+        let layouts = ten_layouts(&catalog, &disks);
+        let model = CostModel::default();
+        let plans = plan_sql_workload(&catalog, &wk_ctrl1());
+        let est: Vec<f64> = layouts
+            .iter()
+            .map(|(_, l)| model.workload_cost(&plans, l, &disks))
+            .collect();
+        let act: Vec<f64> = layouts
+            .iter()
+            .map(|(_, l)| {
+                simulate_workload_ms(&plans, l, &disks, &SimConfig::default())
+            })
+            .collect();
+        let mut pairs = 0;
+        let mut agree = 0;
+        for i in 0..layouts.len() {
+            for j in (i + 1)..layouts.len() {
+                pairs += 1;
+                if (est[i] - est[j]).signum() == (act[i] - act[j]).signum() {
+                    agree += 1;
+                }
+            }
+        }
+        let pct = 100.0 * agree as f64 / pairs as f64;
+        assert!(pct > 60.0, "agreement only {pct}%");
+    }
+}

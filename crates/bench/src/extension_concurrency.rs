@@ -1,0 +1,113 @@
+//! Extension experiment: concurrency-aware workload modeling (paper
+//! §2.2's acknowledged gap / §9's future work).
+//!
+//! Setup: a multiprogramming mix of single-table scan statements over the
+//! four big TPC-H tables, all executing concurrently. Under the paper's
+//! *set* workload model no statement co-accesses anything, so TS-GREEDY
+//! sees no reason to separate and recommends FULL STRIPING. The
+//! concurrency-aware access graph adds cross-statement edges, TS-GREEDY
+//! separates the tables, and the simulator's concurrent-execution oracle
+//! shows the separated layout winning the mix.
+
+use serde::Serialize;
+
+use dblayout_catalog::tpch::tpch_catalog;
+use dblayout_core::concurrency::{
+    build_concurrent_access_graph, concurrent_cost_workload, ConcurrentWorkload,
+};
+use dblayout_core::costmodel::decompose_workload;
+use dblayout_core::tsgreedy::{ts_greedy, TsGreedyConfig};
+use dblayout_disksim::{paper_disks, SimConfig, Simulator};
+use dblayout_planner::PhysicalPlan;
+
+use crate::common::{object_sizes, plan_sql_workload};
+
+/// One row: a workload-model variant and the mix's simulated elapsed time
+/// under the layout that variant recommends.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConcurrencyRow {
+    /// Which workload model produced the layout.
+    pub model: String,
+    /// Simulated elapsed milliseconds of the concurrent mix.
+    pub concurrent_elapsed_ms: f64,
+    /// Distinct disk sets among the four scanned tables (4 = fully
+    /// separated, 1 = all co-located/striped).
+    pub distinct_disk_sets: usize,
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<ConcurrencyRow> {
+    let catalog = tpch_catalog(1.0);
+    let disks = paper_disks();
+    let queries: Vec<String> = [
+        "SELECT COUNT(*) FROM lineitem",
+        "SELECT COUNT(*) FROM orders",
+        "SELECT COUNT(*) FROM partsupp",
+        "SELECT COUNT(*) FROM part",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let plans = plan_sql_workload(&catalog, &queries);
+    let sizes = object_sizes(&catalog);
+
+    let sequential = ConcurrentWorkload::sequential(plans.clone());
+    let concurrent = ConcurrentWorkload::fully_concurrent(plans.clone(), 1.0);
+
+    // The set model uses the plain graph + per-statement costs; the
+    // extension uses the augmented graph + the merged-group cost objective.
+    let variants: [(&str, _, _); 2] = [
+        (
+            "set model (paper)",
+            build_concurrent_access_graph(sizes.len(), &sequential),
+            decompose_workload(&plans),
+        ),
+        (
+            "concurrency-aware (extension)",
+            build_concurrent_access_graph(sizes.len(), &concurrent),
+            concurrent_cost_workload(&concurrent),
+        ),
+    ];
+
+    let tables = ["lineitem", "orders", "partsupp", "part"];
+    let mut rows = Vec::new();
+    for (label, graph, workload) in &variants {
+        let r = ts_greedy(&sizes, graph, workload, &disks, &TsGreedyConfig::default())
+            .expect("search succeeds");
+        let refs: Vec<&PhysicalPlan> = plans.iter().map(|(p, _)| p).collect();
+        let mut sim = Simulator::new(&disks, &r.layout, SimConfig::default()).expect("valid");
+        let t = sim.execute_concurrent(&refs);
+        let mut sets: Vec<Vec<usize>> = tables
+            .iter()
+            .map(|t| r.layout.disks_of(catalog.object_id(t).unwrap().index()))
+            .collect();
+        sets.sort();
+        sets.dedup();
+        rows.push(ConcurrencyRow {
+            model: label.to_string(),
+            concurrent_elapsed_ms: t.elapsed_ms,
+            distinct_disk_sets: sets.len(),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrency_aware_layout_wins_the_mix() {
+        let rows = run();
+        assert_eq!(rows.len(), 2);
+        let set_model = &rows[0];
+        let aware = &rows[1];
+        assert!(
+            aware.concurrent_elapsed_ms < set_model.concurrent_elapsed_ms,
+            "aware {} vs set-model {}",
+            aware.concurrent_elapsed_ms,
+            set_model.concurrent_elapsed_ms
+        );
+        assert!(aware.distinct_disk_sets > set_model.distinct_disk_sets);
+    }
+}

@@ -1,0 +1,133 @@
+//! Figure 10: estimated improvement of TS-GREEDY over FULL STRIPING per
+//! workload (paper §7.2, "Effectiveness of TS-GREEDY").
+//!
+//! Paper's reported shape: WK-CTRL1 and WK-CTRL2 > 25%, TPCH-22 ≈ 20%
+//! estimated (≈ 25% actual when materialized), SALES-45 ≈ 38%,
+//! APB-800 ≈ 0% (TS-GREEDY recommends full striping — its two big tables
+//! are never co-accessed).
+
+use serde::Serialize;
+
+use dblayout_catalog::apb::apb_catalog;
+use dblayout_catalog::sales::sales_catalog;
+use dblayout_catalog::tpch::tpch_catalog;
+use dblayout_catalog::Catalog;
+use dblayout_core::advisor::{Advisor, AdvisorConfig};
+use dblayout_disksim::{paper_disks, uniform_disks, DiskSpec, SimConfig};
+use dblayout_workloads::sales45::sales45;
+use dblayout_workloads::tpch22::tpch22;
+use dblayout_workloads::wkctrl::{wk_ctrl1, wk_ctrl2};
+use dblayout_workloads::{apb800::apb800, parse_all};
+
+use crate::common::{improvement_pct, simulate_workload_ms};
+
+/// One bar of Figure 10.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure10Row {
+    /// Workload label.
+    pub workload: String,
+    /// Estimated improvement over FULL STRIPING, percent.
+    pub estimated_improvement_pct: f64,
+    /// Simulated-execution improvement, percent (only computed for
+    /// TPCH-22, matching the paper's materialization of that layout).
+    pub actual_improvement_pct: Option<f64>,
+    /// TS-GREEDY iterations adopted.
+    pub iterations: usize,
+}
+
+fn advise(
+    catalog: &Catalog,
+    disks: &[DiskSpec],
+    queries: &[String],
+    simulate_actual: bool,
+) -> Figure10Row {
+    let advisor = Advisor::new(catalog, disks);
+    let stmts = parse_all(queries).expect("workload parses");
+    let rec = advisor
+        .recommend(&stmts, &AdvisorConfig::default())
+        .expect("advisor succeeds");
+    let actual = simulate_actual.then(|| {
+        let cfg = SimConfig::default();
+        let fs = simulate_workload_ms(&rec.plans, &rec.full_striping, disks, &cfg);
+        let ts = simulate_workload_ms(&rec.plans, &rec.layout, disks, &cfg);
+        improvement_pct(fs, ts)
+    });
+    Figure10Row {
+        workload: String::new(),
+        estimated_improvement_pct: rec.estimated_improvement_pct,
+        actual_improvement_pct: actual,
+        iterations: rec.search.iterations,
+    }
+}
+
+/// Runs the Figure 10 sweep. `sales_disks` additionally checks the paper's
+/// observation that SALES results hold as disks grow (they ran up to 64).
+pub fn run() -> Vec<Figure10Row> {
+    let disks = paper_disks();
+    let mut rows = Vec::new();
+
+    let tpch = tpch_catalog(1.0);
+    for (name, queries, actual) in [
+        ("WK-CTRL1", wk_ctrl1(), false),
+        ("WK-CTRL2", wk_ctrl2(), false),
+        ("TPCH-22", tpch22(), true),
+    ] {
+        let mut row = advise(&tpch, &disks, &queries, actual);
+        row.workload = name.to_string();
+        rows.push(row);
+    }
+
+    let sales = sales_catalog();
+    // SALES is 5 GB; give it the paper's aggregate capacity with 8 drives
+    // of ~1 GB... the paper's 48 GB array holds it directly.
+    let sales_disks = uniform_disks(8, 200_000, 10.0, 20.0);
+    let mut row = advise(&sales, &sales_disks, &sales45(1), false);
+    row.workload = "SALES-45".to_string();
+    rows.push(row);
+
+    let apb = apb_catalog();
+    let mut row = advise(&apb, &disks, &apb800(1), false);
+    row.workload = "APB-800".to_string();
+    rows.push(row);
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scaled-down shape check: controlled workloads improve a lot, APB
+    /// stays at (near) zero — the qualitative Figure 10.
+    #[test]
+    fn shape_holds_at_small_scale() {
+        let disks = paper_disks();
+        let tpch = tpch_catalog(0.1);
+        let ctrl = advise(&tpch, &disks, &wk_ctrl1(), false);
+        assert!(
+            ctrl.estimated_improvement_pct > 15.0,
+            "WK-CTRL1 {}",
+            ctrl.estimated_improvement_pct
+        );
+
+        let apb = apb_catalog();
+        let apb_row = advise(&apb, &disks, &apb800(1)[..40], false);
+        assert!(
+            apb_row.estimated_improvement_pct < 5.0,
+            "APB {}",
+            apb_row.estimated_improvement_pct
+        );
+    }
+
+    #[test]
+    fn sales_subset_improves() {
+        let sales = sales_catalog();
+        let disks = uniform_disks(8, 200_000, 10.0, 20.0);
+        let row = advise(&sales, &disks, &sales45(1)[..10], false);
+        assert!(
+            row.estimated_improvement_pct > 10.0,
+            "SALES {}",
+            row.estimated_improvement_pct
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Figure 11: TS-GREEDY running time vs. number of disks (paper §7.2,
+//! "Scalability of TS-GREEDY").
+//!
+//! Disks are varied 4 → 64 (doubling); the paper plots the ratio of running
+//! time to the 4-disk run and observes a slightly-super-quadratic increase
+//! (~6× per doubling), because adding disks both widens the search space
+//! (`O(m^{k+1}·n²)`) and slows each cost evaluation.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use dblayout_catalog::apb::apb_catalog;
+use dblayout_catalog::sales::sales_catalog;
+use dblayout_catalog::tpch::tpch_catalog;
+use dblayout_catalog::Catalog;
+use dblayout_core::access_graph::build_access_graph;
+use dblayout_core::costmodel::decompose_workload;
+use dblayout_core::tsgreedy::{ts_greedy, TsGreedyConfig};
+use dblayout_disksim::{uniform_disks, DiskSpec};
+use dblayout_workloads::apb800::apb800;
+use dblayout_workloads::sales45::sales45;
+use dblayout_workloads::tpch22::tpch22;
+
+use crate::common::{object_sizes, plan_sql_workload};
+
+/// One measured point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure11Row {
+    /// Workload label.
+    pub workload: String,
+    /// Number of disks.
+    pub disks: usize,
+    /// TS-GREEDY wall time, milliseconds.
+    pub runtime_ms: f64,
+    /// Ratio to this workload's 4-disk runtime.
+    pub ratio_to_4_disks: f64,
+    /// Cost-model invocations.
+    pub cost_evaluations: usize,
+}
+
+/// Disk counts swept (the paper's 4..64 doubling).
+pub const DISK_COUNTS: [usize; 5] = [4, 8, 16, 32, 64];
+
+/// Builds a disk set of `m` uniform drives big enough for any catalog here.
+fn disk_set(m: usize) -> Vec<DiskSpec> {
+    uniform_disks(m, 400_000, 10.0, 20.0)
+}
+
+fn measure(catalog: &Catalog, queries: &[String], label: &str, counts: &[usize]) -> Vec<Figure11Row> {
+    let plans = plan_sql_workload(catalog, queries);
+    let sizes = object_sizes(catalog);
+    let graph = build_access_graph(sizes.len(), &plans);
+    let workload = decompose_workload(&plans);
+
+    let mut rows = Vec::new();
+    let mut base_ms = None;
+    for &m in counts {
+        let disks = disk_set(m);
+        let start = Instant::now();
+        let result = ts_greedy(&sizes, &graph, &workload, &disks, &TsGreedyConfig::default())
+            .expect("unconstrained search succeeds");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let base = *base_ms.get_or_insert(ms);
+        rows.push(Figure11Row {
+            workload: label.to_string(),
+            disks: m,
+            runtime_ms: ms,
+            ratio_to_4_disks: ms / base,
+            cost_evaluations: result.cost_evaluations,
+        });
+    }
+    rows
+}
+
+/// Runs the sweep over the three databases/workloads of the paper.
+/// `counts` lets callers trim the sweep (tests use a prefix).
+pub fn run_with_counts(counts: &[usize]) -> Vec<Figure11Row> {
+    let mut rows = Vec::new();
+    let tpch = tpch_catalog(1.0);
+    rows.extend(measure(&tpch, &tpch22(), "TPCH-22", counts));
+    let apb = apb_catalog();
+    rows.extend(measure(&apb, &apb800(1), "APB-800", counts));
+    let sales = sales_catalog();
+    rows.extend(measure(&sales, &sales45(1), "SALES-45", counts));
+    rows
+}
+
+/// Full paper sweep (4..64 disks).
+pub fn run() -> Vec<Figure11Row> {
+    run_with_counts(&DISK_COUNTS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_grows_with_disks() {
+        let tpch = tpch_catalog(0.1);
+        let rows = measure(&tpch, &tpch22(), "TPCH-22", &[4, 8]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].ratio_to_4_disks == 1.0);
+        // More disks → more candidate moves → more cost evaluations.
+        assert!(rows[1].cost_evaluations > rows[0].cost_evaluations);
+    }
+}

@@ -1,0 +1,85 @@
+//! Figure 12: TS-GREEDY running time vs. number of database objects
+//! (paper §7.2): TPCH1G-N databases (N copies of every TPC-H table) with
+//! TPCH-88-N workloads, 8 disks, N = 1..6. The paper plots the ratio to
+//! N = 1 and observes quadratic growth (~40× at N = 6).
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use dblayout_catalog::tpch::replicate_tpch;
+use dblayout_core::access_graph::build_access_graph;
+use dblayout_core::costmodel::decompose_workload;
+use dblayout_core::tsgreedy::{ts_greedy, TsGreedyConfig};
+use dblayout_disksim::uniform_disks;
+use dblayout_workloads::tpch22::tpch88_n;
+
+use crate::common::{object_sizes, plan_sql_workload};
+
+/// One measured point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure12Row {
+    /// Number of TPC-H copies.
+    pub n_copies: usize,
+    /// Objects in the catalog.
+    pub objects: usize,
+    /// TS-GREEDY wall time, milliseconds.
+    pub runtime_ms: f64,
+    /// Ratio to the N = 1 runtime.
+    pub ratio_to_n1: f64,
+    /// Cost-model invocations.
+    pub cost_evaluations: usize,
+}
+
+/// Runs the sweep for the given copy counts (the paper uses 1..=6) at the
+/// given scale factor per copy (the paper's is 1.0; tests shrink it).
+pub fn run_with(copies: &[usize], sf: f64) -> Vec<Figure12Row> {
+    // The aggregate database grows with N: size the 8 disks to hold N = max.
+    let max_n = copies.iter().copied().max().unwrap_or(1) as u64;
+    let per_disk = 40_000 * max_n.max(1) * ((sf * 10.0).ceil() as u64).max(1) / 10 + 100_000;
+    let disks = uniform_disks(8, per_disk, 10.0, 20.0);
+
+    let mut rows = Vec::new();
+    let mut base_ms = None;
+    for &n in copies {
+        let catalog = replicate_tpch(sf, n);
+        let queries = tpch88_n(n, 88);
+        let plans = plan_sql_workload(&catalog, &queries);
+        let sizes = object_sizes(&catalog);
+        let graph = build_access_graph(sizes.len(), &plans);
+        let workload = decompose_workload(&plans);
+
+        let start = Instant::now();
+        let result = ts_greedy(&sizes, &graph, &workload, &disks, &TsGreedyConfig::default())
+            .expect("unconstrained search succeeds");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let base = *base_ms.get_or_insert(ms);
+        rows.push(Figure12Row {
+            n_copies: n,
+            objects: sizes.len(),
+            runtime_ms: ms,
+            ratio_to_n1: ms / base,
+            cost_evaluations: result.cost_evaluations,
+        });
+    }
+    rows
+}
+
+/// The paper's sweep: N = 1..6 at scale factor 1.
+pub fn run() -> Vec<Figure12Row> {
+    run_with(&[1, 2, 3, 4, 5, 6], 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_count_scales_with_copies() {
+        let rows = run_with(&[1, 2], 0.02);
+        assert_eq!(rows[0].objects, 11);
+        assert_eq!(rows[1].objects, 22);
+        assert_eq!(rows[0].ratio_to_n1, 1.0);
+        assert!(rows[1].cost_evaluations >= rows[0].cost_evaluations);
+    }
+}

@@ -1,0 +1,152 @@
+//! Table 2: estimated vs. actual improvement of the manual 5+3 split layout
+//! over FULL STRIPING, for TPC-H queries 3, 9, 10, 12, 18, 21 and the whole
+//! TPCH-22 workload (paper §7.2, first validation experiment; subsumes
+//! Example 1's Q3/Q10 numbers).
+//!
+//! The manual layout is the paper's: "lineitem is on 5 disks and orders is
+//! allocated on 3 disks and are completely separated; all other tables are
+//! striped across all 8 disks."
+
+use serde::Serialize;
+
+use dblayout_catalog::tpch::tpch_catalog;
+use dblayout_catalog::Catalog;
+use dblayout_core::costmodel::CostModel;
+use dblayout_disksim::{paper_disks, DiskSpec, Layout, SimConfig};
+use dblayout_planner::PhysicalPlan;
+use dblayout_workloads::tpch22::{tpch22, tpch_query};
+
+use crate::common::{improvement_pct, object_sizes, plan_sql_workload, simulate_workload_ms};
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// "Query 3" … or "TPCH-22".
+    pub label: String,
+    /// Actual (simulated-execution) improvement, percent.
+    pub actual_improvement_pct: f64,
+    /// Estimated (cost-model) improvement, percent.
+    pub estimated_improvement_pct: f64,
+}
+
+/// The paper's manual layout: lineitem on the 5 fastest disks, orders on
+/// the remaining 3, everything else fully striped.
+pub fn manual_split_layout(catalog: &Catalog, disks: &[DiskSpec]) -> Layout {
+    let sizes = object_sizes(catalog);
+    let mut layout = Layout::full_striping(sizes, disks);
+    let mut by_rate: Vec<usize> = (0..disks.len()).collect();
+    by_rate.sort_by(|&a, &b| {
+        disks[b]
+            .read_mb_s
+            .partial_cmp(&disks[a].read_mb_s)
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let lineitem_disks = &by_rate[..5];
+    let orders_disks = &by_rate[5..8];
+    let li = catalog.object_id("lineitem").expect("lineitem").index();
+    let or = catalog.object_id("orders").expect("orders").index();
+    layout.place_proportional(li, lineitem_disks, disks);
+    layout.place_proportional(or, orders_disks, disks);
+    layout
+}
+
+/// Runs the experiment and returns the table rows (the highlighted single
+/// queries first, the whole-workload row last).
+pub fn run() -> Vec<Table2Row> {
+    let catalog = tpch_catalog(1.0);
+    let disks = paper_disks();
+    let split = manual_split_layout(&catalog, &disks);
+    let striped = Layout::full_striping(object_sizes(&catalog), &disks);
+    let model = CostModel::default();
+    let sim_cfg = SimConfig::default();
+
+    let mut rows = Vec::new();
+    for qn in [3usize, 9, 10, 12, 18, 21] {
+        let plans = plan_sql_workload(&catalog, &[tpch_query(qn)]);
+        rows.push(compare(
+            &format!("Query {qn}"),
+            &plans,
+            &split,
+            &striped,
+            &disks,
+            &model,
+            &sim_cfg,
+        ));
+    }
+    let all = plan_sql_workload(&catalog, &tpch22());
+    rows.push(compare(
+        "TPCH-22", &all, &split, &striped, &disks, &model, &sim_cfg,
+    ));
+    rows
+}
+
+fn compare(
+    label: &str,
+    plans: &[(PhysicalPlan, f64)],
+    split: &Layout,
+    striped: &Layout,
+    disks: &[DiskSpec],
+    model: &CostModel,
+    sim_cfg: &SimConfig,
+) -> Table2Row {
+    let est_fs = model.workload_cost(plans, striped, disks);
+    let est_sp = model.workload_cost(plans, split, disks);
+    let act_fs = simulate_workload_ms(plans, striped, disks, sim_cfg);
+    let act_sp = simulate_workload_ms(plans, split, disks, sim_cfg);
+    Table2Row {
+        label: label.to_string(),
+        actual_improvement_pct: improvement_pct(act_fs, act_sp),
+        estimated_improvement_pct: improvement_pct(est_fs, est_sp),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_layout_is_valid_and_separated() {
+        let catalog = tpch_catalog(1.0);
+        let disks = paper_disks();
+        let layout = manual_split_layout(&catalog, &disks);
+        layout.validate(&disks).unwrap();
+        let li = catalog.object_id("lineitem").unwrap().index();
+        let or = catalog.object_id("orders").unwrap().index();
+        let dl = layout.disks_of(li);
+        let dor = layout.disks_of(or);
+        assert_eq!(dl.len(), 5);
+        assert_eq!(dor.len(), 3);
+        assert!(dl.iter().all(|j| !dor.contains(j)));
+    }
+
+    /// Q3 is the paper's flagship example (44% actual / 54% estimated): the
+    /// split layout must show a clearly positive improvement on both axes.
+    #[test]
+    fn q3_improves_on_both_axes() {
+        let catalog = tpch_catalog(1.0);
+        let disks = paper_disks();
+        let split = manual_split_layout(&catalog, &disks);
+        let striped = Layout::full_striping(object_sizes(&catalog), &disks);
+        let plans = plan_sql_workload(&catalog, &[tpch_query(3)]);
+        let row = compare(
+            "Q3",
+            &plans,
+            &split,
+            &striped,
+            &disks,
+            &CostModel::default(),
+            &SimConfig::default(),
+        );
+        assert!(
+            row.estimated_improvement_pct > 15.0,
+            "estimated {}",
+            row.estimated_improvement_pct
+        );
+        assert!(
+            row.actual_improvement_pct > 10.0,
+            "actual {}",
+            row.actual_improvement_pct
+        );
+    }
+}

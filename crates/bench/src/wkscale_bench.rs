@@ -1,0 +1,86 @@
+//! WK-SCALE(N): advisor cost scaling with workload size (Table 1's
+//! 100→3200-query workloads on TPCH1G).
+//!
+//! The paper lists these workloads among its inputs; the interesting
+//! scaling axis they exercise is workload *size*: Analyze Workload is
+//! linear in statements, while TS-GREEDY's per-candidate evaluation grows
+//! with the number of statements touching the moved object.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use dblayout_catalog::tpch::tpch_catalog;
+use dblayout_core::advisor::{Advisor, AdvisorConfig};
+use dblayout_disksim::paper_disks;
+use dblayout_workloads::wkscale::wk_scale;
+
+use crate::common::plan_sql_workload;
+
+/// One measured point.
+#[derive(Debug, Clone, Serialize)]
+pub struct WkScaleRow {
+    /// Workload size (statements).
+    pub queries: usize,
+    /// Time to plan the whole workload (Analyze Workload), ms.
+    pub planning_ms: f64,
+    /// TS-GREEDY search time, ms.
+    pub search_ms: f64,
+    /// Estimated improvement over FULL STRIPING, percent.
+    pub estimated_improvement_pct: f64,
+}
+
+/// Runs the sweep for the given sizes with the full advisor (including its
+/// never-worse-than-FULL-STRIPING fallback — what a user of the tool sees).
+pub fn run_with(ns: &[usize]) -> Vec<WkScaleRow> {
+    let catalog = tpch_catalog(1.0);
+    let disks = paper_disks();
+    let advisor = Advisor::new(&catalog, &disks);
+
+    ns.iter()
+        .map(|&n| {
+            let queries = wk_scale(n);
+            let t0 = Instant::now();
+            let plans = plan_sql_workload(&catalog, &queries);
+            let planning_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let t1 = Instant::now();
+            let rec = advisor
+                .recommend_from_plans(plans, &AdvisorConfig::default())
+                .expect("advisor succeeds");
+            let search_ms = t1.elapsed().as_secs_f64() * 1e3;
+            WkScaleRow {
+                queries: n,
+                planning_ms,
+                search_ms,
+                estimated_improvement_pct: rec.estimated_improvement_pct,
+            }
+        })
+        .collect()
+}
+
+/// The paper's sizes: 100 … 3200.
+pub fn run() -> Vec<WkScaleRow> {
+    run_with(&dblayout_workloads::wkscale::WK_SCALE_SIZES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planning_scales_with_workload_size() {
+        let rows = run_with(&[50, 200]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1].planning_ms > rows[0].planning_ms);
+        // The advisor never recommends worse than FULL STRIPING.
+        for r in &rows {
+            assert!(
+                r.estimated_improvement_pct >= 0.0,
+                "size {}: {}",
+                r.queries,
+                r.estimated_improvement_pct
+            );
+        }
+    }
+}

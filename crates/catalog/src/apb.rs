@@ -1,0 +1,109 @@
+//! APB-like catalog (paper §7.1 database (2)).
+//!
+//! The paper used the OLAP Council's APB-1 benchmark database: ~250 MB, 40
+//! tables. The structural property that matters for layout (reported in
+//! §7.2: "the database has two large tables and several small tables;
+//! however no queries co-access the two large tables") is a star schema with
+//! two independent fact tables — sales history and inventory history — each
+//! joined only against small dimension tables. We reproduce that shape with
+//! scaled cardinalities summing to ≈250 MB.
+
+use crate::catalog::Catalog;
+use crate::types::{ColType, Column, Table};
+
+/// Number of tables in the APB-like catalog.
+pub const APB_TABLE_COUNT: usize = 40;
+
+/// Builds the 40-table APB-like catalog (~250 MB).
+pub fn apb_catalog() -> Catalog {
+    let mut c = Catalog::new();
+
+    // Two large, never co-accessed fact tables (~100 MB each).
+    c.add_table(fact("sales_fact", 1_100_000, 96));
+    c.add_table(fact("inventory_fact", 1_000_000, 104));
+
+    // Core dimensions.
+    for (name, rows, width) in [
+        ("product_dim", 9_000, 120),
+        ("customer_dim", 9_000, 140),
+        ("channel_dim", 9, 80),
+        ("time_dim", 24, 60),
+    ] {
+        c.add_table(dim(name, rows, width));
+    }
+
+    // Hierarchy / aggregate level tables to reach 40 tables, all small.
+    for i in 1..=34 {
+        let rows = 50 + (i as u64 * 137) % 2_000;
+        c.add_table(dim(&format!("level_{i:02}"), rows, 64));
+    }
+
+    assert_eq!(c.tables().len(), APB_TABLE_COUNT);
+    c
+}
+
+fn fact(name: &str, rows: u64, width: u32) -> Table {
+    Table {
+        name: name.into(),
+        columns: vec![
+            Column::new("product_key", ColType::Int, 9_000),
+            Column::new("customer_key", ColType::Int, 9_000),
+            Column::new("channel_key", ColType::Int, 9),
+            Column::with_range("time_key", ColType::Int, 24, 1.0, 24.0),
+            Column::with_range("units", ColType::Int, 1_000, 0.0, 1_000.0),
+            Column::with_range("dollars", ColType::Float, rows / 10, 0.0, 100_000.0),
+        ],
+        row_count: rows,
+        row_bytes: width,
+        clustered_on: vec!["time_key".into()],
+    }
+}
+
+fn dim(name: &str, rows: u64, width: u32) -> Table {
+    Table {
+        name: name.into(),
+        columns: vec![
+            Column::with_range("key", ColType::Int, rows, 1.0, rows as f64),
+            Column::new("label", ColType::Str(30), rows),
+            Column::new("parent_key", ColType::Int, (rows / 10).max(1)),
+        ],
+        row_count: rows,
+        row_bytes: width,
+        clustered_on: vec!["key".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BLOCK_BYTES;
+
+    #[test]
+    fn forty_tables() {
+        let c = apb_catalog();
+        assert_eq!(c.tables().len(), 40);
+    }
+
+    #[test]
+    fn size_about_250mb() {
+        let c = apb_catalog();
+        let mb = (c.total_blocks() * BLOCK_BYTES) as f64 / 1e6;
+        assert!((180.0..330.0).contains(&mb), "got {mb} MB");
+    }
+
+    #[test]
+    fn two_dominant_fact_tables() {
+        let c = apb_catalog();
+        let sales = c.table("sales_fact").unwrap().size_blocks();
+        let inv = c.table("inventory_fact").unwrap().size_blocks();
+        let biggest_dim = c
+            .tables()
+            .iter()
+            .filter(|t| !t.name.ends_with("_fact"))
+            .map(|t| t.size_blocks())
+            .max()
+            .unwrap();
+        assert!(sales > 20 * biggest_dim);
+        assert!(inv > 20 * biggest_dim);
+    }
+}

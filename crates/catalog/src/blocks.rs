@@ -1,0 +1,82 @@
+//! Block arithmetic.
+//!
+//! The paper (§2.1) notes that allocation across a filegroup's disks happens
+//! "not at the granularity of a page, but at the granularity of a block,
+//! (e.g., 8 pages in Microsoft SQL Server 2000)". All sizes in the workspace
+//! are denominated in these 64 KB blocks.
+
+/// Bytes per database page (SQL Server 2000: 8 KB).
+pub const PAGE_BYTES: u64 = 8 * 1024;
+
+/// Pages per allocation block (SQL Server 2000 extent: 8 pages).
+pub const PAGES_PER_BLOCK: u64 = 8;
+
+/// Bytes per allocation block (64 KB).
+pub const BLOCK_BYTES: u64 = PAGE_BYTES * PAGES_PER_BLOCK;
+
+/// Number of blocks needed to hold `bytes` bytes (rounded up, min 1 for any
+/// non-empty payload).
+pub fn blocks_for_bytes(bytes: u64) -> u64 {
+    bytes.div_ceil(BLOCK_BYTES)
+}
+
+/// Number of blocks for `rows` rows of `row_bytes` bytes each, assuming rows
+/// pack page-by-page (a row never spans pages, matching SQL Server's in-row
+/// storage).
+pub fn blocks_for_rows(rows: u64, row_bytes: u32) -> u64 {
+    if rows == 0 || row_bytes == 0 {
+        return 0;
+    }
+    let rows_per_page = (PAGE_BYTES / row_bytes as u64).max(1);
+    let pages = rows.div_ceil(rows_per_page);
+    pages.div_ceil(PAGES_PER_BLOCK)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_is_64k() {
+        assert_eq!(BLOCK_BYTES, 65536);
+    }
+
+    #[test]
+    fn zero_bytes_zero_blocks() {
+        assert_eq!(blocks_for_bytes(0), 0);
+        assert_eq!(blocks_for_rows(0, 100), 0);
+    }
+
+    #[test]
+    fn one_byte_one_block() {
+        assert_eq!(blocks_for_bytes(1), 1);
+    }
+
+    #[test]
+    fn exact_multiple() {
+        assert_eq!(blocks_for_bytes(BLOCK_BYTES * 7), 7);
+        assert_eq!(blocks_for_bytes(BLOCK_BYTES * 7 + 1), 8);
+    }
+
+    #[test]
+    fn rows_pack_per_page() {
+        // 100-byte rows: 81 per 8K page, 648 per block.
+        let blocks = blocks_for_rows(648, 100);
+        assert_eq!(blocks, 1);
+        assert_eq!(blocks_for_rows(649, 100), 2);
+    }
+
+    #[test]
+    fn oversized_row_still_one_per_page() {
+        // Rows bigger than a page clamp to 1 row/page.
+        assert_eq!(blocks_for_rows(8, 10_000), 1);
+        assert_eq!(blocks_for_rows(9, 10_000), 2);
+    }
+
+    #[test]
+    fn tpch_lineitem_scale() {
+        // 6M rows of ~112 bytes ≈ 655 MB ≈ 10_200 blocks; sanity bounds.
+        let blocks = blocks_for_rows(6_000_000, 112);
+        assert!(blocks > 9_000 && blocks < 13_000, "got {blocks}");
+    }
+}

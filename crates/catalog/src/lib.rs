@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Database catalog substrate: schema objects and optimizer statistics.
+//!
+//! The ICDE 2003 layout advisor treats a database as "a set of tables and
+//! physical design structures defined on the tables" (paper §2.1): tables,
+//! indexes and materialized views are all *objects* `R_1 … R_n` whose sizes
+//! (in blocks) and access statistics drive both the query optimizer's plans
+//! and the layout cost model. This crate provides:
+//!
+//! * the object model ([`Table`], [`Index`], [`MaterializedView`]) with the
+//!   per-column statistics (`row_count`, NDV, min/max) that the planner's
+//!   selectivity estimation needs;
+//! * block-size arithmetic matching SQL Server 2000's allocation granularity
+//!   (8 KB pages, 8-page = 64 KB blocks — paper §2.1);
+//! * a [`Catalog`] container assigning each object a stable [`ObjectId`]
+//!   shared by the planner, the disk simulator and the advisor;
+//! * builders for the evaluation databases: TPC-H at any scale factor
+//!   ([`tpch::tpch_catalog`]), the APB-like 40-table star database
+//!   ([`apb::apb_catalog`]), the SALES-like 50-table database
+//!   ([`sales::sales_catalog`]), and the TPCH1G-N replication of §7.2
+//!   ([`tpch::replicate_tpch`]).
+
+pub mod apb;
+pub mod blocks;
+pub mod catalog;
+pub mod sales;
+pub mod tpch;
+pub mod types;
+
+pub use blocks::{blocks_for_bytes, blocks_for_rows, BLOCK_BYTES, PAGES_PER_BLOCK, PAGE_BYTES};
+pub use catalog::Catalog;
+pub use types::{
+    ColType, Column, ColumnStats, Index, MaterializedView, ObjectId, ObjectKind, ObjectMeta,
+    Table,
+};

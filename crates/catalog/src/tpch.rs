@@ -1,0 +1,300 @@
+//! TPC-H catalog builder with scale-factor-accurate statistics.
+//!
+//! Table cardinalities and column domains follow the TPC-H specification the
+//! paper evaluates against (TPCH1G = scale factor 1). Only statistics are
+//! materialized — the advisor never reads data.
+//!
+//! Also provides [`replicate_tpch`], the TPCH1G-N database of §7.2 used for
+//! the Figure 12 scalability experiment: N copies of every TPC-H table (and
+//! its indexes), suffixed `_1 … _N`.
+
+use crate::catalog::Catalog;
+use crate::types::{ColType, Column, Index, Table};
+
+/// Day ordinal for `y-m-d` on the same scale as
+/// `dblayout_sql::ast::parse_date_ordinal` (days since 1900 with 372-day
+/// years / 31-day months; only ordering matters).
+pub fn date_ord(y: i64, m: i64, d: i64) -> f64 {
+    ((y - 1900) * 372 + (m - 1) * 31 + (d - 1)) as f64
+}
+
+/// Lowest date in the TPC-H data set (1992-01-01).
+pub fn tpch_date_min() -> f64 {
+    date_ord(1992, 1, 1)
+}
+
+/// Highest date in the TPC-H data set (1998-12-31).
+pub fn tpch_date_max() -> f64 {
+    date_ord(1998, 12, 31)
+}
+
+fn scale(base: u64, sf: f64) -> u64 {
+    ((base as f64) * sf).round().max(1.0) as u64
+}
+
+/// Builds the eight-table TPC-H catalog at scale factor `sf` (1.0 = 1 GB),
+/// with clustered primary keys and the nonclustered indexes used by the
+/// paper's workloads (date and segment selections).
+pub fn tpch_catalog(sf: f64) -> Catalog {
+    let mut c = Catalog::new();
+    add_tpch_tables(&mut c, sf, "");
+    c
+}
+
+/// TPCH1G-N: `n` complete copies of the TPC-H tables (suffix `_1 … _n`),
+/// paper §7.2 Figure 12. `n = 1` still suffixes, matching the paper's
+/// uniform treatment of copies (queries address `lineitem_1` etc.).
+pub fn replicate_tpch(sf: f64, n: usize) -> Catalog {
+    assert!(n >= 1, "need at least one copy");
+    let mut c = Catalog::new();
+    for i in 1..=n {
+        add_tpch_tables(&mut c, sf, &format!("_{i}"));
+    }
+    c
+}
+
+fn add_tpch_tables(c: &mut Catalog, sf: f64, suffix: &str) {
+    let dmin = tpch_date_min();
+    let dmax = tpch_date_max();
+    let n = |base: &str| format!("{base}{suffix}");
+
+    // region: 5 rows
+    c.add_table(Table {
+        name: n("region"),
+        columns: vec![
+            Column::with_range("r_regionkey", ColType::Int, 5, 0.0, 4.0),
+            Column::new("r_name", ColType::Str(12), 5),
+            Column::new("r_comment", ColType::Str(100), 5),
+        ],
+        row_count: 5,
+        row_bytes: 124,
+        clustered_on: vec!["r_regionkey".into()],
+    });
+
+    // nation: 25 rows
+    c.add_table(Table {
+        name: n("nation"),
+        columns: vec![
+            Column::with_range("n_nationkey", ColType::Int, 25, 0.0, 24.0),
+            Column::new("n_name", ColType::Str(12), 25),
+            Column::with_range("n_regionkey", ColType::Int, 5, 0.0, 4.0),
+            Column::new("n_comment", ColType::Str(100), 25),
+        ],
+        row_count: 25,
+        row_bytes: 128,
+        clustered_on: vec!["n_nationkey".into()],
+    });
+
+    // supplier: 10k × sf
+    let s_rows = scale(10_000, sf);
+    c.add_table(Table {
+        name: n("supplier"),
+        columns: vec![
+            Column::with_range("s_suppkey", ColType::Int, s_rows, 1.0, s_rows as f64),
+            Column::new("s_name", ColType::Str(18), s_rows),
+            Column::new("s_address", ColType::Str(25), s_rows),
+            Column::with_range("s_nationkey", ColType::Int, 25, 0.0, 24.0),
+            Column::new("s_phone", ColType::Str(15), s_rows),
+            Column::with_range("s_acctbal", ColType::Float, s_rows, -999.99, 9999.99),
+            Column::new("s_comment", ColType::Str(60), s_rows / 2),
+        ],
+        row_count: s_rows,
+        row_bytes: 159,
+        clustered_on: vec!["s_suppkey".into()],
+    });
+
+    // customer: 150k × sf
+    let c_rows = scale(150_000, sf);
+    c.add_table(Table {
+        name: n("customer"),
+        columns: vec![
+            Column::with_range("c_custkey", ColType::Int, c_rows, 1.0, c_rows as f64),
+            Column::new("c_name", ColType::Str(18), c_rows),
+            Column::new("c_address", ColType::Str(25), c_rows),
+            Column::with_range("c_nationkey", ColType::Int, 25, 0.0, 24.0),
+            Column::new("c_phone", ColType::Str(15), c_rows),
+            Column::with_range("c_acctbal", ColType::Float, c_rows, -999.99, 9999.99),
+            Column::new("c_mktsegment", ColType::Str(10), 5),
+            Column::new("c_comment", ColType::Str(73), c_rows / 2),
+        ],
+        row_count: c_rows,
+        row_bytes: 179,
+        clustered_on: vec!["c_custkey".into()],
+    });
+
+    // part: 200k × sf
+    let p_rows = scale(200_000, sf);
+    c.add_table(Table {
+        name: n("part"),
+        columns: vec![
+            Column::with_range("p_partkey", ColType::Int, p_rows, 1.0, p_rows as f64),
+            Column::new("p_name", ColType::Str(33), p_rows),
+            Column::new("p_mfgr", ColType::Str(25), 5),
+            Column::new("p_brand", ColType::Str(10), 25),
+            Column::new("p_type", ColType::Str(25), 150),
+            Column::with_range("p_size", ColType::Int, 50, 1.0, 50.0),
+            Column::new("p_container", ColType::Str(10), 40),
+            Column::with_range("p_retailprice", ColType::Float, p_rows / 10, 900.0, 2100.0),
+            Column::new("p_comment", ColType::Str(14), p_rows / 2),
+        ],
+        row_count: p_rows,
+        row_bytes: 155,
+        clustered_on: vec!["p_partkey".into()],
+    });
+
+    // partsupp: 800k × sf
+    let ps_rows = scale(800_000, sf);
+    c.add_table(Table {
+        name: n("partsupp"),
+        columns: vec![
+            Column::with_range("ps_partkey", ColType::Int, p_rows, 1.0, p_rows as f64),
+            Column::with_range("ps_suppkey", ColType::Int, s_rows, 1.0, s_rows as f64),
+            Column::with_range("ps_availqty", ColType::Int, 10_000, 1.0, 9999.0),
+            Column::with_range("ps_supplycost", ColType::Float, 100_000, 1.0, 1000.0),
+            Column::new("ps_comment", ColType::Str(120), ps_rows / 2),
+        ],
+        row_count: ps_rows,
+        row_bytes: 144,
+        clustered_on: vec!["ps_partkey".into(), "ps_suppkey".into()],
+    });
+
+    // orders: 1.5M × sf
+    let o_rows = scale(1_500_000, sf);
+    c.add_table(Table {
+        name: n("orders"),
+        columns: vec![
+            Column::with_range("o_orderkey", ColType::Int, o_rows, 1.0, (o_rows * 4) as f64),
+            Column::with_range("o_custkey", ColType::Int, c_rows * 2 / 3, 1.0, c_rows as f64),
+            Column::new("o_orderstatus", ColType::Str(1), 3),
+            Column::with_range("o_totalprice", ColType::Float, o_rows / 2, 850.0, 600_000.0),
+            Column::with_range("o_orderdate", ColType::Date, 2_400, dmin, dmax),
+            Column::new("o_orderpriority", ColType::Str(15), 5),
+            Column::new("o_clerk", ColType::Str(15), scale(1_000, sf)),
+            Column::with_range("o_shippriority", ColType::Int, 1, 0.0, 0.0),
+            Column::new("o_comment", ColType::Str(49), o_rows / 2),
+        ],
+        row_count: o_rows,
+        row_bytes: 110,
+        clustered_on: vec!["o_orderkey".into()],
+    });
+
+    // lineitem: 6M × sf
+    let l_rows = scale(6_000_000, sf);
+    c.add_table(Table {
+        name: n("lineitem"),
+        columns: vec![
+            Column::with_range("l_orderkey", ColType::Int, o_rows, 1.0, (o_rows * 4) as f64),
+            Column::with_range("l_partkey", ColType::Int, p_rows, 1.0, p_rows as f64),
+            Column::with_range("l_suppkey", ColType::Int, s_rows, 1.0, s_rows as f64),
+            Column::with_range("l_linenumber", ColType::Int, 7, 1.0, 7.0),
+            Column::with_range("l_quantity", ColType::Int, 50, 1.0, 50.0),
+            Column::with_range("l_extendedprice", ColType::Float, l_rows / 10, 900.0, 105_000.0),
+            Column::with_range("l_discount", ColType::Float, 11, 0.0, 0.1),
+            Column::with_range("l_tax", ColType::Float, 9, 0.0, 0.08),
+            Column::new("l_returnflag", ColType::Str(1), 3),
+            Column::new("l_linestatus", ColType::Str(1), 2),
+            Column::with_range("l_shipdate", ColType::Date, 2_500, dmin, dmax),
+            Column::with_range("l_commitdate", ColType::Date, 2_500, dmin, dmax),
+            Column::with_range("l_receiptdate", ColType::Date, 2_500, dmin, dmax),
+            Column::new("l_shipinstruct", ColType::Str(25), 4),
+            Column::new("l_shipmode", ColType::Str(10), 7),
+            Column::new("l_comment", ColType::Str(27), l_rows / 3),
+        ],
+        row_count: l_rows,
+        row_bytes: 112,
+        clustered_on: vec!["l_orderkey".into(), "l_linenumber".into()],
+    });
+
+    // Nonclustered indexes used by the benchmark workloads.
+    c.add_index(Index {
+        name: n("idx_lineitem_shipdate"),
+        table: n("lineitem"),
+        key_columns: vec!["l_shipdate".into()],
+        entry_bytes: 16,
+        row_count: l_rows,
+    });
+    c.add_index(Index {
+        name: n("idx_orders_orderdate"),
+        table: n("orders"),
+        key_columns: vec!["o_orderdate".into()],
+        entry_bytes: 16,
+        row_count: o_rows,
+    });
+    c.add_index(Index {
+        name: n("idx_customer_mktsegment"),
+        table: n("customer"),
+        key_columns: vec!["c_mktsegment".into()],
+        entry_bytes: 22,
+        row_count: c_rows,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sf1_has_eight_tables_and_three_indexes() {
+        let c = tpch_catalog(1.0);
+        assert_eq!(c.tables().len(), 8);
+        assert_eq!(c.all_indexes().len(), 3);
+        assert_eq!(c.object_count(), 11);
+    }
+
+    #[test]
+    fn sf1_cardinalities_match_spec() {
+        let c = tpch_catalog(1.0);
+        assert_eq!(c.table("lineitem").unwrap().row_count, 6_000_000);
+        assert_eq!(c.table("orders").unwrap().row_count, 1_500_000);
+        assert_eq!(c.table("partsupp").unwrap().row_count, 800_000);
+        assert_eq!(c.table("region").unwrap().row_count, 5);
+    }
+
+    #[test]
+    fn database_is_about_one_gigabyte_at_sf1() {
+        let c = tpch_catalog(1.0);
+        let bytes = c.total_blocks() * crate::BLOCK_BYTES;
+        let gb = bytes as f64 / 1e9;
+        assert!((0.7..1.5).contains(&gb), "got {gb} GB");
+    }
+
+    #[test]
+    fn lineitem_dwarfs_orders() {
+        let c = tpch_catalog(1.0);
+        let l = c.table("lineitem").unwrap().size_blocks();
+        let o = c.table("orders").unwrap().size_blocks();
+        assert!(l > 3 * o, "lineitem {l} vs orders {o}");
+    }
+
+    #[test]
+    fn scale_factor_scales_rows() {
+        let c = tpch_catalog(0.1);
+        assert_eq!(c.table("lineitem").unwrap().row_count, 600_000);
+        // region/nation are fixed-size in TPC-H regardless of SF... but our
+        // scale() only applies to scaled tables; fixed tables stay fixed.
+        assert_eq!(c.table("region").unwrap().row_count, 5);
+    }
+
+    #[test]
+    fn replicate_makes_n_copies() {
+        let c = replicate_tpch(0.01, 3);
+        assert_eq!(c.tables().len(), 24);
+        assert!(c.table("lineitem_1").is_some());
+        assert!(c.table("lineitem_3").is_some());
+        assert!(c.table("lineitem").is_none());
+        assert!(c.index("idx_orders_orderdate_2").is_some());
+    }
+
+    #[test]
+    fn date_ordinals_are_monotone() {
+        assert!(tpch_date_min() < tpch_date_max());
+        assert!(date_ord(1995, 3, 15) < date_ord(1995, 4, 1));
+    }
+
+    #[test]
+    fn clustered_keys_set() {
+        let c = tpch_catalog(1.0);
+        assert!(c.table("lineitem").unwrap().is_clustered_on("l_orderkey"));
+        assert!(c.table("orders").unwrap().is_clustered_on("o_orderkey"));
+    }
+}

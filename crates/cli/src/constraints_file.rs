@@ -1,0 +1,125 @@
+//! The constraints file (paper §3, input (4)): manageability and
+//! availability requirements the DBA imposes.
+//!
+//! Format: one directive per line —
+//!
+//! ```text
+//! colocate part partsupp          # same filegroup (§2.3.1)
+//! avail customer mirroring        # Avail-Requirement (§2.3.2)
+//! max-movement 60000              # blocks, relative to the current layout
+//! ```
+//!
+//! `max-movement` measures against FULL STRIPING over the given drives
+//! (the usual "currently deployed" baseline); callers with a different
+//! current layout build [`Constraints`] programmatically.
+
+use dblayout_catalog::Catalog;
+use dblayout_core::constraints::Constraints;
+use dblayout_disksim::{Availability, DiskSpec, Layout};
+
+/// Parses a constraints file against a catalog and drive set.
+pub fn parse_constraints_file(
+    text: &str,
+    catalog: &Catalog,
+    disks: &[DiskSpec],
+) -> Result<Constraints, String> {
+    let mut constraints = Constraints::none();
+    let mut movement: Option<u64> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with("--") {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let at = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        match fields[0].to_ascii_lowercase().as_str() {
+            "colocate" => {
+                if fields.len() != 3 {
+                    return Err(at("colocate needs two object names"));
+                }
+                let a = catalog
+                    .object_id(fields[1])
+                    .ok_or_else(|| at(&format!("unknown object `{}`", fields[1])))?;
+                let b = catalog
+                    .object_id(fields[2])
+                    .ok_or_else(|| at(&format!("unknown object `{}`", fields[2])))?;
+                constraints = constraints.co_locate(a, b);
+            }
+            "avail" => {
+                if fields.len() != 3 {
+                    return Err(at("avail needs an object name and a class"));
+                }
+                let obj = catalog
+                    .object_id(fields[1])
+                    .ok_or_else(|| at(&format!("unknown object `{}`", fields[1])))?;
+                let class = match fields[2].to_ascii_lowercase().as_str() {
+                    "none" => Availability::None,
+                    "parity" => Availability::Parity,
+                    "mirroring" => Availability::Mirroring,
+                    other => return Err(at(&format!("unknown availability `{other}`"))),
+                };
+                constraints = constraints.require_avail(obj, class);
+            }
+            "max-movement" => {
+                if fields.len() != 2 {
+                    return Err(at("max-movement needs a block count"));
+                }
+                let blocks: u64 = fields[1]
+                    .parse()
+                    .map_err(|_| at(&format!("bad block count `{}`", fields[1])))?;
+                movement = Some(blocks);
+            }
+            other => return Err(at(&format!("unknown directive `{other}`"))),
+        }
+    }
+    if let Some(blocks) = movement {
+        let sizes: Vec<u64> = catalog.objects().iter().map(|o| o.size_blocks).collect();
+        let current = Layout::full_striping(sizes, disks);
+        constraints = constraints.bound_movement(current, blocks);
+    }
+    Ok(constraints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblayout_catalog::tpch::tpch_catalog;
+    use dblayout_disksim::paper_disks;
+
+    #[test]
+    fn parses_all_directive_kinds() {
+        let catalog = tpch_catalog(0.01);
+        let disks = paper_disks();
+        let c = parse_constraints_file(
+            "# a comment\n\
+             colocate part partsupp\n\
+             avail customer mirroring   # inline comment\n\
+             max-movement 5000\n",
+            &catalog,
+            &disks,
+        )
+        .unwrap();
+        assert_eq!(c.co_located.len(), 1);
+        assert_eq!(c.avail.len(), 1);
+        assert_eq!(c.max_data_movement_blocks, Some(5000));
+        assert!(c.current_layout.is_some());
+    }
+
+    #[test]
+    fn unknown_object_and_directive_error_with_line() {
+        let catalog = tpch_catalog(0.01);
+        let disks = paper_disks();
+        let err =
+            parse_constraints_file("colocate part ghosts", &catalog, &disks).unwrap_err();
+        assert!(err.contains("line 1") && err.contains("ghosts"), "{err}");
+        let err = parse_constraints_file("\nstripe everything", &catalog, &disks).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_file_is_no_constraints() {
+        let catalog = tpch_catalog(0.01);
+        let c = parse_constraints_file("", &catalog, &paper_disks()).unwrap();
+        assert!(c.co_located.is_empty() && c.avail.is_empty());
+    }
+}

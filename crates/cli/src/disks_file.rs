@@ -1,0 +1,128 @@
+//! The disk-drive list file (paper §3, input (3): "a file containing a
+//! list of disk drives with the associated disk characteristics. The disk
+//! drives listed in this file need not be existing disk drives.").
+//!
+//! Format: one drive per line —
+//!
+//! ```text
+//! # name  capacity  seek_ms  read_mb_s  write_mb_s  [none|parity|mirroring]
+//! D1      8GB       9.0      22         18          none
+//! D2      6GB       10.0     20         16          mirroring
+//! ```
+//!
+//! Capacity accepts `GB`/`MB` suffixes or a raw block count.
+
+use dblayout_catalog::BLOCK_BYTES;
+use dblayout_disksim::{Availability, DiskSpec};
+
+/// Parses a drives file. Lines starting with `#` (or `--`) and blank lines
+/// are skipped.
+pub fn parse_disks_file(text: &str) -> Result<Vec<DiskSpec>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("--") {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 5 {
+            return Err(format!(
+                "line {}: expected `name capacity seek_ms read_mb_s write_mb_s [avail]`",
+                lineno + 1
+            ));
+        }
+        let capacity_blocks = parse_capacity(fields[1])
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let avg_seek_ms: f64 = fields[2]
+            .parse()
+            .map_err(|e| format!("line {}: bad seek time: {e}", lineno + 1))?;
+        let read_mb_s: f64 = fields[3]
+            .parse()
+            .map_err(|e| format!("line {}: bad read rate: {e}", lineno + 1))?;
+        let write_mb_s: f64 = fields[4]
+            .parse()
+            .map_err(|e| format!("line {}: bad write rate: {e}", lineno + 1))?;
+        if avg_seek_ms < 0.0 || read_mb_s <= 0.0 || write_mb_s <= 0.0 {
+            return Err(format!("line {}: rates must be positive", lineno + 1));
+        }
+        let avail = match fields.get(5).map(|s| s.to_ascii_lowercase()) {
+            None => Availability::None,
+            Some(s) if s == "none" => Availability::None,
+            Some(s) if s == "parity" => Availability::Parity,
+            Some(s) if s == "mirroring" => Availability::Mirroring,
+            Some(other) => {
+                return Err(format!(
+                    "line {}: unknown availability `{other}` (none|parity|mirroring)",
+                    lineno + 1
+                ))
+            }
+        };
+        out.push(
+            DiskSpec::new(fields[0], capacity_blocks, avg_seek_ms, read_mb_s, write_mb_s)
+                .with_avail(avail),
+        );
+    }
+    if out.is_empty() {
+        return Err("no drives in file".into());
+    }
+    Ok(out)
+}
+
+fn parse_capacity(s: &str) -> Result<u64, String> {
+    let lower = s.to_ascii_lowercase();
+    let (digits, unit_bytes): (&str, u64) = if let Some(d) = lower.strip_suffix("gb") {
+        (d, 1_000_000_000)
+    } else if let Some(d) = lower.strip_suffix("mb") {
+        (d, 1_000_000)
+    } else {
+        (lower.as_str(), 0)
+    };
+    let value: f64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad capacity `{s}`"))?;
+    if value <= 0.0 {
+        return Err(format!("capacity `{s}` must be positive"));
+    }
+    Ok(if unit_bytes == 0 {
+        value as u64 // raw block count
+    } else {
+        ((value * unit_bytes as f64) / BLOCK_BYTES as f64) as u64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_formats() {
+        let disks = parse_disks_file(
+            "# comment\n\
+             D1 8GB 9.0 22 18 none\n\
+             D2 512MB 10 20 16 mirroring\n\
+             \n\
+             D3 98304 11 18 14\n",
+        )
+        .unwrap();
+        assert_eq!(disks.len(), 3);
+        assert_eq!(disks[0].capacity_blocks, 8_000_000_000 / 65536);
+        assert_eq!(disks[1].avail, Availability::Mirroring);
+        assert_eq!(disks[2].capacity_blocks, 98_304);
+        assert_eq!(disks[2].avail, Availability::None);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_disks_file("D1 8GB 9.0 22 18\nD2 oops 1 2 3").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_incomplete_lines_and_bad_avail() {
+        assert!(parse_disks_file("D1 8GB 9.0").is_err());
+        assert!(parse_disks_file("D1 8GB 9.0 22 18 raid99").is_err());
+        assert!(parse_disks_file("").is_err());
+        assert!(parse_disks_file("D1 0GB 9 22 18").is_err());
+    }
+}

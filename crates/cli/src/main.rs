@@ -1,0 +1,185 @@
+//! `dblayout` — the layout advisor as a command-line tool (paper Figure 3).
+
+use std::process::ExitCode;
+
+use dblayout_cli::constraints_file::parse_constraints_file;
+use dblayout_cli::disks_file::parse_disks_file;
+use dblayout_cli::{default_disks, resolve_catalog};
+use dblayout_core::advisor::{Advisor, AdvisorConfig};
+use dblayout_core::deploy::render_script;
+use dblayout_core::tsgreedy::TsGreedyConfig;
+
+const USAGE: &str = "\
+dblayout — automated database layout advisor (ICDE 2003 reproduction)
+
+USAGE:
+    dblayout --database <spec> --workload <file> [options]
+
+INPUTS (paper Figure 3):
+    --database <spec>     built-in catalog: tpch[:sf] | tpch-n:<sf>:<n> | apb | sales
+    --workload <file>     SQL DML statements, ';'-separated; optional
+                          '-- weight: <w>' line before a statement
+    --disks <file>        drive list: name capacity seek_ms read_mb_s write_mb_s [avail]
+                          (default: the paper's 8-drive array)
+    --constraints <file>  colocate A B | avail A <class> | max-movement <blocks>
+
+OPTIONS:
+    --k <n>               greedy step width (default 1)
+    --script <dbname>     print the filegroup deployment script
+    --json <file>         write the recommendation as JSON
+    --help                this text
+";
+
+struct Args {
+    database: String,
+    workload: String,
+    disks: Option<String>,
+    constraints: Option<String>,
+    k: usize,
+    script: Option<String>,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        database: String::new(),
+        workload: String::new(),
+        disks: None,
+        constraints: None,
+        k: 1,
+        script: None,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--database" => args.database = value("--database")?,
+            "--workload" => args.workload = value("--workload")?,
+            "--disks" => args.disks = Some(value("--disks")?),
+            "--constraints" => args.constraints = Some(value("--constraints")?),
+            "--k" => {
+                args.k = value("--k")?
+                    .parse()
+                    .map_err(|e| format!("bad --k: {e}"))?
+            }
+            "--script" => args.script = Some(value("--script")?),
+            "--json" => args.json = Some(value("--json")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    if args.database.is_empty() || args.workload.is_empty() {
+        return Err(format!("--database and --workload are required\n\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let catalog = resolve_catalog(&args.database)?;
+    let workload_text = std::fs::read_to_string(&args.workload)
+        .map_err(|e| format!("cannot read workload `{}`: {e}", args.workload))?;
+    let disks = match &args.disks {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read drives `{path}`: {e}"))?;
+            parse_disks_file(&text)?
+        }
+        None => default_disks(),
+    };
+    let constraints = match &args.constraints {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read constraints `{path}`: {e}"))?;
+            parse_constraints_file(&text, &catalog, &disks)?
+        }
+        None => dblayout_core::constraints::Constraints::none(),
+    };
+
+    let cfg = AdvisorConfig {
+        search: TsGreedyConfig {
+            k: args.k,
+            constraints,
+            ..Default::default()
+        },
+    };
+    let advisor = Advisor::new(&catalog, &disks);
+    let rec = advisor
+        .recommend_sql(&workload_text, &cfg)
+        .map_err(|e| e.to_string())?;
+
+    println!("statements analyzed : {}", rec.plans.len());
+    println!(
+        "estimated I/O response time: full striping {:.0} ms -> recommended {:.0} ms",
+        rec.full_striping_cost_ms, rec.recommended_cost_ms
+    );
+    println!(
+        "estimated improvement: {:.1}%  ({} greedy iterations, {} cost evaluations)",
+        rec.estimated_improvement_pct, rec.search.iterations, rec.search.cost_evaluations
+    );
+    println!();
+    println!("recommended layout (object: disks):");
+    for meta in catalog.objects() {
+        let placed = rec.layout.disks_of(meta.id.index());
+        let names: Vec<&str> = placed.iter().map(|&j| disks[j].name.as_str()).collect();
+        println!("  {:<28} {}", meta.name, names.join(", "));
+    }
+
+    if let Some(db) = &args.script {
+        println!();
+        print!("{}", render_script(db, &catalog, &rec.layout, &disks));
+    }
+
+    if let Some(path) = &args.json {
+        #[derive(serde::Serialize)]
+        struct JsonOut<'a> {
+            estimated_improvement_pct: f64,
+            full_striping_cost_ms: f64,
+            recommended_cost_ms: f64,
+            objects: Vec<JsonObject<'a>>,
+        }
+        #[derive(serde::Serialize)]
+        struct JsonObject<'a> {
+            name: String,
+            disks: Vec<&'a str>,
+            fractions: Vec<f64>,
+        }
+        let out = JsonOut {
+            estimated_improvement_pct: rec.estimated_improvement_pct,
+            full_striping_cost_ms: rec.full_striping_cost_ms,
+            recommended_cost_ms: rec.recommended_cost_ms,
+            objects: catalog
+                .objects()
+                .iter()
+                .map(|meta| JsonObject {
+                    name: meta.name.clone(),
+                    disks: rec
+                        .layout
+                        .disks_of(meta.id.index())
+                        .iter()
+                        .map(|&j| disks[j].name.as_str())
+                        .collect(),
+                    fractions: rec.layout.fractions_of(meta.id.index()).to_vec(),
+                })
+                .collect(),
+        };
+        let json = serde_json::to_string_pretty(&out).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("\n(JSON written to {path})");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! The analytic I/O response-time cost model (paper §5, Figure 7).
+//!
+//! For a statement `Q` with plan `P_Q` under layout `L`:
+//!
+//! ```text
+//! Cost(Q, L) = Σ over non-blocking sub-plans P of P_Q of
+//!              max over disks D_j of ( TransferCost_j + SeekCost_j )
+//! TransferCost_j = Σ_i x_ij · B(|R_i|, P) / T_j
+//! SeekCost_j     = k · S_j · min_i ( x_ij · B(|R_i|, P) )   if k > 1 else 0
+//! ```
+//!
+//! where `k` is the number of objects on `D_j` accessed in `P`, `T_j` is the
+//! read or write transfer rate as appropriate, `S_j` the average seek time,
+//! and the `min` ranges over the objects accessed in `P` that live on `D_j`.
+//! The seek model assumes co-accessed objects are read at rates proportional
+//! to their block counts, so the least-represented object's block count
+//! bounds the number of alternations.
+//!
+//! Temp-object I/O is **excluded by default** — the paper's implementation
+//! "did not factor in the I/O times of temporary objects" (§7.2), and its
+//! validation attributes some mis-orderings to exactly that. Enable
+//! [`CostModel::include_temp_io`] to add a tempdb lane (our extension).
+
+use dblayout_disksim::{DiskSpec, Layout};
+use dblayout_planner::{PhysicalPlan, Subplan};
+
+/// Configurable cost model.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Include tempdb spill I/O in statement costs (extension; the paper's
+    /// implementation did not).
+    pub include_temp_io: bool,
+    /// The tempdb drive used when `include_temp_io` is set.
+    pub tempdb: DiskSpec,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            include_temp_io: false,
+            tempdb: dblayout_disksim::tempdb_disk(),
+        }
+    }
+}
+
+impl CostModel {
+    /// `Cost(Q, L)` in milliseconds.
+    pub fn statement_cost(
+        &self,
+        plan: &PhysicalPlan,
+        layout: &Layout,
+        disks: &[DiskSpec],
+    ) -> f64 {
+        plan.subplans()
+            .iter()
+            .map(|sub| self.subplan_cost(sub, layout, disks))
+            .sum()
+    }
+
+    /// Cost of one non-blocking sub-plan: the bottleneck disk's time.
+    pub fn subplan_cost(&self, sub: &Subplan, layout: &Layout, disks: &[DiskSpec]) -> f64 {
+        // Objects may appear once per access kind; aggregate per object for
+        // the seek term (built once — this function is the search's hot
+        // loop), while transfer is charged at each access's own rate.
+        let mut totals: Vec<(usize, u64)> = Vec::with_capacity(sub.accesses.len());
+        for access in &sub.accesses {
+            let idx = access.object.index();
+            match totals.iter_mut().find(|(o, _)| *o == idx) {
+                Some((_, t)) => *t += access.blocks,
+                None => totals.push((idx, access.blocks)),
+            }
+        }
+        let mut max_cost = 0.0f64;
+        for (j, disk) in disks.iter().enumerate() {
+            let mut transfer = 0.0;
+            let mut k = 0usize;
+            let mut min_share = f64::INFINITY;
+            for &(obj, total_blocks) in &totals {
+                let x = layout.fraction(obj, j);
+                if x <= 0.0 || total_blocks == 0 {
+                    continue;
+                }
+                k += 1;
+                min_share = min_share.min(x * total_blocks as f64);
+            }
+            for access in &sub.accesses {
+                let x = layout.fraction(access.object.index(), j);
+                if x <= 0.0 {
+                    continue;
+                }
+                let ms_per_block = if access.kind.is_read() {
+                    disk.read_ms_per_block()
+                } else {
+                    disk.write_ms_per_block()
+                };
+                transfer += x * access.blocks as f64 * ms_per_block;
+            }
+            let seek = if k > 1 {
+                k as f64 * disk.avg_seek_ms * min_share
+            } else {
+                0.0
+            };
+            max_cost = max_cost.max(transfer + seek);
+        }
+        if self.include_temp_io {
+            let temp = (sub.temp_write_blocks as f64) * self.tempdb.write_ms_per_block()
+                + (sub.temp_read_blocks as f64) * self.tempdb.read_ms_per_block();
+            // tempdb is its own drive: it participates in the bottleneck max.
+            max_cost = max_cost.max(temp);
+        }
+        max_cost
+    }
+
+    /// `Σ_Q w_Q · Cost(Q, L)` — the optimization objective (Figure 2).
+    pub fn workload_cost(
+        &self,
+        plans: &[(PhysicalPlan, f64)],
+        layout: &Layout,
+        disks: &[DiskSpec],
+    ) -> f64 {
+        plans
+            .iter()
+            .map(|(plan, w)| w * self.statement_cost(plan, layout, disks))
+            .sum()
+    }
+
+    /// Cost of one pre-decomposed statement (sum over its sub-plans).
+    pub fn statement_cost_subplans(
+        &self,
+        subs: &[Subplan],
+        layout: &Layout,
+        disks: &[DiskSpec],
+    ) -> f64 {
+        subs.iter().map(|s| self.subplan_cost(s, layout, disks)).sum()
+    }
+
+    /// Workload cost over pre-decomposed sub-plans. The search invokes the
+    /// cost model thousands of times per run (paper §3: "the scalability of
+    /// the solution relies on the cost model being computationally
+    /// efficient"), so it decomposes each plan once up front.
+    pub fn workload_cost_subplans(
+        &self,
+        workload: &[(Vec<Subplan>, f64)],
+        layout: &Layout,
+        disks: &[DiskSpec],
+    ) -> f64 {
+        workload
+            .iter()
+            .map(|(subs, w)| {
+                w * subs
+                    .iter()
+                    .map(|s| self.subplan_cost(s, layout, disks))
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+}
+
+/// Decomposes a weighted workload once, for repeated cost evaluation.
+pub fn decompose_workload(plans: &[(PhysicalPlan, f64)]) -> Vec<(Vec<Subplan>, f64)> {
+    plans.iter().map(|(p, w)| (p.subplans(), *w)).collect()
+}
+
+/// [`CostModel::statement_cost`] with the default model.
+pub fn statement_cost(plan: &PhysicalPlan, layout: &Layout, disks: &[DiskSpec]) -> f64 {
+    CostModel::default().statement_cost(plan, layout, disks)
+}
+
+/// [`CostModel::workload_cost`] with the default model.
+pub fn workload_cost(plans: &[(PhysicalPlan, f64)], layout: &Layout, disks: &[DiskSpec]) -> f64 {
+    CostModel::default().workload_cost(plans, layout, disks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblayout_catalog::ObjectId;
+    use dblayout_disksim::uniform_disks;
+    use dblayout_planner::PlanNode;
+
+    fn scan(obj: u32, blocks: u64) -> PlanNode {
+        PlanNode::TableScan {
+            object: ObjectId(obj),
+            name: format!("t{obj}"),
+            blocks,
+            rows: blocks as f64,
+        }
+    }
+
+    /// A=300, B=150 merge-joined; 3 identical disks (Example 5 setup).
+    fn example5() -> (PhysicalPlan, Vec<DiskSpec>, Vec<u64>) {
+        let plan = PhysicalPlan::new(PlanNode::MergeJoin {
+            on: "a=b".into(),
+            rows: 100.0,
+            left: Box::new(scan(0, 300)),
+            right: Box::new(scan(1, 150)),
+        });
+        let disks = uniform_disks(3, 100_000, 10.0, 20.0);
+        (plan, disks, vec![300, 150])
+    }
+
+    #[test]
+    fn example5_cost_ordering_l3_l1_l2() {
+        let (plan, disks, sizes) = example5();
+        let t = disks[0].read_ms_per_block(); // 1/T in ms per block
+        let s = disks[0].avg_seek_ms;
+
+        // L1: full striping — cost = 150/T + 100·S per the paper.
+        let l1 = Layout::full_striping(sizes.clone(), &disks);
+        let c1 = statement_cost(&plan, &l1, &disks);
+        assert!((c1 - (150.0 * t + 2.0 * 50.0 * s)).abs() < 1e-6, "c1 = {c1}");
+
+        // L2: A on D1,D2; B on D2,D3 — bottleneck D2 = 225/T + 150·S.
+        let mut l2 = Layout::empty(sizes.clone(), 3);
+        l2.place(0, &[(0, 1.0), (1, 1.0)]);
+        l2.place(1, &[(1, 1.0), (2, 1.0)]);
+        let c2 = statement_cost(&plan, &l2, &disks);
+        assert!((c2 - (225.0 * t + 2.0 * 75.0 * s)).abs() < 1e-6, "c2 = {c2}");
+
+        // L3: A on D1,D2; B on D3 — no co-location, cost = 150/T.
+        let mut l3 = Layout::empty(sizes, 3);
+        l3.place(0, &[(0, 1.0), (1, 1.0)]);
+        l3.place(1, &[(2, 1.0)]);
+        let c3 = statement_cost(&plan, &l3, &disks);
+        assert!((c3 - 150.0 * t).abs() < 1e-6, "c3 = {c3}");
+
+        // Paper's conclusion: L3 < L1 < L2.
+        assert!(c3 < c1 && c1 < c2);
+    }
+
+    #[test]
+    fn single_object_scan_has_no_seek_cost() {
+        let disks = uniform_disks(4, 100_000, 10.0, 20.0);
+        let plan = PhysicalPlan::new(scan(0, 400));
+        let striped = Layout::full_striping(vec![400], &disks);
+        let c = statement_cost(&plan, &striped, &disks);
+        let t = disks[0].read_ms_per_block();
+        assert!((c - 100.0 * t).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wider_striping_reduces_single_scan_cost() {
+        let disks = uniform_disks(8, 100_000, 10.0, 20.0);
+        let plan = PhysicalPlan::new(scan(0, 800));
+        let mut narrow = Layout::empty(vec![800], 8);
+        narrow.place(0, &[(0, 1.0), (1, 1.0)]);
+        let wide = Layout::full_striping(vec![800], &disks);
+        assert!(
+            statement_cost(&plan, &wide, &disks) < statement_cost(&plan, &narrow, &disks)
+        );
+    }
+
+    #[test]
+    fn write_accesses_use_write_rate() {
+        let disks = uniform_disks(1, 100_000, 10.0, 20.0);
+        let read_plan = PhysicalPlan::new(scan(0, 100));
+        let write_plan = PhysicalPlan::new(PlanNode::Insert {
+            object: ObjectId(0),
+            name: "t".into(),
+            write_blocks: 100,
+            rows: 100.0,
+            child: None,
+        });
+        let layout = Layout::full_striping(vec![100], &disks);
+        let cr = statement_cost(&read_plan, &layout, &disks);
+        let cw = statement_cost(&write_plan, &layout, &disks);
+        assert!(cw > cr, "writes are slower: {cw} vs {cr}");
+    }
+
+    #[test]
+    fn blocking_subplans_sum() {
+        let disks = uniform_disks(2, 100_000, 10.0, 20.0);
+        // HashJoin: build(0) and probe(1) in different sub-plans → costs add.
+        let plan = PhysicalPlan::new(PlanNode::HashJoin {
+            on: "x".into(),
+            rows: 1.0,
+            build: Box::new(scan(0, 100)),
+            probe: Box::new(scan(1, 100)),
+            spill_blocks: 0,
+        });
+        let layout = Layout::full_striping(vec![100, 100], &disks);
+        let c = statement_cost(&plan, &layout, &disks);
+        let t = disks[0].read_ms_per_block();
+        // Each sub-plan: 50 blocks on the bottleneck disk, no seeks.
+        assert!((c - 2.0 * 50.0 * t).abs() < 1e-6, "c = {c}");
+    }
+
+    #[test]
+    fn temp_io_excluded_by_default_included_on_flag() {
+        let disks = uniform_disks(2, 100_000, 10.0, 20.0);
+        let plan = PhysicalPlan::new(PlanNode::Sort {
+            by: "k".into(),
+            rows: 1e5,
+            spill_blocks: 10_000,
+            child: Box::new(scan(0, 10)),
+        });
+        let layout = Layout::full_striping(vec![10], &disks);
+        let base = statement_cost(&plan, &layout, &disks);
+        let with_temp = CostModel {
+            include_temp_io: true,
+            ..CostModel::default()
+        }
+        .statement_cost(&plan, &layout, &disks);
+        assert!(with_temp > base * 10.0, "{with_temp} vs {base}");
+    }
+
+    #[test]
+    fn workload_cost_weights_statements() {
+        let disks = uniform_disks(2, 100_000, 10.0, 20.0);
+        let plan = PhysicalPlan::new(scan(0, 100));
+        let layout = Layout::full_striping(vec![100], &disks);
+        let single = statement_cost(&plan, &layout, &disks);
+        let total = workload_cost(&[(plan, 3.0)], &layout, &disks);
+        assert!((total - 3.0 * single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_disks_bottleneck_on_slowest() {
+        let mut disks = uniform_disks(2, 100_000, 10.0, 20.0);
+        disks[1].read_mb_s = 10.0; // half speed
+        let plan = PhysicalPlan::new(scan(0, 200));
+        // Uniform 50/50 split: slow disk is the bottleneck.
+        let mut even = Layout::empty(vec![200], 2);
+        even.place(0, &[(0, 1.0), (1, 1.0)]);
+        let c_even = statement_cost(&plan, &even, &disks);
+        // Rate-proportional split equalizes finish times and costs less.
+        let prop = Layout::full_striping(vec![200], &disks);
+        let c_prop = statement_cost(&plan, &prop, &disks);
+        assert!(c_prop < c_even, "{c_prop} vs {c_even}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Disk drive model (paper §2.1).
+
+use dblayout_catalog::BLOCK_BYTES;
+
+/// Availability class of a drive (paper §2.1: None / Parity / Mirroring,
+/// e.g. RAID 0 / RAID 5 / RAID 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Availability {
+    /// RAID 0 or bare drive.
+    None,
+    /// RAID 5.
+    Parity,
+    /// RAID 1.
+    Mirroring,
+}
+
+/// A single addressable disk drive (possibly itself an array).
+///
+/// The four performance-relevant properties are exactly the paper's:
+/// capacity `C_j`, average seek time `S_j`, read transfer rate `TR_j` and
+/// write transfer rate `TW_j`, plus `AVAIL_j`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskSpec {
+    /// Drive name, e.g. `"D3"`.
+    pub name: String,
+    /// Capacity in 64 KB blocks.
+    pub capacity_blocks: u64,
+    /// Average positioning time per discontiguous access, in milliseconds.
+    pub avg_seek_ms: f64,
+    /// Sequential read rate in MB/s.
+    pub read_mb_s: f64,
+    /// Sequential write rate in MB/s.
+    pub write_mb_s: f64,
+    /// Availability class.
+    pub avail: Availability,
+}
+
+impl DiskSpec {
+    /// Milliseconds to transfer one block at the read rate.
+    pub fn read_ms_per_block(&self) -> f64 {
+        BLOCK_BYTES as f64 / (self.read_mb_s * 1e6) * 1e3
+    }
+
+    /// Milliseconds to transfer one block at the write rate, including the
+    /// drive's availability-class write penalty: RAID-1 mirrors write both
+    /// copies in parallel (a small synchronization overhead), RAID-5 parity
+    /// updates cost extra I/O even for full-block writes.
+    pub fn write_ms_per_block(&self) -> f64 {
+        let penalty = match self.avail {
+            Availability::None => 1.0,
+            Availability::Mirroring => 1.1,
+            Availability::Parity => 1.5,
+        };
+        BLOCK_BYTES as f64 / (self.write_mb_s * 1e6) * 1e3 * penalty
+    }
+
+    /// Convenience constructor for a plain (RAID 0) drive.
+    pub fn new(name: &str, capacity_blocks: u64, avg_seek_ms: f64, read_mb_s: f64, write_mb_s: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            capacity_blocks,
+            avg_seek_ms,
+            read_mb_s,
+            write_mb_s,
+            avail: Availability::None,
+        }
+    }
+
+    /// Same drive with a different availability class.
+    pub fn with_avail(mut self, avail: Availability) -> Self {
+        self.avail = avail;
+        self
+    }
+}
+
+/// The paper's experimental array: 8 external disks, 48 GB aggregate, with
+/// ~30% spread between the fastest and slowest drives in both transfer rate
+/// and seek time (§7.1), calibrated to 2002-era hardware.
+pub fn paper_disks() -> Vec<DiskSpec> {
+    // 6 GB per drive = 98_304 blocks. Transfer 17.5–23 MB/s, seek 8.6–11.4 ms.
+    let profiles: [(f64, f64); 8] = [
+        (23.0, 8.6),
+        (22.0, 9.0),
+        (21.0, 9.4),
+        (20.5, 9.8),
+        (19.5, 10.2),
+        (19.0, 10.6),
+        (18.0, 11.0),
+        (17.5, 11.4),
+    ];
+    profiles
+        .iter()
+        .enumerate()
+        .map(|(i, &(read, seek))| {
+            DiskSpec::new(&format!("D{}", i + 1), 98_304, seek, read, read * 0.8)
+        })
+        .collect()
+}
+
+/// `n` identical drives (used for controlled experiments such as the
+/// paper's Example 5, which assumes identical disks).
+pub fn uniform_disks(n: usize, capacity_blocks: u64, seek_ms: f64, read_mb_s: f64) -> Vec<DiskSpec> {
+    (0..n)
+        .map(|i| {
+            DiskSpec::new(
+                &format!("D{}", i + 1),
+                capacity_blocks,
+                seek_ms,
+                read_mb_s,
+                read_mb_s * 0.8,
+            )
+        })
+        .collect()
+}
+
+/// The separate 9th drive the paper dedicated to tempdb (§7.1).
+pub fn tempdb_disk() -> DiskSpec {
+    DiskSpec::new("tempdb", 98_304, 10.0, 20.0, 16.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_math() {
+        let d = DiskSpec::new("d", 100, 10.0, 20.0, 16.0);
+        // 64 KB at 20 MB/s = 3.2768 ms.
+        assert!((d.read_ms_per_block() - 3.2768).abs() < 1e-3);
+        assert!(d.write_ms_per_block() > d.read_ms_per_block());
+    }
+
+    #[test]
+    fn paper_set_shape() {
+        let disks = paper_disks();
+        assert_eq!(disks.len(), 8);
+        let total_gb = disks
+            .iter()
+            .map(|d| d.capacity_blocks * BLOCK_BYTES)
+            .sum::<u64>() as f64
+            / 1e9;
+        assert!((45.0..56.0).contains(&total_gb), "{total_gb}");
+        // ~30% spread fastest to slowest.
+        let fastest = disks.iter().map(|d| d.read_mb_s).fold(0.0f64, f64::max);
+        let slowest = disks.iter().map(|d| d.read_mb_s).fold(f64::MAX, f64::min);
+        let spread = (fastest - slowest) / slowest;
+        assert!((0.25..0.40).contains(&spread), "{spread}");
+    }
+
+    #[test]
+    fn uniform_disks_are_identical() {
+        let ds = uniform_disks(3, 1000, 10.0, 20.0);
+        assert_eq!(ds.len(), 3);
+        assert!(ds.windows(2).all(|w| w[0].read_mb_s == w[1].read_mb_s));
+        assert_ne!(ds[0].name, ds[1].name);
+    }
+
+    #[test]
+    fn availability_builder() {
+        let d = DiskSpec::new("d", 1, 1.0, 1.0, 1.0).with_avail(Availability::Mirroring);
+        assert_eq!(d.avail, Availability::Mirroring);
+    }
+
+    #[test]
+    fn write_penalty_by_availability_class() {
+        let base = DiskSpec::new("d", 1, 1.0, 20.0, 16.0);
+        let mirrored = base.clone().with_avail(Availability::Mirroring);
+        let parity = base.clone().with_avail(Availability::Parity);
+        assert!(mirrored.write_ms_per_block() > base.write_ms_per_block());
+        assert!(parity.write_ms_per_block() > mirrored.write_ms_per_block());
+        // Reads are unaffected by the class.
+        assert_eq!(parity.read_ms_per_block(), base.read_ms_per_block());
+    }
+}

@@ -1,0 +1,404 @@
+//! Database layout: the paper's Definition 1 and 2.
+//!
+//! A layout is "an assignment of each database object to a set of disk
+//! drives along with a specification of the fraction of the object that is
+//! allocated to each disk drive" — logically an `n × m` matrix of fractions
+//! `x[i][j]` with the three validity constraints of §2.1:
+//!
+//! 1. `x[i][j] ≥ 0`;
+//! 2. `Σ_j x[i][j] = 1` for every object (allocated in its entirety);
+//! 3. `Σ_i |R_i|·x[i][j] ≤ C_j` for every disk (capacity).
+
+use std::fmt;
+
+use crate::disk::DiskSpec;
+
+/// Why a layout is invalid (paper Definition 2 violations).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayoutError {
+    /// Some `x[i][j]` is negative or non-finite.
+    BadFraction {
+        /// Object index.
+        object: usize,
+        /// Disk index.
+        disk: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// An object's fractions do not sum to 1.
+    NotFullyAllocated {
+        /// Object index.
+        object: usize,
+        /// Sum of its fractions.
+        sum: f64,
+    },
+    /// A disk's capacity is exceeded.
+    OverCapacity {
+        /// Disk index.
+        disk: usize,
+        /// Blocks placed there.
+        used: u64,
+        /// Its capacity.
+        capacity: u64,
+    },
+    /// Matrix dimensions do not match the disk set.
+    DimensionMismatch {
+        /// Columns in the layout.
+        layout_disks: usize,
+        /// Drives supplied.
+        actual_disks: usize,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::BadFraction { object, disk, value } => {
+                write!(f, "x[{object}][{disk}] = {value} is not a valid fraction")
+            }
+            LayoutError::NotFullyAllocated { object, sum } => {
+                write!(f, "object {object} allocates {sum} of itself (must be 1)")
+            }
+            LayoutError::OverCapacity { disk, used, capacity } => {
+                write!(f, "disk {disk} holds {used} blocks > capacity {capacity}")
+            }
+            LayoutError::DimensionMismatch {
+                layout_disks,
+                actual_disks,
+            } => write!(
+                f,
+                "layout has {layout_disks} disk columns but {actual_disks} drives were supplied"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// Splits `size` blocks across weights by largest-remainder apportionment so
+/// the shares sum exactly to `size`. Weights must be non-negative; an
+/// all-zero weight vector yields all-zero shares.
+pub fn apportion(size: u64, fractions: &[f64]) -> Vec<u64> {
+    let total: f64 = fractions.iter().sum();
+    if total <= 0.0 || size == 0 {
+        return vec![0; fractions.len()];
+    }
+    let mut shares: Vec<u64> = Vec::with_capacity(fractions.len());
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(fractions.len());
+    let mut assigned = 0u64;
+    for (j, &w) in fractions.iter().enumerate() {
+        let exact = size as f64 * (w / total);
+        let floor = exact.floor() as u64;
+        shares.push(floor);
+        assigned += floor;
+        remainders.push((j, exact - floor as f64));
+    }
+    // Hand out the leftover blocks to the largest remainders (ties by index
+    // for determinism).
+    remainders.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    let mut left = size - assigned;
+    for (j, _) in remainders {
+        if left == 0 {
+            break;
+        }
+        shares[j] += 1;
+        left -= 1;
+    }
+    shares
+}
+
+/// A database layout (paper Definition 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layout {
+    /// `fractions[i][j]` = share of object `i` on disk `j`.
+    fractions: Vec<Vec<f64>>,
+    /// `|R_i|` in blocks.
+    object_sizes: Vec<u64>,
+}
+
+impl Layout {
+    /// An all-zero (entirely unallocated — invalid) layout to be filled via
+    /// [`Layout::place`].
+    pub fn empty(object_sizes: Vec<u64>, disks: usize) -> Self {
+        let n = object_sizes.len();
+        Self {
+            fractions: vec![vec![0.0; disks]; n],
+            object_sizes,
+        }
+    }
+
+    /// FULL STRIPING: every object striped across all drives with fractions
+    /// proportional to read transfer rates (paper §6 footnote 1).
+    pub fn full_striping(object_sizes: Vec<u64>, disks: &[DiskSpec]) -> Self {
+        let total_rate: f64 = disks.iter().map(|d| d.read_mb_s).sum();
+        let row: Vec<f64> = disks.iter().map(|d| d.read_mb_s / total_rate).collect();
+        let n = object_sizes.len();
+        Self {
+            fractions: vec![row; n],
+            object_sizes,
+        }
+    }
+
+    /// Number of objects.
+    pub fn object_count(&self) -> usize {
+        self.object_sizes.len()
+    }
+
+    /// Number of disk columns.
+    pub fn disk_count(&self) -> usize {
+        self.fractions.first().map_or(0, |r| r.len())
+    }
+
+    /// `|R_i|` in blocks.
+    pub fn object_size(&self, object: usize) -> u64 {
+        self.object_sizes[object]
+    }
+
+    /// All object sizes.
+    pub fn object_sizes(&self) -> &[u64] {
+        &self.object_sizes
+    }
+
+    /// `x[i][j]`.
+    pub fn fraction(&self, object: usize, disk: usize) -> f64 {
+        self.fractions[object][disk]
+    }
+
+    /// The full fraction row of an object.
+    pub fn fractions_of(&self, object: usize) -> &[f64] {
+        &self.fractions[object]
+    }
+
+    /// Places `object` on `disks` with the given relative weights
+    /// (normalized internally). Weights of zero drop a disk.
+    ///
+    /// # Panics
+    /// Panics if all weights are zero or any is negative.
+    pub fn place(&mut self, object: usize, disks: &[(usize, f64)]) {
+        let total: f64 = disks.iter().map(|&(_, w)| w).sum();
+        assert!(
+            total > 0.0 && disks.iter().all(|&(_, w)| w >= 0.0),
+            "placement weights must be non-negative with a positive sum"
+        );
+        for f in self.fractions[object].iter_mut() {
+            *f = 0.0;
+        }
+        for &(j, w) in disks {
+            self.fractions[object][j] = w / total;
+        }
+    }
+
+    /// Places `object` across `disks` proportionally to their read rates
+    /// (the footnote-1 rule used by both FULL STRIPING and TS-GREEDY).
+    pub fn place_proportional(&mut self, object: usize, disk_ids: &[usize], specs: &[DiskSpec]) {
+        let weights: Vec<(usize, f64)> = disk_ids
+            .iter()
+            .map(|&j| (j, specs[j].read_mb_s))
+            .collect();
+        self.place(object, &weights);
+    }
+
+    /// The disks holding any part of `object`.
+    pub fn disks_of(&self, object: usize) -> Vec<usize> {
+        self.fractions[object]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f > 0.0)
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// Exact block counts of `object` per disk (largest-remainder
+    /// apportionment of `|R_i|` over the fraction row; sums to `|R_i|`).
+    pub fn blocks_on(&self, object: usize) -> Vec<u64> {
+        apportion(self.object_sizes[object], &self.fractions[object])
+    }
+
+    /// Total blocks each disk holds under this layout.
+    pub fn disk_usage(&self) -> Vec<u64> {
+        let m = self.disk_count();
+        let mut usage = vec![0u64; m];
+        for i in 0..self.object_count() {
+            for (j, b) in self.blocks_on(i).into_iter().enumerate() {
+                usage[j] += b;
+            }
+        }
+        usage
+    }
+
+    /// Checks Definition 2 validity against `disks`.
+    pub fn validate(&self, disks: &[DiskSpec]) -> Result<(), LayoutError> {
+        if self.disk_count() != disks.len() {
+            return Err(LayoutError::DimensionMismatch {
+                layout_disks: self.disk_count(),
+                actual_disks: disks.len(),
+            });
+        }
+        for (i, row) in self.fractions.iter().enumerate() {
+            let mut sum = 0.0;
+            for (j, &f) in row.iter().enumerate() {
+                if !f.is_finite() || !(0.0..=1.0 + 1e-9).contains(&f) {
+                    return Err(LayoutError::BadFraction {
+                        object: i,
+                        disk: j,
+                        value: f,
+                    });
+                }
+                sum += f;
+            }
+            if (sum - 1.0).abs() > 1e-6 {
+                return Err(LayoutError::NotFullyAllocated { object: i, sum });
+            }
+        }
+        for (j, (&used, spec)) in self.disk_usage().iter().zip(disks).enumerate() {
+            if used > spec.capacity_blocks {
+                return Err(LayoutError::OverCapacity {
+                    disk: j,
+                    used,
+                    capacity: spec.capacity_blocks,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocks that must be written to new locations to turn `from` into
+    /// `self` — the data-movement metric for the paper's incremental
+    /// manageability constraint (§2.3.1).
+    pub fn data_movement_from(&self, from: &Layout) -> u64 {
+        assert_eq!(self.object_sizes, from.object_sizes, "same objects required");
+        let mut moved = 0u64;
+        for i in 0..self.object_count() {
+            let new = self.blocks_on(i);
+            let old = from.blocks_on(i);
+            for (n, o) in new.iter().zip(old.iter()) {
+                moved += n.saturating_sub(*o);
+            }
+        }
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::uniform_disks;
+
+    fn disks3() -> Vec<DiskSpec> {
+        uniform_disks(3, 1_000, 10.0, 20.0)
+    }
+
+    #[test]
+    fn apportion_sums_exactly() {
+        for size in [0u64, 1, 7, 100, 999] {
+            let shares = apportion(size, &[0.3, 0.3, 0.4]);
+            assert_eq!(shares.iter().sum::<u64>(), size);
+        }
+    }
+
+    #[test]
+    fn apportion_zero_weights() {
+        assert_eq!(apportion(100, &[0.0, 0.0]), vec![0, 0]);
+    }
+
+    #[test]
+    fn apportion_respects_proportions() {
+        let shares = apportion(100, &[1.0, 3.0]);
+        assert_eq!(shares, vec![25, 75]);
+    }
+
+    #[test]
+    fn full_striping_is_valid_and_uniform_on_identical_disks() {
+        let disks = disks3();
+        let l = Layout::full_striping(vec![300, 150], &disks);
+        l.validate(&disks).unwrap();
+        assert_eq!(l.blocks_on(0), vec![100, 100, 100]);
+        assert_eq!(l.blocks_on(1), vec![50, 50, 50]);
+    }
+
+    #[test]
+    fn full_striping_proportional_to_rates() {
+        let mut disks = disks3();
+        disks[0].read_mb_s = 40.0; // twice as fast as the others
+        let l = Layout::full_striping(vec![400], &disks);
+        let b = l.blocks_on(0);
+        assert_eq!(b.iter().sum::<u64>(), 400);
+        assert_eq!(b[0], 200);
+        assert_eq!(b[1], 100);
+    }
+
+    #[test]
+    fn place_normalizes_weights() {
+        let disks = disks3();
+        let mut l = Layout::empty(vec![300], 3);
+        l.place(0, &[(0, 2.0), (2, 2.0)]);
+        l.validate(&disks).unwrap();
+        assert_eq!(l.disks_of(0), vec![0, 2]);
+        assert_eq!(l.blocks_on(0), vec![150, 0, 150]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn place_rejects_zero_weights() {
+        Layout::empty(vec![1], 2).place(0, &[(0, 0.0)]);
+    }
+
+    #[test]
+    fn validate_catches_unallocated() {
+        let l = Layout::empty(vec![10], 3);
+        assert!(matches!(
+            l.validate(&disks3()),
+            Err(LayoutError::NotFullyAllocated { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_over_capacity() {
+        let disks = disks3(); // 1000 blocks each
+        let mut l = Layout::empty(vec![5_000], 3);
+        l.place(0, &[(0, 1.0)]);
+        assert!(matches!(
+            l.validate(&disks),
+            Err(LayoutError::OverCapacity { disk: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_dimension_mismatch() {
+        let l = Layout::empty(vec![10], 2);
+        assert!(matches!(
+            l.validate(&disks3()),
+            Err(LayoutError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn data_movement_zero_for_same_layout() {
+        let disks = disks3();
+        let l = Layout::full_striping(vec![300, 150], &disks);
+        assert_eq!(l.data_movement_from(&l), 0);
+    }
+
+    #[test]
+    fn data_movement_counts_new_placement() {
+        let disks = disks3();
+        let a = Layout::full_striping(vec![300], &disks); // 100 each
+        let mut b = Layout::empty(vec![300], 3);
+        b.place(0, &[(0, 1.0)]); // all 300 on disk 0
+        // 200 blocks must move onto disk 0.
+        assert_eq!(b.data_movement_from(&a), 200);
+        // And back: 100 onto each of disks 1, 2.
+        assert_eq!(a.data_movement_from(&b), 200);
+    }
+
+    #[test]
+    fn disk_usage_sums_objects() {
+        let disks = disks3();
+        let l = Layout::full_striping(vec![300, 150], &disks);
+        assert_eq!(l.disk_usage(), vec![150, 150, 150]);
+    }
+}

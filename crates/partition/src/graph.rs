@@ -1,0 +1,191 @@
+//! Undirected weighted graph with node weights.
+
+use std::collections::HashMap;
+
+/// An undirected graph over nodes `0..n` with `f64` node and edge weights.
+///
+/// In the advisor's access graph, node weights are total blocks accessed for
+/// an object and edge weights are total blocks co-accessed between two
+/// objects (paper §4.1). Parallel `add_edge` calls accumulate, matching how
+/// Figure 6 increments edge weights per statement.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    node_weights: Vec<f64>,
+    adj: Vec<HashMap<usize, f64>>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes of weight 0.
+    pub fn new(n: usize) -> Self {
+        Self {
+            node_weights: vec![0.0; n],
+            adj: vec![HashMap::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.node_weights.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.node_weights.is_empty()
+    }
+
+    /// Adds `w` to node `u`'s weight.
+    pub fn add_node_weight(&mut self, u: usize, w: f64) {
+        self.node_weights[u] += w;
+    }
+
+    /// Node `u`'s weight.
+    pub fn node_weight(&self, u: usize) -> f64 {
+        self.node_weights[u]
+    }
+
+    /// Accumulates `w` onto the undirected edge `(u, v)`.
+    ///
+    /// # Panics
+    /// Panics on self-loops (an object is never "co-accessed with itself" in
+    /// the access-graph model) and on out-of-range nodes.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(u < self.len() && v < self.len(), "node out of range");
+        *self.adj[u].entry(v).or_insert(0.0) += w;
+        *self.adj[v].entry(u).or_insert(0.0) += w;
+    }
+
+    /// Weight of edge `(u, v)`; 0 when absent.
+    pub fn edge_weight(&self, u: usize, v: usize) -> f64 {
+        self.adj[u].get(&v).copied().unwrap_or(0.0)
+    }
+
+    /// Neighbors of `u` with edge weights.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.adj[u].iter().map(|(&v, &w)| (v, w))
+    }
+
+    /// Node degree (number of incident edges).
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// All edges `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::new();
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            for (&v, &w) in nbrs {
+                if u < v {
+                    out.push((u, v, w));
+                }
+            }
+        }
+        out.sort_by_key(|a| (a.0, a.1));
+        out
+    }
+
+    /// Number of distinct edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|m| m.len()).sum::<usize>() / 2
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_edge_weight(&self) -> f64 {
+        self.edges().iter().map(|&(_, _, w)| w).sum()
+    }
+
+    /// Sum of edge weights crossing partitions under `assignment`
+    /// (`assignment[u]` = partition of node `u`).
+    pub fn cut_weight(&self, assignment: &[usize]) -> f64 {
+        assert_eq!(assignment.len(), self.len());
+        self.edges()
+            .iter()
+            .filter(|&&(u, v, _)| assignment[u] != assignment[v])
+            .map(|&(_, _, w)| w)
+            .sum()
+    }
+
+    /// Sum of edge weights *within* partitions (total − cut).
+    pub fn internal_weight(&self, assignment: &[usize]) -> f64 {
+        self.total_edge_weight() - self.cut_weight(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 10.0);
+        g.add_edge(1, 2, 20.0);
+        g.add_edge(0, 2, 30.0);
+        g
+    }
+
+    #[test]
+    fn edges_accumulate() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(1, 0, 7.0);
+        assert_eq!(g.edge_weight(0, 1), 12.0);
+        assert_eq!(g.edge_weight(1, 0), 12.0);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        Graph::new(2).add_edge(1, 1, 1.0);
+    }
+
+    #[test]
+    fn missing_edge_is_zero() {
+        let g = Graph::new(3);
+        assert_eq!(g.edge_weight(0, 2), 0.0);
+    }
+
+    #[test]
+    fn cut_plus_internal_is_total() {
+        let g = triangle();
+        let assignment = vec![0, 1, 0];
+        let total = g.total_edge_weight();
+        assert_eq!(g.cut_weight(&assignment) + g.internal_weight(&assignment), total);
+    }
+
+    #[test]
+    fn cut_weight_counts_crossing_edges() {
+        let g = triangle();
+        // 0|12: edges (0,1)=10 and (0,2)=30 cross.
+        assert_eq!(g.cut_weight(&[0, 1, 1]), 40.0);
+        // all same partition: nothing crosses.
+        assert_eq!(g.cut_weight(&[0, 0, 0]), 0.0);
+        // all distinct: everything crosses.
+        assert_eq!(g.cut_weight(&[0, 1, 2]), 60.0);
+    }
+
+    #[test]
+    fn node_weights_accumulate() {
+        let mut g = Graph::new(1);
+        g.add_node_weight(0, 100.0);
+        g.add_node_weight(0, 50.0);
+        assert_eq!(g.node_weight(0), 150.0);
+    }
+
+    #[test]
+    fn edges_sorted_and_deduped() {
+        let g = triangle();
+        assert_eq!(
+            g.edges(),
+            vec![(0, 1, 10.0), (0, 2, 30.0), (1, 2, 20.0)]
+        );
+    }
+
+    #[test]
+    fn degree_counts_neighbors() {
+        let g = triangle();
+        assert_eq!(g.degree(0), 2);
+        let lone = Graph::new(1);
+        assert_eq!(lone.degree(0), 0);
+    }
+}

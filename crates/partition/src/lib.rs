@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Weighted-graph partitioning substrate.
+//!
+//! Step 1 of the paper's TS-GREEDY search (§6.2, Figure 9) partitions the
+//! nodes of the *access graph* into `m` parts "so as to maximize the sum of
+//! edge weights across partitions" — i.e. **max-cut** multiway partitioning:
+//! objects that are heavily co-accessed should land in *different*
+//! partitions (different disks). The paper uses the Kernighan–Lin heuristic
+//! [KL70]; we provide:
+//!
+//! * [`Graph`] — an undirected weighted graph with node weights (total
+//!   blocks accessed) and edge weights (co-accessed blocks);
+//! * [`kl_bipartition`] — the classic two-way Kernighan–Lin pass structure,
+//!   adapted to maximize the cut;
+//! * [`max_cut_partition`] — multiway partitioning: greedy seeding plus
+//!   KL-style refinement passes with locking and best-prefix rollback;
+//! * [`exhaustive_max_cut`] — brute force for small instances, used to
+//!   validate heuristic quality in tests and the A2 ablation.
+
+pub mod graph;
+pub mod kl;
+
+pub use graph::Graph;
+pub use kl::{exhaustive_max_cut, kl_bipartition, max_cut_partition};

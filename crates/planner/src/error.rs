@@ -1,0 +1,45 @@
+//! Planning errors.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type PlanResult<T> = std::result::Result<T, PlanError>;
+
+/// An error raised while binding or optimizing a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A column could not be resolved to any in-scope binding.
+    UnknownColumn(String),
+    /// An unqualified column matched more than one binding.
+    AmbiguousColumn(String),
+    /// A query shape the planner does not support.
+    Unsupported(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            PlanError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            PlanError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            PlanError::Unsupported(s) => write!(f, "unsupported query shape: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(PlanError::UnknownTable("x".into()).to_string().contains("x"));
+        assert!(PlanError::AmbiguousColumn("c".into())
+            .to_string()
+            .contains("ambiguous"));
+    }
+}

@@ -1,0 +1,383 @@
+//! Predicate selectivity estimation from catalog statistics.
+//!
+//! Classic System-R-style estimates over per-column uniform statistics:
+//! equality → `1/NDV`, range → covered fraction of `[min, max]`, `IN` list →
+//! `n/NDV`, `LIKE 'prefix%'` → configurable prefix factor, conjunction →
+//! independence. Values land in `[SEL_FLOOR, 1]` so downstream block math
+//! never degenerates.
+
+use dblayout_catalog::{ColumnStats, Table};
+use dblayout_sql::ast::{BinaryOp, Expr, UnaryOp};
+
+/// Lower bound on any estimated selectivity.
+pub const SEL_FLOOR: f64 = 1e-7;
+
+/// Default selectivity for predicates we cannot analyze (magic 1/3,
+/// following System R's unknown-predicate guess).
+pub const SEL_UNKNOWN: f64 = 1.0 / 3.0;
+
+/// Selectivity of a `LIKE` with a leading literal prefix.
+pub const SEL_LIKE_PREFIX: f64 = 0.05;
+
+/// Selectivity of a `LIKE` with a leading wildcard.
+pub const SEL_LIKE_CONTAINS: f64 = 0.10;
+
+fn clamp(s: f64) -> f64 {
+    if s.is_finite() {
+        s.clamp(SEL_FLOOR, 1.0)
+    } else {
+        SEL_UNKNOWN
+    }
+}
+
+/// Extracts a literal numeric value from an expression if it is (or reduces
+/// to) a constant: literals, date strings, negation, and literal arithmetic
+/// (`DATE '1998-12-01' - 90`).
+pub fn const_value(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Literal(lit) => lit.numeric_value(),
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => const_value(expr).map(|v| -v),
+        Expr::Binary { op, left, right } => {
+            let l = const_value(left)?;
+            let r = const_value(right)?;
+            Some(match op {
+                BinaryOp::Add => l + r,
+                BinaryOp::Sub => l - r,
+                BinaryOp::Mul => l * r,
+                BinaryOp::Div => {
+                    if r == 0.0 {
+                        return None;
+                    }
+                    l / r
+                }
+                _ => return None,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Range fraction `P(col op value)` under uniformity on `[min, max]`.
+fn range_fraction(stats: &ColumnStats, op: BinaryOp, value: f64) -> f64 {
+    let span = stats.max - stats.min;
+    if span <= 0.0 {
+        // Single-valued column: comparison either hits or misses entirely;
+        // split the difference for robustness.
+        return 0.5;
+    }
+    let f = ((value - stats.min) / span).clamp(0.0, 1.0);
+    match op {
+        BinaryOp::Lt | BinaryOp::Le => f,
+        BinaryOp::Gt | BinaryOp::Ge => 1.0 - f,
+        _ => SEL_UNKNOWN,
+    }
+}
+
+/// Selectivity of a single-table predicate `pred` against `table`'s stats.
+///
+/// Column references are assumed to belong to `table` (the optimizer routes
+/// predicates to the right binding before calling this). Unknown shapes fall
+/// back to [`SEL_UNKNOWN`].
+pub fn predicate_selectivity(table: &Table, pred: &Expr) -> f64 {
+    clamp(sel(table, pred))
+}
+
+fn col_stats<'t>(table: &'t Table, e: &Expr) -> Option<&'t ColumnStats> {
+    match e {
+        Expr::Column { name, .. } => table.column(name).map(|c| &c.stats),
+        _ => None,
+    }
+}
+
+fn sel(table: &Table, pred: &Expr) -> f64 {
+    match pred {
+        Expr::Binary { op, left, right } if op.is_comparison() => {
+            // Normalize literal-on-left comparisons. The other side must be
+            // constant (not a second column) for stats-based estimation.
+            let (col, other, lit, op) = match (col_stats(table, left), col_stats(table, right)) {
+                (Some(s), None) => (Some(s), &**right, const_value(right), *op),
+                (None, Some(s)) => (Some(s), &**left, const_value(left), flip(*op)),
+                _ => (None, &**left, None, *op),
+            };
+            let other_is_const = matches!(other, Expr::Literal(_)) || lit.is_some();
+            match col {
+                // Equality/inequality only needs the NDV, so string literals
+                // (no numeric interpretation) estimate fine.
+                Some(stats) if other_is_const && matches!(op, BinaryOp::Eq) => {
+                    1.0 / stats.distinct_count as f64
+                }
+                Some(stats) if other_is_const && matches!(op, BinaryOp::Neq) => {
+                    1.0 - 1.0 / stats.distinct_count as f64
+                }
+                Some(stats) => match lit {
+                    Some(v) => range_fraction(stats, op, v),
+                    None => SEL_UNKNOWN,
+                },
+                None => SEL_UNKNOWN,
+            }
+        }
+        Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => sel(table, left) * sel(table, right),
+        Expr::Binary {
+            op: BinaryOp::Or,
+            left,
+            right,
+        } => {
+            let a = clamp(sel(table, left));
+            let b = clamp(sel(table, right));
+            a + b - a * b
+        }
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => 1.0 - clamp(sel(table, expr)),
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let s = match (col_stats(table, expr), const_value(low), const_value(high)) {
+                (Some(stats), Some(lo), Some(hi)) => {
+                    let span = stats.max - stats.min;
+                    if span <= 0.0 {
+                        0.5
+                    } else {
+                        let lo_f = ((lo - stats.min) / span).clamp(0.0, 1.0);
+                        let hi_f = ((hi - stats.min) / span).clamp(0.0, 1.0);
+                        (hi_f - lo_f).max(0.0)
+                    }
+                }
+                _ => SEL_UNKNOWN,
+            };
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let s = match col_stats(table, expr) {
+                Some(stats) => (list.len() as f64 / stats.distinct_count as f64).min(1.0),
+                None => SEL_UNKNOWN,
+            };
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        Expr::Like {
+            pattern, negated, ..
+        } => {
+            let s = if pattern.starts_with('%') || pattern.starts_with('_') {
+                SEL_LIKE_CONTAINS
+            } else if pattern.contains('%') || pattern.contains('_') {
+                SEL_LIKE_PREFIX
+            } else {
+                // Exact-match LIKE behaves like equality; without NDV routing
+                // here, use the prefix factor as a conservative stand-in.
+                SEL_LIKE_PREFIX
+            };
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        Expr::IsNull { negated, .. } => {
+            // Benchmarks here are NOT NULL-heavy; assume 1% nulls.
+            if *negated {
+                0.99
+            } else {
+                0.01
+            }
+        }
+        // Subquery predicates: handled structurally by the optimizer; their
+        // filtering effect is approximated as the unknown default.
+        Expr::InSubquery { .. } | Expr::Exists { .. } | Expr::ScalarSubquery(_) => SEL_UNKNOWN,
+        _ => SEL_UNKNOWN,
+    }
+}
+
+fn flip(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::Le => BinaryOp::Ge,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::Ge => BinaryOp::Le,
+        other => other,
+    }
+}
+
+/// Join selectivity for an equijoin `a = b` between columns with the given
+/// distinct counts: `1 / max(ndv_a, ndv_b)` (System R).
+pub fn join_selectivity(ndv_a: u64, ndv_b: u64) -> f64 {
+    clamp(1.0 / ndv_a.max(ndv_b).max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblayout_catalog::{ColType, Column, Table};
+    use dblayout_sql::parse_statement;
+    use dblayout_sql::Statement;
+
+    fn table() -> Table {
+        Table {
+            name: "t".into(),
+            columns: vec![
+                Column::with_range("a", ColType::Int, 100, 0.0, 100.0),
+                Column::with_range("d", ColType::Date, 1000, 0.0, 1000.0),
+                Column::new("s", ColType::Str(10), 5),
+            ],
+            row_count: 10_000,
+            row_bytes: 50,
+            clustered_on: vec!["a".into()],
+        }
+    }
+
+    fn where_of(sql: &str) -> Expr {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(q) => q.where_clause.unwrap(),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn equality_is_one_over_ndv() {
+        let s = predicate_selectivity(&table(), &where_of("SELECT * FROM t WHERE a = 5"));
+        assert!((s - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_literal_on_left() {
+        let s = predicate_selectivity(&table(), &where_of("SELECT * FROM t WHERE 5 = a"));
+        assert!((s - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_fraction_lt() {
+        let s = predicate_selectivity(&table(), &where_of("SELECT * FROM t WHERE a < 25"));
+        assert!((s - 0.25).abs() < 1e-9);
+        let s = predicate_selectivity(&table(), &where_of("SELECT * FROM t WHERE a > 25"));
+        assert!((s - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flipped_range() {
+        // `25 > a` is `a < 25`.
+        let s = predicate_selectivity(&table(), &where_of("SELECT * FROM t WHERE 25 > a"));
+        assert!((s - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let s = predicate_selectivity(&table(), &where_of("SELECT * FROM t WHERE a < 1000"));
+        assert!((s - 1.0).abs() < 1e-9);
+        let s = predicate_selectivity(&table(), &where_of("SELECT * FROM t WHERE a < -10"));
+        assert!(s <= SEL_FLOOR * 10.0);
+    }
+
+    #[test]
+    fn conjunction_multiplies() {
+        let s = predicate_selectivity(
+            &table(),
+            &where_of("SELECT * FROM t WHERE a < 50 AND s = 'x'"),
+        );
+        assert!((s - 0.5 * 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjunction_inclusion_exclusion() {
+        let s = predicate_selectivity(
+            &table(),
+            &where_of("SELECT * FROM t WHERE a < 50 OR a > 50"),
+        );
+        assert!((s - (0.5 + 0.5 - 0.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn between_fraction() {
+        let s = predicate_selectivity(
+            &table(),
+            &where_of("SELECT * FROM t WHERE a BETWEEN 20 AND 30"),
+        );
+        assert!((s - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn not_between_complements() {
+        let s = predicate_selectivity(
+            &table(),
+            &where_of("SELECT * FROM t WHERE a NOT BETWEEN 20 AND 30"),
+        );
+        assert!((s - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_list_n_over_ndv() {
+        let s = predicate_selectivity(
+            &table(),
+            &where_of("SELECT * FROM t WHERE s IN ('a', 'b')"),
+        );
+        assert!((s - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn like_patterns() {
+        let p = predicate_selectivity(&table(), &where_of("SELECT * FROM t WHERE s LIKE 'ab%'"));
+        assert!((p - SEL_LIKE_PREFIX).abs() < 1e-9);
+        let c = predicate_selectivity(&table(), &where_of("SELECT * FROM t WHERE s LIKE '%ab%'"));
+        assert!((c - SEL_LIKE_CONTAINS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn not_inverts() {
+        let s = predicate_selectivity(&table(), &where_of("SELECT * FROM t WHERE NOT a < 25"));
+        assert!((s - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn date_literal_arithmetic() {
+        // d has range [0, 1000]; DATE-literal minus interval still folds.
+        let e = where_of("SELECT * FROM t WHERE d <= 600 - 100");
+        let s = predicate_selectivity(&table(), &e);
+        assert!((s - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_shapes_fall_back() {
+        let s = predicate_selectivity(&table(), &where_of("SELECT * FROM t WHERE a = d"));
+        assert!((s - SEL_UNKNOWN).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_selectivity_uses_larger_ndv() {
+        assert!((join_selectivity(100, 1000) - 0.001).abs() < 1e-12);
+        assert_eq!(join_selectivity(0, 0), 1.0);
+    }
+
+    #[test]
+    fn selectivity_always_in_unit_interval() {
+        for sql in [
+            "SELECT * FROM t WHERE a < -1e18",
+            "SELECT * FROM t WHERE a IN (1,2,3,4,5,6,7,8,9,10)",
+            "SELECT * FROM t WHERE NOT (a < 5 OR a > 5)",
+            "SELECT * FROM t WHERE s IS NOT NULL",
+        ] {
+            let s = predicate_selectivity(&table(), &where_of(sql));
+            assert!((SEL_FLOOR..=1.0).contains(&s), "{sql}: {s}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// Convenience alias used throughout the SQL front-end.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// An error produced while lexing or parsing a SQL statement.
+///
+/// Positions are 1-based line/column pairs pointing at the offending token so
+/// workload files (which may contain hundreds of statements) produce
+/// actionable diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// 1-based line in the input.
+    pub line: u32,
+    /// 1-based column in the input.
+    pub column: u32,
+}
+
+impl ParseError {
+    /// Creates an error at the given position.
+    pub fn new(message: impl Into<String>, line: u32, column: u32) -> Self {
+        Self {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_message() {
+        let e = ParseError::new("unexpected token", 3, 14);
+        let s = e.to_string();
+        assert!(s.contains("line 3"));
+        assert!(s.contains("column 14"));
+        assert!(s.contains("unexpected token"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ParseError::new("x", 1, 1));
+    }
+}

@@ -1,0 +1,475 @@
+//! Hand-written SQL lexer.
+//!
+//! Produces a flat token stream with source positions. Keywords are
+//! recognized case-insensitively (the token carries the uppercased keyword);
+//! identifiers preserve their original case but compare case-insensitively in
+//! the planner's catalog lookups.
+
+use crate::error::{ParseError, Result};
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A reserved word such as `SELECT`, stored uppercased.
+    Keyword(String),
+    /// An unquoted identifier (table, column, alias).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating point literal.
+    Float(f64),
+    /// A single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `=`, `<`, `>`, `<=`, `>=`, `<>` / `!=`.
+    Op(String),
+    /// `+`, `-`, `*`, `/`.
+    Arith(char),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `;`.
+    Semicolon,
+    /// End of input sentinel.
+    Eof,
+}
+
+/// A token together with its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub column: u32,
+}
+
+/// All words treated as keywords by the parser.
+///
+/// Anything else alphabetic lexes as an identifier. The set matches the DML
+/// subset in the crate docs; it intentionally excludes DDL.
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "HAVING", "AS", "AND", "OR", "NOT", "IN",
+    "BETWEEN", "LIKE", "IS", "NULL", "EXISTS", "DISTINCT", "TOP", "ASC", "DESC", "JOIN", "INNER",
+    "LEFT", "RIGHT", "OUTER", "ON", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+    "COUNT", "SUM", "AVG", "MIN", "MAX", "CASE", "WHEN", "THEN", "ELSE", "END", "SUBSTRING",
+    "EXTRACT", "YEAR", "UNION", "ALL", "ANY", "INTERVAL", "DATE",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src.get(self.pos).map(|&b| b as char)
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.src.get(self.pos + 1).map(|&b| b as char)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.line, self.column)
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some('-') if self.peek2() == Some('-') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let (line, column) = (self.line, self.column);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some('*') if self.peek() == Some('/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                return Err(ParseError::new(
+                                    "unterminated block comment",
+                                    line,
+                                    column,
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some('.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some('e') | Some('E')) {
+            // Exponent: only consume when followed by a valid exponent body,
+            // otherwise `1e` would eat the identifier start of e.g. `1elephant`.
+            let mut look = self.pos + 1;
+            if matches!(self.src.get(look), Some(b'+') | Some(b'-')) {
+                look += 1;
+            }
+            if matches!(self.src.get(look), Some(b) if b.is_ascii_digit()) {
+                is_float = true;
+                self.bump();
+                if matches!(self.peek(), Some('+') | Some('-')) {
+                    self.bump();
+                }
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|e| self.err(format!("bad float literal `{text}`: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|e| self.err(format!("bad integer literal `{text}`: {e}")))
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind> {
+        let (line, column) = (self.line, self.column);
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('\'') => {
+                    if self.peek() == Some('\'') {
+                        self.bump();
+                        out.push('\'');
+                    } else {
+                        return Ok(TokenKind::Str(out));
+                    }
+                }
+                Some(c) => out.push(c),
+                None => {
+                    return Err(ParseError::new("unterminated string literal", line, column))
+                }
+            }
+        }
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if is_ident_cont(c)) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        let upper = text.to_ascii_uppercase();
+        if KEYWORDS.contains(&upper.as_str()) {
+            TokenKind::Keyword(upper)
+        } else {
+            TokenKind::Ident(text.to_string())
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_ws_and_comments()?;
+        let (line, column) = (self.line, self.column);
+        let kind = match self.peek() {
+            None => TokenKind::Eof,
+            Some(c) if c.is_ascii_digit() => self.lex_number()?,
+            Some('\'') => self.lex_string()?,
+            Some(c) if is_ident_start(c) => self.lex_word(),
+            Some('(') => {
+                self.bump();
+                TokenKind::LParen
+            }
+            Some(')') => {
+                self.bump();
+                TokenKind::RParen
+            }
+            Some(',') => {
+                self.bump();
+                TokenKind::Comma
+            }
+            Some('.') => {
+                self.bump();
+                TokenKind::Dot
+            }
+            Some(';') => {
+                self.bump();
+                TokenKind::Semicolon
+            }
+            Some(c @ ('+' | '-' | '*' | '/')) => {
+                self.bump();
+                TokenKind::Arith(c)
+            }
+            Some('=') => {
+                self.bump();
+                TokenKind::Op("=".into())
+            }
+            Some('<') => {
+                self.bump();
+                match self.peek() {
+                    Some('=') => {
+                        self.bump();
+                        TokenKind::Op("<=".into())
+                    }
+                    Some('>') => {
+                        self.bump();
+                        TokenKind::Op("<>".into())
+                    }
+                    _ => TokenKind::Op("<".into()),
+                }
+            }
+            Some('>') => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Op(">=".into())
+                } else {
+                    TokenKind::Op(">".into())
+                }
+            }
+            Some('!') => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Op("<>".into())
+                } else {
+                    return Err(ParseError::new("expected `=` after `!`", line, column));
+                }
+            }
+            Some(c) => return Err(ParseError::new(format!("unexpected character `{c}`"), line, column)),
+        };
+        Ok(Token { kind, line, column })
+    }
+}
+
+/// Tokenizes `src` into a vector ending with a single [`TokenKind::Eof`].
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut lexer = Lexer::new(src);
+    let mut tokens = Vec::new();
+    loop {
+        let tok = lexer.next_token()?;
+        let done = tok.kind == TokenKind::Eof;
+        tokens.push(tok);
+        if done {
+            return Ok(tokens);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("select SeLeCt SELECT"),
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_case() {
+        assert_eq!(
+            kinds("LineItem"),
+            vec![TokenKind::Ident("LineItem".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        assert_eq!(
+            kinds("42 2.75 1e3 2.5E-2"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(2.75),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.025),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn exponent_not_consumed_without_digits() {
+        // `1e` followed by a letter is an int then an identifier.
+        assert_eq!(
+            kinds("1elephant"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Ident("elephant".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_with_escaped_quote() {
+        assert_eq!(
+            kinds("'o''brien'"),
+            vec![TokenKind::Str("o'brien".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = tokenize("SELECT 'abc").unwrap_err();
+        assert!(err.message.contains("unterminated string"));
+        assert_eq!(err.line, 1);
+        assert_eq!(err.column, 8);
+    }
+
+    #[test]
+    fn operators_and_punctuation() {
+        assert_eq!(
+            kinds("a <= b <> c != d >= e < f > g = h"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Op("<=".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Op("<>".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Op("<>".into()),
+                TokenKind::Ident("d".into()),
+                TokenKind::Op(">=".into()),
+                TokenKind::Ident("e".into()),
+                TokenKind::Op("<".into()),
+                TokenKind::Ident("f".into()),
+                TokenKind::Op(">".into()),
+                TokenKind::Ident("g".into()),
+                TokenKind::Op("=".into()),
+                TokenKind::Ident("h".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comments_skipped() {
+        assert_eq!(
+            kinds("SELECT -- comment\n 1"),
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Int(1),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn block_comments_skipped() {
+        assert_eq!(
+            kinds("SELECT /* a\nb */ 1"),
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Int(1),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(tokenize("/* never ends").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = tokenize("SELECT\n  a").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].column, 3);
+    }
+
+    #[test]
+    fn bang_without_equals_errors() {
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn qualified_name_lexes_with_dot() {
+        assert_eq!(
+            kinds("lineitem.l_orderkey"),
+            vec![
+                TokenKind::Ident("lineitem".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("l_orderkey".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds("   \n\t "), vec![TokenKind::Eof]);
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! SQL DML front-end for the `dblayout` workspace.
+//!
+//! This crate implements the SQL surface the ICDE 2003 layout advisor needs:
+//! the advisor consumes a *workload file* of SQL DML statements
+//! (`SELECT` / `INSERT` / `UPDATE` / `DELETE`), optionally weighted, and hands
+//! each statement to the query optimizer to obtain an execution plan
+//! (paper §2.2, §4.2). We therefore implement a lexer, an abstract syntax
+//! tree, and a recursive-descent parser for a DML subset rich enough to
+//! express the TPC-H-style decision-support queries of the paper's
+//! evaluation: multi-way joins (comma and ANSI `JOIN ... ON` syntax),
+//! comparison / `BETWEEN` / `IN` / `LIKE` / `IS NULL` predicates, `EXISTS`,
+//! `IN (SELECT ...)` and scalar subqueries, aggregation with `GROUP BY` /
+//! `HAVING`, `ORDER BY`, and `TOP n`.
+//!
+//! The parser is deliberately independent of any catalog: name resolution and
+//! semantic checks happen in `dblayout-planner`, mirroring how the paper's
+//! tool submits statement text to the server in "no-execute" (Showplan) mode.
+//!
+//! # Example
+//!
+//! ```
+//! use dblayout_sql::parse_statement;
+//!
+//! let stmt = parse_statement(
+//!     "SELECT o_orderdate, SUM(l_extendedprice) \
+//!      FROM orders, lineitem \
+//!      WHERE o_orderkey = l_orderkey AND o_orderdate < '1995-03-15' \
+//!      GROUP BY o_orderdate ORDER BY o_orderdate",
+//! )
+//! .unwrap();
+//! assert!(stmt.is_query());
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod workload_file;
+
+pub use ast::{
+    Aggregate, BinaryOp, Expr, FromItem, JoinKind, Literal, OrderItem, Query, SelectItem,
+    Statement, UnaryOp,
+};
+pub use error::{ParseError, Result};
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::{parse_statement, parse_statements, Parser};
+pub use workload_file::{parse_workload_file, WorkloadEntry};

@@ -1,0 +1,1053 @@
+//! Recursive-descent parser for the DML subset.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! statement   := select | insert | update | delete
+//! select      := SELECT [DISTINCT] [TOP int] items FROM from_list
+//!                [WHERE expr] [GROUP BY exprs] [HAVING expr]
+//!                [ORDER BY order_items]
+//! from_list   := from_item ("," from_item)*
+//! from_item   := table_ref (join_clause)*
+//! join_clause := [INNER|LEFT [OUTER]|RIGHT [OUTER]] JOIN table_ref ON expr
+//! expr        := or_expr
+//! or_expr     := and_expr (OR and_expr)*
+//! and_expr    := not_expr (AND not_expr)*
+//! not_expr    := NOT not_expr | predicate
+//! predicate   := additive [comparison | BETWEEN | IN | LIKE | IS [NOT] NULL]
+//! additive    := multiplicative (("+"|"-") multiplicative)*
+//! multiplicative := primary (("*"|"/") primary)*
+//! ```
+
+use crate::ast::*;
+use crate::error::{ParseError, Result};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parses exactly one statement (a trailing `;` is allowed).
+pub fn parse_statement(src: &str) -> Result<Statement> {
+    let mut p = Parser::new(src)?;
+    let stmt = p.statement()?;
+    p.eat_kind(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parses a `;`-separated script of statements.
+pub fn parse_statements(src: &str) -> Result<Vec<Statement>> {
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat_kind(&TokenKind::Semicolon) {}
+        if p.at_eof() {
+            return Ok(out);
+        }
+        out.push(p.statement()?);
+    }
+}
+
+/// Token-stream parser. Usually driven through [`parse_statement`] /
+/// [`parse_statements`]; exposed for incremental uses (e.g. workload files).
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Lexes `src` and positions the parser at the first token.
+    pub fn new(src: &str) -> Result<Self> {
+        Ok(Self {
+            tokens: tokenize(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().kind == TokenKind::Eof
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError::new(msg, t.line, t.column)
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("unexpected trailing input: {:?}", self.peek().kind)))
+        }
+    }
+
+    /// Consumes the next token if it equals `kind`.
+    fn eat_kind(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Keyword(k) if k == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected `{kw}`, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.eat_kind(kind) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {what}, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            // Allow a few keywords in identifier position (e.g. a column
+            // named `year`); real systems quote these, we just accept them.
+            TokenKind::Keyword(k) if matches!(k.as_str(), "YEAR" | "DATE" | "ALL") => {
+                let s = k.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err_here(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Parses one statement.
+    pub fn statement(&mut self) -> Result<Statement> {
+        if self.at_keyword("SELECT") {
+            Ok(Statement::Select(self.query()?))
+        } else if self.eat_keyword("INSERT") {
+            self.insert_rest()
+        } else if self.eat_keyword("UPDATE") {
+            self.update_rest()
+        } else if self.eat_keyword("DELETE") {
+            self.delete_rest()
+        } else {
+            Err(self.err_here(format!(
+                "expected SELECT, INSERT, UPDATE or DELETE, found {:?}",
+                self.peek().kind
+            )))
+        }
+    }
+
+    /// Parses a SELECT query block (the leading `SELECT` not yet consumed).
+    pub fn query(&mut self) -> Result<Query> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let top = if self.eat_keyword("TOP") {
+            match self.bump().kind {
+                TokenKind::Int(n) if n >= 0 => Some(n as u64),
+                other => return Err(self.err_here(format!("expected row count after TOP, found {other:?}"))),
+            }
+        } else {
+            None
+        };
+        let select = self.select_items()?;
+        let mut from = Vec::new();
+        if self.eat_keyword("FROM") {
+            loop {
+                from.push(self.parse_from_item()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let ascending = if self.eat_keyword("DESC") {
+                    false
+                } else {
+                    self.eat_keyword("ASC");
+                    true
+                };
+                order_by.push(OrderItem { expr, ascending });
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(Query {
+            distinct,
+            top,
+            select,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+        })
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            if matches!(self.peek().kind, TokenKind::Arith('*')) {
+                self.bump();
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_keyword("AS") {
+                    Some(self.expect_ident()?)
+                } else if let TokenKind::Ident(s) = &self.peek().kind {
+                    // Implicit alias: `SELECT a b` — allowed, like SQL Server.
+                    let s = s.clone();
+                    self.bump();
+                    Some(s)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_kind(&TokenKind::Comma) {
+                return Ok(items);
+            }
+        }
+    }
+
+    fn table_ref(&mut self) -> Result<FromItem> {
+        let name = self.expect_ident()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.expect_ident()?)
+        } else if let TokenKind::Ident(s) = &self.peek().kind {
+            let s = s.clone();
+            self.bump();
+            Some(s)
+        } else {
+            None
+        };
+        Ok(FromItem::Table { name, alias })
+    }
+
+    fn parse_from_item(&mut self) -> Result<FromItem> {
+        let mut item = self.table_ref()?;
+        loop {
+            let kind = if self.eat_keyword("INNER") {
+                JoinKind::Inner
+            } else if self.eat_keyword("LEFT") {
+                self.eat_keyword("OUTER");
+                JoinKind::Left
+            } else if self.eat_keyword("RIGHT") {
+                self.eat_keyword("OUTER");
+                JoinKind::Right
+            } else if self.at_keyword("JOIN") {
+                JoinKind::Inner
+            } else {
+                return Ok(item);
+            };
+            self.expect_keyword("JOIN")?;
+            let right = self.table_ref()?;
+            self.expect_keyword("ON")?;
+            let on = self.expr()?;
+            item = FromItem::Join {
+                kind,
+                left: Box::new(item),
+                right: Box::new(right),
+                on,
+            };
+        }
+    }
+
+    fn insert_rest(&mut self) -> Result<Statement> {
+        self.expect_keyword("INTO")?;
+        let table = self.expect_ident()?;
+        let mut columns = Vec::new();
+        if self.eat_kind(&TokenKind::LParen) {
+            loop {
+                columns.push(self.expect_ident()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_kind(&TokenKind::RParen, "`)`")?;
+        }
+        let source = if self.eat_keyword("VALUES") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect_kind(&TokenKind::LParen, "`(`")?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.expr()?);
+                    if !self.eat_kind(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect_kind(&TokenKind::RParen, "`)`")?;
+                rows.push(row);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(rows)
+        } else if self.at_keyword("SELECT") {
+            InsertSource::Query(Box::new(self.query()?))
+        } else {
+            return Err(self.err_here("expected VALUES or SELECT after INSERT target"));
+        };
+        Ok(Statement::Insert {
+            table,
+            columns,
+            source,
+        })
+    }
+
+    fn update_rest(&mut self) -> Result<Statement> {
+        let table = self.expect_ident()?;
+        self.expect_keyword("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            match self.bump().kind {
+                TokenKind::Op(op) if op == "=" => {}
+                other => return Err(self.err_here(format!("expected `=`, found {other:?}"))),
+            }
+            assignments.push((col, self.expr()?));
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            assignments,
+            where_clause,
+        })
+    }
+
+    fn delete_rest(&mut self) -> Result<Statement> {
+        self.expect_keyword("FROM")?;
+        let table = self.expect_ident()?;
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete {
+            table,
+            where_clause,
+        })
+    }
+
+    /// Parses a full (boolean) expression.
+    pub fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                op: BinaryOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                op: BinaryOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            // Fold `NOT EXISTS` so the planner sees a negated semi-join
+            // rather than an opaque negation.
+            if self.eat_keyword("EXISTS") {
+                self.expect_kind(&TokenKind::LParen, "`(`")?;
+                let subquery = Box::new(self.query()?);
+                self.expect_kind(&TokenKind::RParen, "`)`")?;
+                return Ok(Expr::Exists {
+                    subquery,
+                    negated: true,
+                });
+            }
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<Expr> {
+        // EXISTS is prefix-form.
+        if self.eat_keyword("EXISTS") {
+            self.expect_kind(&TokenKind::LParen, "`(`")?;
+            let subquery = Box::new(self.query()?);
+            self.expect_kind(&TokenKind::RParen, "`)`")?;
+            return Ok(Expr::Exists {
+                subquery,
+                negated: false,
+            });
+        }
+        let left = self.additive()?;
+        // Comparison?
+        if let TokenKind::Op(op) = &self.peek().kind {
+            let op = match op.as_str() {
+                "=" => BinaryOp::Eq,
+                "<>" => BinaryOp::Neq,
+                "<" => BinaryOp::Lt,
+                "<=" => BinaryOp::Le,
+                ">" => BinaryOp::Gt,
+                ">=" => BinaryOp::Ge,
+                other => return Err(self.err_here(format!("unknown operator `{other}`"))),
+            };
+            self.bump();
+            // `ANY`/`ALL` quantified subqueries degrade to plain comparison
+            // against the scalar subquery (cardinality effect only).
+            if self.eat_keyword("ANY") || self.eat_keyword("ALL") {
+                self.expect_kind(&TokenKind::LParen, "`(`")?;
+                let q = Box::new(self.query()?);
+                self.expect_kind(&TokenKind::RParen, "`)`")?;
+                return Ok(Expr::Binary {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(Expr::ScalarSubquery(q)),
+                });
+            }
+            let right = self.additive()?;
+            return Ok(Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+        let negated = self.eat_keyword("NOT");
+        if self.eat_keyword("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_keyword("IN") {
+            self.expect_kind(&TokenKind::LParen, "`(`")?;
+            if self.at_keyword("SELECT") {
+                let q = Box::new(self.query()?);
+                self.expect_kind(&TokenKind::RParen, "`)`")?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    subquery: q,
+                    negated,
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.additive()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_kind(&TokenKind::RParen, "`)`")?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_keyword("LIKE") {
+            let pattern = match self.bump().kind {
+                TokenKind::Str(s) => s,
+                other => return Err(self.err_here(format!("expected pattern string, found {other:?}"))),
+            };
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.err_here("expected BETWEEN, IN or LIKE after NOT"));
+        }
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Arith('+') => BinaryOp::Add,
+                TokenKind::Arith('-') => BinaryOp::Sub,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.multiplicative()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.primary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Arith('*') => BinaryOp::Mul,
+                TokenKind::Arith('/') => BinaryOp::Div,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.primary()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn aggregate_call(&mut self, func: Aggregate) -> Result<Expr> {
+        self.expect_kind(&TokenKind::LParen, "`(`")?;
+        if func == Aggregate::Count && matches!(self.peek().kind, TokenKind::Arith('*')) {
+            self.bump();
+            self.expect_kind(&TokenKind::RParen, "`)`")?;
+            return Ok(Expr::AggregateCall {
+                func,
+                arg: None,
+                distinct: false,
+            });
+        }
+        let distinct = self.eat_keyword("DISTINCT");
+        let arg = self.expr()?;
+        self.expect_kind(&TokenKind::RParen, "`)`")?;
+        Ok(Expr::AggregateCall {
+            func,
+            arg: Some(Box::new(arg)),
+            distinct,
+        })
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let tok = self.peek().clone();
+        match tok.kind {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Int(i)))
+            }
+            TokenKind::Float(f) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Float(f)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            TokenKind::Arith('-') => {
+                self.bump();
+                let inner = self.primary()?;
+                Ok(Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(inner),
+                })
+            }
+            TokenKind::Keyword(k) => match k.as_str() {
+                "NULL" => {
+                    self.bump();
+                    Ok(Expr::Literal(Literal::Null))
+                }
+                "COUNT" => {
+                    self.bump();
+                    self.aggregate_call(Aggregate::Count)
+                }
+                "SUM" => {
+                    self.bump();
+                    self.aggregate_call(Aggregate::Sum)
+                }
+                "AVG" => {
+                    self.bump();
+                    self.aggregate_call(Aggregate::Avg)
+                }
+                "MIN" => {
+                    self.bump();
+                    self.aggregate_call(Aggregate::Min)
+                }
+                "MAX" => {
+                    self.bump();
+                    self.aggregate_call(Aggregate::Max)
+                }
+                "DATE" => {
+                    // `DATE '1995-01-01'` — TPC-H style date literal.
+                    self.bump();
+                    match self.bump().kind {
+                        TokenKind::Str(s) => Ok(Expr::Literal(Literal::Str(s))),
+                        other => Err(self.err_here(format!("expected date string, found {other:?}"))),
+                    }
+                }
+                "INTERVAL" => {
+                    // `INTERVAL '90' DAY` etc. — approximated as a numeric
+                    // literal of days for selectivity purposes.
+                    self.bump();
+                    let days = match self.bump().kind {
+                        TokenKind::Str(s) => s.parse::<i64>().unwrap_or(0),
+                        TokenKind::Int(i) => i,
+                        other => {
+                            return Err(
+                                self.err_here(format!("expected interval value, found {other:?}"))
+                            )
+                        }
+                    };
+                    // Consume a trailing unit identifier if present.
+                    if matches!(self.peek().kind, TokenKind::Ident(_)) || self.at_keyword("YEAR") {
+                        self.bump();
+                    }
+                    Ok(Expr::Literal(Literal::Int(days)))
+                }
+                "EXTRACT" => {
+                    // `EXTRACT(YEAR FROM expr)` — passes the inner column
+                    // through so the planner sees the reference.
+                    self.bump();
+                    self.expect_kind(&TokenKind::LParen, "`(`")?;
+                    self.expect_keyword("YEAR")?;
+                    self.expect_keyword("FROM")?;
+                    let inner = self.expr()?;
+                    self.expect_kind(&TokenKind::RParen, "`)`")?;
+                    Ok(inner)
+                }
+                "SUBSTRING" => {
+                    // `SUBSTRING(expr FROM i [FOR j])` or `SUBSTRING(e, i, j)`.
+                    // Passes the inner expression through: only the column
+                    // reference matters for planning.
+                    self.bump();
+                    self.expect_kind(&TokenKind::LParen, "`(`")?;
+                    let inner = self.expr()?;
+                    if self.eat_keyword("FROM") {
+                        self.expr()?;
+                        // `FOR` is not reserved; it lexes as an identifier.
+                        if matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case("for"))
+                        {
+                            self.bump();
+                            self.expr()?;
+                        }
+                    }
+                    while self.eat_kind(&TokenKind::Comma) {
+                        self.expr()?;
+                    }
+                    self.expect_kind(&TokenKind::RParen, "`)`")?;
+                    Ok(inner)
+                }
+                "CASE" => {
+                    self.bump();
+                    let mut arms = Vec::new();
+                    while self.eat_keyword("WHEN") {
+                        let c = self.expr()?;
+                        self.expect_keyword("THEN")?;
+                        let v = self.expr()?;
+                        arms.push((c, v));
+                    }
+                    let else_value = if self.eat_keyword("ELSE") {
+                        Some(Box::new(self.expr()?))
+                    } else {
+                        None
+                    };
+                    self.expect_keyword("END")?;
+                    Ok(Expr::Case { arms, else_value })
+                }
+                "YEAR" | "ALL" => {
+                    // identifier-position keywords
+                    self.column_or_ident()
+                }
+                other => Err(self.err_here(format!("unexpected keyword `{other}`"))),
+            },
+            TokenKind::Ident(_) => self.column_or_ident(),
+            TokenKind::LParen => {
+                self.bump();
+                if self.at_keyword("SELECT") {
+                    let q = Box::new(self.query()?);
+                    self.expect_kind(&TokenKind::RParen, "`)`")?;
+                    return Ok(Expr::ScalarSubquery(q));
+                }
+                let inner = self.expr()?;
+                self.expect_kind(&TokenKind::RParen, "`)`")?;
+                Ok(inner)
+            }
+            other => Err(self.err_here(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn column_or_ident(&mut self) -> Result<Expr> {
+        let first = self.expect_ident()?;
+        if self.eat_kind(&TokenKind::Dot) {
+            let second = self.expect_ident()?;
+            Ok(Expr::Column {
+                qualifier: Some(first),
+                name: second,
+            })
+        } else {
+            Ok(Expr::Column {
+                qualifier: None,
+                name: first,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(src: &str) -> Query {
+        match parse_statement(src).unwrap() {
+            Statement::Select(q) => q,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_select_star() {
+        let query = q("SELECT * FROM lineitem");
+        assert_eq!(query.select, vec![SelectItem::Wildcard]);
+        assert_eq!(query.bindings(), vec![("lineitem", "lineitem")]);
+    }
+
+    #[test]
+    fn comma_join_with_where() {
+        let query = q("SELECT * FROM a, b WHERE a.x = b.y");
+        assert_eq!(query.from.len(), 2);
+        assert!(query.where_clause.is_some());
+    }
+
+    #[test]
+    fn ansi_join_chain() {
+        let query = q("SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y");
+        assert_eq!(query.from.len(), 1);
+        let bindings = query.bindings();
+        assert_eq!(bindings.len(), 3);
+    }
+
+    #[test]
+    fn aliases_both_forms() {
+        let query = q("SELECT l.l_qty FROM lineitem AS l, orders o");
+        assert_eq!(
+            query.bindings(),
+            vec![("lineitem", "l"), ("orders", "o")]
+        );
+    }
+
+    #[test]
+    fn group_by_having_order_by() {
+        let query = q(
+            "SELECT o_custkey, COUNT(*) AS c FROM orders \
+             GROUP BY o_custkey HAVING COUNT(*) > 5 ORDER BY c DESC",
+        );
+        assert_eq!(query.group_by.len(), 1);
+        assert!(query.having.is_some());
+        assert_eq!(query.order_by.len(), 1);
+        assert!(!query.order_by[0].ascending);
+        assert!(query.is_aggregating());
+    }
+
+    #[test]
+    fn top_and_distinct() {
+        let query = q("SELECT DISTINCT TOP 10 a FROM t");
+        assert!(query.distinct);
+        assert_eq!(query.top, Some(10));
+    }
+
+    #[test]
+    fn between_and_in_list() {
+        let query = q("SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2, 3)");
+        let conj: Vec<_> = query.where_clause.as_ref().unwrap().conjuncts();
+        assert_eq!(conj.len(), 2);
+        assert!(matches!(conj[0], Expr::Between { .. }));
+        assert!(matches!(conj[1], Expr::InList { list, .. } if list.len() == 3));
+    }
+
+    #[test]
+    fn not_between() {
+        let query = q("SELECT * FROM t WHERE a NOT BETWEEN 1 AND 5");
+        assert!(matches!(
+            query.where_clause.unwrap(),
+            Expr::Between { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn exists_subquery() {
+        let query = q("SELECT * FROM o WHERE EXISTS (SELECT * FROM l WHERE l.k = o.k)");
+        let subs = query.where_clause.as_ref().unwrap().subqueries();
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].bindings(), vec![("l", "l")]);
+    }
+
+    #[test]
+    fn not_exists_folds_to_negated_exists() {
+        let query = q("SELECT * FROM o WHERE NOT EXISTS (SELECT * FROM l)");
+        assert!(matches!(
+            query.where_clause.unwrap(),
+            Expr::Exists { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn substring_from_for_passes_column_through() {
+        let query = q("SELECT * FROM c WHERE SUBSTRING(c_phone FROM 1 FOR 2) IN ('13', '31')");
+        match query.where_clause.unwrap() {
+            Expr::InList { expr, list, .. } => {
+                assert!(matches!(*expr, Expr::Column { ref name, .. } if name == "c_phone"));
+                assert_eq!(list.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_subquery() {
+        let query = q("SELECT * FROM o WHERE o.k IN (SELECT k FROM l)");
+        assert!(matches!(
+            query.where_clause.unwrap(),
+            Expr::InSubquery { negated: false, .. }
+        ));
+    }
+
+    #[test]
+    fn scalar_subquery_comparison() {
+        let query = q("SELECT * FROM p WHERE p.cost = (SELECT MIN(cost) FROM ps)");
+        match query.where_clause.unwrap() {
+            Expr::Binary { op, right, .. } => {
+                assert_eq!(op, BinaryOp::Eq);
+                assert!(matches!(*right, Expr::ScalarSubquery(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn like_and_not_like() {
+        let query = q("SELECT * FROM p WHERE p_type LIKE '%BRASS' AND p_name NOT LIKE 'x%'");
+        let w = query.where_clause.unwrap();
+        let conj = w.conjuncts();
+        assert!(matches!(conj[0], Expr::Like { negated: false, .. }));
+        assert!(matches!(conj[1], Expr::Like { negated: true, .. }));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let query = q("SELECT a + b * c FROM t");
+        match &query.select[0] {
+            SelectItem::Expr { expr, .. } => match expr {
+                Expr::Binary { op, right, .. } => {
+                    assert_eq!(*op, BinaryOp::Add);
+                    assert!(matches!(
+                        **right,
+                        Expr::Binary {
+                            op: BinaryOp::Mul,
+                            ..
+                        }
+                    ));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let query = q("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+        match query.where_clause.unwrap() {
+            Expr::Binary { op, .. } => assert_eq!(op, BinaryOp::Or),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tpch_style_date_arithmetic() {
+        // Q1-style: l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY
+        let query = q(
+            "SELECT COUNT(*) FROM lineitem WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY",
+        );
+        assert!(query.where_clause.is_some());
+    }
+
+    #[test]
+    fn case_expression() {
+        let query = q(
+            "SELECT SUM(CASE WHEN o_orderpriority = '1-URGENT' THEN 1 ELSE 0 END) FROM orders",
+        );
+        assert!(query.is_aggregating());
+    }
+
+    #[test]
+    fn insert_values() {
+        let s = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        match s {
+            Statement::Insert {
+                table,
+                columns,
+                source: InsertSource::Values(rows),
+            } => {
+                assert_eq!(table, "t");
+                assert_eq!(columns, vec!["a", "b"]);
+                assert_eq!(rows.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_select() {
+        let s = parse_statement("INSERT INTO t SELECT * FROM u").unwrap();
+        assert!(matches!(
+            s,
+            Statement::Insert {
+                source: InsertSource::Query(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn update_with_where() {
+        let s = parse_statement("UPDATE orders SET o_status = 'F', o_total = o_total * 1.1 WHERE o_orderkey = 5").unwrap();
+        match s {
+            Statement::Update {
+                table, assignments, where_clause,
+            } => {
+                assert_eq!(table, "orders");
+                assert_eq!(assignments.len(), 2);
+                assert!(where_clause.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_statement() {
+        let s = parse_statement("DELETE FROM lineitem WHERE l_orderkey < 100").unwrap();
+        assert!(matches!(s, Statement::Delete { .. }));
+    }
+
+    #[test]
+    fn multiple_statements() {
+        let stmts = parse_statements("SELECT * FROM a; SELECT * FROM b;").unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_statement("SELECT * FROM a garbage garbage").is_err());
+        assert!(parse_statement("SELECT * FROM a ) ").is_err());
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let err = parse_statement("SELECT *\nFROM").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn is_null_predicates() {
+        let query = q("SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL");
+        let w = query.where_clause.unwrap();
+        let conj = w.conjuncts();
+        assert!(matches!(conj[0], Expr::IsNull { negated: false, .. }));
+        assert!(matches!(conj[1], Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn quantified_any_degrades_to_scalar() {
+        let query = q("SELECT * FROM t WHERE a > ANY (SELECT b FROM u)");
+        match query.where_clause.unwrap() {
+            Expr::Binary { right, .. } => assert!(matches!(*right, Expr::ScalarSubquery(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_statement_is_error() {
+        assert!(parse_statement("").is_err());
+        assert!(parse_statement(";;;").is_err());
+    }
+
+    #[test]
+    fn parse_statements_skips_empty() {
+        assert_eq!(parse_statements(";; SELECT 1 ;;").unwrap().len(), 1);
+    }
+}

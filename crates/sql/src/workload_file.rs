@@ -1,0 +1,159 @@
+//! Workload-file format (paper §3, input (2)).
+//!
+//! The advisor takes "a workload file consisting of a set of SQL DML
+//! statements", each with an optional weight. Our textual format is
+//! `;`-separated statements, each optionally preceded by a weight directive:
+//!
+//! ```text
+//! -- weight: 3.5
+//! SELECT ... ;
+//! SELECT ... ;          -- weight defaults to 1.0
+//! ```
+//!
+//! The directive must be on its own comment line immediately before the
+//! statement it applies to, mirroring how profiler-captured workloads carry
+//! multiplicity counts.
+
+use crate::ast::Statement;
+use crate::error::{ParseError, Result};
+use crate::parser::parse_statement;
+
+/// A parsed workload entry: statement plus weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadEntry {
+    /// The parsed statement.
+    pub statement: Statement,
+    /// Statement weight `w_Q` (importance / multiplicity); defaults to 1.0.
+    pub weight: f64,
+    /// Original statement text (useful for reporting).
+    pub text: String,
+}
+
+/// Parses a workload file into weighted statements.
+pub fn parse_workload_file(src: &str) -> Result<Vec<WorkloadEntry>> {
+    let mut entries = Vec::new();
+    let mut pending_weight: Option<f64> = None;
+    let mut buf = String::new();
+    let mut buf_start_line = 1u32;
+
+    let mut line_no = 0u32;
+    for line in src.lines() {
+        line_no += 1;
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix("--") {
+            let rest = rest.trim();
+            if let Some(w) = rest.strip_prefix("weight:") {
+                let w: f64 = w.trim().parse().map_err(|_| {
+                    ParseError::new(format!("bad weight `{}`", w.trim()), line_no, 1)
+                })?;
+                if w < 0.0 || !w.is_finite() {
+                    return Err(ParseError::new(
+                        "weight must be finite and non-negative",
+                        line_no,
+                        1,
+                    ));
+                }
+                pending_weight = Some(w);
+            }
+            continue; // all comments are skipped from the statement text
+        }
+        if buf.trim().is_empty() {
+            buf_start_line = line_no;
+        }
+        buf.push_str(line);
+        buf.push('\n');
+        // A statement ends at a line whose last non-space char is `;`.
+        if trimmed.ends_with(';') {
+            flush(&mut buf, &mut pending_weight, buf_start_line, &mut entries)?;
+        }
+    }
+    if !buf.trim().is_empty() {
+        flush(&mut buf, &mut pending_weight, buf_start_line, &mut entries)?;
+    }
+    Ok(entries)
+}
+
+fn flush(
+    buf: &mut String,
+    pending_weight: &mut Option<f64>,
+    start_line: u32,
+    entries: &mut Vec<WorkloadEntry>,
+) -> Result<()> {
+    let text = buf.trim().trim_end_matches(';').trim().to_string();
+    buf.clear();
+    if text.is_empty() {
+        return Ok(());
+    }
+    let statement = parse_statement(&text).map_err(|e| {
+        ParseError::new(
+            format!("in statement starting at line {start_line}: {}", e.message),
+            start_line + e.line - 1,
+            e.column,
+        )
+    })?;
+    entries.push(WorkloadEntry {
+        statement,
+        weight: pending_weight.take().unwrap_or(1.0),
+        text,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weight_is_one() {
+        let ws = parse_workload_file("SELECT * FROM a;").unwrap();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].weight, 1.0);
+    }
+
+    #[test]
+    fn weight_directive_applies_to_next_statement_only() {
+        let ws = parse_workload_file(
+            "-- weight: 2.5\nSELECT * FROM a;\nSELECT * FROM b;",
+        )
+        .unwrap();
+        assert_eq!(ws[0].weight, 2.5);
+        assert_eq!(ws[1].weight, 1.0);
+    }
+
+    #[test]
+    fn multiline_statement() {
+        let ws = parse_workload_file("SELECT *\nFROM a,\n  b\nWHERE a.x = b.y;").unwrap();
+        assert_eq!(ws.len(), 1);
+        assert!(ws[0].text.contains("WHERE"));
+    }
+
+    #[test]
+    fn last_statement_without_semicolon() {
+        let ws = parse_workload_file("SELECT * FROM a").unwrap();
+        assert_eq!(ws.len(), 1);
+    }
+
+    #[test]
+    fn bad_weight_rejected() {
+        assert!(parse_workload_file("-- weight: banana\nSELECT 1;").is_err());
+        assert!(parse_workload_file("-- weight: -1\nSELECT 1;").is_err());
+    }
+
+    #[test]
+    fn parse_error_includes_file_line() {
+        let err = parse_workload_file("SELECT * FROM a;\n\nSELEC * FROM b;").unwrap_err();
+        assert!(err.line >= 3, "line was {}", err.line);
+    }
+
+    #[test]
+    fn plain_comments_skipped() {
+        let ws = parse_workload_file("-- a comment\nSELECT * FROM a;").unwrap();
+        assert_eq!(ws.len(), 1);
+    }
+
+    #[test]
+    fn empty_file_is_empty_workload() {
+        assert!(parse_workload_file("").unwrap().is_empty());
+        assert!(parse_workload_file("-- only a comment\n").unwrap().is_empty());
+    }
+}

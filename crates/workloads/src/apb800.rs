@@ -1,0 +1,106 @@
+//! APB-800: the 800-query OLAP workload over the APB-like catalog.
+//!
+//! The structural property the paper reports (§7.2) is that "no queries
+//! co-access the two large tables": every query drills one fact table
+//! joined with dimension/hierarchy tables. TS-GREEDY therefore recommends
+//! the same layout as FULL STRIPING for this workload — the negative
+//! control of Figure 10.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dimension tables a fact query may join (column on the fact side).
+const DIMS: &[(&str, &str)] = &[
+    ("product_dim", "product_key"),
+    ("customer_dim", "customer_key"),
+    ("channel_dim", "channel_key"),
+    ("time_dim", "time_key"),
+];
+
+/// Generates the APB-800 workload (800 queries, deterministic in `seed`).
+pub fn apb800(seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..800).map(|_| star_query(&mut rng)).collect()
+}
+
+fn star_query(rng: &mut StdRng) -> String {
+    let fact = if rng.gen_bool(0.55) {
+        "sales_fact"
+    } else {
+        "inventory_fact"
+    };
+    let n_dims = rng.gen_range(1..=3);
+    let mut dims: Vec<&(&str, &str)> = Vec::new();
+    let mut pool: Vec<&(&str, &str)> = DIMS.iter().collect();
+    for _ in 0..n_dims {
+        let i = rng.gen_range(0..pool.len());
+        dims.push(pool.remove(i));
+    }
+    // Occasionally pull a hierarchy level table hanging off the first dim.
+    let level = if rng.gen_bool(0.3) {
+        Some(format!("level_{:02}", rng.gen_range(1..=34)))
+    } else {
+        None
+    };
+
+    let mut tables = vec![fact.to_string()];
+    let mut preds: Vec<String> = Vec::new();
+    for (dim, key) in &dims {
+        tables.push(dim.to_string());
+        preds.push(format!("{fact}.{key} = {dim}.key"));
+    }
+    if let Some(lv) = &level {
+        let (dim, _) = dims[0];
+        tables.push(lv.clone());
+        preds.push(format!("{dim}.parent_key = {lv}.key"));
+    }
+    let lo = rng.gen_range(1..=20);
+    preds.push(format!(
+        "{fact}.time_key BETWEEN {lo} AND {}",
+        lo + rng.gen_range(1..=4)
+    ));
+
+    let measure = if fact == "sales_fact" { "dollars" } else { "units" };
+    let (gdim, _) = dims[0];
+    format!(
+        "SELECT {gdim}.label, SUM({fact}.{measure}) AS total FROM {} WHERE {} GROUP BY {gdim}.label ORDER BY total DESC",
+        tables.join(", "),
+        preds.join(" AND ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_all;
+    use dblayout_catalog::apb::apb_catalog;
+    use dblayout_planner::plan_statement;
+
+    #[test]
+    fn eight_hundred_queries() {
+        assert_eq!(apb800(1).len(), 800);
+    }
+
+    #[test]
+    fn never_coaccesses_both_facts() {
+        for q in apb800(1) {
+            let both = q.contains("sales_fact") && q.contains("inventory_fact");
+            assert!(!both, "{q}");
+        }
+    }
+
+    #[test]
+    fn sample_plans_against_apb_catalog() {
+        let catalog = apb_catalog();
+        for (i, q) in apb800(1).iter().take(60).enumerate() {
+            let stmts = parse_all(std::slice::from_ref(q)).unwrap();
+            plan_statement(&catalog, &stmts[0].0)
+                .unwrap_or_else(|e| panic!("query {i} `{q}`: {e}"));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(apb800(9), apb800(9));
+    }
+}

@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+
+//! Workload generators for the paper's evaluation (Table 1).
+//!
+//! | Name        | #queries    | Source module |
+//! |-------------|-------------|---------------|
+//! | TPCH-22     | 22          | [`tpch22`] — the TPC-H benchmark queries in this workspace's SQL dialect |
+//! | SALES-45    | 45          | [`sales45`] — multi-join analytics over the SALES-like catalog |
+//! | APB-800     | 800         | [`apb800`] — star queries over the APB-like catalog |
+//! | WK-SCALE(N) | 100..3200   | [`wkscale`] — synthetic TPC-H workloads of increasing size |
+//! | WK-CTRL1    | 5           | [`wkctrl`] — two-table `COUNT(*)` joins touching almost all data |
+//! | WK-CTRL2    | 10          | [`wkctrl`] — mixed single-/multi-table with simple aggregation |
+//!
+//! Plus [`qgen`], the qgen-style random query generator behind WK-SCALE,
+//! the 25-query synthetic validation workloads (§7.2), and the TPCH-88-N
+//! workloads of Figure 12 ([`tpch22::tpch88_n`]).
+//!
+//! All generators emit SQL strings in the `dblayout-sql` dialect and are
+//! deterministic for a given seed; [`parse_all`] turns them into weighted
+//! statements ready for the advisor.
+
+pub mod apb800;
+pub mod qgen;
+pub mod sales45;
+pub mod subst;
+pub mod tpch22;
+pub mod wkctrl;
+pub mod wkscale;
+
+use dblayout_sql::{parse_statement, ParseError, Statement};
+
+/// Parses a list of SQL strings into unit-weight statements.
+///
+/// # Errors
+/// Returns the first parse failure with the offending query's index baked
+/// into the message.
+pub fn parse_all(queries: &[String]) -> Result<Vec<(Statement, f64)>, ParseError> {
+    queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            parse_statement(q)
+                .map(|s| (s, 1.0))
+                .map_err(|e| ParseError::new(format!("query {i}: {}", e.message), e.line, e.column))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_reports_query_index() {
+        let err = parse_all(&["SELECT 1".into(), "SELEC".into()]).unwrap_err();
+        assert!(err.message.contains("query 1"));
+    }
+
+    #[test]
+    fn parse_all_roundtrips() {
+        let stmts = parse_all(&[
+            "SELECT COUNT(*) FROM t".into(),
+            "SELECT a FROM b WHERE c = 1".into(),
+        ])
+        .unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert!(stmts.iter().all(|(_, w)| *w == 1.0));
+    }
+}

@@ -1,0 +1,222 @@
+//! qgen-style random query generation over the TPC-H schema.
+//!
+//! Used for WK-SCALE(N) (Table 1), and for the "five synthetically
+//! generated workloads with 25 queries each … with varying selection and
+//! join conditions, Group By and Order By clauses" of the cost-model
+//! validation experiment (§7.2). Queries pick a connected set of tables
+//! along TPC-H's foreign-key graph, add randomized selections, and
+//! optionally aggregate and order.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// FK join edges of the TPC-H schema: (table a, table b, join predicate).
+const JOIN_EDGES: &[(&str, &str, &str)] = &[
+    ("lineitem", "orders", "l_orderkey = o_orderkey"),
+    ("lineitem", "part", "l_partkey = p_partkey"),
+    ("lineitem", "supplier", "l_suppkey = s_suppkey"),
+    (
+        "lineitem",
+        "partsupp",
+        "l_partkey = ps_partkey AND l_suppkey = ps_suppkey",
+    ),
+    ("orders", "customer", "o_custkey = c_custkey"),
+    ("partsupp", "part", "ps_partkey = p_partkey"),
+    ("partsupp", "supplier", "ps_suppkey = s_suppkey"),
+    ("customer", "nation", "c_nationkey = n_nationkey"),
+    ("supplier", "nation", "s_nationkey = n_nationkey"),
+    ("nation", "region", "n_regionkey = r_regionkey"),
+];
+
+/// Per-table pools of (filter template, group/order column).
+fn selections(rng: &mut StdRng, table: &str) -> Option<String> {
+    let year = rng.gen_range(1992..=1998);
+    let date = format!("'{year}-0{}-01'", rng.gen_range(1..=9));
+    let pick = rng.gen_range(0..3);
+    let s = match table {
+        "lineitem" => match pick {
+            0 => format!("l_shipdate >= {date}"),
+            1 => format!("l_quantity < {}", rng.gen_range(10..=45)),
+            _ => format!("l_discount BETWEEN 0.0{} AND 0.0{}", rng.gen_range(1..=4), rng.gen_range(5..=9)),
+        },
+        "orders" => match pick {
+            0 => format!("o_orderdate < {date}"),
+            1 => format!("o_totalprice > {}", rng.gen_range(1000..=100_000)),
+            _ => "o_orderstatus = 'F'".to_string(),
+        },
+        "customer" => match pick {
+            0 => "c_mktsegment = 'BUILDING'".to_string(),
+            1 => format!("c_acctbal > {}", rng.gen_range(0..=5000)),
+            _ => return None,
+        },
+        "part" => match pick {
+            0 => format!("p_size = {}", rng.gen_range(1..=50)),
+            1 => "p_type LIKE '%BRASS'".to_string(),
+            _ => return None,
+        },
+        "partsupp" => match pick {
+            0 => format!("ps_availqty > {}", rng.gen_range(100..=5000)),
+            _ => return None,
+        },
+        "supplier" => match pick {
+            0 => format!("s_acctbal > {}", rng.gen_range(0..=5000)),
+            _ => return None,
+        },
+        "nation" => match pick {
+            0 => "n_name = 'GERMANY'".to_string(),
+            _ => return None,
+        },
+        "region" => match pick {
+            0 => "r_name = 'ASIA'".to_string(),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    Some(s)
+}
+
+fn group_column(table: &str) -> Option<&'static str> {
+    match table {
+        "lineitem" => Some("l_returnflag"),
+        "orders" => Some("o_orderpriority"),
+        "customer" => Some("c_mktsegment"),
+        "part" => Some("p_brand"),
+        "supplier" => Some("s_nationkey"),
+        "nation" => Some("n_name"),
+        _ => None,
+    }
+}
+
+fn sum_column(table: &str) -> Option<&'static str> {
+    match table {
+        "lineitem" => Some("l_extendedprice"),
+        "orders" => Some("o_totalprice"),
+        "customer" => Some("c_acctbal"),
+        "partsupp" => Some("ps_supplycost"),
+        "supplier" => Some("s_acctbal"),
+        _ => None,
+    }
+}
+
+/// Generates one random TPC-H-schema query.
+pub fn random_query(rng: &mut StdRng) -> String {
+    // Random connected table set via a walk over the FK graph.
+    let start = ["lineitem", "orders", "partsupp", "customer", "part"]
+        [rng.gen_range(0..5)];
+    let mut tables = vec![start.to_string()];
+    let mut join_preds: Vec<String> = Vec::new();
+    let extra = rng.gen_range(0..=3);
+    for _ in 0..extra {
+        // Candidate edges touching exactly one already-included table.
+        let candidates: Vec<&(&str, &str, &str)> = JOIN_EDGES
+            .iter()
+            .filter(|(a, b, _)| {
+                tables.iter().any(|t| t == a) != tables.iter().any(|t| t == b)
+            })
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let (a, b, on) = candidates[rng.gen_range(0..candidates.len())];
+        let newcomer = if tables.iter().any(|t| t == a) { b } else { a };
+        tables.push(newcomer.to_string());
+        join_preds.push(on.to_string());
+    }
+
+    // Selections.
+    let mut preds = join_preds;
+    for t in &tables {
+        if rng.gen_bool(0.6) {
+            if let Some(p) = selections(rng, t) {
+                preds.push(p);
+            }
+        }
+    }
+
+    // Aggregation shape.
+    let group = if rng.gen_bool(0.5) {
+        tables.iter().find_map(|t| group_column(t))
+    } else {
+        None
+    };
+    let agg = tables
+        .iter()
+        .find_map(|t| sum_column(t))
+        .map(|c| format!("SUM({c})"))
+        .unwrap_or_else(|| "COUNT(*)".to_string());
+
+    let select = match group {
+        Some(g) => format!("{g}, {agg} AS agg_val"),
+        None => format!("{agg} AS agg_val"),
+    };
+    let mut sql = format!("SELECT {select} FROM {}", tables.join(", "));
+    if !preds.is_empty() {
+        sql.push_str(" WHERE ");
+        sql.push_str(&preds.join(" AND "));
+    }
+    if let Some(g) = group {
+        sql.push_str(&format!(" GROUP BY {g}"));
+        if rng.gen_bool(0.5) {
+            sql.push_str(&format!(" ORDER BY {g}"));
+        }
+    }
+    sql
+}
+
+/// Generates `n` random queries, deterministic in `seed`.
+pub fn generate(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| random_query(&mut rng)).collect()
+}
+
+/// The five 25-query synthetic validation workloads of §7.2.
+pub fn validation_workloads() -> Vec<Vec<String>> {
+    (0..5).map(|i| generate(25, 1000 + i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_all;
+    use dblayout_catalog::tpch::tpch_catalog;
+    use dblayout_planner::plan_statement;
+
+    #[test]
+    fn generated_queries_parse_and_plan() {
+        let catalog = tpch_catalog(0.1);
+        for (i, q) in generate(100, 7).iter().enumerate() {
+            let stmts = parse_all(std::slice::from_ref(q))
+                .unwrap_or_else(|e| panic!("query {i} `{q}`: {e}"));
+            plan_statement(&catalog, &stmts[0].0).unwrap_or_else(|e| panic!("query {i} `{q}`: {e}"));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(20, 5), generate(20, 5));
+        assert_ne!(generate(20, 5), generate(20, 6));
+    }
+
+    #[test]
+    fn validation_workloads_shape() {
+        let ws = validation_workloads();
+        assert_eq!(ws.len(), 5);
+        assert!(ws.iter().all(|w| w.len() == 25));
+        // The five workloads differ.
+        assert_ne!(ws[0], ws[1]);
+    }
+
+    #[test]
+    fn queries_vary_in_join_count() {
+        let table_count = |q: &str| {
+            let from = q.split(" FROM ").nth(1).unwrap();
+            let tables = from.split(" WHERE ").next().unwrap();
+            let tables = tables.split(" GROUP BY ").next().unwrap();
+            tables.split(',').count()
+        };
+        let qs = generate(200, 11);
+        let singles = qs.iter().filter(|q| table_count(q) == 1).count();
+        let multis = qs.iter().filter(|q| table_count(q) >= 2).count();
+        assert!(singles > 0 && multis > 0, "{singles} singles, {multis} multis");
+    }
+}

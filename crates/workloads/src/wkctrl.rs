@@ -1,0 +1,84 @@
+//! The controlled validation workloads WK-CTRL1 and WK-CTRL2 (paper §7.1).
+//!
+//! "These workloads have a small number of queries; the queries have
+//! count(*) aggregate and access almost all the table data, here lineitem,
+//! orders, partsupp and part tables in TPC-H schema." WK-CTRL1 is five
+//! two-table joins; WK-CTRL2 mixes single-table and multi-table queries.
+
+/// WK-CTRL1: five two-table joins over the big TPC-H tables.
+///
+/// Each pair joins along both tables' clustered keys, so the optimizer
+/// produces *merge joins* that pipeline (co-access) the two scans — the
+/// access pattern the control experiment is designed to stress. Pairs that
+/// would hash-join (a blocking build) exercise no co-access and belong in
+/// WK-CTRL2's mix instead.
+pub fn wk_ctrl1() -> Vec<String> {
+    vec![
+        "SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey".into(),
+        "SELECT COUNT(*) FROM partsupp, part WHERE ps_partkey = p_partkey".into(),
+        "SELECT COUNT(*), SUM(l_quantity) FROM lineitem, orders WHERE l_orderkey = o_orderkey"
+            .into(),
+        "SELECT COUNT(*), SUM(ps_availqty) FROM partsupp, part WHERE ps_partkey = p_partkey"
+            .into(),
+        "SELECT SUM(l_extendedprice), SUM(o_totalprice) FROM lineitem, orders \
+         WHERE l_orderkey = o_orderkey"
+            .into(),
+    ]
+}
+
+/// WK-CTRL2: ten queries mixing single-table scans with multi-table joins,
+/// all with simple aggregation.
+pub fn wk_ctrl2() -> Vec<String> {
+    vec![
+        "SELECT COUNT(*) FROM lineitem".into(),
+        "SELECT COUNT(*) FROM orders".into(),
+        "SELECT COUNT(*) FROM partsupp".into(),
+        "SELECT COUNT(*) FROM part".into(),
+        "SELECT COUNT(*), SUM(l_quantity) FROM lineitem, orders WHERE l_orderkey = o_orderkey"
+            .into(),
+        "SELECT COUNT(*), SUM(ps_availqty) FROM partsupp, part WHERE ps_partkey = p_partkey"
+            .into(),
+        "SELECT COUNT(*) FROM lineitem, orders, customer \
+         WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey"
+            .into(),
+        "SELECT SUM(l_extendedprice) FROM lineitem".into(),
+        "SELECT AVG(o_totalprice) FROM orders".into(),
+        "SELECT COUNT(*) FROM lineitem, partsupp \
+         WHERE l_partkey = ps_partkey AND l_suppkey = ps_suppkey"
+            .into(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_all;
+    use dblayout_catalog::tpch::tpch_catalog;
+    use dblayout_planner::plan_statement;
+
+    #[test]
+    fn sizes_match_table1() {
+        assert_eq!(wk_ctrl1().len(), 5);
+        assert_eq!(wk_ctrl2().len(), 10);
+    }
+
+    #[test]
+    fn all_plan() {
+        let catalog = tpch_catalog(1.0);
+        for q in wk_ctrl1().iter().chain(wk_ctrl2().iter()) {
+            let stmts = parse_all(std::slice::from_ref(q)).unwrap();
+            plan_statement(&catalog, &stmts[0].0).unwrap_or_else(|e| panic!("{q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn ctrl1_queries_access_nearly_all_data() {
+        // Each join must read (close to) the full size of both tables.
+        let catalog = tpch_catalog(0.1);
+        let stmts = parse_all(&wk_ctrl1()).unwrap();
+        let plan = plan_statement(&catalog, &stmts[0].0).unwrap();
+        let li = catalog.object_id("lineitem").unwrap();
+        let full = catalog.table("lineitem").unwrap().size_blocks();
+        assert!(plan.total_blocks_of(li) >= full * 9 / 10);
+    }
+}

@@ -1,0 +1,31 @@
+//! WK-SCALE(N): synthetic workloads of increasing size on TPCH1G
+//! (paper Table 1: N = 100 to 3200 queries).
+
+use crate::qgen;
+
+/// The workload sizes the paper sweeps.
+pub const WK_SCALE_SIZES: [usize; 6] = [100, 200, 400, 800, 1600, 3200];
+
+/// WK-SCALE(N): `n` random TPC-H-schema queries, deterministic per size.
+pub fn wk_scale(n: usize) -> Vec<String> {
+    qgen::generate(n, 0x5CA1E + n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_produce_requested_counts() {
+        for &n in &WK_SCALE_SIZES[..3] {
+            assert_eq!(wk_scale(n).len(), n);
+        }
+    }
+
+    #[test]
+    fn different_sizes_differ_beyond_prefix() {
+        let a = wk_scale(100);
+        let b = wk_scale(200);
+        assert_ne!(a[..100], b[..100]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Manageability and availability constraints (paper §2.3): co-locate two
+//! tables in one filegroup for backup, require mirrored storage for a
+//! critical table, and bound data movement from the current deployment.
+//!
+//! Run with: `cargo run -p dblayout-examples --bin constrained_layout`
+
+use dblayout_catalog::tpch::tpch_catalog;
+use dblayout_core::advisor::{Advisor, AdvisorConfig};
+use dblayout_core::constraints::Constraints;
+use dblayout_core::tsgreedy::TsGreedyConfig;
+use dblayout_disksim::{paper_disks, Availability, Layout};
+use dblayout_examples::render_layout;
+
+fn main() {
+    let catalog = tpch_catalog(0.5);
+    let mut disks = paper_disks();
+    // Two of the drives are RAID-1 pairs.
+    disks[2].avail = Availability::Mirroring;
+    disks[3].avail = Availability::Mirroring;
+
+    let workload = "
+        SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;
+        SELECT COUNT(*) FROM partsupp, part WHERE ps_partkey = p_partkey;
+        SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY o_orderpriority;
+    ";
+
+    let customer = catalog.object_id("customer").unwrap();
+    let part = catalog.object_id("part").unwrap();
+    let partsupp = catalog.object_id("partsupp").unwrap();
+    let sizes: Vec<u64> = catalog.objects().iter().map(|o| o.size_blocks).collect();
+    let current = Layout::full_striping(sizes, &disks);
+
+    // The DBA wants: customer mirrored; part and partsupp in one filegroup
+    // (they are backed up together); and at most 60k blocks moved off the
+    // current fully-striped deployment.
+    let constraints = Constraints::none()
+        .require_avail(customer, Availability::Mirroring)
+        .co_locate(part, partsupp)
+        .bound_movement(current, 60_000);
+
+    let cfg = AdvisorConfig {
+        search: TsGreedyConfig {
+            constraints: constraints.clone(),
+            ..Default::default()
+        },
+    };
+
+    let advisor = Advisor::new(&catalog, &disks);
+    let rec = advisor.recommend_sql(workload, &cfg).expect("advice");
+
+    constraints
+        .check(&rec.layout, &disks)
+        .expect("recommendation satisfies every constraint");
+
+    println!(
+        "constrained recommendation: {:.1}% estimated improvement over FULL STRIPING",
+        rec.estimated_improvement_pct
+    );
+    println!();
+    println!("{}", render_layout(&catalog, &rec.layout, &disks));
+    println!("customer is on mirrored disks only: {:?}", rec.layout.disks_of(customer.index()));
+    println!(
+        "part / partsupp share a disk set: {:?} / {:?}",
+        rec.layout.disks_of(part.index()),
+        rec.layout.disks_of(partsupp.index())
+    );
+}

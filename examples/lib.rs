@@ -1,0 +1,57 @@
+//! Shared pretty-printing helpers for the runnable examples.
+
+use dblayout_catalog::Catalog;
+use dblayout_disksim::{DiskSpec, Layout};
+
+/// Renders a layout as an object × disk table of percentage shares.
+pub fn render_layout(catalog: &Catalog, layout: &Layout, disks: &[DiskSpec]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<24}", "object \\ disk"));
+    for d in disks {
+        out.push_str(&format!("{:>7}", d.name));
+    }
+    out.push('\n');
+    for meta in catalog.objects() {
+        out.push_str(&format!("{:<24}", truncate(&meta.name, 23)));
+        for j in 0..disks.len() {
+            let f = layout.fraction(meta.id.index(), j);
+            if f > 0.0 {
+                out.push_str(&format!("{:>6.0}%", f * 100.0));
+            } else {
+                out.push_str(&format!("{:>7}", "."));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblayout_catalog::tpch::tpch_catalog;
+    use dblayout_disksim::uniform_disks;
+
+    #[test]
+    fn render_shows_all_objects_and_disks() {
+        let c = tpch_catalog(0.01);
+        let disks = uniform_disks(3, 100_000, 10.0, 20.0);
+        let layout = Layout::full_striping(
+            c.objects().iter().map(|o| o.size_blocks).collect(),
+            &disks,
+        );
+        let s = render_layout(&c, &layout, &disks);
+        assert!(s.contains("lineitem"));
+        assert!(s.contains("D3"));
+        // Full striping: no "." cells for real objects.
+        assert!(s.lines().count() > c.object_count());
+    }
+}

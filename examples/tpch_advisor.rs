@@ -1,0 +1,57 @@
+//! Full advisor run over the TPCH-22 benchmark workload: analyze the
+//! workload, print the access graph's hottest co-access pairs, run
+//! TS-GREEDY, show the recommended layout and validate it against the
+//! simulated execution oracle (the reproduction's stand-in for actually
+//! materializing the layout, paper §7.2).
+//!
+//! Run with: `cargo run --release -p dblayout-examples --bin tpch_advisor`
+
+use dblayout_catalog::tpch::tpch_catalog;
+use dblayout_core::advisor::{Advisor, AdvisorConfig};
+use dblayout_disksim::{paper_disks, SimConfig, Simulator};
+use dblayout_examples::render_layout;
+use dblayout_workloads::tpch22::tpch22;
+
+fn main() {
+    let catalog = tpch_catalog(1.0);
+    let disks = paper_disks();
+    let workload_sql = tpch22().join(";\n") + ";";
+
+    let advisor = Advisor::new(&catalog, &disks);
+    let rec = advisor
+        .recommend_sql(&workload_sql, &AdvisorConfig::default())
+        .expect("advice");
+
+    // Hottest co-access pairs from the Analyze Workload step.
+    let mut edges = rec.access_graph.edges();
+    edges.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    println!("hottest co-accessed object pairs (blocks co-accessed):");
+    for (u, v, w) in edges.iter().take(5) {
+        let nu = catalog.meta(dblayout_catalog::ObjectId(*u as u32)).name;
+        let nv = catalog.meta(dblayout_catalog::ObjectId(*v as u32)).name;
+        println!("  {nu:<28} <-> {nv:<28} {w:>12.0}");
+    }
+
+    println!();
+    println!("TS-GREEDY: {} iterations, {} cost evaluations", rec.search.iterations, rec.search.cost_evaluations);
+    println!(
+        "estimated improvement over FULL STRIPING: {:.1}% (paper: ~20%)",
+        rec.estimated_improvement_pct
+    );
+    println!();
+    println!("{}", render_layout(&catalog, &rec.layout, &disks));
+
+    // "Materialize" both layouts on the simulator and measure.
+    let cfg = SimConfig::default();
+    let mut sim_fs = Simulator::new(&disks, &rec.full_striping, cfg.clone()).expect("valid");
+    let fs_ms = sim_fs.execute_workload(&rec.plans).total_elapsed_ms;
+    let mut sim_rec = Simulator::new(&disks, &rec.layout, cfg).expect("valid");
+    let rec_ms = sim_rec.execute_workload(&rec.plans).total_elapsed_ms;
+    println!("simulated execution (oracle):");
+    println!("  FULL STRIPING : {:>10.0} ms", fs_ms);
+    println!("  recommended   : {:>10.0} ms", rec_ms);
+    println!(
+        "  actual improvement: {:.1}% (paper: ~25%)",
+        100.0 * (fs_ms - rec_ms) / fs_ms
+    );
+}

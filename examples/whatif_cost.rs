@@ -1,0 +1,59 @@
+//! What-if layout analysis: compare candidate layouts for a workload with
+//! the analytic cost model (paper §5) and the execution oracle, without
+//! running the search — the "manual DBA" workflow behind the paper's
+//! Table 2 and Example 5.
+//!
+//! Run with: `cargo run --release -p dblayout-examples --bin whatif_cost`
+
+use dblayout_catalog::tpch::tpch_catalog;
+use dblayout_core::costmodel::CostModel;
+use dblayout_disksim::{paper_disks, Layout, SimConfig, Simulator};
+use dblayout_planner::{plan_statement, PhysicalPlan};
+use dblayout_sql::parse_workload_file;
+
+fn main() {
+    let catalog = tpch_catalog(1.0);
+    let disks = paper_disks();
+    let sizes: Vec<u64> = catalog.objects().iter().map(|o| o.size_blocks).collect();
+
+    let entries = parse_workload_file(
+        "SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;",
+    )
+    .expect("parse");
+    let plans: Vec<(PhysicalPlan, f64)> = entries
+        .iter()
+        .map(|e| (plan_statement(&catalog, &e.statement).expect("plan"), e.weight))
+        .collect();
+
+    let li = catalog.object_id("lineitem").unwrap().index();
+    let or = catalog.object_id("orders").unwrap().index();
+
+    // Candidate layouts, in the spirit of Example 5's L1/L2/L3.
+    let full = Layout::full_striping(sizes.clone(), &disks);
+
+    let mut overlap = Layout::full_striping(sizes.clone(), &disks);
+    overlap.place_proportional(li, &[0, 1, 2, 3, 4], &disks);
+    overlap.place_proportional(or, &[4, 5, 6], &disks); // shares disk 4
+
+    let mut separated = Layout::full_striping(sizes, &disks);
+    separated.place_proportional(li, &[0, 1, 2, 3, 4], &disks);
+    separated.place_proportional(or, &[5, 6, 7], &disks);
+
+    let model = CostModel::default();
+    println!(
+        "{:<22} {:>16} {:>16}",
+        "layout", "estimated (ms)", "simulated (ms)"
+    );
+    for (name, layout) in [
+        ("L1 full striping", &full),
+        ("L2 overlap on D5", &overlap),
+        ("L3 separated", &separated),
+    ] {
+        let est = model.workload_cost(&plans, layout, &disks);
+        let mut sim = Simulator::new(&disks, layout, SimConfig::default()).expect("valid");
+        let act = sim.execute_workload(&plans).total_elapsed_ms;
+        println!("{name:<22} {est:>16.0} {act:>16.0}");
+    }
+    println!();
+    println!("expected ordering (paper Example 5): L3 < L1 < L2 on both columns");
+}

@@ -1,0 +1,112 @@
+//! Constraints through the full advisor: §2.3's manageability and
+//! availability requirements end to end.
+
+use dblayout_catalog::tpch::tpch_catalog;
+use dblayout_core::advisor::{Advisor, AdvisorConfig, AdvisorError};
+use dblayout_core::constraints::Constraints;
+use dblayout_core::tsgreedy::TsGreedyConfig;
+use dblayout_disksim::{paper_disks, Availability, Layout};
+use dblayout_integration::sizes;
+
+const WORKLOAD: &str =
+    "SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;\n\
+     SELECT COUNT(*) FROM partsupp, part WHERE ps_partkey = p_partkey;";
+
+fn config_with(constraints: Constraints) -> AdvisorConfig {
+    AdvisorConfig {
+        search: TsGreedyConfig {
+            constraints,
+            ..Default::default()
+        },
+    }
+}
+
+#[test]
+fn co_location_respected_and_costs_something() {
+    let catalog = tpch_catalog(0.2);
+    let disks = paper_disks();
+    let advisor = Advisor::new(&catalog, &disks);
+    let li = catalog.object_id("lineitem").unwrap();
+    let or = catalog.object_id("orders").unwrap();
+
+    let free = advisor
+        .recommend_sql(WORKLOAD, &AdvisorConfig::default())
+        .unwrap();
+    // Forcing the hottest co-accessed pair into one filegroup…
+    let constrained = advisor
+        .recommend_sql(WORKLOAD, &config_with(Constraints::none().co_locate(li, or)))
+        .unwrap();
+
+    assert_eq!(
+        constrained.layout.disks_of(li.index()),
+        constrained.layout.disks_of(or.index())
+    );
+    // …can only hurt (or tie) the objective.
+    assert!(constrained.recommended_cost_ms >= free.recommended_cost_ms - 1e-6);
+}
+
+#[test]
+fn availability_restricts_and_infeasibility_reported() {
+    let catalog = tpch_catalog(0.2);
+    let mut disks = paper_disks();
+    disks[6].avail = Availability::Mirroring;
+    disks[7].avail = Availability::Mirroring;
+    let advisor = Advisor::new(&catalog, &disks);
+    let cust = catalog.object_id("customer").unwrap();
+
+    let rec = advisor
+        .recommend_sql(
+            WORKLOAD,
+            &config_with(Constraints::none().require_avail(cust, Availability::Mirroring)),
+        )
+        .unwrap();
+    for j in rec.layout.disks_of(cust.index()) {
+        assert_eq!(disks[j].avail, Availability::Mirroring);
+    }
+
+    // No parity disk exists: infeasible.
+    let err = advisor
+        .recommend_sql(
+            WORKLOAD,
+            &config_with(Constraints::none().require_avail(cust, Availability::Parity)),
+        )
+        .unwrap_err();
+    assert!(matches!(err, AdvisorError::Search(_)), "{err}");
+}
+
+#[test]
+fn movement_bound_keeps_layout_near_current() {
+    let catalog = tpch_catalog(0.2);
+    let disks = paper_disks();
+    let advisor = Advisor::new(&catalog, &disks);
+    let current = Layout::full_striping(sizes(&catalog), &disks);
+
+    // A generous bound allows real movement; the result must stay within it.
+    let bound = 20_000u64;
+    let rec = advisor
+        .recommend_sql(
+            WORKLOAD,
+            &config_with(Constraints::none().bound_movement(current.clone(), bound)),
+        )
+        .unwrap();
+    let moved = rec.layout.data_movement_from(&current);
+    assert!(moved <= bound, "moved {moved} > bound {bound}");
+}
+
+#[test]
+fn zero_movement_bound_recommends_current_layout() {
+    let catalog = tpch_catalog(0.2);
+    let disks = paper_disks();
+    let advisor = Advisor::new(&catalog, &disks);
+    let current = Layout::full_striping(sizes(&catalog), &disks);
+    let rec = advisor
+        .recommend_sql(
+            WORKLOAD,
+            &config_with(Constraints::none().bound_movement(current.clone(), 0)),
+        )
+        .unwrap();
+    // With zero movement allowed, the only reachable valid layout is the
+    // current one (the advisor falls back to FULL STRIPING = current).
+    assert_eq!(rec.layout.data_movement_from(&current), 0);
+    assert!(rec.estimated_improvement_pct.abs() < 1e-9);
+}

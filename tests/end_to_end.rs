@@ -1,0 +1,98 @@
+//! End-to-end: SQL text → parser → optimizer → access graph → TS-GREEDY →
+//! layout → cost model AND simulator, across the whole stack.
+
+use dblayout_catalog::tpch::tpch_catalog;
+use dblayout_core::advisor::{Advisor, AdvisorConfig};
+use dblayout_core::costmodel::CostModel;
+use dblayout_disksim::{paper_disks, SimConfig, Simulator};
+use dblayout_integration::sizes;
+
+#[test]
+fn advisor_pipeline_produces_valid_improving_layout() {
+    let catalog = tpch_catalog(0.2);
+    let disks = paper_disks();
+    let advisor = Advisor::new(&catalog, &disks);
+    let rec = advisor
+        .recommend_sql(
+            "SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;\n\
+             SELECT COUNT(*) FROM partsupp, part WHERE ps_partkey = p_partkey;\n\
+             SELECT COUNT(*) FROM customer;",
+            &AdvisorConfig::default(),
+        )
+        .expect("end-to-end advice");
+
+    rec.layout.validate(&disks).expect("valid layout");
+    assert!(rec.estimated_improvement_pct > 0.0);
+    assert!(rec.recommended_cost_ms < rec.full_striping_cost_ms);
+
+    // The advisor's estimate must agree in *direction* with the simulator.
+    let cfg = SimConfig::default();
+    let mut s1 = Simulator::new(&disks, &rec.full_striping, cfg.clone()).unwrap();
+    let fs_ms = s1.execute_workload(&rec.plans).total_elapsed_ms;
+    let mut s2 = Simulator::new(&disks, &rec.layout, cfg).unwrap();
+    let rec_ms = s2.execute_workload(&rec.plans).total_elapsed_ms;
+    assert!(
+        rec_ms < fs_ms,
+        "simulated: recommended {rec_ms} vs full striping {fs_ms}"
+    );
+}
+
+#[test]
+fn workload_file_weights_flow_through() {
+    let catalog = tpch_catalog(0.1);
+    let disks = paper_disks();
+    let advisor = Advisor::new(&catalog, &disks);
+    let weighted = advisor
+        .recommend_sql(
+            "-- weight: 10\nSELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;",
+            &AdvisorConfig::default(),
+        )
+        .unwrap();
+    let unweighted = advisor
+        .recommend_sql(
+            "SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;",
+            &AdvisorConfig::default(),
+        )
+        .unwrap();
+    // Same single statement: the recommended layout is identical, and the
+    // weighted cost is 10x the unweighted one.
+    let model = CostModel::default();
+    let c10 = model.workload_cost(&weighted.plans, &weighted.layout, &disks);
+    let c1 = model.workload_cost(&unweighted.plans, &unweighted.layout, &disks);
+    assert!((c10 / c1 - 10.0).abs() < 1e-6, "{c10} vs {c1}");
+}
+
+#[test]
+fn dml_statements_advise_without_error() {
+    let catalog = tpch_catalog(0.05);
+    let disks = paper_disks();
+    let advisor = Advisor::new(&catalog, &disks);
+    let rec = advisor
+        .recommend_sql(
+            "UPDATE orders SET o_orderstatus = 'F' WHERE o_orderkey < 1000;\n\
+             DELETE FROM lineitem WHERE l_shipdate < '1992-06-01';\n\
+             INSERT INTO nation (n_nationkey) VALUES (99);\n\
+             SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;",
+            &AdvisorConfig::default(),
+        )
+        .expect("mixed DML workload");
+    rec.layout.validate(&disks).unwrap();
+    assert_eq!(rec.plans.len(), 4);
+}
+
+#[test]
+fn every_object_fully_allocated_after_search() {
+    let catalog = tpch_catalog(0.1);
+    let disks = paper_disks();
+    let advisor = Advisor::new(&catalog, &disks);
+    let rec = advisor
+        .recommend_sql(
+            "SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;",
+            &AdvisorConfig::default(),
+        )
+        .unwrap();
+    for (i, &size) in sizes(&catalog).iter().enumerate() {
+        let placed: u64 = rec.layout.blocks_on(i).iter().sum();
+        assert_eq!(placed, size, "object {i}");
+    }
+}

@@ -1,0 +1,21 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use dblayout_catalog::Catalog;
+use dblayout_planner::{plan_statement, PhysicalPlan};
+use dblayout_sql::parse_statement;
+
+/// Parses and plans one SQL statement, panicking with context on failure.
+pub fn plan(catalog: &Catalog, sql: &str) -> PhysicalPlan {
+    let stmt = parse_statement(sql).unwrap_or_else(|e| panic!("parse `{sql}`: {e}"));
+    plan_statement(catalog, &stmt).unwrap_or_else(|e| panic!("plan `{sql}`: {e}"))
+}
+
+/// Parses and plans a workload of unit-weight statements.
+pub fn plan_workload(catalog: &Catalog, sqls: &[&str]) -> Vec<(PhysicalPlan, f64)> {
+    sqls.iter().map(|s| (plan(catalog, s), 1.0)).collect()
+}
+
+/// Object sizes indexed by object id.
+pub fn sizes(catalog: &Catalog) -> Vec<u64> {
+    catalog.objects().iter().map(|o| o.size_blocks).collect()
+}
