@@ -61,7 +61,14 @@ fn bench_ts_greedy(c: &mut Criterion) {
     let disks = uniform_disks(8, 200_000, 10.0, 20.0);
     c.bench_function("ts_greedy/tpch22_sf0.1_8disks", |b| {
         b.iter(|| {
-            ts_greedy(&sizes, &graph, &workload, &disks, &TsGreedyConfig::default()).unwrap()
+            ts_greedy(
+                &sizes,
+                &graph,
+                &workload,
+                &disks,
+                &TsGreedyConfig::default(),
+            )
+            .unwrap()
         })
     });
 }

@@ -1,0 +1,172 @@
+//! Benchmarks for `dblayout-server`: cached vs cold what-if cost evaluation
+//! on the in-process [`Engine`], plus loopback TCP round-trip latency for
+//! the same ops. Writes a machine-readable summary to
+//! `results/server_bench.json`.
+//!
+//! The cached/cold pair drives the engine directly so the ratio isolates
+//! exactly what the layout-hash→cost LRU elides: the Figure-7 cost-model
+//! sweep over every resident sub-plan. Over loopback the same pair is also
+//! reported, but there the TCP + JSON round-trip is a shared additive term
+//! for both sides. The acceptance bar is in-process cached ≥5× faster than
+//! cold on TPCH-22.
+
+use criterion::{BenchResult, Criterion};
+
+use dblayout_server::{Client, Engine, LayoutSpec, Request, RuntimeInfo, Server, ServerConfig};
+use dblayout_workloads::tpch22::tpch22;
+
+fn tpch22_workload_text() -> String {
+    tpch22()
+        .iter()
+        .map(|q| format!("{};", q.trim().trim_end_matches(';')))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn json_escape(s: &str) -> String {
+    serde_json::to_string(&s.to_string()).expect("string serializes")
+}
+
+fn whatif(session: u64, no_cache: bool) -> Request {
+    Request::WhatifCost {
+        session,
+        layout: LayoutSpec::FullStriping,
+        no_cache,
+    }
+}
+
+fn main() {
+    // `cargo test` runs bench targets with `--test`; skip the timed run.
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--test") {
+        eprintln!("(server bench: skipping in test mode)");
+        return;
+    }
+
+    let mut c = Criterion::default();
+    let rt = RuntimeInfo::default();
+
+    // In-process engine: the cache's own speedup, no wire overhead.
+    let engine = Engine::new(4, 64);
+    engine
+        .execute(
+            Request::OpenSession {
+                catalog: "tpch:0.1".into(),
+                disks: "paper".into(),
+            },
+            &rt,
+        )
+        .expect("open session");
+    engine
+        .execute(
+            Request::AddStatements {
+                session: 1,
+                sql: tpch22_workload_text(),
+            },
+            &rt,
+        )
+        .expect("add TPCH-22");
+
+    c.bench_function("engine/whatif_cold", |b| {
+        b.iter(|| engine.execute(whatif(1, true), &rt).expect("whatif cold"))
+    });
+    engine
+        .execute(whatif(1, false), &rt)
+        .expect("prime the cache");
+    c.bench_function("engine/whatif_cached", |b| {
+        b.iter(|| {
+            engine
+                .execute(whatif(1, false), &rt)
+                .expect("whatif cached")
+        })
+    });
+
+    // Loopback: same ops through the full TCP + JSON path.
+    let server = Server::start(ServerConfig {
+        threads: 2,
+        ..Default::default()
+    })
+    .expect("bind loopback server");
+    let addr = server.addr().to_string();
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let open = client
+        .roundtrip(r#"{"op":"open_session","catalog":"tpch:0.1"}"#)
+        .expect("open_session");
+    assert!(open.contains("\"ok\":true"), "{open}");
+    let add = client
+        .roundtrip(&format!(
+            r#"{{"op":"add_statements","session":1,"sql":{}}}"#,
+            json_escape(&tpch22_workload_text())
+        ))
+        .expect("add_statements");
+    assert!(add.contains("\"ok\":true"), "{add}");
+
+    c.bench_function("server/whatif_cold", |b| {
+        b.iter(|| {
+            client
+                .roundtrip(
+                    r#"{"op":"whatif_cost","session":1,"layout":"full_striping","no_cache":true}"#,
+                )
+                .expect("whatif cold")
+        })
+    });
+    client
+        .roundtrip(r#"{"op":"whatif_cost","session":1,"layout":"full_striping"}"#)
+        .expect("prime cache");
+    c.bench_function("server/whatif_cached", |b| {
+        b.iter(|| {
+            client
+                .roundtrip(r#"{"op":"whatif_cost","session":1,"layout":"full_striping"}"#)
+                .expect("whatif cached")
+        })
+    });
+    c.bench_function("server/stats_roundtrip", |b| {
+        b.iter(|| client.roundtrip(r#"{"op":"stats"}"#).expect("stats"))
+    });
+
+    server.shutdown();
+
+    let find = |id: &str| -> &BenchResult {
+        c.results
+            .iter()
+            .find(|r| r.id == id)
+            .unwrap_or_else(|| panic!("missing bench `{id}`"))
+    };
+    let cold = find("engine/whatif_cold");
+    let cached = find("engine/whatif_cached");
+    let stats = find("server/stats_roundtrip");
+    let speedup = cold.mean_ns / cached.mean_ns;
+    let wire_speedup = find("server/whatif_cold").mean_ns / find("server/whatif_cached").mean_ns;
+    let rps = 1e9 / stats.mean_ns;
+
+    let mut rows = String::new();
+    for r in &c.results {
+        rows.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iterations\": {}}},\n",
+            r.id, r.mean_ns, r.min_ns, r.iterations
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmarks\": [\n{}  ],\n  \"whatif_cold_over_cached\": {:.2},\n  \
+         \"loopback_whatif_cold_over_cached\": {:.2},\n  \
+         \"stats_requests_per_sec\": {:.0}\n}}\n",
+        rows.trim_end_matches(",\n").to_string() + "\n",
+        speedup,
+        wire_speedup,
+        rps
+    );
+    // Benches run with the package dir as CWD; anchor at the workspace root.
+    let results_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&results_dir).expect("results dir");
+    std::fs::write(results_dir.join("server_bench.json"), json)
+        .expect("write results/server_bench.json");
+    eprintln!(
+        "cold/cached what-if speedup: {speedup:.1}x in-process, {wire_speedup:.1}x over \
+         loopback; stats throughput: {rps:.0} req/s (results/server_bench.json)"
+    );
+    assert!(
+        speedup >= 5.0,
+        "cached what-if must be at least 5x faster than cold, got {speedup:.1}x"
+    );
+}

@@ -125,17 +125,27 @@ pub fn run_a2(trials: usize) -> Vec<A2Row> {
             let sizes: Vec<u64> = (0..4).map(|_| rng.gen_range(50..400)).collect();
             // Two co-accessed pairs plus one solo scan, randomized sizes.
             let plans = vec![
-                (merge_join(0, sizes[0], 1, sizes[1]), rng.gen_range(1.0..3.0)),
-                (merge_join(2, sizes[2], 3, sizes[3]), rng.gen_range(1.0..3.0)),
+                (
+                    merge_join(0, sizes[0], 1, sizes[1]),
+                    rng.gen_range(1.0..3.0),
+                ),
+                (
+                    merge_join(2, sizes[2], 3, sizes[3]),
+                    rng.gen_range(1.0..3.0),
+                ),
                 (PhysicalPlan::new(scan(0, sizes[0])), 1.0),
             ];
             let graph = build_access_graph(4, &plans);
             let workload = decompose_workload(&plans);
-            let greedy =
-                ts_greedy(&sizes, &graph, &workload, &disks, &TsGreedyConfig::default())
-                    .expect("search succeeds");
-            let (_, optimal) =
-                exhaustive_search(&sizes, &workload, &disks, &CostModel::default());
+            let greedy = ts_greedy(
+                &sizes,
+                &graph,
+                &workload,
+                &disks,
+                &TsGreedyConfig::default(),
+            )
+            .expect("search succeeds");
+            let (_, optimal) = exhaustive_search(&sizes, &workload, &disks, &CostModel::default());
             A2Row {
                 seed,
                 greedy_cost_ms: greedy.final_cost,
@@ -171,8 +181,14 @@ pub fn run_a3() -> Vec<A3Row> {
 
     let fs = Layout::full_striping(sizes.clone(), &disks);
     let fs_cost = model.workload_cost_subplans(&workload, &fs, &disks);
-    let r = ts_greedy(&sizes, &graph, &workload, &disks, &TsGreedyConfig::default())
-        .expect("search succeeds");
+    let r = ts_greedy(
+        &sizes,
+        &graph,
+        &workload,
+        &disks,
+        &TsGreedyConfig::default(),
+    )
+    .expect("search succeeds");
 
     vec![
         A3Row {

@@ -9,7 +9,10 @@ fn main() {
         .unwrap_or(25);
     println!("Ablation A2: TS-GREEDY vs exhaustive on {trials} random 4-object/3-disk instances");
     println!();
-    println!("{:>5} {:>14} {:>14} {:>8}", "seed", "greedy (ms)", "optimal (ms)", "gap");
+    println!(
+        "{:>5} {:>14} {:>14} {:>8}",
+        "seed", "greedy (ms)", "optimal (ms)", "gap"
+    );
     let rows = dblayout_bench::ablations::run_a2(trials);
     let mut optimal_hits = 0;
     for r in &rows {

@@ -4,7 +4,10 @@
 fn main() {
     println!("Ablation A1: TS-GREEDY greedy step width k on TPCH-22");
     println!();
-    println!("{:>3} {:>16} {:>14} {:>12}", "k", "final cost (ms)", "runtime (ms)", "cost evals");
+    println!(
+        "{:>3} {:>16} {:>14} {:>12}",
+        "k", "final cost (ms)", "runtime (ms)", "cost evals"
+    );
     let rows = dblayout_bench::ablations::run_a1();
     for r in &rows {
         println!(

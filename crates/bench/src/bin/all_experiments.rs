@@ -40,7 +40,11 @@ fn main() {
     dblayout_bench::write_json("figure10", &f10);
 
     println!("\n=== Figure 11 ===");
-    let counts: &[usize] = if full { &[4, 8, 16, 32, 64] } else { &[4, 8, 16] };
+    let counts: &[usize] = if full {
+        &[4, 8, 16, 32, 64]
+    } else {
+        &[4, 8, 16]
+    };
     let f11 = dblayout_bench::figure11::run_with_counts(counts);
     for r in &f11 {
         println!(
@@ -67,7 +71,10 @@ fn main() {
 
     println!("\n=== Ablations ===");
     dblayout_bench::write_json("ablation_k", &dblayout_bench::ablations::run_a1());
-    dblayout_bench::write_json("ablation_exhaustive", &dblayout_bench::ablations::run_a2(25));
+    dblayout_bench::write_json(
+        "ablation_exhaustive",
+        &dblayout_bench::ablations::run_a2(25),
+    );
     dblayout_bench::write_json("ablation_steps", &dblayout_bench::ablations::run_a3());
     dblayout_bench::write_json("ablation_pairwise", &dblayout_bench::ablations::run_a4());
     dblayout_bench::write_json(

@@ -5,7 +5,10 @@
 fn main() {
     println!("Cost-model validation: layout-pair ordering agreement (paper: 82% overall)");
     println!();
-    println!("{:<12} {:>6} {:>10} {:>10}", "Workload", "pairs", "agree", "percent");
+    println!(
+        "{:<12} {:>6} {:>10} {:>10}",
+        "Workload", "pairs", "agree", "percent"
+    );
     let result = dblayout_bench::costmodel_validation::run();
     for r in &result.rows {
         println!(

@@ -4,7 +4,10 @@ fn main() {
     println!("Table 2: improvement of the lineitem(5)/orders(3) split layout over FULL STRIPING");
     println!("(paper: Q3 44%/54%, Q9 30%/40%, Q10 36%/51%, Q12 32%/55%, Q18 16%/31%, Q21 40%/9%, TPCH-22 25%/20%)");
     println!();
-    println!("{:<10} {:>22} {:>24}", "Queries", "Execution Improvement", "Estimated Improvement");
+    println!(
+        "{:<10} {:>22} {:>24}",
+        "Queries", "Execution Improvement", "Estimated Improvement"
+    );
     let rows = dblayout_bench::table2::run();
     for r in &rows {
         println!(

@@ -204,9 +204,7 @@ mod tests {
             .collect();
         let act: Vec<f64> = layouts
             .iter()
-            .map(|(_, l)| {
-                simulate_workload_ms(&plans, l, &disks, &SimConfig::default())
-            })
+            .map(|(_, l)| simulate_workload_ms(&plans, l, &disks, &SimConfig::default()))
             .collect();
         let mut pairs = 0;
         let mut agree = 0;

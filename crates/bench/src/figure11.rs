@@ -47,7 +47,12 @@ fn disk_set(m: usize) -> Vec<DiskSpec> {
     uniform_disks(m, 400_000, 10.0, 20.0)
 }
 
-fn measure(catalog: &Catalog, queries: &[String], label: &str, counts: &[usize]) -> Vec<Figure11Row> {
+fn measure(
+    catalog: &Catalog,
+    queries: &[String],
+    label: &str,
+    counts: &[usize],
+) -> Vec<Figure11Row> {
     let plans = plan_sql_workload(catalog, queries);
     let sizes = object_sizes(catalog);
     let graph = build_access_graph(sizes.len(), &plans);
@@ -58,8 +63,14 @@ fn measure(catalog: &Catalog, queries: &[String], label: &str, counts: &[usize])
     for &m in counts {
         let disks = disk_set(m);
         let start = Instant::now();
-        let result = ts_greedy(&sizes, &graph, &workload, &disks, &TsGreedyConfig::default())
-            .expect("unconstrained search succeeds");
+        let result = ts_greedy(
+            &sizes,
+            &graph,
+            &workload,
+            &disks,
+            &TsGreedyConfig::default(),
+        )
+        .expect("unconstrained search succeeds");
         let ms = start.elapsed().as_secs_f64() * 1e3;
         let base = *base_ms.get_or_insert(ms);
         rows.push(Figure11Row {

@@ -50,8 +50,14 @@ pub fn run_with(copies: &[usize], sf: f64) -> Vec<Figure12Row> {
         let workload = decompose_workload(&plans);
 
         let start = Instant::now();
-        let result = ts_greedy(&sizes, &graph, &workload, &disks, &TsGreedyConfig::default())
-            .expect("unconstrained search succeeds");
+        let result = ts_greedy(
+            &sizes,
+            &graph,
+            &workload,
+            &disks,
+            &TsGreedyConfig::default(),
+        )
+        .expect("unconstrained search succeeds");
         let ms = start.elapsed().as_secs_f64() * 1e3;
         let base = *base_ms.get_or_insert(ms);
         rows.push(Figure12Row {

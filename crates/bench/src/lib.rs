@@ -23,9 +23,9 @@
 pub mod ablations;
 pub mod common;
 pub mod costmodel_validation;
+pub mod extension_concurrency;
 pub mod figure10;
 pub mod figure11;
-pub mod extension_concurrency;
 pub mod figure12;
 pub mod table2;
 pub mod wkscale_bench;

@@ -94,8 +94,14 @@ mod tests {
     #[test]
     fn two_dominant_fact_tables() {
         let c = apb_catalog();
-        let sales = c.table("sales_fact").unwrap().size_blocks();
-        let inv = c.table("inventory_fact").unwrap().size_blocks();
+        let sales = c
+            .table("sales_fact")
+            .expect("APB catalog is missing table `sales_fact`")
+            .size_blocks();
+        let inv = c
+            .table("inventory_fact")
+            .expect("APB catalog is missing table `inventory_fact`")
+            .size_blocks();
         let biggest_dim = c
             .tables()
             .iter()

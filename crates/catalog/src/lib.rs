@@ -24,13 +24,14 @@
 pub mod apb;
 pub mod blocks;
 pub mod catalog;
+pub mod resolve;
 pub mod sales;
 pub mod tpch;
 pub mod types;
 
 pub use blocks::{blocks_for_bytes, blocks_for_rows, BLOCK_BYTES, PAGES_PER_BLOCK, PAGE_BYTES};
 pub use catalog::Catalog;
+pub use resolve::resolve_catalog;
 pub use types::{
-    ColType, Column, ColumnStats, Index, MaterializedView, ObjectId, ObjectKind, ObjectMeta,
-    Table,
+    ColType, Column, ColumnStats, Index, MaterializedView, ObjectId, ObjectKind, ObjectMeta, Table,
 };

@@ -1,0 +1,66 @@
+//! Named-catalog resolution shared by every front-end (CLI, server).
+//!
+//! A *catalog spec* is a short string naming one of the built-in databases,
+//! optionally parameterized: `tpch[:sf]`, `tpch-n:<sf>:<copies>`, `apb`,
+//! `sales`.
+
+use crate::Catalog;
+
+/// Resolves a catalog spec to a built-in catalog:
+/// `tpch[:sf]`, `tpch-n:<sf>:<copies>`, `apb`, or `sales`.
+pub fn resolve_catalog(spec: &str) -> Result<Catalog, String> {
+    let mut parts = spec.split(':');
+    let name = parts.next().unwrap_or_default().to_ascii_lowercase();
+    match name.as_str() {
+        "tpch" => {
+            let sf: f64 = parts
+                .next()
+                .map(|s| s.parse().map_err(|_| format!("bad scale factor `{s}`")))
+                .transpose()?
+                .unwrap_or(1.0);
+            if sf <= 0.0 {
+                return Err("scale factor must be positive".into());
+            }
+            Ok(crate::tpch::tpch_catalog(sf))
+        }
+        "tpch-n" => {
+            let sf: f64 = parts
+                .next()
+                .ok_or("tpch-n needs `:sf:copies`")?
+                .parse()
+                .map_err(|e| format!("bad scale factor: {e}"))?;
+            let n: usize = parts
+                .next()
+                .ok_or("tpch-n needs `:sf:copies`")?
+                .parse()
+                .map_err(|e| format!("bad copy count: {e}"))?;
+            Ok(crate::tpch::replicate_tpch(sf, n))
+        }
+        "apb" => Ok(crate::apb::apb_catalog()),
+        "sales" => Ok(crate::sales::sales_catalog()),
+        other => Err(format!(
+            "unknown database `{other}` (expected tpch[:sf], tpch-n:sf:n, apb, sales)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_builtin_catalogs() {
+        assert_eq!(resolve_catalog("tpch:0.1").unwrap().tables().len(), 8);
+        assert_eq!(resolve_catalog("apb").unwrap().tables().len(), 40);
+        assert_eq!(resolve_catalog("sales").unwrap().tables().len(), 50);
+        assert_eq!(resolve_catalog("tpch-n:0.01:3").unwrap().tables().len(), 24);
+    }
+
+    #[test]
+    fn bad_specs_error() {
+        assert!(resolve_catalog("oracle").is_err());
+        assert!(resolve_catalog("tpch:zero").is_err());
+        assert!(resolve_catalog("tpch:-1").is_err());
+        assert!(resolve_catalog("tpch-n:1").is_err());
+    }
+}

@@ -106,8 +106,14 @@ mod tests {
     #[test]
     fn order_tables_dominate() {
         let c = sales_catalog();
-        let header = c.table("order_header").unwrap().size_blocks();
-        let detail = c.table("order_detail").unwrap().size_blocks();
+        let header = c
+            .table("order_header")
+            .expect("SALES catalog is missing table `order_header`")
+            .size_blocks();
+        let detail = c
+            .table("order_detail")
+            .expect("SALES catalog is missing table `order_detail`")
+            .size_blocks();
         let third = c
             .tables()
             .iter()

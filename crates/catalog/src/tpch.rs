@@ -164,7 +164,13 @@ fn add_tpch_tables(c: &mut Catalog, sf: f64, suffix: &str) {
         name: n("orders"),
         columns: vec![
             Column::with_range("o_orderkey", ColType::Int, o_rows, 1.0, (o_rows * 4) as f64),
-            Column::with_range("o_custkey", ColType::Int, c_rows * 2 / 3, 1.0, c_rows as f64),
+            Column::with_range(
+                "o_custkey",
+                ColType::Int,
+                c_rows * 2 / 3,
+                1.0,
+                c_rows as f64,
+            ),
             Column::new("o_orderstatus", ColType::Str(1), 3),
             Column::with_range("o_totalprice", ColType::Float, o_rows / 2, 850.0, 600_000.0),
             Column::with_range("o_orderdate", ColType::Date, 2_400, dmin, dmax),
@@ -188,7 +194,13 @@ fn add_tpch_tables(c: &mut Catalog, sf: f64, suffix: &str) {
             Column::with_range("l_suppkey", ColType::Int, s_rows, 1.0, s_rows as f64),
             Column::with_range("l_linenumber", ColType::Int, 7, 1.0, 7.0),
             Column::with_range("l_quantity", ColType::Int, 50, 1.0, 50.0),
-            Column::with_range("l_extendedprice", ColType::Float, l_rows / 10, 900.0, 105_000.0),
+            Column::with_range(
+                "l_extendedprice",
+                ColType::Float,
+                l_rows / 10,
+                900.0,
+                105_000.0,
+            ),
             Column::with_range("l_discount", ColType::Float, 11, 0.0, 0.1),
             Column::with_range("l_tax", ColType::Float, 9, 0.0, 0.08),
             Column::new("l_returnflag", ColType::Str(1), 3),

@@ -84,7 +84,13 @@ impl Column {
     }
 
     /// Builds a column with explicit min/max range stats.
-    pub fn with_range(name: &str, col_type: ColType, distinct_count: u64, min: f64, max: f64) -> Self {
+    pub fn with_range(
+        name: &str,
+        col_type: ColType,
+        distinct_count: u64,
+        min: f64,
+        max: f64,
+    ) -> Self {
         Self {
             name: name.to_string(),
             col_type,

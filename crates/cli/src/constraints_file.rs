@@ -109,8 +109,7 @@ mod tests {
     fn unknown_object_and_directive_error_with_line() {
         let catalog = tpch_catalog(0.01);
         let disks = paper_disks();
-        let err =
-            parse_constraints_file("colocate part ghosts", &catalog, &disks).unwrap_err();
+        let err = parse_constraints_file("colocate part ghosts", &catalog, &disks).unwrap_err();
         assert!(err.contains("line 1") && err.contains("ghosts"), "{err}");
         let err = parse_constraints_file("\nstripe everything", &catalog, &disks).unwrap_err();
         assert!(err.contains("line 2"), "{err}");

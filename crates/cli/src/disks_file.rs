@@ -31,8 +31,8 @@ pub fn parse_disks_file(text: &str) -> Result<Vec<DiskSpec>, String> {
                 lineno + 1
             ));
         }
-        let capacity_blocks = parse_capacity(fields[1])
-            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let capacity_blocks =
+            parse_capacity(fields[1]).map_err(|e| format!("line {}: {e}", lineno + 1))?;
         let avg_seek_ms: f64 = fields[2]
             .parse()
             .map_err(|e| format!("line {}: bad seek time: {e}", lineno + 1))?;
@@ -58,8 +58,14 @@ pub fn parse_disks_file(text: &str) -> Result<Vec<DiskSpec>, String> {
             }
         };
         out.push(
-            DiskSpec::new(fields[0], capacity_blocks, avg_seek_ms, read_mb_s, write_mb_s)
-                .with_avail(avail),
+            DiskSpec::new(
+                fields[0],
+                capacity_blocks,
+                avg_seek_ms,
+                read_mb_s,
+                write_mb_s,
+            )
+            .with_avail(avail),
         );
     }
     if out.is_empty() {

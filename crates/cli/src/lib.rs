@@ -16,46 +16,11 @@
 pub mod constraints_file;
 pub mod disks_file;
 
-use dblayout_catalog::Catalog;
 use dblayout_disksim::DiskSpec;
 
-/// Resolves the `--database` argument to a built-in catalog:
-/// `tpch[:sf]`, `tpch-n:<sf>:<copies>`, `apb`, or `sales`.
-pub fn resolve_catalog(spec: &str) -> Result<Catalog, String> {
-    let mut parts = spec.split(':');
-    let name = parts.next().unwrap_or_default().to_ascii_lowercase();
-    match name.as_str() {
-        "tpch" => {
-            let sf: f64 = parts
-                .next()
-                .map(|s| s.parse().map_err(|_| format!("bad scale factor `{s}`")))
-                .transpose()?
-                .unwrap_or(1.0);
-            if sf <= 0.0 {
-                return Err("scale factor must be positive".into());
-            }
-            Ok(dblayout_catalog::tpch::tpch_catalog(sf))
-        }
-        "tpch-n" => {
-            let sf: f64 = parts
-                .next()
-                .ok_or("tpch-n needs `:sf:copies`")?
-                .parse()
-                .map_err(|e| format!("bad scale factor: {e}"))?;
-            let n: usize = parts
-                .next()
-                .ok_or("tpch-n needs `:sf:copies`")?
-                .parse()
-                .map_err(|e| format!("bad copy count: {e}"))?;
-            Ok(dblayout_catalog::tpch::replicate_tpch(sf, n))
-        }
-        "apb" => Ok(dblayout_catalog::apb::apb_catalog()),
-        "sales" => Ok(dblayout_catalog::sales::sales_catalog()),
-        other => Err(format!(
-            "unknown database `{other}` (expected tpch[:sf], tpch-n:sf:n, apb, sales)"
-        )),
-    }
-}
+/// Resolves the `--database` argument to a built-in catalog (shared with the
+/// server; see [`dblayout_catalog::resolve_catalog`]).
+pub use dblayout_catalog::resolve_catalog;
 
 /// The paper's example 8-drive array, used when `--disks` is omitted.
 pub fn default_disks() -> Vec<DiskSpec> {
@@ -67,21 +32,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn resolve_builtin_catalogs() {
+    fn resolve_reexport_still_works() {
         assert_eq!(resolve_catalog("tpch:0.1").unwrap().tables().len(), 8);
-        assert_eq!(resolve_catalog("apb").unwrap().tables().len(), 40);
-        assert_eq!(resolve_catalog("sales").unwrap().tables().len(), 50);
-        assert_eq!(
-            resolve_catalog("tpch-n:0.01:3").unwrap().tables().len(),
-            24
-        );
-    }
-
-    #[test]
-    fn bad_specs_error() {
         assert!(resolve_catalog("oracle").is_err());
-        assert!(resolve_catalog("tpch:zero").is_err());
-        assert!(resolve_catalog("tpch:-1").is_err());
-        assert!(resolve_catalog("tpch-n:1").is_err());
     }
 }

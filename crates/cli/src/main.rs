@@ -1,6 +1,9 @@
-//! `dblayout` — the layout advisor as a command-line tool (paper Figure 3).
+//! `dblayout` — the layout advisor as a command-line tool (paper Figure 3),
+//! plus `serve`/`client` subcommands fronting the resident what-if service.
 
+use std::io::BufRead;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use dblayout_cli::constraints_file::parse_constraints_file;
 use dblayout_cli::disks_file::parse_disks_file;
@@ -8,12 +11,15 @@ use dblayout_cli::{default_disks, resolve_catalog};
 use dblayout_core::advisor::{Advisor, AdvisorConfig};
 use dblayout_core::deploy::render_script;
 use dblayout_core::tsgreedy::TsGreedyConfig;
+use dblayout_server::{Client, Server, ServerConfig};
 
 const USAGE: &str = "\
 dblayout — automated database layout advisor (ICDE 2003 reproduction)
 
 USAGE:
     dblayout --database <spec> --workload <file> [options]
+    dblayout serve [serve-options]      run the what-if advisory service
+    dblayout client [client-options]    talk to a running service
 
 INPUTS (paper Figure 3):
     --database <spec>     built-in catalog: tpch[:sf] | tpch-n:<sf>:<n> | apb | sales
@@ -28,6 +34,47 @@ OPTIONS:
     --script <dbname>     print the filegroup deployment script
     --json <file>         write the recommendation as JSON
     --help                this text
+
+See `dblayout serve --help` and `dblayout client --help` for the service.
+";
+
+const SERVE_USAGE: &str = "\
+dblayout serve — run the resident what-if advisory service
+
+USAGE:
+    dblayout serve [--port <n>] [options]
+
+The server speaks newline-delimited JSON over TCP: one request object per
+line, one response line per request (see README, \"The what-if server\").
+
+OPTIONS:
+    --port <n>          TCP port to listen on (default 7437; 0 picks a free
+                        port — the chosen address is printed on stdout)
+    --host <addr>       bind address (default 127.0.0.1)
+    --threads <n>       worker threads (default 4)
+    --queue <n>         max queued connections before `busy` (default 64)
+    --deadline-ms <n>   per-request queue-wait deadline (default 30000)
+    --sessions <n>      max concurrently open sessions (default 64)
+    --cache <n>         max memoized what-if costs (default 1024)
+    --help              this text
+";
+
+const CLIENT_USAGE: &str = "\
+dblayout client — send requests to a running what-if service
+
+USAGE:
+    dblayout client --addr <host:port> [--request <json>]
+
+With --request, sends that single JSON request and prints the response.
+Without it, reads one JSON request per line from stdin and prints each
+response line to stdout (blank lines are skipped).
+
+Exits non-zero if the server is unreachable or the connection drops.
+
+OPTIONS:
+    --addr <host:port>  server address (default 127.0.0.1:7437)
+    --request <json>    a single request to send
+    --help              this text
 ";
 
 struct Args {
@@ -52,20 +99,13 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--database" => args.database = value("--database")?,
             "--workload" => args.workload = value("--workload")?,
             "--disks" => args.disks = Some(value("--disks")?),
             "--constraints" => args.constraints = Some(value("--constraints")?),
-            "--k" => {
-                args.k = value("--k")?
-                    .parse()
-                    .map_err(|e| format!("bad --k: {e}"))?
-            }
+            "--k" => args.k = value("--k")?.parse().map_err(|e| format!("bad --k: {e}"))?,
             "--script" => args.script = Some(value("--script")?),
             "--json" => args.json = Some(value("--json")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -174,8 +214,122 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut cfg = ServerConfig::default();
+    let mut port: u16 = 7437;
+    let mut host = "127.0.0.1".to_string();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--port" => {
+                port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("bad --port: {e}"))?
+            }
+            "--host" => host = value("--host")?,
+            "--threads" => {
+                cfg.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?
+            }
+            "--queue" => {
+                cfg.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue: {e}"))?
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --deadline-ms: {e}"))?;
+                cfg.deadline = Duration::from_millis(ms);
+            }
+            "--sessions" => {
+                cfg.session_capacity = value("--sessions")?
+                    .parse()
+                    .map_err(|e| format!("bad --sessions: {e}"))?
+            }
+            "--cache" => {
+                cfg.cache_capacity = value("--cache")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache: {e}"))?
+            }
+            "--help" | "-h" => return Err(SERVE_USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n\n{SERVE_USAGE}")),
+        }
+    }
+    cfg.addr = format!("{host}:{port}");
+    let handle =
+        Server::start(cfg.clone()).map_err(|e| format!("cannot listen on {}: {e}", cfg.addr))?;
+    println!(
+        "dblayout-server listening on {} ({} worker threads, queue {}, {} session slots)",
+        handle.addr(),
+        cfg.threads,
+        cfg.queue_capacity,
+        cfg.session_capacity
+    );
+    println!("one JSON request per line; try: {{\"op\":\"stats\"}}");
+    // Serve until the process is killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn run_client(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7437".to_string();
+    let mut request: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--request" => request = Some(value("--request")?),
+            "--help" | "-h" => return Err(CLIENT_USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n\n{CLIENT_USAGE}")),
+        }
+    }
+    let mut client = Client::connect(&addr)
+        .map_err(|e| format!("cannot reach dblayout-server at {addr}: {e}"))?;
+    match request {
+        Some(line) => {
+            let response = client
+                .roundtrip(&line)
+                .map_err(|e| format!("request to {addr} failed: {e}"))?;
+            println!("{response}");
+        }
+        None => {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let line = line.map_err(|e| format!("stdin read failed: {e}"))?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let response = client
+                    .roundtrip(&line)
+                    .map_err(|e| format!("request to {addr} failed: {e}"))?;
+                println!("{response}");
+            }
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    match run() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match args.first().map(String::as_str) {
+        Some("serve") => run_serve(&args[1..]),
+        Some("client") => run_client(&args[1..]),
+        _ => run(),
+    };
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("{msg}");

@@ -23,6 +23,17 @@ use dblayout_planner::PhysicalPlan;
 /// `w_Q` scale both node and edge contributions.
 pub fn build_access_graph(n_objects: usize, plans: &[(PhysicalPlan, f64)]) -> Graph {
     let mut g = Graph::new(n_objects);
+    extend_access_graph(&mut g, plans);
+    g
+}
+
+/// Folds additional weighted plans into an existing access graph.
+///
+/// Node and edge weights only ever accumulate (`+=`), so extending a graph
+/// statement-by-statement in arrival order produces bit-identical weights to
+/// [`build_access_graph`] over the concatenated workload — the invariant the
+/// server's incremental sessions rely on.
+pub fn extend_access_graph(g: &mut Graph, plans: &[(PhysicalPlan, f64)]) {
     for (plan, weight) in plans {
         let subplans = plan.subplans();
         // Step 3: node values — total blocks of each object in the plan.
@@ -43,7 +54,6 @@ pub fn build_access_graph(n_objects: usize, plans: &[(PhysicalPlan, f64)]) -> Gr
             }
         }
     }
-    g
 }
 
 #[cfg(test)]
@@ -164,6 +174,40 @@ mod tests {
         assert!(g.edge_weight(0, 2) > 0.0);
         assert!(g.edge_weight(1, 2) > 0.0);
         assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn incremental_extension_matches_batch_build() {
+        let mk = |a: u32, b: u32, ba: u64, bb: u64| {
+            PhysicalPlan::new(PlanNode::MergeJoin {
+                on: "x".into(),
+                rows: 1.0,
+                left: Box::new(scan(a, ba)),
+                right: Box::new(scan(b, bb)),
+            })
+        };
+        let plans = vec![
+            (mk(0, 1, 137, 251), 1.25),
+            (mk(1, 2, 89, 17), 0.75),
+            (mk(0, 2, 41, 333), 3.0),
+        ];
+        let batch = build_access_graph(4, &plans);
+        let mut incremental = Graph::new(4);
+        for p in &plans {
+            extend_access_graph(&mut incremental, std::slice::from_ref(p));
+        }
+        for u in 0..4 {
+            assert_eq!(
+                batch.node_weight(u).to_bits(),
+                incremental.node_weight(u).to_bits()
+            );
+            for v in u + 1..4 {
+                assert_eq!(
+                    batch.edge_weight(u, v).to_bits(),
+                    incremental.edge_weight(u, v).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::fmt;
 use dblayout_catalog::Catalog;
 use dblayout_disksim::{DiskSpec, Layout, LayoutError};
 use dblayout_partition::Graph;
-use dblayout_planner::{plan_statement, PhysicalPlan, PlanError};
+use dblayout_planner::{plan_statement, PhysicalPlan, PlanError, Subplan};
 use dblayout_sql::{parse_workload_file, ParseError, Statement};
 
 use crate::access_graph::build_access_graph;
@@ -174,14 +174,35 @@ impl<'a> Advisor<'a> {
         if plans.is_empty() {
             return Err(AdvisorError::EmptyWorkload);
         }
+        let n_objects = self.catalog.objects().len();
+        let graph = build_access_graph(n_objects, &plans);
+        let workload = decompose_workload(&plans);
+        self.recommend_prepared(plans, graph, &workload, cfg)
+    }
+
+    /// Recommendation from a pre-built access graph and pre-decomposed
+    /// sub-plan workload (lets a long-lived service maintain both
+    /// incrementally and skip the per-request *Analyze Workload* pass).
+    ///
+    /// `graph` and `workload` must correspond to `plans` — i.e. be what
+    /// [`build_access_graph`] / [`decompose_workload`] would produce from
+    /// them — or the costs reported will not match the layout searched.
+    pub fn recommend_prepared(
+        &self,
+        plans: Vec<(PhysicalPlan, f64)>,
+        graph: Graph,
+        workload: &[(Vec<Subplan>, f64)],
+        cfg: &AdvisorConfig,
+    ) -> Result<Recommendation, AdvisorError> {
+        if plans.is_empty() {
+            return Err(AdvisorError::EmptyWorkload);
+        }
         let sizes: Vec<u64> = self
             .catalog
             .objects()
             .iter()
             .map(|o| o.size_blocks)
             .collect();
-        let graph = build_access_graph(sizes.len(), &plans);
-        let workload = decompose_workload(&plans);
 
         let TsGreedyResult {
             layout,
@@ -190,18 +211,22 @@ impl<'a> Advisor<'a> {
             iterations,
             cost_evaluations,
             ..
-        } = ts_greedy(&sizes, &graph, &workload, self.disks, &cfg.search)?;
+        } = ts_greedy(&sizes, &graph, workload, self.disks, &cfg.search)?;
 
         let model: &CostModel = &cfg.search.cost_model;
         let full_striping = Layout::full_striping(sizes, self.disks);
         full_striping.validate(self.disks)?;
-        let fs_cost = model.workload_cost_subplans(&workload, &full_striping, self.disks);
+        let fs_cost = model.workload_cost_subplans(workload, &full_striping, self.disks);
 
         // Never recommend worse than the trivial baseline: when the search
         // plateaus above FULL STRIPING (possible only under tight
         // constraints), fall back to it if it satisfies the constraints.
         let (layout, rec_cost) = if final_cost > fs_cost
-            && cfg.search.constraints.check(&full_striping, self.disks).is_ok()
+            && cfg
+                .search
+                .constraints
+                .check(&full_striping, self.disks)
+                .is_ok()
         {
             (full_striping.clone(), fs_cost)
         } else {

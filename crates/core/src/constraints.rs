@@ -236,7 +236,10 @@ mod tests {
         let c = Constraints::none().bound_movement(current.clone(), 100);
         assert!(matches!(
             c.check(&proposed, &ds),
-            Err(ConstraintViolation::TooMuchMovement { moved: 300, bound: 100 })
+            Err(ConstraintViolation::TooMuchMovement {
+                moved: 300,
+                bound: 100
+            })
         ));
         let generous = Constraints::none().bound_movement(current, 500);
         generous.check(&proposed, &ds).unwrap();

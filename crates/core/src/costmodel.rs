@@ -45,12 +45,7 @@ impl Default for CostModel {
 
 impl CostModel {
     /// `Cost(Q, L)` in milliseconds.
-    pub fn statement_cost(
-        &self,
-        plan: &PhysicalPlan,
-        layout: &Layout,
-        disks: &[DiskSpec],
-    ) -> f64 {
+    pub fn statement_cost(&self, plan: &PhysicalPlan, layout: &Layout, disks: &[DiskSpec]) -> f64 {
         plan.subplans()
             .iter()
             .map(|sub| self.subplan_cost(sub, layout, disks))
@@ -131,7 +126,9 @@ impl CostModel {
         layout: &Layout,
         disks: &[DiskSpec],
     ) -> f64 {
-        subs.iter().map(|s| self.subplan_cost(s, layout, disks)).sum()
+        subs.iter()
+            .map(|s| self.subplan_cost(s, layout, disks))
+            .sum()
     }
 
     /// Workload cost over pre-decomposed sub-plans. The search invokes the
@@ -208,14 +205,20 @@ mod tests {
         // L1: full striping — cost = 150/T + 100·S per the paper.
         let l1 = Layout::full_striping(sizes.clone(), &disks);
         let c1 = statement_cost(&plan, &l1, &disks);
-        assert!((c1 - (150.0 * t + 2.0 * 50.0 * s)).abs() < 1e-6, "c1 = {c1}");
+        assert!(
+            (c1 - (150.0 * t + 2.0 * 50.0 * s)).abs() < 1e-6,
+            "c1 = {c1}"
+        );
 
         // L2: A on D1,D2; B on D2,D3 — bottleneck D2 = 225/T + 150·S.
         let mut l2 = Layout::empty(sizes.clone(), 3);
         l2.place(0, &[(0, 1.0), (1, 1.0)]);
         l2.place(1, &[(1, 1.0), (2, 1.0)]);
         let c2 = statement_cost(&plan, &l2, &disks);
-        assert!((c2 - (225.0 * t + 2.0 * 75.0 * s)).abs() < 1e-6, "c2 = {c2}");
+        assert!(
+            (c2 - (225.0 * t + 2.0 * 75.0 * s)).abs() < 1e-6,
+            "c2 = {c2}"
+        );
 
         // L3: A on D1,D2; B on D3 — no co-location, cost = 150/T.
         let mut l3 = Layout::empty(sizes, 3);
@@ -245,9 +248,7 @@ mod tests {
         let mut narrow = Layout::empty(vec![800], 8);
         narrow.place(0, &[(0, 1.0), (1, 1.0)]);
         let wide = Layout::full_striping(vec![800], &disks);
-        assert!(
-            statement_cost(&plan, &wide, &disks) < statement_cost(&plan, &narrow, &disks)
-        );
+        assert!(statement_cost(&plan, &wide, &disks) < statement_cost(&plan, &narrow, &disks));
     }
 
     #[test]

@@ -90,7 +90,10 @@ pub fn render_script(
 ) -> String {
     let plan = compile_filegroups(layout);
     let mut out = String::new();
-    let _ = writeln!(out, "-- dblayout deployment script for database [{database}]");
+    let _ = writeln!(
+        out,
+        "-- dblayout deployment script for database [{database}]"
+    );
     let _ = writeln!(
         out,
         "-- {} filegroups over {} drives",
@@ -99,7 +102,11 @@ pub fn render_script(
     );
     for fg in &plan.filegroups {
         let _ = writeln!(out);
-        let _ = writeln!(out, "ALTER DATABASE [{database}] ADD FILEGROUP [{}];", fg.name);
+        let _ = writeln!(
+            out,
+            "ALTER DATABASE [{database}] ADD FILEGROUP [{}];",
+            fg.name
+        );
         for &j in &fg.disks {
             let mb = (fg.blocks_per_disk[j] * BLOCK_BYTES).div_ceil(1_000_000);
             let _ = writeln!(
@@ -230,7 +237,12 @@ mod tests {
         let plan = compile_filegroups(&layout);
         for fg in &plan.filegroups {
             for &j in &fg.disks {
-                assert!(fg.blocks_per_disk[j] > 0, "{} on {}", fg.name, disks[j].name);
+                assert!(
+                    fg.blocks_per_disk[j] > 0,
+                    "{} on {}",
+                    fg.name,
+                    disks[j].name
+                );
             }
         }
     }

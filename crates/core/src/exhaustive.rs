@@ -27,7 +27,10 @@ pub fn exhaustive_search(
 ) -> (Layout, f64) {
     let n = sizes.len();
     let m = disks.len();
-    assert!((1..20).contains(&m), "disk count out of range for exhaustive search");
+    assert!(
+        (1..20).contains(&m),
+        "disk count out of range for exhaustive search"
+    );
     let subsets_per_object = (1u64 << m) - 1;
     let states = (subsets_per_object as f64).powi(n as i32);
     assert!(
@@ -127,8 +130,14 @@ mod tests {
         let graph = build_access_graph(3, &plans);
         let workload = decompose_workload(&plans);
         let (_, opt_cost) = exhaustive_search(&sizes, &workload, &disks, &CostModel::default());
-        let r = ts_greedy(&sizes, &graph, &workload, &disks, &TsGreedyConfig::default())
-            .unwrap();
+        let r = ts_greedy(
+            &sizes,
+            &graph,
+            &workload,
+            &disks,
+            &TsGreedyConfig::default(),
+        )
+        .unwrap();
         // Paper's claim: TS-GREEDY with k=1 is comparable to exhaustive.
         assert!(
             r.final_cost <= opt_cost * 1.1 + 1e-9,

@@ -54,9 +54,11 @@ pub mod deploy;
 pub mod exhaustive;
 pub mod tsgreedy;
 
-pub use access_graph::build_access_graph;
+pub use access_graph::{build_access_graph, extend_access_graph};
 pub use advisor::{Advisor, AdvisorConfig, AdvisorError, Recommendation};
-pub use concurrency::{build_concurrent_access_graph, concurrent_cost_workload, ConcurrentWorkload};
+pub use concurrency::{
+    build_concurrent_access_graph, concurrent_cost_workload, ConcurrentWorkload,
+};
 pub use constraints::{ConstraintViolation, Constraints};
 pub use costmodel::{statement_cost, workload_cost, CostModel};
 pub use dblayout_disksim::{Layout, LayoutError};

@@ -18,9 +18,9 @@
 //! drives, and a data-movement bound rejects moves that stray too far from
 //! the current layout.
 
+use dblayout_disksim::{DiskSpec, Layout};
 use dblayout_partition::{max_cut_partition, Graph};
 use dblayout_planner::Subplan;
-use dblayout_disksim::{DiskSpec, Layout};
 
 use crate::constraints::Constraints;
 use crate::costmodel::CostModel;
@@ -413,11 +413,20 @@ mod tests {
         let plans = vec![(merge_join(0, 300, 1, 150), 1.0)];
         let graph = build_access_graph(2, &plans);
         let workload = decompose_workload(&plans);
-        let r = ts_greedy(&sizes, &graph, &workload, &disks, &TsGreedyConfig::default())
-            .unwrap();
+        let r = ts_greedy(
+            &sizes,
+            &graph,
+            &workload,
+            &disks,
+            &TsGreedyConfig::default(),
+        )
+        .unwrap();
         let d0 = r.layout.disks_of(0);
         let d1 = r.layout.disks_of(1);
-        assert!(d0.iter().all(|j| !d1.contains(j)), "disjoint: {d0:?} vs {d1:?}");
+        assert!(
+            d0.iter().all(|j| !d1.contains(j)),
+            "disjoint: {d0:?} vs {d1:?}"
+        );
         // And it must beat full striping.
         let fs = Layout::full_striping(sizes, &disks);
         let fs_cost = CostModel::default().workload_cost_subplans(&workload, &fs, &disks);
@@ -433,8 +442,14 @@ mod tests {
         let plans = vec![(PhysicalPlan::new(scan(0, 600)), 1.0)];
         let graph = build_access_graph(1, &plans);
         let workload = decompose_workload(&plans);
-        let r = ts_greedy(&sizes, &graph, &workload, &disks, &TsGreedyConfig::default())
-            .unwrap();
+        let r = ts_greedy(
+            &sizes,
+            &graph,
+            &workload,
+            &disks,
+            &TsGreedyConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.layout.disks_of(0).len(), 6, "{:?}", r.layout.disks_of(0));
         assert!(r.iterations >= 1);
     }
@@ -451,8 +466,14 @@ mod tests {
         ];
         let graph = build_access_graph(2, &plans);
         let workload = decompose_workload(&plans);
-        let r = ts_greedy(&sizes, &graph, &workload, &disks, &TsGreedyConfig::default())
-            .unwrap();
+        let r = ts_greedy(
+            &sizes,
+            &graph,
+            &workload,
+            &disks,
+            &TsGreedyConfig::default(),
+        )
+        .unwrap();
         let fs = Layout::full_striping(sizes, &disks);
         let fs_cost = CostModel::default().workload_cost_subplans(&workload, &fs, &disks);
         assert!(
@@ -474,8 +495,14 @@ mod tests {
         ];
         let graph = build_access_graph(4, &plans);
         let workload = decompose_workload(&plans);
-        let r = ts_greedy(&sizes, &graph, &workload, &disks, &TsGreedyConfig::default())
-            .unwrap();
+        let r = ts_greedy(
+            &sizes,
+            &graph,
+            &workload,
+            &disks,
+            &TsGreedyConfig::default(),
+        )
+        .unwrap();
         assert!(r.final_cost <= r.initial_cost + 1e-9);
         assert!(r.cost_evaluations >= 1);
         r.layout.validate(&disks).unwrap();
@@ -571,8 +598,14 @@ mod tests {
         let plans = vec![(PhysicalPlan::new(scan(0, 500)), 1.0)];
         let graph = build_access_graph(1, &plans);
         let workload = decompose_workload(&plans);
-        let r1 = ts_greedy(&sizes, &graph, &workload, &disks, &TsGreedyConfig::default())
-            .unwrap();
+        let r1 = ts_greedy(
+            &sizes,
+            &graph,
+            &workload,
+            &disks,
+            &TsGreedyConfig::default(),
+        )
+        .unwrap();
         let r2 = ts_greedy(
             &sizes,
             &graph,

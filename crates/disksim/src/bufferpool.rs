@@ -101,7 +101,10 @@ mod tests {
         p.access(0, 1);
         p.access(0, 0); // refresh block 0
         p.access(0, 2); // evicts block 1
-        assert!(p.access(0, 0), "block 0 was refreshed, must still be resident");
+        assert!(
+            p.access(0, 0),
+            "block 0 was refreshed, must still be resident"
+        );
         assert!(!p.access(0, 1), "block 1 was LRU, must be gone");
     }
 

@@ -55,7 +55,13 @@ impl DiskSpec {
     }
 
     /// Convenience constructor for a plain (RAID 0) drive.
-    pub fn new(name: &str, capacity_blocks: u64, avg_seek_ms: f64, read_mb_s: f64, write_mb_s: f64) -> Self {
+    pub fn new(
+        name: &str,
+        capacity_blocks: u64,
+        avg_seek_ms: f64,
+        read_mb_s: f64,
+        write_mb_s: f64,
+    ) -> Self {
         Self {
             name: name.to_string(),
             capacity_blocks,
@@ -99,7 +105,12 @@ pub fn paper_disks() -> Vec<DiskSpec> {
 
 /// `n` identical drives (used for controlled experiments such as the
 /// paper's Example 5, which assumes identical disks).
-pub fn uniform_disks(n: usize, capacity_blocks: u64, seek_ms: f64, read_mb_s: f64) -> Vec<DiskSpec> {
+pub fn uniform_disks(
+    n: usize,
+    capacity_blocks: u64,
+    seek_ms: f64,
+    read_mb_s: f64,
+) -> Vec<DiskSpec> {
     (0..n)
         .map(|i| {
             DiskSpec::new(

@@ -53,13 +53,21 @@ pub enum LayoutError {
 impl fmt::Display for LayoutError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LayoutError::BadFraction { object, disk, value } => {
+            LayoutError::BadFraction {
+                object,
+                disk,
+                value,
+            } => {
                 write!(f, "x[{object}][{disk}] = {value} is not a valid fraction")
             }
             LayoutError::NotFullyAllocated { object, sum } => {
                 write!(f, "object {object} allocates {sum} of itself (must be 1)")
             }
-            LayoutError::OverCapacity { disk, used, capacity } => {
+            LayoutError::OverCapacity {
+                disk,
+                used,
+                capacity,
+            } => {
                 write!(f, "disk {disk} holds {used} blocks > capacity {capacity}")
             }
             LayoutError::DimensionMismatch {
@@ -195,10 +203,8 @@ impl Layout {
     /// Places `object` across `disks` proportionally to their read rates
     /// (the footnote-1 rule used by both FULL STRIPING and TS-GREEDY).
     pub fn place_proportional(&mut self, object: usize, disk_ids: &[usize], specs: &[DiskSpec]) {
-        let weights: Vec<(usize, f64)> = disk_ids
-            .iter()
-            .map(|&j| (j, specs[j].read_mb_s))
-            .collect();
+        let weights: Vec<(usize, f64)> =
+            disk_ids.iter().map(|&j| (j, specs[j].read_mb_s)).collect();
         self.place(object, &weights);
     }
 
@@ -270,7 +276,10 @@ impl Layout {
     /// `self` — the data-movement metric for the paper's incremental
     /// manageability constraint (§2.3.1).
     pub fn data_movement_from(&self, from: &Layout) -> u64 {
-        assert_eq!(self.object_sizes, from.object_sizes, "same objects required");
+        assert_eq!(
+            self.object_sizes, from.object_sizes,
+            "same objects required"
+        );
         let mut moved = 0u64;
         for i in 0..self.object_count() {
             let new = self.blocks_on(i);
@@ -389,7 +398,7 @@ mod tests {
         let a = Layout::full_striping(vec![300], &disks); // 100 each
         let mut b = Layout::empty(vec![300], 3);
         b.place(0, &[(0, 1.0)]); // all 300 on disk 0
-        // 200 blocks must move onto disk 0.
+                                 // 200 blocks must move onto disk 0.
         assert_eq!(b.data_movement_from(&a), 200);
         // And back: 100 onto each of disks 1, 2.
         assert_eq!(a.data_movement_from(&b), 200);

@@ -210,7 +210,6 @@ impl<'a> Simulator<'a> {
         }
         let merged = merge_proportional(streams);
 
-
         let mut busy = vec![0.0f64; m];
         let mut head: Vec<Option<u64>> = vec![None; m];
         for req in &merged {

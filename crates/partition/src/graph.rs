@@ -150,7 +150,10 @@ mod tests {
         let g = triangle();
         let assignment = vec![0, 1, 0];
         let total = g.total_edge_weight();
-        assert_eq!(g.cut_weight(&assignment) + g.internal_weight(&assignment), total);
+        assert_eq!(
+            g.cut_weight(&assignment) + g.internal_weight(&assignment),
+            total
+        );
     }
 
     #[test]
@@ -175,10 +178,7 @@ mod tests {
     #[test]
     fn edges_sorted_and_deduped() {
         let g = triangle();
-        assert_eq!(
-            g.edges(),
-            vec![(0, 1, 10.0), (0, 2, 30.0), (1, 2, 20.0)]
-        );
+        assert_eq!(g.edges(), vec![(0, 1, 10.0), (0, 2, 30.0), (1, 2, 20.0)]);
     }
 
     #[test]

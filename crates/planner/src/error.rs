@@ -37,7 +37,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(PlanError::UnknownTable("x".into()).to_string().contains("x"));
+        assert!(PlanError::UnknownTable("x".into())
+            .to_string()
+            .contains("x"));
         assert!(PlanError::AmbiguousColumn("c".into())
             .to_string()
             .contains("ambiguous"));

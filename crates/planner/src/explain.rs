@@ -45,22 +45,34 @@ pub fn explain(plan: &PhysicalPlan) -> String {
 fn render_node(node: &PlanNode, depth: usize, out: &mut String) {
     let pad = "  ".repeat(depth);
     let line = match node {
-        PlanNode::TableScan { name, blocks, rows, .. } => {
+        PlanNode::TableScan {
+            name, blocks, rows, ..
+        } => {
             format!("TableScan {name} blocks={blocks} rows={rows:.0}")
         }
-        PlanNode::ClusteredRangeScan { name, blocks, rows, .. } => {
+        PlanNode::ClusteredRangeScan {
+            name, blocks, rows, ..
+        } => {
             format!("ClusteredRangeScan {name} blocks={blocks} rows={rows:.0}")
         }
-        PlanNode::Seek { name, blocks, rows, .. } => {
+        PlanNode::Seek {
+            name, blocks, rows, ..
+        } => {
             format!("Seek {name} blocks={blocks} rows={rows:.0}")
         }
-        PlanNode::IndexSeek { name, blocks, rows, .. } => {
+        PlanNode::IndexSeek {
+            name, blocks, rows, ..
+        } => {
             format!("IndexSeek {name} blocks={blocks} rows={rows:.0}")
         }
-        PlanNode::RidLookup { name, blocks, rows, .. } => {
+        PlanNode::RidLookup {
+            name, blocks, rows, ..
+        } => {
             format!("RidLookup {name} blocks={blocks} rows={rows:.0}")
         }
-        PlanNode::Filter { predicate, rows, .. } => {
+        PlanNode::Filter {
+            predicate, rows, ..
+        } => {
             format!("Filter [{predicate}] rows={rows:.0}")
         }
         PlanNode::NestedLoops { on, rows, .. } => {
@@ -104,13 +116,22 @@ fn render_node(node: &PlanNode, depth: usize, out: &mut String) {
         PlanNode::Top { n, rows, .. } => format!("Top {n} rows={rows:.0}"),
         PlanNode::Apply { rows, .. } => format!("Apply rows={rows:.0}"),
         PlanNode::Insert {
-            name, write_blocks, rows, ..
+            name,
+            write_blocks,
+            rows,
+            ..
         } => format!("Insert {name} write_blocks={write_blocks} rows={rows:.0}"),
         PlanNode::Update {
-            name, write_blocks, rows, ..
+            name,
+            write_blocks,
+            rows,
+            ..
         } => format!("Update {name} write_blocks={write_blocks} rows={rows:.0}"),
         PlanNode::Delete {
-            name, write_blocks, rows, ..
+            name,
+            write_blocks,
+            rows,
+            ..
         } => format!("Delete {name} write_blocks={write_blocks} rows={rows:.0}"),
     };
     let _ = writeln!(out, "{pad}{line}");
@@ -248,10 +269,7 @@ mod tests {
             Statement::Select(q) => q.where_clause.unwrap(),
             _ => unreachable!(),
         };
-        assert_eq!(
-            render_expr(&w("SELECT * FROM t WHERE a.x = 5")),
-            "a.x = 5"
-        );
+        assert_eq!(render_expr(&w("SELECT * FROM t WHERE a.x = 5")), "a.x = 5");
         assert_eq!(
             render_expr(&w("SELECT * FROM t WHERE a BETWEEN 1 AND 2")),
             "a BETWEEN 1 AND 2"

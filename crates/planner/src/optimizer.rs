@@ -11,17 +11,13 @@
 use std::collections::HashMap;
 
 use dblayout_catalog::{blocks_for_rows, Catalog, ObjectId, Table};
-use dblayout_sql::ast::{
-    BinaryOp, Expr, FromItem, InsertSource, Query, SelectItem, Statement,
-};
+use dblayout_sql::ast::{BinaryOp, Expr, FromItem, InsertSource, Query, SelectItem, Statement};
 
 use crate::access::cardenas_blocks;
 use crate::error::{PlanError, PlanResult};
 use crate::explain::render_expr;
 use crate::physical::{PhysicalPlan, PlanNode};
-use crate::selectivity::{
-    join_selectivity, predicate_selectivity, SEL_UNKNOWN,
-};
+use crate::selectivity::{join_selectivity, predicate_selectivity, SEL_UNKNOWN};
 
 /// Tunables for plan choice.
 #[derive(Debug, Clone)]
@@ -130,11 +126,7 @@ impl<'a> Optimizer<'a> {
     pub fn plan(&self, stmt: &Statement) -> PlanResult<PhysicalPlan> {
         let root = match stmt {
             Statement::Select(q) => self.plan_select(q, &[])?.node,
-            Statement::Insert {
-                table,
-                source,
-                ..
-            } => self.plan_insert(table, source)?,
+            Statement::Insert { table, source, .. } => self.plan_insert(table, source)?,
             Statement::Update {
                 table,
                 where_clause,
@@ -192,8 +184,7 @@ impl<'a> Optimizer<'a> {
                         .joins
                         .iter()
                         .filter(|(a, c, _)| {
-                            (mask >> a.0) & 1 == 1 && c.0 == b
-                                || (mask >> c.0) & 1 == 1 && a.0 == b
+                            (mask >> a.0) & 1 == 1 && c.0 == b || (mask >> c.0) & 1 == 1 && a.0 == b
                         })
                         .collect();
                     let left_cands = dp.get(&mask).expect("mask planned").clone();
@@ -219,9 +210,9 @@ impl<'a> Optimizer<'a> {
         }
 
         let full = (1u64 << n) - 1;
-        let roots = dp.remove(&full).ok_or_else(|| {
-            PlanError::Unsupported("join enumeration produced no plan".into())
-        })?;
+        let roots = dp
+            .remove(&full)
+            .ok_or_else(|| PlanError::Unsupported("join enumeration produced no plan".into()))?;
 
         // Finish each candidate (filters, subqueries, aggregation, order) and
         // keep the cheapest.
@@ -278,8 +269,9 @@ impl<'a> Optimizer<'a> {
                         .flatten(),
                     _ => None,
                 });
-                let sorted_on_group =
-                    first_group_col.is_some() && cand.order == first_group_col && q.group_by.len() == 1;
+                let sorted_on_group = first_group_col.is_some()
+                    && cand.order == first_group_col
+                    && q.group_by.len() == 1;
                 if sorted_on_group {
                     cand.node = PlanNode::StreamAggregate {
                         rows: groups,
@@ -289,7 +281,8 @@ impl<'a> Optimizer<'a> {
                     // The hash table holds one entry per *group*: it spills
                     // (repartitioning its input) only when the groups
                     // themselves overflow the grant.
-                    let group_width = (16 * (q.group_by.len() + q.select.len()) as u32).clamp(16, 256);
+                    let group_width =
+                        (16 * (q.group_by.len() + q.select.len()) as u32).clamp(16, 256);
                     let group_blocks = est_blocks(groups, group_width);
                     let input_blocks = est_blocks(cand.rows, cand.width);
                     let spill = if group_blocks > self.cfg.memory_grant_blocks {
@@ -297,8 +290,8 @@ impl<'a> Optimizer<'a> {
                     } else {
                         0
                     };
-                    cand.cost += self.cfg.spill_io_factor * spill as f64
-                        + self.cfg.row_cpu_cost * cand.rows;
+                    cand.cost +=
+                        self.cfg.spill_io_factor * spill as f64 + self.cfg.row_cpu_cost * cand.rows;
                     cand.node = PlanNode::HashAggregate {
                         rows: groups,
                         spill_blocks: spill,
@@ -552,8 +545,7 @@ impl<'a> Optimizer<'a> {
     /// Columns of each binding referenced anywhere in the query (for index
     /// covering checks). `None` means "all columns" (wildcard).
     fn needed_columns(&self, q: &Query, bindings: &[Binding]) -> Vec<Option<Vec<String>>> {
-        let mut needed: Vec<Option<Vec<String>>> =
-            vec![Some(Vec::new()); bindings.len()];
+        let mut needed: Vec<Option<Vec<String>>> = vec![Some(Vec::new()); bindings.len()];
         let mut wildcard = false;
         let mut exprs: Vec<&Expr> = Vec::new();
         for s in &q.select {
@@ -627,10 +619,7 @@ impl<'a> Optimizer<'a> {
         };
 
         // 1. Full scan (always available). Emits clustered order.
-        let order = table
-            .clustered_on
-            .first()
-            .map(|c| (b_idx, c.clone()));
+        let order = table.clustered_on.first().map(|c| (b_idx, c.clone()));
         out.push(Cand {
             node: with_filter(
                 PlanNode::TableScan {
@@ -687,16 +676,12 @@ impl<'a> Optimizer<'a> {
             if key_sel >= 0.999 {
                 continue;
             }
-            let idx_object = self
-                .catalog
-                .object_id(&idx.name)
-                .expect("index registered");
+            let idx_object = self.catalog.object_id(&idx.name).expect("index registered");
             let leaf_blocks = ((idx.size_blocks() as f64 * key_sel).ceil() as u64).max(1);
             let match_rows = table.row_count as f64 * key_sel;
             let covering = needed.as_ref().is_some_and(|cols| {
-                cols.iter().all(|c| {
-                    idx.key_columns.iter().any(|k| k.eq_ignore_ascii_case(c))
-                })
+                cols.iter()
+                    .all(|c| idx.key_columns.iter().any(|k| k.eq_ignore_ascii_case(c)))
             });
             let seek = PlanNode::IndexSeek {
                 object: idx_object,
@@ -820,9 +805,7 @@ impl<'a> Optimizer<'a> {
                         left: Box::new(left.node.clone()),
                         right: Box::new(right.node.clone()),
                     },
-                    cost: left.cost
-                        + right.cost
-                        + self.cfg.row_cpu_cost * (left.rows + right.rows),
+                    cost: left.cost + right.cost + self.cfg.row_cpu_cost * (left.rows + right.rows),
                     rows,
                     width,
                     order: Some(lk.clone()),
@@ -901,8 +884,7 @@ impl<'a> Optimizer<'a> {
         // index on the join column of `b`). Only worthwhile for selective
         // outers; enumerate and let cost decide.
         if let Some((_, rk)) = oriented.first() {
-            if let Some((inner_node, inner_cost)) =
-                self.nl_inner(&bindings[b], rk, left.rows, rows)
+            if let Some((inner_node, inner_cost)) = self.nl_inner(&bindings[b], rk, left.rows, rows)
             {
                 out.push(Cand {
                     node: PlanNode::NestedLoops {
@@ -982,12 +964,7 @@ impl<'a> Optimizer<'a> {
     // Subqueries
     // ------------------------------------------------------------------
 
-    fn attach_subquery(
-        &self,
-        e: &Expr,
-        mut cand: Cand,
-        bindings: &[Binding],
-    ) -> PlanResult<Cand> {
+    fn attach_subquery(&self, e: &Expr, mut cand: Cand, bindings: &[Binding]) -> PlanResult<Cand> {
         match e {
             Expr::InSubquery {
                 subquery, negated, ..
@@ -1140,8 +1117,7 @@ impl<'a> Optimizer<'a> {
             }
             InsertSource::Query(q) => {
                 let planned = self.plan_select(q, &[])?;
-                let write_blocks =
-                    blocks_for_rows(planned.rows.ceil() as u64, t.row_bytes).max(1);
+                let write_blocks = blocks_for_rows(planned.rows.ceil() as u64, t.row_bytes).max(1);
                 Ok(PlanNode::Insert {
                     object,
                     name: t.name.clone(),
@@ -1176,7 +1152,11 @@ impl<'a> Optimizer<'a> {
         let paths = self.access_paths(0, &binding, &local, &None);
         let access = paths
             .into_iter()
-            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.cost
+                    .partial_cmp(&b.cost)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .ok_or_else(|| PlanError::Unsupported("no access path".into()))?;
         let matched = access.rows;
         let table_blocks = t.size_blocks().max(1);
@@ -1235,14 +1215,18 @@ fn collect_on_preds(item: &FromItem, out: &mut Vec<Expr>) {
 /// Is `e` a sargable predicate (comparison / BETWEEN / IN-list against
 /// constants) whose column is `col`?
 fn sargable_on(e: &Expr, col: &str) -> bool {
-    let col_is = |x: &Expr| matches!(x, Expr::Column { name, .. } if name.eq_ignore_ascii_case(col));
+    let col_is =
+        |x: &Expr| matches!(x, Expr::Column { name, .. } if name.eq_ignore_ascii_case(col));
     match e {
         Expr::Binary { op, left, right } if op.is_comparison() => {
             (col_is(left) && crate::selectivity::const_value(right).is_some())
                 || (col_is(right) && crate::selectivity::const_value(left).is_some())
         }
         Expr::Between {
-            expr, low, high, negated,
+            expr,
+            low,
+            high,
+            negated,
         } => {
             !negated
                 && col_is(expr)
@@ -1351,7 +1335,11 @@ fn insert_candidate(frontier: &mut Vec<Cand>, cand: Cand, max: usize) {
     frontier.push(cand);
     if frontier.len() > max {
         // Drop the most expensive non-unique-order candidate.
-        frontier.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal));
+        frontier.sort_by(|a, b| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         frontier.truncate(max);
     }
 }
@@ -1369,11 +1357,7 @@ mod tests {
         plan_statement(catalog, &stmt).unwrap_or_else(|e| panic!("{sql}: {e}"))
     }
 
-    fn subplan_of(
-        plan: &PhysicalPlan,
-        catalog: &Catalog,
-        obj: &str,
-    ) -> Option<usize> {
+    fn subplan_of(plan: &PhysicalPlan, catalog: &Catalog, obj: &str) -> Option<usize> {
         let id = catalog.object_id(obj)?;
         plan.subplans()
             .iter()
@@ -1387,7 +1371,10 @@ mod tests {
         let subs = p.subplans();
         assert_eq!(subs.len(), 1);
         let l = c.table("lineitem").unwrap();
-        assert_eq!(subs[0].blocks_of(c.object_id("lineitem").unwrap()), l.size_blocks());
+        assert_eq!(
+            subs[0].blocks_of(c.object_id("lineitem").unwrap()),
+            l.size_blocks()
+        );
     }
 
     #[test]
@@ -1396,7 +1383,10 @@ mod tests {
         let p = plan(&c, "SELECT COUNT(*) FROM orders WHERE o_orderkey < 1000");
         let blocks = p.total_blocks_of(c.object_id("orders").unwrap());
         let full = c.table("orders").unwrap().size_blocks();
-        assert!(blocks < full / 10, "range scan should read a fraction: {blocks}/{full}");
+        assert!(
+            blocks < full / 10,
+            "range scan should read a fraction: {blocks}/{full}"
+        );
     }
 
     #[test]
@@ -1581,8 +1571,7 @@ mod tests {
         let c = tpch_catalog(0.01);
         // l_orderkey exists in both lineitem bindings.
         let stmt =
-            parse_statement("SELECT * FROM lineitem l1, lineitem l2 WHERE l_orderkey = 1")
-                .unwrap();
+            parse_statement("SELECT * FROM lineitem l1, lineitem l2 WHERE l_orderkey = 1").unwrap();
         assert!(matches!(
             plan_statement(&c, &stmt),
             Err(PlanError::AmbiguousColumn(_))
@@ -1623,11 +1612,7 @@ mod tests {
         let text = explain(&p);
         assert!(text.contains("Sort"), "{text}");
         // 6M wide rows overflow the 32 MB grant: external sort spills.
-        let total_temp: u64 = p
-            .subplans()
-            .iter()
-            .map(|s| s.temp_write_blocks)
-            .sum();
+        let total_temp: u64 = p.subplans().iter().map(|s| s.temp_write_blocks).sum();
         assert!(total_temp > 0, "{text}");
     }
 

@@ -326,19 +326,12 @@ impl PhysicalPlan {
     /// Total blocks of `object` accessed anywhere in the plan (Figure 6
     /// step 3's node-weight increment).
     pub fn total_blocks_of(&self, object: ObjectId) -> u64 {
-        self.subplans()
-            .iter()
-            .map(|s| s.blocks_of(object))
-            .sum()
+        self.subplans().iter().map(|s| s.blocks_of(object)).sum()
     }
 
     /// Distinct objects accessed anywhere in the plan.
     pub fn objects(&self) -> Vec<ObjectId> {
-        let mut ids: Vec<ObjectId> = self
-            .subplans()
-            .iter()
-            .flat_map(|s| s.objects())
-            .collect();
+        let mut ids: Vec<ObjectId> = self.subplans().iter().flat_map(|s| s.objects()).collect();
         ids.sort();
         ids.dedup();
         ids

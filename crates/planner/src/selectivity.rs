@@ -327,10 +327,7 @@ mod tests {
 
     #[test]
     fn in_list_n_over_ndv() {
-        let s = predicate_selectivity(
-            &table(),
-            &where_of("SELECT * FROM t WHERE s IN ('a', 'b')"),
-        );
+        let s = predicate_selectivity(&table(), &where_of("SELECT * FROM t WHERE s IN ('a', 'b')"));
         assert!((s - 0.4).abs() < 1e-9);
     }
 

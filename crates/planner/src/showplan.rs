@@ -68,10 +68,30 @@ fn parse_node(
                 .object_id(&name)
                 .ok_or_else(|| PlanError::UnknownTable(name.clone()))?;
             match op {
-                "TableScan" => PlanNode::TableScan { object, name, blocks, rows },
-                "ClusteredRangeScan" => PlanNode::ClusteredRangeScan { object, name, blocks, rows },
-                "Seek" => PlanNode::Seek { object, name, blocks, rows },
-                _ => PlanNode::IndexSeek { object, name, blocks, rows },
+                "TableScan" => PlanNode::TableScan {
+                    object,
+                    name,
+                    blocks,
+                    rows,
+                },
+                "ClusteredRangeScan" => PlanNode::ClusteredRangeScan {
+                    object,
+                    name,
+                    blocks,
+                    rows,
+                },
+                "Seek" => PlanNode::Seek {
+                    object,
+                    name,
+                    blocks,
+                    rows,
+                },
+                _ => PlanNode::IndexSeek {
+                    object,
+                    name,
+                    blocks,
+                    rows,
+                },
             }
         }
         "RidLookup" => {
@@ -240,11 +260,7 @@ fn parse_node(
 
 /// Extracts `name`, the block-count field and `rows=` from a leaf line like
 /// `lineitem blocks=10274 rows=6000000`.
-fn leaf_fields(
-    _catalog: &Catalog,
-    rest: &str,
-    blocks_key: &str,
-) -> PlanResult<(String, u64, f64)> {
+fn leaf_fields(_catalog: &Catalog, rest: &str, blocks_key: &str) -> PlanResult<(String, u64, f64)> {
     let name = rest
         .split_whitespace()
         .next()
@@ -358,11 +374,13 @@ mod tests {
                  FROM customer, orders, lineitem \
                  WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey \
                  AND l_orderkey = o_orderkey AND o_orderdate < '1995-03-15' \
-                 GROUP BY l_orderkey, o_orderdate ORDER BY revenue DESC".into(),
+                 GROUP BY l_orderkey, o_orderdate ORDER BY revenue DESC"
+                    .into(),
                 "SELECT SUM(l_extendedprice) / 7 FROM lineitem, part \
                  WHERE p_partkey = l_partkey AND p_brand = 'Brand#23' \
                  AND l_quantity < (SELECT AVG(l2.l_quantity) * 0.2 FROM lineitem l2 \
-                     WHERE l2.l_partkey = p_partkey)".into(),
+                     WHERE l2.l_partkey = p_partkey)"
+                    .into(),
             ]
         }
     }

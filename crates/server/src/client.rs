@@ -1,0 +1,44 @@
+//! A minimal blocking client for the newline-delimited JSON protocol, used
+//! by the CLI `client` subcommand, the integration tests, and the loopback
+//! benchmark.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// One connection to a running server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port`).
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line and reads the one-line response (both without
+    /// trailing newlines).
+    pub fn roundtrip(&mut self, request: &str) -> std::io::Result<String> {
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}

@@ -1,0 +1,294 @@
+//! Transport-independent request execution: the session registry, the
+//! what-if cost cache, and metrics, behind one [`Engine::execute`] entry
+//! point. The TCP layer ([`crate::server`]) drives it per connection; tests
+//! and benchmarks drive it in-process to measure dispatch without wire
+//! overhead.
+
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+
+use dblayout_catalog::resolve_catalog;
+use dblayout_core::advisor::{Advisor, AdvisorConfig, AdvisorError};
+use dblayout_core::costmodel::CostModel;
+use dblayout_core::tsgreedy::TsGreedyConfig;
+use dblayout_disksim::Layout;
+use serde_json::Value;
+
+use crate::metrics::Metrics;
+use crate::protocol::{obj, recommendation_result, resolve_disks, ApiError, LayoutSpec, Request};
+use crate::session::{layout_hash, CostCache, Session, SessionRegistry};
+
+/// Transport-side gauges folded into `stats` responses (zero when driving
+/// the engine in-process).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuntimeInfo {
+    /// Connections currently waiting for a worker.
+    pub queue_depth: u64,
+    /// Worker threads serving the engine.
+    pub threads: u64,
+}
+
+/// The resident advisory state and its request dispatcher.
+pub struct Engine {
+    registry: Mutex<SessionRegistry>,
+    cache: Mutex<CostCache>,
+    /// Request/error/cache/latency counters (shared with the transport).
+    pub metrics: Metrics,
+}
+
+impl Engine {
+    /// An engine bounded to `session_capacity` open sessions and
+    /// `cache_capacity` memoized costs.
+    pub fn new(session_capacity: usize, cache_capacity: usize) -> Self {
+        Self {
+            registry: Mutex::new(SessionRegistry::new(session_capacity)),
+            cache: Mutex::new(CostCache::new(cache_capacity)),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Executes one request against the resident state.
+    pub fn execute(&self, request: Request, runtime: &RuntimeInfo) -> Result<Value, ApiError> {
+        match request {
+            Request::OpenSession { catalog, disks } => {
+                let catalog = resolve_catalog(&catalog).map_err(ApiError::bad_request)?;
+                let disks = resolve_disks(&disks)?;
+                let objects = catalog.objects().len() as u64;
+                let n_disks = disks.len() as u64;
+                let id = self
+                    .registry
+                    .lock()
+                    .expect("registry lock poisoned")
+                    .open(Session::new(catalog, disks))?;
+                Ok(obj(vec![
+                    ("session", Value::U64(id)),
+                    ("objects", Value::U64(objects)),
+                    ("disks", Value::U64(n_disks)),
+                ]))
+            }
+            Request::AddStatements { session, sql } => {
+                let handle = self
+                    .registry
+                    .lock()
+                    .expect("registry lock poisoned")
+                    .get(session)?;
+                let mut s = handle.lock().expect("session lock poisoned");
+                let added = s.add_statements(&sql)? as u64;
+                let result = obj(vec![
+                    ("added", Value::U64(added)),
+                    ("statements", Value::U64(s.plans.len() as u64)),
+                    ("version", Value::U64(s.version)),
+                ]);
+                drop(s);
+                // Entries for older versions can never be read again; drop
+                // them rather than waiting for LRU churn.
+                self.cache
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .invalidate_session(session);
+                Ok(result)
+            }
+            Request::WhatifCost {
+                session,
+                layout,
+                no_cache,
+            } => {
+                let handle = self
+                    .registry
+                    .lock()
+                    .expect("registry lock poisoned")
+                    .get(session)?;
+                let s = handle.lock().expect("session lock poisoned");
+                let owned;
+                let (layout, lhash): (&Layout, u64) = match &layout {
+                    LayoutSpec::FullStriping => (s.full_striping(), s.full_striping_hash()),
+                    LayoutSpec::Fractions(fractions) => {
+                        owned = s.layout_from_fractions(fractions)?;
+                        let h = layout_hash(&owned);
+                        (&owned, h)
+                    }
+                };
+                let key = (session, s.version, lhash);
+                let mut cached = false;
+                let cost = if no_cache {
+                    None
+                } else {
+                    self.cache.lock().expect("cache lock poisoned").get(key)
+                };
+                let cost_ms = match cost {
+                    Some(c) => {
+                        self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        cached = true;
+                        c
+                    }
+                    None => {
+                        if !no_cache {
+                            self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let c = CostModel::default().workload_cost_subplans(
+                            &s.workload,
+                            layout,
+                            &s.disks,
+                        );
+                        if !no_cache {
+                            self.cache
+                                .lock()
+                                .expect("cache lock poisoned")
+                                .insert(key, c);
+                        }
+                        c
+                    }
+                };
+                Ok(obj(vec![
+                    ("cost_ms", Value::F64(cost_ms)),
+                    ("cached", Value::Bool(cached)),
+                    ("version", Value::U64(s.version)),
+                ]))
+            }
+            Request::Recommend { session, k } => {
+                let handle = self
+                    .registry
+                    .lock()
+                    .expect("registry lock poisoned")
+                    .get(session)?;
+                let s = handle.lock().expect("session lock poisoned");
+                let cfg = AdvisorConfig {
+                    search: TsGreedyConfig {
+                        k,
+                        ..Default::default()
+                    },
+                };
+                let advisor = Advisor::new(&s.catalog, &s.disks);
+                let rec = advisor
+                    .recommend_prepared(s.plans.clone(), s.graph.clone(), &s.workload, &cfg)
+                    .map_err(|e| match e {
+                        AdvisorError::EmptyWorkload => {
+                            ApiError::new("empty_workload", "session has no statements yet")
+                        }
+                        other => ApiError::new("search_error", other.to_string()),
+                    })?;
+                Ok(recommendation_result(&s.catalog, &s.disks, &rec))
+            }
+            Request::Stats => {
+                let m = self.metrics.snapshot();
+                let sessions_open =
+                    self.registry.lock().expect("registry lock poisoned").len() as u64;
+                let cache_entries = self.cache.lock().expect("cache lock poisoned").len() as u64;
+                Ok(obj(vec![
+                    ("requests_total", Value::U64(m.requests_total)),
+                    ("errors_total", Value::U64(m.errors_total)),
+                    ("connections_total", Value::U64(m.connections_total)),
+                    ("rejected_total", Value::U64(m.rejected_total)),
+                    (
+                        "deadline_expired_total",
+                        Value::U64(m.deadline_expired_total),
+                    ),
+                    ("sessions_open", Value::U64(sessions_open)),
+                    ("cache_entries", Value::U64(cache_entries)),
+                    ("cache_hits", Value::U64(m.cache_hits)),
+                    ("cache_misses", Value::U64(m.cache_misses)),
+                    ("cache_hit_rate", Value::F64(m.cache_hit_rate)),
+                    ("queue_depth", Value::U64(runtime.queue_depth)),
+                    ("threads", Value::U64(runtime.threads)),
+                    ("latency_p50_us", Value::U64(m.latency_p50_us)),
+                    ("latency_p99_us", Value::U64(m.latency_p99_us)),
+                ]))
+            }
+            Request::CloseSession { session } => {
+                self.registry
+                    .lock()
+                    .expect("registry lock poisoned")
+                    .close(session)?;
+                self.cache
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .invalidate_session(session);
+                Ok(obj(vec![("closed", Value::U64(session))]))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::ValueExt;
+
+    fn exec(engine: &Engine, req: Request) -> Value {
+        engine
+            .execute(req, &RuntimeInfo::default())
+            .expect("request succeeds")
+    }
+
+    #[test]
+    fn in_process_session_roundtrip() {
+        let engine = Engine::new(4, 16);
+        let open = exec(
+            &engine,
+            Request::OpenSession {
+                catalog: "tpch:0.01".into(),
+                disks: "paper".into(),
+            },
+        );
+        let sid = open.get("session").and_then(|v| v.as_u64()).unwrap();
+        exec(
+            &engine,
+            Request::AddStatements {
+                session: sid,
+                sql: "SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;".into(),
+            },
+        );
+        let miss = exec(
+            &engine,
+            Request::WhatifCost {
+                session: sid,
+                layout: LayoutSpec::FullStriping,
+                no_cache: false,
+            },
+        );
+        assert_eq!(miss.get("cached").and_then(|v| v.as_bool()), Some(false));
+        let hit = exec(
+            &engine,
+            Request::WhatifCost {
+                session: sid,
+                layout: LayoutSpec::FullStriping,
+                no_cache: false,
+            },
+        );
+        assert_eq!(hit.get("cached").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(
+            hit.get("cost_ms").and_then(|v| v.as_f64()),
+            miss.get("cost_ms").and_then(|v| v.as_f64())
+        );
+        let rec = exec(&engine, Request::Recommend { session: sid, k: 1 });
+        assert!(
+            rec.get("estimated_improvement_pct")
+                .and_then(|v| v.as_f64())
+                .unwrap()
+                >= 0.0
+        );
+        exec(&engine, Request::CloseSession { session: sid });
+        let stats = exec(&engine, Request::Stats);
+        assert_eq!(stats.get("sessions_open").and_then(|v| v.as_u64()), Some(0));
+    }
+
+    #[test]
+    fn recommend_on_empty_session_is_structured() {
+        let engine = Engine::new(4, 16);
+        let open = exec(
+            &engine,
+            Request::OpenSession {
+                catalog: "tpch:0.01".into(),
+                disks: "paper".into(),
+            },
+        );
+        let sid = open.get("session").and_then(|v| v.as_u64()).unwrap();
+        let err = engine
+            .execute(
+                Request::Recommend { session: sid, k: 1 },
+                &RuntimeInfo::default(),
+            )
+            .unwrap_err();
+        assert_eq!(err.code, "empty_workload");
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! `dblayout-server` — the layout advisor as a long-lived what-if service.
+//!
+//! The offline [`Advisor`](dblayout_core::Advisor) re-parses, re-plans, and
+//! re-analyzes the whole workload on every invocation. Interactive what-if
+//! tuning (paper §3: the advisor as a DBA's exploration tool) wants the
+//! opposite shape: keep the catalog, the optimized plans, the decomposed
+//! sub-plan workload, and the Figure-6 access graph **resident**, and answer
+//! each "what if the layout were L?" or "what do you recommend now?" against
+//! that warm state.
+//!
+//! This crate provides exactly that as a multi-threaded, std-only TCP
+//! service speaking newline-delimited JSON ([`protocol`]):
+//!
+//! * [`engine`] — the transport-independent dispatcher over the resident
+//!   state; drive it in-process (tests, benchmarks) or behind the server;
+//! * [`server`] — fixed worker pool over a bounded connection queue, with
+//!   per-request deadlines, structured admission-control errors, and
+//!   graceful drain on shutdown;
+//! * [`session`] — the registry of open sessions (catalog + disks + plans +
+//!   incrementally-extended access graph), the statement-set versioning
+//!   that keys memoization, and the LRU layout-hash→cost cache;
+//! * [`metrics`] — request/error/cache counters and a log-bucket latency
+//!   histogram surfaced by the `stats` op;
+//! * [`client`] — a small blocking client for tests, benches, and the CLI.
+//!
+//! Determinism is a design constraint, not an accident: responses serialize
+//! with fixed key order, the incremental access graph accumulates in
+//! arrival order (bit-identical to a batch rebuild), and TS-GREEDY is
+//! deterministic — so N concurrent clients asking the same question get
+//! byte-identical answers, equal to what the offline advisor prints.
+
+pub mod client;
+pub mod engine;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use client::Client;
+pub use engine::{Engine, RuntimeInfo};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use protocol::{
+    parse_request, recommendation_result, resolve_disks, ApiError, LayoutSpec, Request,
+};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use session::{layout_hash, CostCache, Session, SessionRegistry};

@@ -1,0 +1,163 @@
+//! Server metrics: lock-free counters plus a log-bucketed latency histogram
+//! good enough for p50/p99 without keeping per-request samples.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Histogram bucket count. Bucket `i` holds requests whose latency in
+/// microseconds `l` satisfies `floor(log2(max(l, 1))) == i`; the last bucket
+/// absorbs everything slower (`2^62 µs` is far beyond any deadline).
+const BUCKETS: usize = 63;
+
+/// Shared metric counters (all relaxed atomics — monitoring, not
+/// synchronization).
+pub struct Metrics {
+    /// Requests fully served (success or structured error).
+    pub requests_total: AtomicU64,
+    /// Requests answered with a structured error.
+    pub errors_total: AtomicU64,
+    /// Connections accepted.
+    pub connections_total: AtomicU64,
+    /// Connections rejected because the queue was full.
+    pub rejected_total: AtomicU64,
+    /// Requests dropped because their deadline passed while queued.
+    pub deadline_expired_total: AtomicU64,
+    /// What-if cost cache hits.
+    pub cache_hits: AtomicU64,
+    /// What-if cost cache misses.
+    pub cache_misses: AtomicU64,
+    latency_buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self {
+            requests_total: AtomicU64::new(0),
+            errors_total: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+            deadline_expired_total: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A point-in-time metrics reading, plus gauges sampled by the caller.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsSnapshot {
+    /// Requests fully served.
+    pub requests_total: u64,
+    /// Structured errors answered.
+    pub errors_total: u64,
+    /// Connections accepted.
+    pub connections_total: u64,
+    /// Connections rejected at admission.
+    pub rejected_total: u64,
+    /// Requests expired in the queue.
+    pub deadline_expired_total: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Hit fraction in `[0, 1]` (0 when no lookups yet).
+    pub cache_hit_rate: f64,
+    /// Median request latency (µs, bucket upper bound).
+    pub latency_p50_us: u64,
+    /// 99th-percentile request latency (µs, bucket upper bound).
+    pub latency_p99_us: u64,
+}
+
+impl Metrics {
+    /// Records one served request's latency.
+    pub fn observe_latency(&self, took: Duration) {
+        let us = took.as_micros().max(1) as u64;
+        let bucket = (63 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads every counter and derives the percentile estimates.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let lookups = hits + misses;
+        MetricsSnapshot {
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            errors_total: self.errors_total.load(Ordering::Relaxed),
+            connections_total: self.connections_total.load(Ordering::Relaxed),
+            rejected_total: self.rejected_total.load(Ordering::Relaxed),
+            deadline_expired_total: self.deadline_expired_total.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if lookups > 0 {
+                hits as f64 / lookups as f64
+            } else {
+                0.0
+            },
+            latency_p50_us: self.percentile_us(0.50),
+            latency_p99_us: self.percentile_us(0.99),
+        }
+    }
+
+    /// Bucket-resolution percentile: the upper bound (`2^(i+1) - 1` µs) of
+    /// the bucket containing the q-quantile observation.
+    fn percentile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .latency_buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64 * q).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (1u64 << (i + 1)) - 1;
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metrics_report_zero() {
+        let m = Metrics::default();
+        let s = m.snapshot();
+        assert_eq!(s.requests_total, 0);
+        assert_eq!(s.latency_p50_us, 0);
+        assert_eq!(s.cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn percentiles_track_bucket_bounds() {
+        let m = Metrics::default();
+        for _ in 0..99 {
+            m.observe_latency(Duration::from_micros(100)); // bucket 6: 64..128
+        }
+        m.observe_latency(Duration::from_millis(50)); // far slower outlier
+        let s = m.snapshot();
+        assert_eq!(s.latency_p50_us, 127);
+        assert!(s.latency_p99_us <= 127, "p99 is still the common case");
+        for _ in 0..100 {
+            m.observe_latency(Duration::from_millis(50));
+        }
+        assert!(m.snapshot().latency_p99_us > 10_000);
+    }
+
+    #[test]
+    fn hit_rate_is_derived() {
+        let m = Metrics::default();
+        m.cache_hits.fetch_add(3, Ordering::Relaxed);
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(m.snapshot().cache_hit_rate, 0.75);
+    }
+}

@@ -1,0 +1,407 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line; the server answers each with exactly one JSON line.
+//! Every response is either `{"ok":true,"result":{...}}` or
+//! `{"ok":false,"error":{"code":"...","message":"..."}}`. Keys are emitted
+//! in a fixed order and the serializer is deterministic, so two servers (or
+//! a server and the offline [`Advisor`](dblayout_core::Advisor)) producing
+//! the same result produce **byte-identical** lines — the property the
+//! loopback integration tests assert.
+//!
+//! Requests are dispatched on the `op` field:
+//!
+//! | op               | fields                                           |
+//! |------------------|--------------------------------------------------|
+//! | `open_session`   | `catalog` (spec), `disks`? (spec, default paper) |
+//! | `add_statements` | `session`, `sql` (workload-file syntax)          |
+//! | `whatif_cost`    | `session`, `layout` (`"full_striping"` or an     |
+//! |                  | objects×disks fraction matrix), `no_cache`?      |
+//! | `recommend`      | `session`, `k`? (greedy step width, default 1)   |
+//! | `stats`          | —                                                |
+//! | `close_session`  | `session`                                        |
+
+use dblayout_catalog::Catalog;
+use dblayout_core::advisor::Recommendation;
+use dblayout_disksim::DiskSpec;
+use serde_json::{Value, ValueExt};
+
+/// A structured protocol-level error (serialized under `"error"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiError {
+    /// Stable machine-readable code (`bad_request`, `unknown_session`, ...).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    /// Shorthand constructor.
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// A malformed or unparseable request.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new("bad_request", message)
+    }
+}
+
+/// How a what-if request names the layout to cost.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayoutSpec {
+    /// The FULL STRIPING baseline over the session's disks.
+    FullStriping,
+    /// An explicit objects×disks fraction matrix.
+    Fractions(Vec<Vec<f64>>),
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open a session against a named catalog and disk configuration.
+    OpenSession {
+        /// Catalog spec (`tpch:0.1`, `apb`, ...).
+        catalog: String,
+        /// Disk spec (`paper` or `uniform:<n>:<cap>:<seek>:<read>`).
+        disks: String,
+    },
+    /// Append weighted statements to a session's resident workload.
+    AddStatements {
+        /// Target session id.
+        session: u64,
+        /// Statements in workload-file syntax (`-- weight: w` honored).
+        sql: String,
+    },
+    /// Cost a candidate layout against the session's cached decomposition.
+    WhatifCost {
+        /// Target session id.
+        session: u64,
+        /// The layout to evaluate.
+        layout: LayoutSpec,
+        /// Bypass the cost cache (benchmarking the cold path).
+        no_cache: bool,
+    },
+    /// Run the full TS-GREEDY search over the session's workload.
+    Recommend {
+        /// Target session id.
+        session: u64,
+        /// Greedy step width (paper's `k`).
+        k: usize,
+    },
+    /// Server metrics snapshot.
+    Stats,
+    /// Drop a session and everything it holds resident.
+    CloseSession {
+        /// Target session id.
+        session: u64,
+    },
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, ApiError> {
+    let value: Value = serde_json::from_str(line)
+        .map_err(|e| ApiError::new("parse_error", format!("invalid JSON: {e}")))?;
+    if value.as_object().is_none() {
+        return Err(ApiError::bad_request("request must be a JSON object"));
+    }
+    let op = value
+        .get("op")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| ApiError::bad_request("missing string field `op`"))?;
+
+    let session = |v: &Value| -> Result<u64, ApiError> {
+        v.get("session")
+            .and_then(|s| s.as_u64())
+            .ok_or_else(|| ApiError::bad_request("missing integer field `session`"))
+    };
+
+    match op {
+        "open_session" => Ok(Request::OpenSession {
+            catalog: value
+                .get("catalog")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| ApiError::bad_request("open_session needs string `catalog`"))?
+                .to_string(),
+            disks: value
+                .get("disks")
+                .and_then(|v| v.as_str())
+                .unwrap_or("paper")
+                .to_string(),
+        }),
+        "add_statements" => Ok(Request::AddStatements {
+            session: session(&value)?,
+            sql: value
+                .get("sql")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| ApiError::bad_request("add_statements needs string `sql`"))?
+                .to_string(),
+        }),
+        "whatif_cost" => {
+            let layout = match value.get("layout") {
+                None => LayoutSpec::FullStriping,
+                Some(v) if v.as_str() == Some("full_striping") => LayoutSpec::FullStriping,
+                Some(v) => {
+                    let rows = v.as_array().ok_or_else(|| {
+                        ApiError::bad_request(
+                            "`layout` must be \"full_striping\" or an array of per-object \
+                             fraction rows",
+                        )
+                    })?;
+                    let mut fractions = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        let cols = row.as_array().ok_or_else(|| {
+                            ApiError::bad_request("each layout row must be an array of numbers")
+                        })?;
+                        let mut out = Vec::with_capacity(cols.len());
+                        for c in cols {
+                            out.push(c.as_f64().ok_or_else(|| {
+                                ApiError::bad_request("layout fractions must be numbers")
+                            })?);
+                        }
+                        fractions.push(out);
+                    }
+                    LayoutSpec::Fractions(fractions)
+                }
+            };
+            Ok(Request::WhatifCost {
+                session: session(&value)?,
+                layout,
+                no_cache: value
+                    .get("no_cache")
+                    .and_then(|v| v.as_bool())
+                    .unwrap_or(false),
+            })
+        }
+        "recommend" => {
+            let k = match value.get("k") {
+                None => 1,
+                Some(v) => {
+                    let k = v
+                        .as_u64()
+                        .ok_or_else(|| ApiError::bad_request("`k` must be a positive integer"))?;
+                    if k == 0 {
+                        return Err(ApiError::bad_request("`k` must be at least 1"));
+                    }
+                    k as usize
+                }
+            };
+            Ok(Request::Recommend {
+                session: session(&value)?,
+                k,
+            })
+        }
+        "stats" => Ok(Request::Stats),
+        "close_session" => Ok(Request::CloseSession {
+            session: session(&value)?,
+        }),
+        other => Err(ApiError::bad_request(format!("unknown op `{other}`"))),
+    }
+}
+
+/// Builds a JSON object value with keys in the given order.
+pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Map(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Serializes a success response line (no trailing newline).
+pub fn ok_line(result: Value) -> String {
+    let response = obj(vec![("ok", Value::Bool(true)), ("result", result)]);
+    serde_json::to_string(&response).expect("response serialization is infallible")
+}
+
+/// Serializes an error response line (no trailing newline).
+pub fn err_line(error: &ApiError) -> String {
+    let response = obj(vec![
+        ("ok", Value::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("code", Value::Str(error.code.to_string())),
+                ("message", Value::Str(error.message.clone())),
+            ]),
+        ),
+    ]);
+    serde_json::to_string(&response).expect("response serialization is infallible")
+}
+
+/// The `result` object of a `recommend` response. Exported so offline
+/// clients of [`dblayout_core::Advisor`] can serialize their own
+/// recommendation through the identical code path and compare bytes.
+pub fn recommendation_result(catalog: &Catalog, disks: &[DiskSpec], rec: &Recommendation) -> Value {
+    let objects: Vec<Value> = catalog
+        .objects()
+        .iter()
+        .map(|meta| {
+            let idx = meta.id.index();
+            obj(vec![
+                ("name", Value::Str(meta.name.clone())),
+                (
+                    "disks",
+                    Value::Seq(
+                        rec.layout
+                            .disks_of(idx)
+                            .iter()
+                            .map(|&j| Value::Str(disks[j].name.clone()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "fractions",
+                    Value::Seq(
+                        rec.layout
+                            .fractions_of(idx)
+                            .iter()
+                            .map(|&f| Value::F64(f))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    obj(vec![
+        (
+            "estimated_improvement_pct",
+            Value::F64(rec.estimated_improvement_pct),
+        ),
+        (
+            "full_striping_cost_ms",
+            Value::F64(rec.full_striping_cost_ms),
+        ),
+        ("recommended_cost_ms", Value::F64(rec.recommended_cost_ms)),
+        ("iterations", Value::U64(rec.search.iterations as u64)),
+        (
+            "cost_evaluations",
+            Value::U64(rec.search.cost_evaluations as u64),
+        ),
+        ("objects", Value::Seq(objects)),
+    ])
+}
+
+/// Resolves a disk spec string: `paper` (the paper's 8-drive array) or
+/// `uniform:<n>:<capacity_blocks>:<seek_ms>:<read_mb_s>`.
+pub fn resolve_disks(spec: &str) -> Result<Vec<DiskSpec>, ApiError> {
+    if spec == "paper" {
+        return Ok(dblayout_disksim::paper_disks());
+    }
+    if let Some(rest) = spec.strip_prefix("uniform:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        if parts.len() != 4 {
+            return Err(ApiError::bad_request(
+                "uniform disks need `uniform:<n>:<capacity_blocks>:<seek_ms>:<read_mb_s>`",
+            ));
+        }
+        let n: usize = parts[0]
+            .parse()
+            .map_err(|e| ApiError::bad_request(format!("bad disk count: {e}")))?;
+        let cap: u64 = parts[1]
+            .parse()
+            .map_err(|e| ApiError::bad_request(format!("bad capacity: {e}")))?;
+        let seek: f64 = parts[2]
+            .parse()
+            .map_err(|e| ApiError::bad_request(format!("bad seek: {e}")))?;
+        let read: f64 = parts[3]
+            .parse()
+            .map_err(|e| ApiError::bad_request(format!("bad read rate: {e}")))?;
+        if n == 0 {
+            return Err(ApiError::bad_request("disk count must be at least 1"));
+        }
+        return Ok(dblayout_disksim::uniform_disks(n, cap, seek, read));
+    }
+    Err(ApiError::bad_request(format!(
+        "unknown disk spec `{spec}` (expected `paper` or `uniform:<n>:<cap>:<seek>:<read>`)"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_every_op() {
+        assert_eq!(
+            parse_request(r#"{"op":"open_session","catalog":"tpch:0.1"}"#).unwrap(),
+            Request::OpenSession {
+                catalog: "tpch:0.1".into(),
+                disks: "paper".into()
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"add_statements","session":3,"sql":"SELECT 1;"}"#).unwrap(),
+            Request::AddStatements {
+                session: 3,
+                sql: "SELECT 1;".into()
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"whatif_cost","session":1,"layout":"full_striping"}"#).unwrap(),
+            Request::WhatifCost {
+                session: 1,
+                layout: LayoutSpec::FullStriping,
+                no_cache: false
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"whatif_cost","session":1,"layout":[[0.5,0.5]]}"#).unwrap(),
+            Request::WhatifCost {
+                session: 1,
+                layout: LayoutSpec::Fractions(vec![vec![0.5, 0.5]]),
+                no_cache: false
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"recommend","session":2,"k":2}"#).unwrap(),
+            Request::Recommend { session: 2, k: 2 }
+        );
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"op":"close_session","session":9}"#).unwrap(),
+            Request::CloseSession { session: 9 }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_structured_errors() {
+        assert_eq!(parse_request("{oops").unwrap_err().code, "parse_error");
+        assert_eq!(parse_request("42").unwrap_err().code, "bad_request");
+        assert_eq!(
+            parse_request(r#"{"op":"launch_missiles"}"#)
+                .unwrap_err()
+                .code,
+            "bad_request"
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"recommend"}"#).unwrap_err().code,
+            "bad_request"
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"recommend","session":1,"k":0}"#)
+                .unwrap_err()
+                .code,
+            "bad_request"
+        );
+    }
+
+    #[test]
+    fn response_lines_are_deterministic() {
+        let line = ok_line(obj(vec![("x", Value::U64(1))]));
+        assert_eq!(line, r#"{"ok":true,"result":{"x":1}}"#);
+        let err = err_line(&ApiError::bad_request("nope"));
+        assert_eq!(
+            err,
+            r#"{"ok":false,"error":{"code":"bad_request","message":"nope"}}"#
+        );
+    }
+
+    #[test]
+    fn disk_specs_resolve() {
+        assert_eq!(resolve_disks("paper").unwrap().len(), 8);
+        let u = resolve_disks("uniform:4:200000:10:20").unwrap();
+        assert_eq!(u.len(), 4);
+        assert!(resolve_disks("raid").is_err());
+        assert!(resolve_disks("uniform:0:1:1:1").is_err());
+        assert!(resolve_disks("uniform:4:1:1").is_err());
+    }
+}

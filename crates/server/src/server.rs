@@ -1,0 +1,398 @@
+//! The TCP service: a fixed worker pool over a bounded connection queue.
+//!
+//! Life of a connection: the acceptor thread enqueues it (or rejects it with
+//! a structured `busy` error when the queue is full); a worker pops it,
+//! enforces the queue-wait deadline, then serves newline-delimited JSON
+//! requests until EOF, idle timeout, or shutdown. Shutdown is graceful: the
+//! accept loop stops, workers drain every queued connection and finish their
+//! in-flight request before exiting.
+//!
+//! The deadline guards *queueing* — a connection that waited longer than the
+//! per-request deadline is answered with `deadline_exceeded` instead of
+//! being served stale. Compute itself (the TS-GREEDY search) is never
+//! preempted; it runs to completion once started, which is what keeps
+//! results deterministic.
+//!
+//! All request semantics live in [`crate::engine::Engine`]; this module only
+//! owns the transport: sockets, the queue, admission control, and shutdown.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::engine::{Engine, RuntimeInfo};
+use crate::protocol::{err_line, ok_line, parse_request, ApiError, Request};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub threads: usize,
+    /// Maximum connections waiting for a worker before new ones are
+    /// rejected with `busy`.
+    pub queue_capacity: usize,
+    /// Per-request deadline; connections that waited longer in the queue
+    /// are answered with `deadline_exceeded`.
+    pub deadline: Duration,
+    /// Idle read timeout per connection.
+    pub idle_timeout: Duration,
+    /// Maximum concurrently open sessions.
+    pub session_capacity: usize,
+    /// Maximum memoized what-if costs.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            threads: 4,
+            queue_capacity: 64,
+            deadline: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(30),
+            session_capacity: 64,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// State shared by the acceptor and the workers.
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
+    pub(crate) queue: Mutex<VecDeque<(TcpStream, Instant)>>,
+    pub(crate) available: Condvar,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) engine: Engine,
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct Server;
+
+/// Handle to a started server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool, and starts accepting.
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            engine: Engine::new(config.session_capacity, config.cache_capacity),
+            config,
+        });
+
+        let workers = (0..shared.config.threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (with the actual port when `addr` asked for 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains queued connections, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection; it re-checks the
+        // flag after every accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        shared
+            .engine
+            .metrics
+            .connections_total
+            .fetch_add(1, Ordering::Relaxed);
+        let mut queue = shared.queue.lock().expect("queue lock poisoned");
+        if queue.len() >= shared.config.queue_capacity {
+            drop(queue);
+            shared
+                .engine
+                .metrics
+                .rejected_total
+                .fetch_add(1, Ordering::Relaxed);
+            reply_and_close(
+                stream,
+                &ApiError::new("busy", "connection queue full, retry later"),
+            );
+            continue;
+        }
+        queue.push_back((stream, Instant::now()));
+        drop(queue);
+        shared.available.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let popped = {
+            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(item) = queue.pop_front() {
+                    break Some(item);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.available.wait(queue).expect("queue lock poisoned");
+            }
+        };
+        let Some((stream, enqueued)) = popped else {
+            return; // shutdown with an empty queue: drained.
+        };
+        if enqueued.elapsed() > shared.config.deadline {
+            shared
+                .engine
+                .metrics
+                .deadline_expired_total
+                .fetch_add(1, Ordering::Relaxed);
+            reply_and_close(
+                stream,
+                &ApiError::new(
+                    "deadline_exceeded",
+                    "request waited past its deadline in the queue",
+                ),
+            );
+            continue;
+        }
+        serve_connection(shared, stream);
+    }
+}
+
+fn reply_and_close(mut stream: TcpStream, error: &ApiError) {
+    let mut line = err_line(error);
+    line.push('\n');
+    let _ = stream.write_all(line.as_bytes());
+}
+
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break }; // EOF, reset, or idle timeout.
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let outcome = parse_request(&line).and_then(|req| {
+            // Gauges are only read by `stats`; fetch them lazily so every
+            // other op skips the queue lock.
+            let runtime = if matches!(req, Request::Stats) {
+                RuntimeInfo {
+                    queue_depth: shared.queue.lock().expect("queue lock poisoned").len() as u64,
+                    threads: shared.config.threads as u64,
+                }
+            } else {
+                RuntimeInfo::default()
+            };
+            shared.engine.execute(req, &runtime)
+        });
+        shared
+            .engine
+            .metrics
+            .requests_total
+            .fetch_add(1, Ordering::Relaxed);
+        let mut response = match outcome {
+            Ok(result) => ok_line(result),
+            Err(err) => {
+                shared
+                    .engine
+                    .metrics
+                    .errors_total
+                    .fetch_add(1, Ordering::Relaxed);
+                err_line(&err)
+            }
+        };
+        shared.engine.metrics.observe_latency(started.elapsed());
+        response.push('\n');
+        if writer.write_all(response.as_bytes()).is_err() {
+            break;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break; // graceful: finish the in-flight request, then close.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use serde_json::{Value, ValueExt};
+
+    fn start() -> ServerHandle {
+        Server::start(ServerConfig {
+            threads: 2,
+            ..Default::default()
+        })
+        .expect("bind loopback")
+    }
+
+    fn result(line: &str) -> Value {
+        let v: Value = serde_json::from_str(line).unwrap();
+        assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(true), "{line}");
+        v.get("result").unwrap().clone()
+    }
+
+    #[test]
+    fn session_lifecycle_over_loopback() {
+        let server = start();
+        let mut client = Client::connect(&server.addr().to_string()).unwrap();
+
+        let open = result(
+            &client
+                .roundtrip(r#"{"op":"open_session","catalog":"tpch:0.01"}"#)
+                .unwrap(),
+        );
+        let sid = open.get("session").and_then(|v| v.as_u64()).unwrap();
+        assert_eq!(open.get("disks").and_then(|v| v.as_u64()), Some(8));
+
+        let add = result(
+            &client
+                .roundtrip(&format!(
+                    r#"{{"op":"add_statements","session":{sid},"sql":"SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;"}}"#
+                ))
+                .unwrap(),
+        );
+        assert_eq!(add.get("added").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(add.get("version").and_then(|v| v.as_u64()), Some(1));
+
+        let what = result(
+            &client
+                .roundtrip(&format!(
+                    r#"{{"op":"whatif_cost","session":{sid},"layout":"full_striping"}}"#
+                ))
+                .unwrap(),
+        );
+        assert!(what.get("cost_ms").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        assert_eq!(what.get("cached").and_then(|v| v.as_bool()), Some(false));
+
+        let again = result(
+            &client
+                .roundtrip(&format!(
+                    r#"{{"op":"whatif_cost","session":{sid},"layout":"full_striping"}}"#
+                ))
+                .unwrap(),
+        );
+        assert_eq!(again.get("cached").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(
+            again.get("cost_ms").and_then(|v| v.as_f64()),
+            what.get("cost_ms").and_then(|v| v.as_f64())
+        );
+
+        let rec = result(
+            &client
+                .roundtrip(&format!(r#"{{"op":"recommend","session":{sid}}}"#))
+                .unwrap(),
+        );
+        assert!(
+            rec.get("estimated_improvement_pct")
+                .and_then(|v| v.as_f64())
+                .unwrap()
+                >= 0.0
+        );
+
+        let stats = result(&client.roundtrip(r#"{"op":"stats"}"#).unwrap());
+        assert_eq!(stats.get("sessions_open").and_then(|v| v.as_u64()), Some(1));
+        assert!(
+            stats
+                .get("requests_total")
+                .and_then(|v| v.as_u64())
+                .unwrap()
+                >= 5
+        );
+        assert_eq!(stats.get("threads").and_then(|v| v.as_u64()), Some(2));
+
+        let closed = result(
+            &client
+                .roundtrip(&format!(r#"{{"op":"close_session","session":{sid}}}"#))
+                .unwrap(),
+        );
+        assert_eq!(closed.get("closed").and_then(|v| v.as_u64()), Some(sid));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_answer_structured_errors() {
+        let server = start();
+        let mut client = Client::connect(&server.addr().to_string()).unwrap();
+
+        let bad: Value = serde_json::from_str(&client.roundtrip("{not json").unwrap()).unwrap();
+        assert_eq!(bad.get("ok").and_then(|v| v.as_bool()), Some(false));
+        assert_eq!(
+            bad.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(|c| c.as_str()),
+            Some("parse_error")
+        );
+
+        // The connection survives the malformed line.
+        let unknown: Value = serde_json::from_str(
+            &client
+                .roundtrip(r#"{"op":"recommend","session":404}"#)
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            unknown
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(|c| c.as_str()),
+            Some("unknown_session")
+        );
+
+        server.shutdown();
+    }
+}

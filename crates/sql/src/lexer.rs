@@ -54,11 +54,57 @@ pub struct Token {
 /// Anything else alphabetic lexes as an identifier. The set matches the DML
 /// subset in the crate docs; it intentionally excludes DDL.
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "HAVING", "AS", "AND", "OR", "NOT", "IN",
-    "BETWEEN", "LIKE", "IS", "NULL", "EXISTS", "DISTINCT", "TOP", "ASC", "DESC", "JOIN", "INNER",
-    "LEFT", "RIGHT", "OUTER", "ON", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
-    "COUNT", "SUM", "AVG", "MIN", "MAX", "CASE", "WHEN", "THEN", "ELSE", "END", "SUBSTRING",
-    "EXTRACT", "YEAR", "UNION", "ALL", "ANY", "INTERVAL", "DATE",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "ORDER",
+    "HAVING",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "BETWEEN",
+    "LIKE",
+    "IS",
+    "NULL",
+    "EXISTS",
+    "DISTINCT",
+    "TOP",
+    "ASC",
+    "DESC",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "RIGHT",
+    "OUTER",
+    "ON",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "SUBSTRING",
+    "EXTRACT",
+    "YEAR",
+    "UNION",
+    "ALL",
+    "ANY",
+    "INTERVAL",
+    "DATE",
 ];
 
 fn is_ident_start(c: char) -> bool {
@@ -207,9 +253,7 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 Some(c) => out.push(c),
-                None => {
-                    return Err(ParseError::new("unterminated string literal", line, column))
-                }
+                None => return Err(ParseError::new("unterminated string literal", line, column)),
             }
         }
     }
@@ -296,7 +340,13 @@ impl<'a> Lexer<'a> {
                     return Err(ParseError::new("expected `=` after `!`", line, column));
                 }
             }
-            Some(c) => return Err(ParseError::new(format!("unexpected character `{c}`"), line, column)),
+            Some(c) => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{c}`"),
+                    line,
+                    column,
+                ))
+            }
         };
         Ok(Token { kind, line, column })
     }

@@ -172,7 +172,11 @@ impl Parser {
         let top = if self.eat_keyword("TOP") {
             match self.bump().kind {
                 TokenKind::Int(n) if n >= 0 => Some(n as u64),
-                other => return Err(self.err_here(format!("expected row count after TOP, found {other:?}"))),
+                other => {
+                    return Err(
+                        self.err_here(format!("expected row count after TOP, found {other:?}"))
+                    )
+                }
             }
         } else {
             None
@@ -525,7 +529,9 @@ impl Parser {
         if self.eat_keyword("LIKE") {
             let pattern = match self.bump().kind {
                 TokenKind::Str(s) => s,
-                other => return Err(self.err_here(format!("expected pattern string, found {other:?}"))),
+                other => {
+                    return Err(self.err_here(format!("expected pattern string, found {other:?}")))
+                }
             };
             return Ok(Expr::Like {
                 expr: Box::new(left),
@@ -657,7 +663,9 @@ impl Parser {
                     self.bump();
                     match self.bump().kind {
                         TokenKind::Str(s) => Ok(Expr::Literal(Literal::Str(s))),
-                        other => Err(self.err_here(format!("expected date string, found {other:?}"))),
+                        other => {
+                            Err(self.err_here(format!("expected date string, found {other:?}")))
+                        }
                     }
                 }
                 "INTERVAL" => {
@@ -804,18 +812,13 @@ mod tests {
     #[test]
     fn aliases_both_forms() {
         let query = q("SELECT l.l_qty FROM lineitem AS l, orders o");
-        assert_eq!(
-            query.bindings(),
-            vec![("lineitem", "l"), ("orders", "o")]
-        );
+        assert_eq!(query.bindings(), vec![("lineitem", "l"), ("orders", "o")]);
     }
 
     #[test]
     fn group_by_having_order_by() {
-        let query = q(
-            "SELECT o_custkey, COUNT(*) AS c FROM orders \
-             GROUP BY o_custkey HAVING COUNT(*) > 5 ORDER BY c DESC",
-        );
+        let query = q("SELECT o_custkey, COUNT(*) AS c FROM orders \
+             GROUP BY o_custkey HAVING COUNT(*) > 5 ORDER BY c DESC");
         assert_eq!(query.group_by.len(), 1);
         assert!(query.having.is_some());
         assert_eq!(query.order_by.len(), 1);
@@ -948,9 +951,8 @@ mod tests {
 
     #[test]
     fn case_expression() {
-        let query = q(
-            "SELECT SUM(CASE WHEN o_orderpriority = '1-URGENT' THEN 1 ELSE 0 END) FROM orders",
-        );
+        let query =
+            q("SELECT SUM(CASE WHEN o_orderpriority = '1-URGENT' THEN 1 ELSE 0 END) FROM orders");
         assert!(query.is_aggregating());
     }
 
@@ -985,10 +987,15 @@ mod tests {
 
     #[test]
     fn update_with_where() {
-        let s = parse_statement("UPDATE orders SET o_status = 'F', o_total = o_total * 1.1 WHERE o_orderkey = 5").unwrap();
+        let s = parse_statement(
+            "UPDATE orders SET o_status = 'F', o_total = o_total * 1.1 WHERE o_orderkey = 5",
+        )
+        .unwrap();
         match s {
             Statement::Update {
-                table, assignments, where_clause,
+                table,
+                assignments,
+                where_clause,
             } => {
                 assert_eq!(table, "orders");
                 assert_eq!(assignments.len(), 2);

@@ -112,10 +112,7 @@ mod tests {
 
     #[test]
     fn weight_directive_applies_to_next_statement_only() {
-        let ws = parse_workload_file(
-            "-- weight: 2.5\nSELECT * FROM a;\nSELECT * FROM b;",
-        )
-        .unwrap();
+        let ws = parse_workload_file("-- weight: 2.5\nSELECT * FROM a;\nSELECT * FROM b;").unwrap();
         assert_eq!(ws[0].weight, 2.5);
         assert_eq!(ws[1].weight, 1.0);
     }
@@ -154,6 +151,8 @@ mod tests {
     #[test]
     fn empty_file_is_empty_workload() {
         assert!(parse_workload_file("").unwrap().is_empty());
-        assert!(parse_workload_file("-- only a comment\n").unwrap().is_empty());
+        assert!(parse_workload_file("-- only a comment\n")
+            .unwrap()
+            .is_empty());
     }
 }

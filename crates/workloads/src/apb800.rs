@@ -60,7 +60,11 @@ fn star_query(rng: &mut StdRng) -> String {
         lo + rng.gen_range(1..=4)
     ));
 
-    let measure = if fact == "sales_fact" { "dollars" } else { "units" };
+    let measure = if fact == "sales_fact" {
+        "dollars"
+    } else {
+        "units"
+    };
     let (gdim, _) = dims[0];
     format!(
         "SELECT {gdim}.label, SUM({fact}.{measure}) AS total FROM {} WHERE {} GROUP BY {gdim}.label ORDER BY total DESC",

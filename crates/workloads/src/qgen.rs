@@ -37,7 +37,11 @@ fn selections(rng: &mut StdRng, table: &str) -> Option<String> {
         "lineitem" => match pick {
             0 => format!("l_shipdate >= {date}"),
             1 => format!("l_quantity < {}", rng.gen_range(10..=45)),
-            _ => format!("l_discount BETWEEN 0.0{} AND 0.0{}", rng.gen_range(1..=4), rng.gen_range(5..=9)),
+            _ => format!(
+                "l_discount BETWEEN 0.0{} AND 0.0{}",
+                rng.gen_range(1..=4),
+                rng.gen_range(5..=9)
+            ),
         },
         "orders" => match pick {
             0 => format!("o_orderdate < {date}"),
@@ -101,8 +105,7 @@ fn sum_column(table: &str) -> Option<&'static str> {
 /// Generates one random TPC-H-schema query.
 pub fn random_query(rng: &mut StdRng) -> String {
     // Random connected table set via a walk over the FK graph.
-    let start = ["lineitem", "orders", "partsupp", "customer", "part"]
-        [rng.gen_range(0..5)];
+    let start = ["lineitem", "orders", "partsupp", "customer", "part"][rng.gen_range(0..5)];
     let mut tables = vec![start.to_string()];
     let mut join_preds: Vec<String> = Vec::new();
     let extra = rng.gen_range(0..=3);
@@ -110,9 +113,7 @@ pub fn random_query(rng: &mut StdRng) -> String {
         // Candidate edges touching exactly one already-included table.
         let candidates: Vec<&(&str, &str, &str)> = JOIN_EDGES
             .iter()
-            .filter(|(a, b, _)| {
-                tables.iter().any(|t| t == a) != tables.iter().any(|t| t == b)
-            })
+            .filter(|(a, b, _)| tables.iter().any(|t| t == a) != tables.iter().any(|t| t == b))
             .collect();
         if candidates.is_empty() {
             break;
@@ -187,7 +188,8 @@ mod tests {
         for (i, q) in generate(100, 7).iter().enumerate() {
             let stmts = parse_all(std::slice::from_ref(q))
                 .unwrap_or_else(|e| panic!("query {i} `{q}`: {e}"));
-            plan_statement(&catalog, &stmts[0].0).unwrap_or_else(|e| panic!("query {i} `{q}`: {e}"));
+            plan_statement(&catalog, &stmts[0].0)
+                .unwrap_or_else(|e| panic!("query {i} `{q}`: {e}"));
         }
     }
 
@@ -217,6 +219,9 @@ mod tests {
         let qs = generate(200, 11);
         let singles = qs.iter().filter(|q| table_count(q) == 1).count();
         let multis = qs.iter().filter(|q| table_count(q) >= 2).count();
-        assert!(singles > 0 && multis > 0, "{singles} singles, {multis} multis");
+        assert!(
+            singles > 0 && multis > 0,
+            "{singles} singles, {multis} multis"
+        );
     }
 }

@@ -82,8 +82,14 @@ mod tests {
     #[test]
     fn string_literals_untouched() {
         let map = suffix_map(&["part"], "_9");
-        let out = substitute_tables("SELECT * FROM part WHERE x = 'part' AND y = 'o''part'", &map);
-        assert_eq!(out, "SELECT * FROM part_9 WHERE x = 'part' AND y = 'o''part'");
+        let out = substitute_tables(
+            "SELECT * FROM part WHERE x = 'part' AND y = 'o''part'",
+            &map,
+        );
+        assert_eq!(
+            out,
+            "SELECT * FROM part_9 WHERE x = 'part' AND y = 'o''part'"
+        );
     }
 
     #[test]

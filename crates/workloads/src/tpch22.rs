@@ -334,7 +334,11 @@ mod tests {
     #[test]
     fn suffixed_queries_plan_against_replicated_catalog() {
         let catalog = replicate_tpch(0.1, 2);
-        for (i, (stmt, _)) in parse_all(&tpch22_with_suffix(2)).unwrap().iter().enumerate() {
+        for (i, (stmt, _)) in parse_all(&tpch22_with_suffix(2))
+            .unwrap()
+            .iter()
+            .enumerate()
+        {
             plan_statement(&catalog, stmt)
                 .unwrap_or_else(|e| panic!("suffixed Q{} failed: {e}", i + 1));
         }

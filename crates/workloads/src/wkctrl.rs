@@ -18,8 +18,7 @@ pub fn wk_ctrl1() -> Vec<String> {
         "SELECT COUNT(*) FROM partsupp, part WHERE ps_partkey = p_partkey".into(),
         "SELECT COUNT(*), SUM(l_quantity) FROM lineitem, orders WHERE l_orderkey = o_orderkey"
             .into(),
-        "SELECT COUNT(*), SUM(ps_availqty) FROM partsupp, part WHERE ps_partkey = p_partkey"
-            .into(),
+        "SELECT COUNT(*), SUM(ps_availqty) FROM partsupp, part WHERE ps_partkey = p_partkey".into(),
         "SELECT SUM(l_extendedprice), SUM(o_totalprice) FROM lineitem, orders \
          WHERE l_orderkey = o_orderkey"
             .into(),
@@ -36,8 +35,7 @@ pub fn wk_ctrl2() -> Vec<String> {
         "SELECT COUNT(*) FROM part".into(),
         "SELECT COUNT(*), SUM(l_quantity) FROM lineitem, orders WHERE l_orderkey = o_orderkey"
             .into(),
-        "SELECT COUNT(*), SUM(ps_availqty) FROM partsupp, part WHERE ps_partkey = p_partkey"
-            .into(),
+        "SELECT COUNT(*), SUM(ps_availqty) FROM partsupp, part WHERE ps_partkey = p_partkey".into(),
         "SELECT COUNT(*) FROM lineitem, orders, customer \
          WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey"
             .into(),

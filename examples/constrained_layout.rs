@@ -58,7 +58,10 @@ fn main() {
     );
     println!();
     println!("{}", render_layout(&catalog, &rec.layout, &disks));
-    println!("customer is on mirrored disks only: {:?}", rec.layout.disks_of(customer.index()));
+    println!(
+        "customer is on mirrored disks only: {:?}",
+        rec.layout.disks_of(customer.index())
+    );
     println!(
         "part / partsupp share a disk set: {:?} / {:?}",
         rec.layout.disks_of(part.index()),

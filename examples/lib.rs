@@ -44,10 +44,8 @@ mod tests {
     fn render_shows_all_objects_and_disks() {
         let c = tpch_catalog(0.01);
         let disks = uniform_disks(3, 100_000, 10.0, 20.0);
-        let layout = Layout::full_striping(
-            c.objects().iter().map(|o| o.size_blocks).collect(),
-            &disks,
-        );
+        let layout =
+            Layout::full_striping(c.objects().iter().map(|o| o.size_blocks).collect(), &disks);
         let s = render_layout(&c, &layout, &disks);
         assert!(s.contains("lineitem"));
         assert!(s.contains("D3"));

@@ -33,7 +33,10 @@ fn main() {
     }
 
     println!();
-    println!("TS-GREEDY: {} iterations, {} cost evaluations", rec.search.iterations, rec.search.cost_evaluations);
+    println!(
+        "TS-GREEDY: {} iterations, {} cost evaluations",
+        rec.search.iterations, rec.search.cost_evaluations
+    );
     println!(
         "estimated improvement over FULL STRIPING: {:.1}% (paper: ~20%)",
         rec.estimated_improvement_pct

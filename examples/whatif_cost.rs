@@ -16,13 +16,17 @@ fn main() {
     let disks = paper_disks();
     let sizes: Vec<u64> = catalog.objects().iter().map(|o| o.size_blocks).collect();
 
-    let entries = parse_workload_file(
-        "SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;",
-    )
-    .expect("parse");
+    let entries =
+        parse_workload_file("SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;")
+            .expect("parse");
     let plans: Vec<(PhysicalPlan, f64)> = entries
         .iter()
-        .map(|e| (plan_statement(&catalog, &e.statement).expect("plan"), e.weight))
+        .map(|e| {
+            (
+                plan_statement(&catalog, &e.statement).expect("plan"),
+                e.weight,
+            )
+        })
         .collect();
 
     let li = catalog.object_id("lineitem").unwrap().index();

@@ -69,14 +69,8 @@ fn q3_builds_lineitem_orders_edge() {
 fn node_weights_accumulate_across_statements() {
     let catalog = tpch_catalog(0.1);
     let q = "SELECT COUNT(*) FROM orders";
-    let single = build_access_graph(
-        catalog.object_count(),
-        &plan_workload(&catalog, &[q]),
-    );
-    let double = build_access_graph(
-        catalog.object_count(),
-        &plan_workload(&catalog, &[q, q]),
-    );
+    let single = build_access_graph(catalog.object_count(), &plan_workload(&catalog, &[q]));
+    let double = build_access_graph(catalog.object_count(), &plan_workload(&catalog, &[q, q]));
     let or = catalog.object_id("orders").unwrap().index();
     assert!((double.node_weight(or) - 2.0 * single.node_weight(or)).abs() < 1e-9);
 }

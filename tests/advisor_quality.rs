@@ -87,8 +87,12 @@ fn ts_greedy_near_optimal_on_small_real_instance() {
             (remapped, *w)
         })
         .collect();
-    let (_, optimal) =
-        exhaustive_search(&compact_sizes, &compact_workload, &disks, &CostModel::default());
+    let (_, optimal) = exhaustive_search(
+        &compact_sizes,
+        &compact_workload,
+        &disks,
+        &CostModel::default(),
+    );
 
     assert!(
         greedy.final_cost <= optimal * 1.10 + 1e-9,
@@ -107,7 +111,9 @@ fn apb_workload_gains_nothing_over_full_striping() {
     let disks = uniform_disks(8, 100_000, 10.0, 20.0);
     let advisor = Advisor::new(&catalog, &disks);
     let stmts = parse_all(&apb800(1)[..80]).unwrap();
-    let rec = advisor.recommend(&stmts, &AdvisorConfig::default()).unwrap();
+    let rec = advisor
+        .recommend(&stmts, &AdvisorConfig::default())
+        .unwrap();
     assert!(
         rec.estimated_improvement_pct.abs() < 3.0,
         "APB should be ~0%, got {}",
@@ -131,8 +137,14 @@ fn wider_k_never_hurts() {
     let all_sizes = sizes(&catalog);
     let graph = build_access_graph(all_sizes.len(), &plans);
     let workload = decompose_workload(&plans);
-    let k1 = ts_greedy(&all_sizes, &graph, &workload, &disks, &TsGreedyConfig::default())
-        .unwrap();
+    let k1 = ts_greedy(
+        &all_sizes,
+        &graph,
+        &workload,
+        &disks,
+        &TsGreedyConfig::default(),
+    )
+    .unwrap();
     let k2 = ts_greedy(
         &all_sizes,
         &graph,

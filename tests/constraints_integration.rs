@@ -8,8 +8,7 @@ use dblayout_core::tsgreedy::TsGreedyConfig;
 use dblayout_disksim::{paper_disks, Availability, Layout};
 use dblayout_integration::sizes;
 
-const WORKLOAD: &str =
-    "SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;\n\
+const WORKLOAD: &str = "SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;\n\
      SELECT COUNT(*) FROM partsupp, part WHERE ps_partkey = p_partkey;";
 
 fn config_with(constraints: Constraints) -> AdvisorConfig {
@@ -34,7 +33,10 @@ fn co_location_respected_and_costs_something() {
         .unwrap();
     // Forcing the hottest co-accessed pair into one filegroup…
     let constrained = advisor
-        .recommend_sql(WORKLOAD, &config_with(Constraints::none().co_locate(li, or)))
+        .recommend_sql(
+            WORKLOAD,
+            &config_with(Constraints::none().co_locate(li, or)),
+        )
         .unwrap();
 
     assert_eq!(

@@ -1,0 +1,279 @@
+//! Loopback integration tests for `dblayout-server`: concurrent clients must
+//! get **byte-identical** answers to the offline advisor, malformed input
+//! must come back as structured errors (never a dropped connection or a
+//! panic), and a long request stream must not grow server state without
+//! bound.
+
+use std::time::Duration;
+
+use dblayout_catalog::resolve_catalog;
+use dblayout_core::advisor::{Advisor, AdvisorConfig};
+use dblayout_core::costmodel::{decompose_workload, CostModel};
+use dblayout_disksim::{paper_disks, Layout};
+use dblayout_server::protocol::{obj, ok_line, recommendation_result};
+use dblayout_server::{Client, Server, ServerConfig, ServerHandle};
+use dblayout_workloads::tpch22::tpch22;
+use serde_json::{Value, ValueExt};
+
+/// TPCH-22 in workload-file syntax (one statement per `;`-terminated line
+/// group), identical text for the server and the offline advisor.
+fn tpch22_workload_text() -> String {
+    tpch22()
+        .iter()
+        .map(|q| format!("{};", q.trim().trim_end_matches(';')))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn start(config: ServerConfig) -> ServerHandle {
+    Server::start(config).expect("bind a loopback server")
+}
+
+fn json_request(pairs: Vec<(&str, Value)>) -> String {
+    serde_json::to_string(&obj(pairs)).expect("serialize request")
+}
+
+fn expect_result(line: &str) -> Value {
+    let v: Value = serde_json::from_str(line).expect("response is JSON");
+    assert_eq!(
+        v.get("ok").and_then(|b| b.as_bool()),
+        Some(true),
+        "request failed: {line}"
+    );
+    v.get("result")
+        .expect("ok responses carry `result`")
+        .clone()
+}
+
+/// The acceptance bar: 8 concurrent clients running the full
+/// open→add(TPCH-22)→whatif→recommend→close session against one server get
+/// responses byte-identical to each other **and** to the offline
+/// [`Advisor`] serialized through the same protocol encoder.
+#[test]
+fn eight_concurrent_clients_match_offline_advisor_byte_for_byte() {
+    const CLIENTS: usize = 8;
+    const CATALOG: &str = "tpch:0.1";
+    let text = tpch22_workload_text();
+
+    // Offline reference, computed once, single-threaded.
+    let catalog = resolve_catalog(CATALOG).unwrap();
+    let disks = paper_disks();
+    let advisor = Advisor::new(&catalog, &disks);
+    let rec = advisor
+        .recommend_sql(&text, &AdvisorConfig::default())
+        .expect("offline advisor succeeds on TPCH-22");
+    let expected_recommend_line = ok_line(recommendation_result(&catalog, &disks, &rec));
+
+    let sizes: Vec<u64> = catalog.objects().iter().map(|o| o.size_blocks).collect();
+    let fs = Layout::full_striping(sizes, &disks);
+    let workload = decompose_workload(&rec.plans);
+    let fs_cost = CostModel::default().workload_cost_subplans(&workload, &fs, &disks);
+    let expected_whatif_line = ok_line(obj(vec![
+        ("cost_ms", Value::F64(fs_cost)),
+        ("cached", Value::Bool(false)),
+        ("version", Value::U64(1)),
+    ]));
+
+    let server = start(ServerConfig {
+        threads: 4,
+        session_capacity: CLIENTS + 1,
+        ..Default::default()
+    });
+    let addr = server.addr().to_string();
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let text = text.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let open = expect_result(
+                    &client
+                        .roundtrip(&json_request(vec![
+                            ("op", Value::Str("open_session".into())),
+                            ("catalog", Value::Str(CATALOG.into())),
+                        ]))
+                        .unwrap(),
+                );
+                let sid = open.get("session").and_then(|v| v.as_u64()).unwrap();
+                let add = expect_result(
+                    &client
+                        .roundtrip(&json_request(vec![
+                            ("op", Value::Str("add_statements".into())),
+                            ("session", Value::U64(sid)),
+                            ("sql", Value::Str(text)),
+                        ]))
+                        .unwrap(),
+                );
+                assert_eq!(add.get("added").and_then(|v| v.as_u64()), Some(22));
+
+                let whatif_line = client
+                    .roundtrip(&json_request(vec![
+                        ("op", Value::Str("whatif_cost".into())),
+                        ("session", Value::U64(sid)),
+                        ("layout", Value::Str("full_striping".into())),
+                    ]))
+                    .unwrap();
+                let recommend_line = client
+                    .roundtrip(&json_request(vec![
+                        ("op", Value::Str("recommend".into())),
+                        ("session", Value::U64(sid)),
+                    ]))
+                    .unwrap();
+                expect_result(
+                    &client
+                        .roundtrip(&json_request(vec![
+                            ("op", Value::Str("close_session".into())),
+                            ("session", Value::U64(sid)),
+                        ]))
+                        .unwrap(),
+                );
+                (whatif_line, recommend_line)
+            })
+        })
+        .collect();
+
+    let results: Vec<(String, String)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .collect();
+
+    for (i, (whatif_line, recommend_line)) in results.iter().enumerate() {
+        assert_eq!(
+            whatif_line, &expected_whatif_line,
+            "client {i}: whatif_cost differs from the offline cost model"
+        );
+        assert_eq!(
+            recommend_line, &expected_recommend_line,
+            "client {i}: recommend differs from the offline advisor"
+        );
+    }
+
+    server.shutdown();
+}
+
+/// Malformed and invalid requests come back as structured errors on a still
+/// usable connection — the server never panics or drops the client.
+#[test]
+fn malformed_requests_yield_structured_errors() {
+    let server = start(ServerConfig {
+        threads: 2,
+        ..Default::default()
+    });
+    let mut client = Client::connect(&server.addr().to_string()).unwrap();
+
+    let cases: &[(&str, &str)] = &[
+        ("{definitely not json", "parse_error"),
+        ("[1,2,3]", "bad_request"),
+        (r#"{"op":"no_such_op"}"#, "bad_request"),
+        (
+            r#"{"op":"open_session","catalog":"mongodb"}"#,
+            "bad_request",
+        ),
+        (
+            r#"{"op":"add_statements","session":77,"sql":"SELECT 1;"}"#,
+            "unknown_session",
+        ),
+        (
+            r#"{"op":"whatif_cost","session":1,"layout":"zigzag"}"#,
+            "bad_request",
+        ),
+    ];
+    for (request, want_code) in cases {
+        let line = client.roundtrip(request).expect("connection survives");
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(false), "{line}");
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(|c| c.as_str()),
+            Some(*want_code),
+            "request {request} → {line}"
+        );
+    }
+
+    // The same connection still serves valid requests afterwards.
+    let stats = expect_result(&client.roundtrip(r#"{"op":"stats"}"#).unwrap());
+    assert!(stats.get("errors_total").and_then(|v| v.as_u64()).unwrap() >= 6);
+
+    server.shutdown();
+}
+
+/// 1,000 sequential requests churning sessions and what-if costs leave the
+/// session registry empty and the cost cache at (or under) its configured
+/// bound — no unbounded growth in resident state.
+#[test]
+fn thousand_requests_keep_state_bounded() {
+    const CACHE_CAP: usize = 16;
+    let server = start(ServerConfig {
+        threads: 2,
+        cache_capacity: CACHE_CAP,
+        idle_timeout: Duration::from_secs(120),
+        ..Default::default()
+    });
+    let mut client = Client::connect(&server.addr().to_string()).unwrap();
+
+    // 200 cycles × 5 requests = 1,000: open → add → whatif (miss) → whatif
+    // (hit) → close. Every cycle opens a fresh session and abandons its
+    // cache entries, so only eviction/invalidation keeps state bounded.
+    for cycle in 0..200 {
+        let open = expect_result(
+            &client
+                .roundtrip(r#"{"op":"open_session","catalog":"tpch:0.01"}"#)
+                .unwrap(),
+        );
+        let sid = open.get("session").and_then(|v| v.as_u64()).unwrap();
+        let add = expect_result(
+            &client
+                .roundtrip(&json_request(vec![
+                    ("op", Value::Str("add_statements".into())),
+                    ("session", Value::U64(sid)),
+                    ("sql", Value::Str("SELECT COUNT(*) FROM lineitem;".into())),
+                ]))
+                .unwrap(),
+        );
+        assert_eq!(add.get("version").and_then(|v| v.as_u64()), Some(1));
+        let miss = expect_result(
+            &client
+                .roundtrip(&format!(r#"{{"op":"whatif_cost","session":{sid}}}"#))
+                .unwrap(),
+        );
+        assert_eq!(miss.get("cached").and_then(|v| v.as_bool()), Some(false));
+        let hit = expect_result(
+            &client
+                .roundtrip(&format!(r#"{{"op":"whatif_cost","session":{sid}}}"#))
+                .unwrap(),
+        );
+        assert_eq!(
+            hit.get("cached").and_then(|v| v.as_bool()),
+            Some(true),
+            "cycle {cycle}"
+        );
+        expect_result(
+            &client
+                .roundtrip(&format!(r#"{{"op":"close_session","session":{sid}}}"#))
+                .unwrap(),
+        );
+    }
+
+    let stats = expect_result(&client.roundtrip(r#"{"op":"stats"}"#).unwrap());
+    assert!(
+        stats
+            .get("requests_total")
+            .and_then(|v| v.as_u64())
+            .unwrap()
+            >= 1000
+    );
+    assert_eq!(stats.get("sessions_open").and_then(|v| v.as_u64()), Some(0));
+    assert!(
+        stats.get("cache_entries").and_then(|v| v.as_u64()).unwrap() <= CACHE_CAP as u64,
+        "cache exceeded its bound: {stats:?}"
+    );
+    assert_eq!(
+        stats.get("cache_hits").and_then(|v| v.as_u64()),
+        Some(200),
+        "every cycle's second what-if should hit"
+    );
+
+    server.shutdown();
+}

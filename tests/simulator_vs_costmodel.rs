@@ -40,7 +40,10 @@ fn example5_ordering_holds_on_both_axes() {
         .iter()
         .map(|l| model.workload_cost(&plans, l, &disks))
         .collect();
-    let act: Vec<f64> = [&l1, &l2, &l3].iter().map(|l| simulate(&plans, l)).collect();
+    let act: Vec<f64> = [&l1, &l2, &l3]
+        .iter()
+        .map(|l| simulate(&plans, l))
+        .collect();
 
     assert!(est[2] < est[0] && est[0] < est[1], "estimated {est:?}");
     assert!(act[2] < act[0] && act[0] < act[1], "simulated {act:?}");

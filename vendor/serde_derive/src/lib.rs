@@ -1,0 +1,365 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the serde
+//! stand-in (see `vendor/README.md`).
+//!
+//! Supports structs with named fields, optionally generic over lifetimes
+//! and/or plain type parameters — the shapes this workspace derives on.
+//! Implemented by lightweight text parsing of the token stream (no `syn`).
+
+use proc_macro::TokenStream;
+
+/// Derives `serde::Serialize` (field order preserved).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (missing fields decode from `null`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let text = input.to_string();
+    let parsed = match parse_struct(&text) {
+        Ok(p) => p,
+        Err(msg) => {
+            return format!("compile_error!(\"serde stand-in derive: {msg}\");")
+                .parse()
+                .expect("compile_error tokens")
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => emit_serialize(&parsed),
+        Mode::Deserialize => emit_deserialize(&parsed),
+    };
+    code.parse().expect("generated impl tokens")
+}
+
+struct Struct {
+    name: String,
+    /// Generic parameter declarations with serde bounds added, e.g.
+    /// `<'a, T: ::serde::Serialize>`; empty when non-generic.
+    decl_generics: String,
+    /// Generic arguments, e.g. `<'a, T>`; empty when non-generic.
+    arg_generics: String,
+    fields: Vec<String>,
+}
+
+fn parse_struct(text: &str) -> Result<Struct, String> {
+    let text = strip_doc_comments(text);
+    let rest = skip_attrs_and_vis(&text);
+    let rest = rest
+        .strip_prefix("struct")
+        .ok_or("only structs are supported")?
+        .trim_start();
+
+    let name_end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    let name = rest[..name_end].to_string();
+    if name.is_empty() {
+        return Err("missing struct name".into());
+    }
+    let mut rest = rest[name_end..].trim_start();
+
+    let mut generic_params: Vec<String> = Vec::new();
+    if let Some(stripped) = rest.strip_prefix('<') {
+        let close = matching_angle(stripped).ok_or("unbalanced generics")?;
+        generic_params = split_top_level(&stripped[..close], ',')
+            .into_iter()
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        rest = stripped[close + 1..].trim_start();
+    }
+
+    let body_start = rest.find('{').ok_or("only brace structs are supported")?;
+    let body_end = rest.rfind('}').ok_or("unbalanced struct body")?;
+    let body = &rest[body_start + 1..body_end];
+
+    let mut fields = Vec::new();
+    for chunk in split_top_level(body, ',') {
+        let chunk = skip_attrs_and_vis(chunk.trim());
+        if chunk.is_empty() {
+            continue;
+        }
+        let colon = chunk.find(':').ok_or("tuple structs are not supported")?;
+        fields.push(chunk[..colon].trim().to_string());
+    }
+    if fields.is_empty() {
+        return Err("unit/empty structs are not supported".into());
+    }
+
+    let bound = "::serde::Serialize"; // replaced for Deserialize in emit
+    let mut decls = Vec::new();
+    let mut args = Vec::new();
+    for param in &generic_params {
+        if param.starts_with('\'') {
+            // Lifetime: `'a` or `'a: 'b`.
+            let lt = param.split(':').next().unwrap_or(param).trim().to_string();
+            decls.push(param.clone());
+            args.push(lt);
+        } else {
+            // Type parameter: add the serde bound on top of any existing.
+            let ident = param.split(':').next().unwrap_or(param).trim().to_string();
+            if param.contains(':') {
+                decls.push(format!("{param} + {bound}"));
+            } else {
+                decls.push(format!("{ident}: {bound}"));
+            }
+            args.push(ident);
+        }
+    }
+    let (decl_generics, arg_generics) = if generic_params.is_empty() {
+        (String::new(), String::new())
+    } else {
+        (
+            format!("<{}>", decls.join(", ")),
+            format!("<{}>", args.join(", ")),
+        )
+    };
+
+    Ok(Struct {
+        name,
+        decl_generics,
+        arg_generics,
+        fields,
+    })
+}
+
+/// Removes `///`, `//!`, and `/** */` doc comments (which
+/// `TokenStream::to_string()` can emit verbatim) outside string literals, so
+/// later structural scans never see their free-form text.
+fn strip_doc_comments(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        if c == '"' {
+            in_string = true;
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() {
+            match bytes[i + 1] as char {
+                '/' => {
+                    // Line comment (incl. `///` and `//!`): drop to newline.
+                    while i < bytes.len() && bytes[i] as char != '\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                '*' => {
+                    // Block comment (incl. `/** */`): drop to closing `*/`.
+                    let mut j = i + 2;
+                    while j + 1 < bytes.len()
+                        && !(bytes[j] as char == '*' && bytes[j + 1] as char == '/')
+                    {
+                        j += 1;
+                    }
+                    i = (j + 2).min(bytes.len());
+                    out.push(' ');
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Yields `(index, char, inside_string_literal)` so structural scans skip
+/// over `"..."` contents (doc-comment attributes may contain any character).
+fn scan_chars(s: &str) -> impl Iterator<Item = (usize, char, bool)> + '_ {
+    let mut in_string = false;
+    let mut escaped = false;
+    s.char_indices().map(move |(i, c)| {
+        let was_in_string = in_string;
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+        } else if c == '"' {
+            in_string = true;
+        }
+        (i, c, was_in_string)
+    })
+}
+
+/// Skips leading `#[...]` attributes (incl. doc comments) and visibility.
+fn skip_attrs_and_vis(mut s: &str) -> &str {
+    s = s.trim_start();
+    while let Some(rest) = s.strip_prefix('#') {
+        let rest = rest.trim_start();
+        let Some(inner) = rest.strip_prefix('[') else {
+            break;
+        };
+        let mut depth = 1usize;
+        let mut end = None;
+        for (i, c, in_string) in scan_chars(inner) {
+            if in_string {
+                continue;
+            }
+            match c {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        match end {
+            Some(i) => s = inner[i + 1..].trim_start(),
+            None => break,
+        }
+    }
+    if let Some(rest) = s.strip_prefix("pub") {
+        let rest = rest.trim_start();
+        if let Some(inner) = rest.strip_prefix('(') {
+            if let Some(close) = inner.find(')') {
+                return inner[close + 1..].trim_start();
+            }
+        }
+        return rest;
+    }
+    s
+}
+
+/// Index of the `>` closing an angle-bracket run that started just before
+/// `s` (the opening `<` already consumed).
+fn matching_angle(s: &str) -> Option<usize> {
+    let mut depth = 1usize;
+    for (i, c, in_string) in scan_chars(s) {
+        if in_string {
+            continue;
+        }
+        match c {
+            '<' => depth += 1,
+            '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits on `sep` at bracket depth zero (over `<>`, `()`, `[]`, `{}`),
+/// ignoring everything inside string literals.
+fn split_top_level(s: &str, sep: char) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for (_, c, in_string) in scan_chars(s) {
+        if !in_string {
+            match c {
+                '<' | '(' | '[' | '{' => depth += 1,
+                '>' | ')' | ']' | '}' => depth -= 1,
+                _ => {}
+            }
+            if c == sep && depth == 0 {
+                out.push(std::mem::take(&mut current));
+                continue;
+            }
+        }
+        current.push(c);
+    }
+    if !current.trim().is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn emit_serialize(s: &Struct) -> String {
+    let entries: Vec<String> = s
+        .fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f}))"))
+        .collect();
+    format!(
+        "impl{decl} ::serde::Serialize for {name}{args} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n\
+         ::serde::Content::Map(vec![{entries}])\n\
+         }}\n\
+         }}",
+        decl = s.decl_generics,
+        name = s.name,
+        args = s.arg_generics,
+        entries = entries.join(", "),
+    )
+}
+
+fn emit_deserialize(s: &Struct) -> String {
+    if s.decl_generics.contains('\'') {
+        return "compile_error!(\"serde stand-in: derive(Deserialize) does not support lifetimes\");"
+            .to_string();
+    }
+    let decl = s
+        .decl_generics
+        .replace("::serde::Serialize", "::serde::Deserialize");
+    let fields: Vec<String> = s
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match __map.iter().find(|(k, _)| k == \"{f}\") {{\n\
+                 Some((_, v)) => ::serde::Deserialize::from_content(v)\n\
+                 .map_err(|e| ::serde::DeError(format!(\"field `{f}`: {{e}}\")))?,\n\
+                 None => ::serde::Deserialize::from_content(&::serde::Content::Null)\n\
+                 .map_err(|_| ::serde::DeError(\"missing field `{f}`\".to_string()))?,\n\
+                 }}"
+            )
+        })
+        .collect();
+    format!(
+        "impl{decl} ::serde::Deserialize for {name}{args} {{\n\
+         fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         let __map = match __c {{\n\
+         ::serde::Content::Map(m) => m,\n\
+         other => return Err(::serde::DeError(format!(\"expected object for {name}, got {{other:?}}\"))),\n\
+         }};\n\
+         Ok(Self {{ {fields} }})\n\
+         }}\n\
+         }}",
+        decl = decl,
+        name = s.name,
+        args = s.arg_generics,
+        fields = fields.join(",\n"),
+    )
+}
