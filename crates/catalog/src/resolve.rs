@@ -18,8 +18,10 @@ pub fn resolve_catalog(spec: &str) -> Result<Catalog, String> {
                 .map(|s| s.parse().map_err(|_| format!("bad scale factor `{s}`")))
                 .transpose()?
                 .unwrap_or(1.0);
-            if sf <= 0.0 {
-                return Err("scale factor must be positive".into());
+            // `sf <= 0.0` alone would admit NaN (all comparisons false) and
+            // infinity; both build degenerate catalogs downstream.
+            if !(sf.is_finite() && sf > 0.0) {
+                return Err("scale factor must be a finite positive number".into());
             }
             Ok(crate::tpch::tpch_catalog(sf))
         }
@@ -29,6 +31,9 @@ pub fn resolve_catalog(spec: &str) -> Result<Catalog, String> {
                 .ok_or("tpch-n needs `:sf:copies`")?
                 .parse()
                 .map_err(|e| format!("bad scale factor: {e}"))?;
+            if !(sf.is_finite() && sf > 0.0) {
+                return Err("scale factor must be a finite positive number".into());
+            }
             let n: usize = parts
                 .next()
                 .ok_or("tpch-n needs `:sf:copies`")?
@@ -62,5 +67,19 @@ mod tests {
         assert!(resolve_catalog("tpch:zero").is_err());
         assert!(resolve_catalog("tpch:-1").is_err());
         assert!(resolve_catalog("tpch-n:1").is_err());
+    }
+
+    #[test]
+    fn non_finite_scale_factors_error() {
+        for spec in [
+            "tpch:nan",
+            "tpch:inf",
+            "tpch:-inf",
+            "tpch:1e999",
+            "tpch-n:nan:2",
+            "tpch-n:inf:2",
+        ] {
+            assert!(resolve_catalog(spec).is_err(), "{spec}");
+        }
     }
 }

@@ -55,11 +55,8 @@ impl Engine {
                 let disks = resolve_disks(&disks)?;
                 let objects = catalog.objects().len() as u64;
                 let n_disks = disks.len() as u64;
-                let id = self
-                    .registry
-                    .lock()
-                    .expect("registry lock poisoned")
-                    .open(Session::new(catalog, disks))?;
+                let id =
+                    crate::lock_unpoisoned(&self.registry).open(Session::new(catalog, disks))?;
                 Ok(obj(vec![
                     ("session", Value::U64(id)),
                     ("objects", Value::U64(objects)),
@@ -67,12 +64,8 @@ impl Engine {
                 ]))
             }
             Request::AddStatements { session, sql } => {
-                let handle = self
-                    .registry
-                    .lock()
-                    .expect("registry lock poisoned")
-                    .get(session)?;
-                let mut s = handle.lock().expect("session lock poisoned");
+                let handle = crate::lock_unpoisoned(&self.registry).get(session)?;
+                let mut s = crate::lock_unpoisoned(&handle);
                 let added = s.add_statements(&sql)? as u64;
                 let result = obj(vec![
                     ("added", Value::U64(added)),
@@ -82,10 +75,7 @@ impl Engine {
                 drop(s);
                 // Entries for older versions can never be read again; drop
                 // them rather than waiting for LRU churn.
-                self.cache
-                    .lock()
-                    .expect("cache lock poisoned")
-                    .invalidate_session(session);
+                crate::lock_unpoisoned(&self.cache).invalidate_session(session);
                 Ok(result)
             }
             Request::WhatifCost {
@@ -93,12 +83,8 @@ impl Engine {
                 layout,
                 no_cache,
             } => {
-                let handle = self
-                    .registry
-                    .lock()
-                    .expect("registry lock poisoned")
-                    .get(session)?;
-                let s = handle.lock().expect("session lock poisoned");
+                let handle = crate::lock_unpoisoned(&self.registry).get(session)?;
+                let s = crate::lock_unpoisoned(&handle);
                 let owned;
                 let (layout, lhash): (&Layout, u64) = match &layout {
                     LayoutSpec::FullStriping => (s.full_striping(), s.full_striping_hash()),
@@ -113,7 +99,7 @@ impl Engine {
                 let cost = if no_cache {
                     None
                 } else {
-                    self.cache.lock().expect("cache lock poisoned").get(key)
+                    crate::lock_unpoisoned(&self.cache).get(key)
                 };
                 let cost_ms = match cost {
                     Some(c) => {
@@ -131,10 +117,7 @@ impl Engine {
                             &s.disks,
                         );
                         if !no_cache {
-                            self.cache
-                                .lock()
-                                .expect("cache lock poisoned")
-                                .insert(key, c);
+                            crate::lock_unpoisoned(&self.cache).insert(key, c);
                         }
                         c
                     }
@@ -146,12 +129,8 @@ impl Engine {
                 ]))
             }
             Request::Recommend { session, k } => {
-                let handle = self
-                    .registry
-                    .lock()
-                    .expect("registry lock poisoned")
-                    .get(session)?;
-                let s = handle.lock().expect("session lock poisoned");
+                let handle = crate::lock_unpoisoned(&self.registry).get(session)?;
+                let s = crate::lock_unpoisoned(&handle);
                 let cfg = AdvisorConfig {
                     search: TsGreedyConfig {
                         k,
@@ -171,9 +150,8 @@ impl Engine {
             }
             Request::Stats => {
                 let m = self.metrics.snapshot();
-                let sessions_open =
-                    self.registry.lock().expect("registry lock poisoned").len() as u64;
-                let cache_entries = self.cache.lock().expect("cache lock poisoned").len() as u64;
+                let sessions_open = crate::lock_unpoisoned(&self.registry).len() as u64;
+                let cache_entries = crate::lock_unpoisoned(&self.cache).len() as u64;
                 Ok(obj(vec![
                     ("requests_total", Value::U64(m.requests_total)),
                     ("errors_total", Value::U64(m.errors_total)),
@@ -195,14 +173,8 @@ impl Engine {
                 ]))
             }
             Request::CloseSession { session } => {
-                self.registry
-                    .lock()
-                    .expect("registry lock poisoned")
-                    .close(session)?;
-                self.cache
-                    .lock()
-                    .expect("cache lock poisoned")
-                    .invalidate_session(session);
+                crate::lock_unpoisoned(&self.registry).close(session)?;
+                crate::lock_unpoisoned(&self.cache).invalidate_session(session);
                 Ok(obj(vec![("closed", Value::U64(session))]))
             }
         }

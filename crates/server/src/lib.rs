@@ -39,6 +39,21 @@ pub mod server;
 pub mod session;
 
 pub use client::Client;
+
+/// Locks a mutex, recovering the inner data when the lock is poisoned.
+///
+/// A panicking request must not take the server down with it: request
+/// execution is wrapped in `catch_unwind` (see [`server`]), so a lock held
+/// across such a panic ends up poisoned even though the shared state is
+/// still usable (request handlers mutate state only after validation, and
+/// [`Session::add_statements`](session::Session::add_statements) stages its
+/// updates before applying them). Recover with `into_inner` instead of
+/// panicking every later thread that touches the lock.
+pub(crate) fn lock_unpoisoned<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 pub use engine::{Engine, RuntimeInfo};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use protocol::{

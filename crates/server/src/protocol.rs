@@ -308,6 +308,21 @@ pub fn resolve_disks(spec: &str) -> Result<Vec<DiskSpec>, ApiError> {
         if n == 0 {
             return Err(ApiError::bad_request("disk count must be at least 1"));
         }
+        if cap == 0 {
+            return Err(ApiError::bad_request("capacity must be at least 1 block"));
+        }
+        // Zero, negative, or non-finite rates would produce degenerate cost
+        // weights downstream (and all-zero read rates panic layout placement).
+        if !(seek.is_finite() && seek > 0.0) {
+            return Err(ApiError::bad_request(
+                "seek time must be a finite positive number of milliseconds",
+            ));
+        }
+        if !(read.is_finite() && read > 0.0) {
+            return Err(ApiError::bad_request(
+                "read rate must be a finite positive number of MB/s",
+            ));
+        }
         return Ok(dblayout_disksim::uniform_disks(n, cap, seek, read));
     }
     Err(ApiError::bad_request(format!(
@@ -403,5 +418,25 @@ mod tests {
         assert!(resolve_disks("raid").is_err());
         assert!(resolve_disks("uniform:0:1:1:1").is_err());
         assert!(resolve_disks("uniform:4:1:1").is_err());
+    }
+
+    #[test]
+    fn degenerate_disk_parameters_are_rejected() {
+        // Zero/negative/non-finite rates must be a bad_request, not a panic
+        // deep inside layout placement on a later `recommend`.
+        for spec in [
+            "uniform:4:0:10:20",       // zero capacity
+            "uniform:4:100000:0:20",   // zero seek
+            "uniform:4:100000:-1:20",  // negative seek
+            "uniform:4:100000:nan:20", // NaN seek
+            "uniform:4:100000:inf:20", // infinite seek
+            "uniform:4:100000:10:0",   // zero read rate
+            "uniform:4:100000:10:-5",  // negative read rate
+            "uniform:4:100000:10:nan", // NaN read rate
+            "uniform:4:100000:10:inf", // infinite read rate
+        ] {
+            let err = resolve_disks(spec).unwrap_err();
+            assert_eq!(err.code, "bad_request", "{spec}");
+        }
     }
 }

@@ -150,7 +150,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             .metrics
             .connections_total
             .fetch_add(1, Ordering::Relaxed);
-        let mut queue = shared.queue.lock().expect("queue lock poisoned");
+        let mut queue = crate::lock_unpoisoned(&shared.queue);
         if queue.len() >= shared.config.queue_capacity {
             drop(queue);
             shared
@@ -173,7 +173,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let popped = {
-            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            let mut queue = crate::lock_unpoisoned(&shared.queue);
             loop {
                 if let Some(item) = queue.pop_front() {
                     break Some(item);
@@ -181,7 +181,10 @@ fn worker_loop(shared: &Arc<Shared>) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                queue = shared.available.wait(queue).expect("queue lock poisoned");
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         let Some((stream, enqueued)) = popped else {
@@ -204,6 +207,27 @@ fn worker_loop(shared: &Arc<Shared>) {
         }
         serve_connection(shared, stream);
     }
+}
+
+/// Runs one request with panic isolation: a panic inside the engine answers
+/// a structured `internal_error` instead of killing the worker thread. The
+/// pool is fixed-size and never respawned, so without this each panicking
+/// request would permanently shrink capacity until the server accepted
+/// connections but never answered them.
+fn execute_guarded(
+    run: impl FnOnce() -> Result<serde_json::Value, ApiError>,
+) -> Result<serde_json::Value, ApiError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)).unwrap_or_else(|panic| {
+        let detail = panic
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "unknown panic".into());
+        Err(ApiError::new(
+            "internal_error",
+            format!("request handler panicked: {detail}"),
+        ))
+    })
 }
 
 fn reply_and_close(mut stream: TcpStream, error: &ApiError) {
@@ -230,13 +254,13 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
             // other op skips the queue lock.
             let runtime = if matches!(req, Request::Stats) {
                 RuntimeInfo {
-                    queue_depth: shared.queue.lock().expect("queue lock poisoned").len() as u64,
+                    queue_depth: crate::lock_unpoisoned(&shared.queue).len() as u64,
                     threads: shared.config.threads as u64,
                 }
             } else {
                 RuntimeInfo::default()
             };
-            shared.engine.execute(req, &runtime)
+            execute_guarded(|| shared.engine.execute(req, &runtime))
         });
         shared
             .engine
@@ -360,6 +384,69 @@ mod tests {
                 .unwrap(),
         );
         assert_eq!(closed.get("closed").and_then(|v| v.as_u64()), Some(sid));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn degenerate_disk_spec_is_rejected_and_server_survives() {
+        let server = start();
+        let mut client = Client::connect(&server.addr().to_string()).unwrap();
+
+        // A zero read rate used to reach TS-GREEDY and panic a worker while
+        // it held the session lock; it must be a bad_request at open time.
+        let bad: Value = serde_json::from_str(
+            &client
+                .roundtrip(
+                    r#"{"op":"open_session","catalog":"tpch:0.01","disks":"uniform:4:100000:10:0"}"#,
+                )
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(bad.get("ok").and_then(|v| v.as_bool()), Some(false));
+        assert_eq!(
+            bad.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(|c| c.as_str()),
+            Some("bad_request")
+        );
+
+        // The same connection (and worker) keeps serving.
+        let open = result(
+            &client
+                .roundtrip(r#"{"op":"open_session","catalog":"tpch:0.01"}"#)
+                .unwrap(),
+        );
+        assert!(open.get("session").and_then(|v| v.as_u64()).is_some());
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn panicking_handler_answers_internal_error() {
+        let err = execute_guarded(|| -> Result<Value, ApiError> { panic!("boom") }).unwrap_err();
+        assert_eq!(err.code, "internal_error");
+        assert!(err.message.contains("boom"), "{}", err.message);
+    }
+
+    #[test]
+    fn poisoned_queue_lock_recovers() {
+        let server = start();
+        // Poison the queue mutex the way a panicking thread would.
+        let shared = Arc::clone(&server.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.queue.lock().unwrap();
+            panic!("poison the queue lock");
+        })
+        .join();
+        assert!(server.shared.queue.is_poisoned());
+
+        // The acceptor and workers recover the lock and keep serving
+        // (`result` asserts the response is ok; `stats` itself reads the
+        // recovered queue lock for its queue-depth gauge).
+        let mut client = Client::connect(&server.addr().to_string()).unwrap();
+        let stats = result(&client.roundtrip(r#"{"op":"stats"}"#).unwrap());
+        assert_eq!(stats.get("threads").and_then(|v| v.as_u64()), Some(2));
 
         server.shutdown();
     }

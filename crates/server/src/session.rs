@@ -132,9 +132,13 @@ impl Session {
                     row.len()
                 )));
             }
-            if row.iter().any(|&f| f < 0.0) || row.iter().sum::<f64>() <= 0.0 {
+            // Phrased so NaN fails closed: `f >= 0.0` and `sum > 0.0` are
+            // both false for NaN, where `f < 0.0` / `sum <= 0.0` would let
+            // NaN rows slip through to the panicking assert in `place`.
+            let sum: f64 = row.iter().sum();
+            if !(row.iter().all(|&f| f >= 0.0) && sum.is_finite() && sum > 0.0) {
                 return Err(ApiError::bad_request(format!(
-                    "layout row {obj} needs non-negative fractions with a positive sum"
+                    "layout row {obj} needs finite non-negative fractions with a positive sum"
                 )));
             }
             let placement: Vec<(usize, f64)> = row
@@ -406,8 +410,15 @@ mod tests {
         let mut ragged = even.clone();
         ragged[0].pop();
         assert!(s.layout_from_fractions(&ragged).is_err());
-        let mut under = even;
+        let mut under = even.clone();
         under[0] = vec![0.0; m];
         assert!(s.layout_from_fractions(&under).is_err());
+        // NaN must fail closed instead of reaching the assert in `place`.
+        let mut nan_row = even.clone();
+        nan_row[0] = vec![f64::NAN; m];
+        assert!(s.layout_from_fractions(&nan_row).is_err());
+        let mut inf_row = even;
+        inf_row[0][0] = f64::INFINITY;
+        assert!(s.layout_from_fractions(&inf_row).is_err());
     }
 }

@@ -413,20 +413,36 @@ impl Parser<'_> {
         u32::from_str_radix(hex, 16).map_err(|_| Error("invalid \\u escape".into()))
     }
 
+    /// Consumes a run of ASCII digits, returning how many were eaten.
+    fn eat_digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
     fn parse_number(&mut self) -> Result<Value, Error> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-            self.pos += 1;
+        // The JSON grammar requires at least one digit in the integer part,
+        // after a `.`, and after an exponent marker. Rust's f64 parser is
+        // laxer (it accepts `1.`, `-.5`, `1.e3`), so enforce the grammar
+        // here rather than letting those fall through.
+        if self.eat_digits() == 0 {
+            return Err(Error(format!("expected digit at byte {}", self.pos)));
         }
         let mut is_float = false;
         if self.peek() == Some(b'.') {
             is_float = true;
             self.pos += 1;
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
+            if self.eat_digits() == 0 {
+                return Err(Error(format!(
+                    "expected digit after `.` at byte {}",
+                    self.pos
+                )));
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
@@ -435,8 +451,11 @@ impl Parser<'_> {
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
             }
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
+            if self.eat_digits() == 0 {
+                return Err(Error(format!(
+                    "expected digit in exponent at byte {}",
+                    self.pos
+                )));
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
@@ -502,6 +521,28 @@ mod tests {
         assert!(from_str::<Value>("[1,]").is_err());
         assert!(from_str::<Value>("").is_err());
         assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn incomplete_numbers_are_rejected() {
+        // Rust's f64 parser accepts these; the JSON grammar does not.
+        for text in [
+            "1.",
+            "-.5",
+            "1.e5",
+            "1e",
+            "1e+",
+            "-",
+            "[1.]",
+            "{\"x\":2.E3}",
+        ] {
+            assert!(from_str::<Value>(text).is_err(), "{text}");
+        }
+        // The grammar-conforming spellings still parse.
+        assert_eq!(from_str::<Value>("1.5").unwrap(), Content::F64(1.5));
+        assert_eq!(from_str::<Value>("-0.5").unwrap(), Content::F64(-0.5));
+        assert_eq!(from_str::<Value>("2E+3").unwrap(), Content::F64(2000.0));
+        assert_eq!(from_str::<Value>("1e-2").unwrap(), Content::F64(0.01));
     }
 
     #[test]
