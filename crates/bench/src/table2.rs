@@ -38,8 +38,7 @@ pub fn manual_split_layout(catalog: &Catalog, disks: &[DiskSpec]) -> Layout {
     by_rate.sort_by(|&a, &b| {
         disks[b]
             .read_mb_s
-            .partial_cmp(&disks[a].read_mb_s)
-            .unwrap()
+            .total_cmp(&disks[a].read_mb_s)
             .then(a.cmp(&b))
     });
     let lineitem_disks = &by_rate[..5];

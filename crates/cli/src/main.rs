@@ -20,6 +20,7 @@ USAGE:
     dblayout --database <spec> --workload <file> [options]
     dblayout serve [serve-options]      run the what-if advisory service
     dblayout client [client-options]    talk to a running service
+    dblayout lint [lint-options]        static-analyze the workspace sources
 
 INPUTS (paper Figure 3):
     --database <spec>     built-in catalog: tpch[:sf] | tpch-n:<sf>:<n> | apb | sales
@@ -35,7 +36,29 @@ OPTIONS:
     --json <file>         write the recommendation as JSON
     --help                this text
 
-See `dblayout serve --help` and `dblayout client --help` for the service.
+See `dblayout serve --help` and `dblayout client --help` for the service,
+and `dblayout lint --help` for the static-analysis pass.
+";
+
+const LINT_USAGE: &str = "\
+dblayout lint — workspace static analysis (panic-safety, lock discipline,
+float hygiene; rule catalog in DESIGN.md, \"Static analysis\")
+
+USAGE:
+    dblayout lint [--deny-warnings] [--json] [--root <dir>]
+
+Scans every Rust source under <root>/crates/*/src plus DESIGN.md, prints a
+diagnostic per finding, and writes the machine-readable report to
+<root>/results/lint_report.json.
+
+Exit status: non-zero on any error-severity diagnostic (unlexable file,
+malformed suppression), and — under --deny-warnings — on any finding.
+
+OPTIONS:
+    --deny-warnings     treat rule findings as fatal (CI mode)
+    --json              print the JSON report to stdout instead of text
+    --root <dir>        workspace root to scan (default: .)
+    --help              this text
 ";
 
 const SERVE_USAGE: &str = "\
@@ -322,15 +345,57 @@ fn run_client(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn run_lint(args: &[String]) -> Result<ExitCode, String> {
+    let mut deny_warnings = false;
+    let mut json = false;
+    let mut root = ".".to_string();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--json" => json = true,
+            "--root" => {
+                root = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| "--root needs a value".to_string())?
+            }
+            "--help" | "-h" => return Err(LINT_USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n\n{LINT_USAGE}")),
+        }
+    }
+    let root = std::path::PathBuf::from(root);
+    let report = dblayout_lint::lint_workspace(&root).map_err(|e| format!("lint failed: {e}"))?;
+    let report_json = serde_json::to_string_pretty(&report.to_json()).map_err(|e| e.to_string())?;
+    let results_dir = root.join("results");
+    std::fs::create_dir_all(&results_dir)
+        .map_err(|e| format!("cannot create `{}`: {e}", results_dir.display()))?;
+    let out_path = results_dir.join("lint_report.json");
+    std::fs::write(&out_path, &report_json)
+        .map_err(|e| format!("cannot write `{}`: {e}", out_path.display()))?;
+    if json {
+        println!("{report_json}");
+    } else {
+        print!("{}", report.render());
+        println!("(JSON report written to {})", out_path.display());
+    }
+    Ok(if report.is_clean(deny_warnings) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let outcome = match args.first().map(String::as_str) {
-        Some("serve") => run_serve(&args[1..]),
-        Some("client") => run_client(&args[1..]),
-        _ => run(),
+        Some("serve") => run_serve(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("client") => run_client(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("lint") => run_lint(&args[1..]),
+        _ => run().map(|()| ExitCode::SUCCESS),
     };
     match outcome {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::FAILURE

@@ -118,6 +118,7 @@ pub fn concurrent_cost_workload(
     let mut out: Vec<(Vec<Subplan>, f64)> = Vec::new();
 
     for group in &workload.groups {
+        // dblayout::allow(R3, reason = "overlap is clamped to [0, 1] above; 0.0 is the exact sentinel for no-overlap, not a computed value")
         if group.len() < 2 || overlap == 0.0 {
             continue;
         }

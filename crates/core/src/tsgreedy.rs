@@ -106,7 +106,7 @@ pub fn ts_greedy(
     reps.dedup();
     let group_index: Vec<usize> = group_of
         .iter()
-        .map(|g| reps.binary_search(g).expect("rep present"))
+        .map(|g| reps.partition_point(|&r| r < *g))
         .collect();
     let g_count = reps.len();
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); g_count];
@@ -160,7 +160,7 @@ pub fn ts_greedy(
     partitions.sort_by(|a, b| {
         let wa: f64 = a.iter().map(|&g| cg.node_weight(g)).sum();
         let wb: f64 = b.iter().map(|&g| cg.node_weight(g)).sum();
-        wb.partial_cmp(&wa).unwrap_or(std::cmp::Ordering::Equal)
+        wb.total_cmp(&wa)
     });
 
     let mut layout = Layout::empty(sizes.to_vec(), m);
@@ -174,8 +174,7 @@ pub fn ts_greedy(
     by_rate.sort_by(|&a, &b| {
         disks[b]
             .read_mb_s
-            .partial_cmp(&disks[a].read_mb_s)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&disks[a].read_mb_s)
             .then(a.cmp(&b))
     });
 
@@ -213,7 +212,7 @@ pub fn ts_greedy(
                             w += cg.edge_weight(g, h);
                         }
                     }
-                    if best.is_none() || w < best.unwrap().1 {
+                    if best.is_none_or(|(_, bw)| w < bw) {
                         best = Some((idx, w));
                     }
                 }

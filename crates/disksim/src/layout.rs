@@ -103,11 +103,7 @@ pub fn apportion(size: u64, fractions: &[f64]) -> Vec<u64> {
     }
     // Hand out the leftover blocks to the largest remainders (ties by index
     // for determinism).
-    remainders.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-    });
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let mut left = size - assigned;
     for (j, _) in remainders {
         if left == 0 {

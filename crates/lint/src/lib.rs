@@ -1,0 +1,197 @@
+//! dblayout-lint: a workspace static-analysis pass for panic-safety, lock
+//! discipline, and float hygiene.
+//!
+//! PR 1's review rounds kept finding the same three defect families by
+//! hand: panic shortcuts on the request-serving path, bare
+//! `Mutex::lock().unwrap()` that re-raises poisoning the server was
+//! explicitly designed to absorb, and NaN-unsafe float comparisons in the
+//! Figure-7 cost model. This crate turns those review rules into a
+//! mechanical gate: it tokenizes the workspace's own Rust sources with a
+//! small hand-written lexer (in the spirit of `dblayout-sql`'s SQL lexer)
+//! and runs five rules over the per-file token streams plus a cross-file
+//! lock-acquisition graph:
+//!
+//! | id | rule |
+//! |----|------|
+//! | R1 | no unwrap/expect/panic-macros (and no index expressions in the server) in hot-path code |
+//! | R2 | every `Mutex::lock()` in `crates/server` recovers poisoning (`lock_unpoisoned`) |
+//! | R3 | no `partial_cmp`, no `==`/`!=` against float literals |
+//! | R4 | lock-acquisition order across `crates/server` is cycle-free |
+//! | R5 | every `Request` variant is dispatched in `engine.rs` and documented in `DESIGN.md` |
+//!
+//! Findings are warnings (fatal under `--deny-warnings`); infrastructure
+//! problems — an unlexable file, a malformed suppression — are errors and
+//! always fatal. A finding is silenced inline with
+//! `// dblayout::allow(R3, reason = "...")`; the reason is mandatory and
+//! suppressions are carried into the JSON report so they stay auditable.
+//!
+//! Entry points: [`lint_workspace`] walks `crates/*/src` + `DESIGN.md`
+//! from a workspace root; [`analyze`] runs on in-memory sources (the
+//! fixture tests use this). The CLI front-end is
+//! `dblayout lint [--deny-warnings] [--json]`.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod suppress;
+pub mod workspace;
+
+use std::io;
+use std::path::Path;
+
+pub use report::{Diagnostic, LintReport, Severity};
+pub use workspace::InputFile;
+
+use report::Severity::{Error, Warning};
+use rules::{all_rules, Ctx};
+use workspace::{build_file_ctx, FileCtx};
+
+/// Runs every rule over in-memory sources.
+///
+/// `design_md` is `DESIGN.md`'s text when available; without it R5's
+/// documentation check is skipped. Files that fail to lex and malformed
+/// suppression directives surface as error diagnostics rather than
+/// aborting the run.
+pub fn analyze(files: &[InputFile], design_md: Option<&str>) -> LintReport {
+    let mut report = LintReport::default();
+    let mut ctxs: Vec<FileCtx> = Vec::with_capacity(files.len());
+    for f in files {
+        match build_file_ctx(f) {
+            Ok(ctx) => ctxs.push(ctx),
+            Err(msg) => report.diagnostics.push(Diagnostic {
+                rule: "lint",
+                severity: Error,
+                file: f.path.clone(),
+                line: 1,
+                message: format!("cannot analyze file: {msg}"),
+            }),
+        }
+    }
+    report.files_scanned = ctxs.len();
+    for ctx in &ctxs {
+        for s in &ctx.suppressions {
+            if let Some(err) = &s.error {
+                report.diagnostics.push(Diagnostic {
+                    rule: "lint",
+                    severity: Error,
+                    file: ctx.path.clone(),
+                    line: s.line,
+                    message: format!("malformed suppression: {err}"),
+                });
+            }
+        }
+    }
+    let rule_ctx = Ctx {
+        files: &ctxs,
+        design_md,
+    };
+    for rule in all_rules() {
+        for finding in rule.check(&rule_ctx) {
+            let suppression = ctxs.iter().find(|c| c.path == finding.file).and_then(|c| {
+                c.suppressions
+                    .iter()
+                    .find(|s| s.covers(rule.id(), finding.line))
+            });
+            let diag = |message| Diagnostic {
+                rule: rule.id(),
+                severity: Warning,
+                file: finding.file.clone(),
+                line: finding.line,
+                message,
+            };
+            match suppression {
+                Some(s) => report
+                    .suppressed
+                    .push(diag(format!("{} [allowed: {}]", finding.message, s.reason))),
+                None => report.diagnostics.push(diag(finding.message.clone())),
+            }
+        }
+    }
+    let key = |d: &Diagnostic| (d.file.clone(), d.line, d.rule);
+    report.diagnostics.sort_by_key(key);
+    report.suppressed.sort_by_key(key);
+    report
+}
+
+/// Lints a workspace on disk: every `.rs` under `<root>/crates/*/src`
+/// plus `<root>/DESIGN.md`.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let (files, design_md) = workspace::load_workspace(root)?;
+    Ok(analyze(&files, design_md.as_deref()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, text: &str) -> InputFile {
+        InputFile {
+            path: path.into(),
+            text: text.into(),
+        }
+    }
+
+    #[test]
+    fn clean_source_yields_clean_report() {
+        let files = [file(
+            "crates/server/src/ok.rs",
+            "fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0)\n}\n",
+        )];
+        let r = analyze(&files, None);
+        assert!(r.is_clean(true), "{}", r.render());
+        assert_eq!(r.files_scanned, 1);
+    }
+
+    #[test]
+    fn finding_is_a_warning_and_suppression_moves_it_aside() {
+        let bare = [file(
+            "crates/server/src/bad.rs",
+            "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        )];
+        let r = analyze(&bare, None);
+        assert_eq!(r.warnings(), 1);
+        assert!(r.is_clean(false), "warnings pass without deny");
+        assert!(!r.is_clean(true));
+
+        let allowed = [file(
+            "crates/server/src/bad.rs",
+            "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // dblayout::allow(R1, reason = \"input validated by caller\")\n}\n",
+        )];
+        let r = analyze(&allowed, None);
+        assert!(r.is_clean(true), "{}", r.render());
+        assert_eq!(r.suppressed.len(), 1);
+        assert!(r.suppressed[0]
+            .message
+            .contains("input validated by caller"));
+    }
+
+    #[test]
+    fn malformed_suppression_is_an_error() {
+        let files = [file(
+            "crates/server/src/bad.rs",
+            "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // dblayout::allow(R1)\n}\n",
+        )];
+        let r = analyze(&files, None);
+        assert_eq!(r.errors(), 1);
+        assert!(!r.is_clean(false), "errors fail even without deny");
+    }
+
+    #[test]
+    fn unlexable_file_is_an_error_not_a_crash() {
+        let files = [file("crates/x/src/broken.rs", "fn f() { \"unterminated }")];
+        let r = analyze(&files, None);
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.files_scanned, 0);
+    }
+
+    #[test]
+    fn suppression_for_a_different_rule_does_not_silence() {
+        let files = [file(
+            "crates/server/src/bad.rs",
+            "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // dblayout::allow(R3, reason = \"wrong rule\")\n}\n",
+        )];
+        let r = analyze(&files, None);
+        assert_eq!(r.warnings(), 1);
+        assert!(r.suppressed.is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! The rule engine: the [`Rule`] trait, the registry, and shared
+//! token-matching helpers.
+//!
+//! Each rule sees the whole workspace at once (some rules are cross-file:
+//! R4 builds a lock-acquisition graph over every `crates/server` source,
+//! R5 joins `protocol.rs` against `engine.rs` and `DESIGN.md`), scopes
+//! itself by path, and returns findings. The engine in [`crate`] applies
+//! suppressions afterwards, so rules never need to think about them.
+
+use crate::lexer::{Tok, TokKind};
+use crate::workspace::FileCtx;
+
+mod float_hygiene;
+mod lock_order;
+mod no_panic;
+mod poison_lock;
+mod protocol_exhaustive;
+
+/// Every known rule id, in catalog order (also the set the suppression
+/// parser accepts).
+pub const RULE_IDS: &[&str] = &["R1", "R2", "R3", "R4", "R5"];
+
+/// Everything a rule may look at.
+pub struct Ctx<'a> {
+    /// Lexed workspace files, sorted by path.
+    pub files: &'a [FileCtx],
+    /// `DESIGN.md` text when available (R5's wire-protocol table check).
+    pub design_md: Option<&'a str>,
+}
+
+/// One rule finding, before suppression filtering.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What and why, with the suggested fix.
+    pub message: String,
+}
+
+/// A lint rule.
+pub trait Rule {
+    /// Stable id (`R1`..`R5`).
+    fn id(&self) -> &'static str;
+    /// One-line summary for reports and docs.
+    fn description(&self) -> &'static str;
+    /// Runs the rule over the workspace.
+    fn check(&self, ctx: &Ctx<'_>) -> Vec<Finding>;
+}
+
+/// The shipped rule set, in catalog order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(no_panic::NoPanicInHotPath),
+        Box::new(poison_lock::PoisonSafeLocking),
+        Box::new(float_hygiene::FloatHygiene),
+        Box::new(lock_order::LockOrder),
+        Box::new(protocol_exhaustive::ProtocolExhaustiveness),
+    ]
+}
+
+// ---- Shared token helpers ----
+
+/// Whether `t` is the punctuation `s`.
+pub(crate) fn is_punct(t: &Tok, s: &str) -> bool {
+    matches!(&t.kind, TokKind::Punct(p) if p == s)
+}
+
+/// Whether `t` is the identifier `s`.
+pub(crate) fn is_ident(t: &Tok, s: &str) -> bool {
+    matches!(&t.kind, TokKind::Ident(i) if i == s)
+}
+
+/// The identifier text of `t`, if it is one.
+pub(crate) fn ident_text(t: &Tok) -> Option<&str> {
+    match &t.kind {
+        TokKind::Ident(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Rust keywords that can precede `[` without it being an index
+/// expression (`let [a, b] = ...`, `match x { [..] => ... }`, `return [..]`).
+pub(crate) const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "if", "else", "match", "return", "mut", "ref", "move", "break", "continue",
+    "while", "for", "loop", "as", "where", "unsafe", "dyn", "impl", "fn", "use", "pub", "const",
+    "static", "struct", "enum", "type", "trait", "mod",
+];

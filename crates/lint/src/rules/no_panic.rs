@@ -1,0 +1,119 @@
+//! R1 — no-panic-in-hot-path.
+//!
+//! The request-serving path (`crates/server`) and the inner cost loops
+//! (`core::costmodel`, `core::tsgreedy`) must not contain panic shortcuts:
+//! a panic inside a worker poisons whatever session/queue lock it holds,
+//! and a panic inside the cost model aborts a search the caller already
+//! validated inputs for. Flagged outside `#[cfg(test)]`:
+//!
+//! * `.unwrap()` / `.expect(...)` on `Option`/`Result`;
+//! * the panicking macros `panic!` / `unreachable!` / `todo!` /
+//!   `unimplemented!`;
+//! * slice/array index expressions (`xs[i]`) — in `crates/server` only,
+//!   where every index is attacker-influenced request data; the dense
+//!   index arithmetic in `costmodel`/`tsgreedy` iterates loop-invariant
+//!   bounds and keeps the slice idiom.
+//!
+//! `assert!`-family invariant checks and the non-panicking `unwrap_or*`
+//! variants are allowed by design.
+
+use super::{ident_text, is_punct, Ctx, Finding, Rule, NON_INDEX_KEYWORDS};
+use crate::lexer::TokKind;
+use crate::workspace::FileCtx;
+
+/// See module docs.
+pub struct NoPanicInHotPath;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn in_panic_zone(path: &str) -> bool {
+    path.starts_with("crates/server/src/")
+        || path == "crates/core/src/costmodel.rs"
+        || path == "crates/core/src/tsgreedy.rs"
+}
+
+fn in_index_zone(path: &str) -> bool {
+    path.starts_with("crates/server/src/")
+}
+
+impl Rule for NoPanicInHotPath {
+    fn id(&self) -> &'static str {
+        "R1"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic! (and, in the server, no index expressions) in hot-path code"
+    }
+
+    fn check(&self, ctx: &Ctx<'_>) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for file in ctx.files {
+            if !in_panic_zone(&file.path) {
+                continue;
+            }
+            check_file(file, &mut findings);
+        }
+        findings
+    }
+}
+
+fn check_file(file: &FileCtx, findings: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if file.in_tests(t.line) {
+            continue;
+        }
+        let Some(name) = ident_text(t) else {
+            // Index expression: `[` directly after an ident, `)`, `]` or `?`
+            // is an index (array literals/types/patterns follow punctuation
+            // or keywords instead).
+            if in_index_zone(&file.path) && is_punct(t, "[") && i > 0 {
+                let prev = &toks[i - 1];
+                let indexes = match &prev.kind {
+                    TokKind::Ident(p) => !NON_INDEX_KEYWORDS.contains(&p.as_str()),
+                    TokKind::Punct(p) => p == ")" || p == "]" || p == "?",
+                    _ => false,
+                };
+                if indexes {
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line: t.line,
+                        message: "index expression in the request-serving path can panic on a \
+                                  bad index; use `.get(...)` with an explicit fallback"
+                            .into(),
+                    });
+                }
+            }
+            continue;
+        };
+        // `.unwrap()` / `.expect(` — exact method names after a dot.
+        if (name == "unwrap" || name == "expect")
+            && i > 0
+            && is_punct(&toks[i - 1], ".")
+            && toks.get(i + 1).is_some_and(|n| is_punct(n, "("))
+        {
+            findings.push(Finding {
+                file: file.path.clone(),
+                line: t.line,
+                message: format!(
+                    "`.{name}()` can panic in hot-path code; return a structured error or use a \
+                     non-panicking `unwrap_or*` with a documented fallback"
+                ),
+            });
+            continue;
+        }
+        // `panic!(` and friends — ident followed by `!`; exclude `x != y`
+        // (the lexer joins `!=`, so a bare `!` here really is a macro bang
+        // or a unary not, and unary not is never directly after an ident).
+        if PANIC_MACROS.contains(&name) && toks.get(i + 1).is_some_and(|n| is_punct(n, "!")) {
+            findings.push(Finding {
+                file: file.path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{name}!` aborts the request (and poisons any held lock); answer a \
+                     structured error instead"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! R2 — poison-safe locking.
+//!
+//! PR 1 wrapped request execution in `catch_unwind`, so a panicking
+//! request leaves shared mutexes poisoned but the data behind them intact
+//! (handlers stage mutations before applying). Every lock acquisition in
+//! `crates/server` must therefore recover from poisoning instead of
+//! unwrapping it — otherwise one panic wedges every later request that
+//! touches the same mutex. The blessed paths are the crate's
+//! `lock_unpoisoned` helper and the recovery idiom it wraps
+//! (`.lock().unwrap_or_else(PoisonError::into_inner)`, also accepted on
+//! `Condvar::wait`). A bare `.lock()` followed by anything else —
+//! `.unwrap()`, `.expect(...)`, `?`, or nothing — is flagged, in test code
+//! too: the drain path runs during tests as well, and a test that poisons
+//! a mutex on purpose still acquires it through the helper first.
+
+use super::{is_ident, is_punct, Ctx, Finding, Rule};
+use crate::workspace::FileCtx;
+
+/// See module docs.
+pub struct PoisonSafeLocking;
+
+impl Rule for PoisonSafeLocking {
+    fn id(&self) -> &'static str {
+        "R2"
+    }
+
+    fn description(&self) -> &'static str {
+        "every Mutex::lock() in crates/server must recover poisoning (lock_unpoisoned helper)"
+    }
+
+    fn check(&self, ctx: &Ctx<'_>) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for file in ctx.files {
+            if !file.path.starts_with("crates/server/src/") {
+                continue;
+            }
+            check_file(file, &mut findings);
+        }
+        findings
+    }
+}
+
+fn check_file(file: &FileCtx, findings: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        // `.lock()` — a method call, not the `lock` in `lock_unpoisoned(..)`.
+        if !(is_ident(&toks[i], "lock")
+            && i > 0
+            && is_punct(&toks[i - 1], ".")
+            && toks.get(i + 1).is_some_and(|t| is_punct(t, "("))
+            && toks.get(i + 2).is_some_and(|t| is_punct(t, ")")))
+        {
+            continue;
+        }
+        // Allowed continuation: `.unwrap_or_else(` — the poison-recovery
+        // idiom (the helper's own body, and Condvar::wait call sites).
+        let recovered = toks.get(i + 3).is_some_and(|t| is_punct(t, "."))
+            && toks
+                .get(i + 4)
+                .is_some_and(|t| is_ident(t, "unwrap_or_else"));
+        if !recovered {
+            findings.push(Finding {
+                file: file.path.clone(),
+                line: toks[i].line,
+                message: "bare `Mutex::lock()` does not recover poisoning; one panicking \
+                          request would wedge every later request on this mutex — route \
+                          through `crate::lock_unpoisoned`"
+                    .into(),
+            });
+        }
+    }
+}

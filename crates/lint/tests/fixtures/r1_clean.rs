@@ -1,0 +1,17 @@
+// R1 clean twin: the same shapes with non-panicking fallbacks.
+
+pub fn pick(xs: &[u64], i: usize) -> u64 {
+    xs.get(i).copied().unwrap_or(0)
+}
+
+pub fn first(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap_or_default()
+}
+
+pub fn must(kind: u8) -> &'static str {
+    match kind {
+        0 => "scan",
+        1 => "seek",
+        _ => "unknown",
+    }
+}

@@ -1,0 +1,25 @@
+// R1 fixture: panic shortcuts in hot-path code (scanned as a server file).
+
+pub fn pick(xs: &[u64], i: usize) -> u64 {
+    xs[i]
+}
+
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn must(kind: u8) -> &'static str {
+    match kind {
+        0 => "scan",
+        1 => "seek",
+        _ => unreachable!("validated upstream"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        assert_eq!(super::pick(&[7], 0).checked_add(0).unwrap(), 7);
+    }
+}

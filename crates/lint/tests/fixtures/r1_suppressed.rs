@@ -1,0 +1,6 @@
+// R1 suppression fixture: the violation is silenced with a documented reason.
+
+pub fn first(xs: &[u64]) -> u64 {
+    // dblayout::allow(R1, reason = "fixture: caller guarantees non-empty input")
+    *xs.first().unwrap()
+}

@@ -1,0 +1,7 @@
+// Suppression-syntax fixture: a directive without the mandatory reason is
+// itself an error, and the finding it tried to silence stays active.
+
+pub fn first(xs: &[u64]) -> u64 {
+    // dblayout::allow(R1)
+    *xs.first().unwrap()
+}

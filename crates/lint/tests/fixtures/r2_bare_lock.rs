@@ -1,0 +1,7 @@
+// R2 fixture: a bare Mutex::lock().unwrap() re-raises poisoning.
+
+use std::sync::Mutex;
+
+pub fn depth(queue: &Mutex<Vec<u64>>) -> usize {
+    queue.lock().unwrap().len()
+}

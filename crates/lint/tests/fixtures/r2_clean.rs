@@ -1,0 +1,10 @@
+// R2 clean twin: the poison-recovering idiom the helper wraps.
+
+use std::sync::Mutex;
+
+pub fn depth(queue: &Mutex<Vec<u64>>) -> usize {
+    queue
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .len()
+}

@@ -1,0 +1,9 @@
+// R3 clean twin: total order and a tolerance instead of exact equality.
+
+pub fn cheaper(a: f64, b: f64) -> bool {
+    a.total_cmp(&b) == std::cmp::Ordering::Less
+}
+
+pub fn is_free(cost: f64) -> bool {
+    cost.abs() < 1e-9
+}

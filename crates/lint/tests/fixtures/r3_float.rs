@@ -1,0 +1,9 @@
+// R3 fixture: NaN-unsafe float comparisons.
+
+pub fn cheaper(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b) == Some(std::cmp::Ordering::Less)
+}
+
+pub fn is_free(cost: f64) -> bool {
+    cost == 0.0
+}

@@ -1,0 +1,20 @@
+// R4 clean twin: both call paths agree on queue-before-registry.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Shared {
+    pub queue: Mutex<Vec<u64>>,
+    pub registry: Mutex<Vec<u64>>,
+}
+
+pub fn drain(s: &Shared) -> usize {
+    let q = s.queue.lock().unwrap_or_else(PoisonError::into_inner);
+    let r = s.registry.lock().unwrap_or_else(PoisonError::into_inner);
+    q.len() + r.len()
+}
+
+pub fn report(s: &Shared) -> usize {
+    let q = s.queue.lock().unwrap_or_else(PoisonError::into_inner);
+    let r = s.registry.lock().unwrap_or_else(PoisonError::into_inner);
+    r.len() + q.len()
+}

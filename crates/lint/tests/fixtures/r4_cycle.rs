@@ -1,0 +1,22 @@
+// R4 fixture: two functions take the same two mutexes in opposite orders —
+// a thread in each can deadlock. Every acquisition recovers poisoning so
+// only R4 fires.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Shared {
+    pub queue: Mutex<Vec<u64>>,
+    pub registry: Mutex<Vec<u64>>,
+}
+
+pub fn drain(s: &Shared) -> usize {
+    let q = s.queue.lock().unwrap_or_else(PoisonError::into_inner);
+    let r = s.registry.lock().unwrap_or_else(PoisonError::into_inner);
+    q.len() + r.len()
+}
+
+pub fn report(s: &Shared) -> usize {
+    let r = s.registry.lock().unwrap_or_else(PoisonError::into_inner);
+    let q = s.queue.lock().unwrap_or_else(PoisonError::into_inner);
+    r.len() + q.len()
+}

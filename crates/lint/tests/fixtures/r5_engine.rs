@@ -1,0 +1,9 @@
+// R5 fixture engine: dispatches every variant except `Shutdown`.
+
+pub fn dispatch(req: Request) -> &'static str {
+    match req {
+        Request::OpenSession { .. } => "open_session",
+        Request::Stats => "stats",
+        _ => "dropped",
+    }
+}

@@ -1,0 +1,8 @@
+// R5 fixture protocol: three variants; `Shutdown` is the one the paired
+// engine fixture and design text forget.
+
+pub enum Request {
+    OpenSession { database: String },
+    Stats,
+    Shutdown,
+}

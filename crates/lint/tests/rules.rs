@@ -1,0 +1,233 @@
+//! Per-rule fixture tests: every seeded violation trips its rule (so a
+//! `--deny-warnings` run would exit non-zero), every clean twin passes,
+//! and suppression directives behave.
+
+use dblayout_lint::{analyze, InputFile, LintReport, Severity};
+
+fn file(path: &str, text: &str) -> InputFile {
+    InputFile {
+        path: path.into(),
+        text: text.into(),
+    }
+}
+
+/// Rule ids of the active (unsuppressed) diagnostics.
+fn rules_hit(report: &LintReport) -> Vec<&'static str> {
+    report.diagnostics.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn r1_panic_shortcuts_in_hot_path() {
+    let report = analyze(
+        &[file(
+            "crates/server/src/fixture.rs",
+            include_str!("fixtures/r1_hot_unwrap.rs"),
+        )],
+        None,
+    );
+    // One per seeded shape: the index, the unwrap, the unreachable! —
+    // and nothing from the #[cfg(test)] module.
+    assert_eq!(
+        rules_hit(&report),
+        ["R1", "R1", "R1"],
+        "{}",
+        report.render()
+    );
+    assert!(!report.is_clean(true));
+
+    let clean = analyze(
+        &[file(
+            "crates/server/src/fixture.rs",
+            include_str!("fixtures/r1_clean.rs"),
+        )],
+        None,
+    );
+    assert!(clean.is_clean(true), "{}", clean.render());
+}
+
+#[test]
+fn r1_is_scoped_to_hot_paths() {
+    // The same panicking source outside the hot-path crates is not R1's
+    // business (the catalog builder may unwrap all it wants).
+    let report = analyze(
+        &[file(
+            "crates/catalog/src/fixture.rs",
+            include_str!("fixtures/r1_hot_unwrap.rs"),
+        )],
+        None,
+    );
+    assert!(report.is_clean(true), "{}", report.render());
+}
+
+#[test]
+fn r2_bare_lock_unwrap() {
+    let report = analyze(
+        &[file(
+            "crates/server/src/fixture.rs",
+            include_str!("fixtures/r2_bare_lock.rs"),
+        )],
+        None,
+    );
+    assert!(rules_hit(&report).contains(&"R2"), "{}", report.render());
+    assert!(!report.is_clean(true));
+
+    let clean = analyze(
+        &[file(
+            "crates/server/src/fixture.rs",
+            include_str!("fixtures/r2_clean.rs"),
+        )],
+        None,
+    );
+    assert!(clean.is_clean(true), "{}", clean.render());
+}
+
+#[test]
+fn r3_nan_unsafe_comparisons() {
+    let report = analyze(
+        &[file(
+            "crates/core/src/fixture.rs",
+            include_str!("fixtures/r3_float.rs"),
+        )],
+        None,
+    );
+    assert_eq!(rules_hit(&report), ["R3", "R3"], "{}", report.render());
+    assert!(!report.is_clean(true));
+
+    let clean = analyze(
+        &[file(
+            "crates/core/src/fixture.rs",
+            include_str!("fixtures/r3_clean.rs"),
+        )],
+        None,
+    );
+    assert!(clean.is_clean(true), "{}", clean.render());
+}
+
+#[test]
+fn r4_two_mutex_cycle() {
+    let report = analyze(
+        &[file(
+            "crates/server/src/fixture.rs",
+            include_str!("fixtures/r4_cycle.rs"),
+        )],
+        None,
+    );
+    assert!(rules_hit(&report).contains(&"R4"), "{}", report.render());
+    assert!(!report.is_clean(true));
+    let cycle = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "R4")
+        .map(|d| d.message.as_str())
+        .unwrap_or_default();
+    assert!(
+        cycle.contains("queue") && cycle.contains("registry"),
+        "cycle names both mutexes: {cycle}"
+    );
+
+    let clean = analyze(
+        &[file(
+            "crates/server/src/fixture.rs",
+            include_str!("fixtures/r4_clean.rs"),
+        )],
+        None,
+    );
+    assert!(clean.is_clean(true), "{}", clean.render());
+}
+
+#[test]
+fn r4_cycle_across_files() {
+    // The graph merges acquisitions by mutex name across the crate: the
+    // opposite orders live in different files here.
+    let cycle = include_str!("fixtures/r4_cycle.rs");
+    let (drain, report_fn) = cycle.split_once("pub fn report").expect("both fns");
+    let report = analyze(
+        &[
+            file("crates/server/src/a.rs", drain),
+            file(
+                "crates/server/src/b.rs",
+                &format!("use std::sync::{{Mutex, PoisonError}};\npub struct Shared {{ pub queue: Mutex<Vec<u64>>, pub registry: Mutex<Vec<u64>> }}\npub fn report{report_fn}"),
+            ),
+        ],
+        None,
+    );
+    assert!(rules_hit(&report).contains(&"R4"), "{}", report.render());
+}
+
+#[test]
+fn r5_undispatched_and_undocumented_variant() {
+    let files = [
+        file(
+            "crates/server/src/protocol.rs",
+            include_str!("fixtures/r5_protocol.rs"),
+        ),
+        file(
+            "crates/server/src/engine.rs",
+            include_str!("fixtures/r5_engine.rs"),
+        ),
+    ];
+    // `Shutdown` is neither dispatched nor documented: two findings.
+    let report = analyze(&files, Some("| open_session | stats |"));
+    assert_eq!(rules_hit(&report), ["R5", "R5"], "{}", report.render());
+    assert!(!report.is_clean(true));
+
+    // Documenting it leaves exactly the missing dispatch arm.
+    let report = analyze(&files, Some("| open_session | stats | shutdown |"));
+    assert_eq!(rules_hit(&report), ["R5"], "{}", report.render());
+    assert!(report.diagnostics[0].message.contains("Shutdown"));
+
+    // Wiring the dispatch too makes the protocol exhaustive.
+    let full_engine = include_str!("fixtures/r5_engine.rs")
+        .replace("_ => \"dropped\"", "Request::Shutdown => \"shutdown\"");
+    let report = analyze(
+        &[
+            file(
+                "crates/server/src/protocol.rs",
+                include_str!("fixtures/r5_protocol.rs"),
+            ),
+            file("crates/server/src/engine.rs", &full_engine),
+        ],
+        Some("| open_session | stats | shutdown |"),
+    );
+    assert!(report.is_clean(true), "{}", report.render());
+}
+
+#[test]
+fn suppression_with_reason_silences_and_is_reported() {
+    let report = analyze(
+        &[file(
+            "crates/server/src/fixture.rs",
+            include_str!("fixtures/r1_suppressed.rs"),
+        )],
+        None,
+    );
+    assert!(report.is_clean(true), "{}", report.render());
+    assert_eq!(report.suppressed.len(), 1);
+    assert!(
+        report.suppressed[0]
+            .message
+            .contains("caller guarantees non-empty"),
+        "reason travels into the report: {}",
+        report.suppressed[0].message
+    );
+}
+
+#[test]
+fn suppression_without_reason_is_fatal() {
+    let report = analyze(
+        &[file(
+            "crates/server/src/fixture.rs",
+            include_str!("fixtures/r1_suppressed_bad.rs"),
+        )],
+        None,
+    );
+    // The malformed directive is an error (fatal even without
+    // --deny-warnings) and the finding it aimed at stays active.
+    assert_eq!(report.errors(), 1, "{}", report.render());
+    assert!(rules_hit(&report).contains(&"R1"));
+    assert!(!report.is_clean(false));
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.severity == Severity::Error && d.message.contains("reason")));
+}

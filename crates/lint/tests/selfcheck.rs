@@ -1,0 +1,24 @@
+//! The lint pass dogfoods: the workspace that ships the linter must be
+//! lint-clean under `--deny-warnings`, with every in-tree suppression
+//! carrying its documented reason.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = dblayout_lint::lint_workspace(&root).expect("workspace sources load");
+    assert!(report.files_scanned > 50, "walker found the workspace");
+    assert!(
+        report.is_clean(true),
+        "workspace must be lint-clean under --deny-warnings:\n{}",
+        report.render()
+    );
+    for d in &report.suppressed {
+        assert!(
+            d.message.contains("[allowed: "),
+            "suppression lost its reason: {}",
+            d.message
+        );
+    }
+}

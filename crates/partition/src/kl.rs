@@ -139,8 +139,7 @@ pub fn max_cut_partition(g: &Graph, parts: usize) -> Vec<usize> {
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
         g.node_weight(b)
-            .partial_cmp(&g.node_weight(a))
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&g.node_weight(a))
             .then(a.cmp(&b))
     });
     let mut assignment = vec![usize::MAX; n];

@@ -1152,11 +1152,7 @@ impl<'a> Optimizer<'a> {
         let paths = self.access_paths(0, &binding, &local, &None);
         let access = paths
             .into_iter()
-            .min_by(|a, b| {
-                a.cost
-                    .partial_cmp(&b.cost)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))
             .ok_or_else(|| PlanError::Unsupported("no access path".into()))?;
         let matched = access.rows;
         let table_blocks = t.size_blocks().max(1);
@@ -1335,11 +1331,7 @@ fn insert_candidate(frontier: &mut Vec<Cand>, cand: Cand, max: usize) {
     frontier.push(cand);
     if frontier.len() > max {
         // Drop the most expensive non-unique-order candidate.
-        frontier.sort_by(|a, b| {
-            a.cost
-                .partial_cmp(&b.cost)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        frontier.sort_by(|a, b| a.cost.total_cmp(&b.cost));
         frontier.truncate(max);
     }
 }

@@ -48,6 +48,7 @@ pub fn const_value(e: &Expr) -> Option<f64> {
                 BinaryOp::Sub => l - r,
                 BinaryOp::Mul => l * r,
                 BinaryOp::Div => {
+                    // dblayout::allow(R3, reason = "exact-zero divisor guard; anything else divides fine")
                     if r == 0.0 {
                         return None;
                     }

@@ -74,7 +74,9 @@ impl Metrics {
     pub fn observe_latency(&self, took: Duration) {
         let us = took.as_micros().max(1) as u64;
         let bucket = (63 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        if let Some(b) = self.latency_buckets.get(bucket) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Reads every counter and derives the percentile estimates.

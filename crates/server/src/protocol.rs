@@ -209,7 +209,7 @@ pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
 /// Serializes a success response line (no trailing newline).
 pub fn ok_line(result: Value) -> String {
     let response = obj(vec![("ok", Value::Bool(true)), ("result", result)]);
-    serde_json::to_string(&response).expect("response serialization is infallible")
+    serde_json::to_string(&response).unwrap_or_else(|_| fallback_error_line())
 }
 
 /// Serializes an error response line (no trailing newline).
@@ -224,7 +224,15 @@ pub fn err_line(error: &ApiError) -> String {
             ]),
         ),
     ]);
-    serde_json::to_string(&response).expect("response serialization is infallible")
+    serde_json::to_string(&response).unwrap_or_else(|_| fallback_error_line())
+}
+
+/// A hand-assembled error line for the (never observed) case where the
+/// serializer itself fails — the client still gets a well-formed response
+/// instead of a dropped connection.
+fn fallback_error_line() -> String {
+    "{\"ok\":false,\"error\":{\"code\":\"internal\",\"message\":\"response serialization failed\"}}"
+        .to_string()
 }
 
 /// The `result` object of a `recommend` response. Exported so offline
@@ -244,7 +252,13 @@ pub fn recommendation_result(catalog: &Catalog, disks: &[DiskSpec], rec: &Recomm
                         rec.layout
                             .disks_of(idx)
                             .iter()
-                            .map(|&j| Value::Str(disks[j].name.clone()))
+                            .map(|&j| {
+                                Value::Str(
+                                    disks
+                                        .get(j)
+                                        .map_or_else(|| format!("disk{j}"), |d| d.name.clone()),
+                                )
+                            })
                             .collect(),
                     ),
                 ),
@@ -288,21 +302,21 @@ pub fn resolve_disks(spec: &str) -> Result<Vec<DiskSpec>, ApiError> {
     }
     if let Some(rest) = spec.strip_prefix("uniform:") {
         let parts: Vec<&str> = rest.split(':').collect();
-        if parts.len() != 4 {
+        let [n_part, cap_part, seek_part, read_part] = parts.as_slice() else {
             return Err(ApiError::bad_request(
                 "uniform disks need `uniform:<n>:<capacity_blocks>:<seek_ms>:<read_mb_s>`",
             ));
-        }
-        let n: usize = parts[0]
+        };
+        let n: usize = n_part
             .parse()
             .map_err(|e| ApiError::bad_request(format!("bad disk count: {e}")))?;
-        let cap: u64 = parts[1]
+        let cap: u64 = cap_part
             .parse()
             .map_err(|e| ApiError::bad_request(format!("bad capacity: {e}")))?;
-        let seek: f64 = parts[2]
+        let seek: f64 = seek_part
             .parse()
             .map_err(|e| ApiError::bad_request(format!("bad seek: {e}")))?;
-        let read: f64 = parts[3]
+        let read: f64 = read_part
             .parse()
             .map_err(|e| ApiError::bad_request(format!("bad read rate: {e}")))?;
         if n == 0 {

@@ -435,7 +435,7 @@ mod tests {
         // Poison the queue mutex the way a panicking thread would.
         let shared = Arc::clone(&server.shared);
         let _ = std::thread::spawn(move || {
-            let _guard = shared.queue.lock().unwrap();
+            let _guard = crate::lock_unpoisoned(&shared.queue);
             panic!("poison the queue lock");
         })
         .join();

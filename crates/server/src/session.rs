@@ -144,7 +144,7 @@ impl Session {
             let placement: Vec<(usize, f64)> = row
                 .iter()
                 .enumerate()
-                .filter(|(_, &f)| f != 0.0)
+                .filter(|(_, &f)| f != 0.0) // dblayout::allow(R3, reason = "exact bit-zero drops unused disks; NaN already rejected by the finite-sum check above")
                 .map(|(j, &f)| (j, f))
                 .collect();
             layout.place(obj, &placement);
@@ -367,7 +367,7 @@ mod tests {
         let c = reg.open(tpch_session()).unwrap();
         assert!(c > a, "ids are never reused");
         assert!(reg.get(a).is_err());
-        assert_eq!(reg.get(c).unwrap().lock().unwrap().version, 0);
+        assert_eq!(crate::lock_unpoisoned(&reg.get(c).unwrap()).version, 0);
     }
 
     #[test]
