@@ -73,6 +73,43 @@ fn bench_ts_greedy(c: &mut Criterion) {
     });
 }
 
+/// The instrumented paths against their disabled-collector twins above:
+/// `cost_model/tpch22_full_striping` and `ts_greedy/tpch22_sf0.1_8disks`
+/// run with the default (disabled) collector and must stay within noise of
+/// the uninstrumented baseline; these `_traced` variants bound what turning
+/// tracing on costs (emitting into a bounded ring that drops oldest).
+fn bench_obs_overhead(c: &mut Criterion) {
+    use dblayout_obs::{Collector, RingSink};
+    use std::sync::Arc;
+
+    let catalog = tpch_catalog(1.0);
+    let disks = paper_disks();
+    let plans = plan_sql_workload(&catalog, &tpch22());
+    let workload = decompose_workload(&plans);
+    let layout = Layout::full_striping(object_sizes(&catalog), &disks);
+    let model = CostModel {
+        collector: Collector::deterministic(Arc::new(RingSink::new(4096))),
+        ..CostModel::default()
+    };
+    c.bench_function("cost_model/tpch22_full_striping_traced", |b| {
+        b.iter(|| model.workload_cost_subplans(&workload, &layout, &disks))
+    });
+
+    let catalog = tpch_catalog(0.1);
+    let plans = plan_sql_workload(&catalog, &tpch22());
+    let sizes = object_sizes(&catalog);
+    let graph = build_access_graph(sizes.len(), &plans);
+    let workload = decompose_workload(&plans);
+    let disks8 = uniform_disks(8, 200_000, 10.0, 20.0);
+    let cfg = TsGreedyConfig {
+        collector: Collector::deterministic(Arc::new(RingSink::new(4096))),
+        ..TsGreedyConfig::default()
+    };
+    c.bench_function("ts_greedy/tpch22_sf0.1_8disks_traced", |b| {
+        b.iter(|| ts_greedy(&sizes, &graph, &workload, &disks8, &cfg).unwrap())
+    });
+}
+
 fn bench_planner(c: &mut Criterion) {
     let catalog = tpch_catalog(1.0);
     let queries = tpch22();
@@ -87,6 +124,7 @@ criterion_group!(
     bench_access_graph,
     bench_partitioning,
     bench_ts_greedy,
+    bench_obs_overhead,
     bench_planner
 );
 criterion_main!(benches);

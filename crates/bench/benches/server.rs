@@ -125,6 +125,31 @@ fn main() {
         b.iter(|| client.roundtrip(r#"{"op":"stats"}"#).expect("stats"))
     });
 
+    // Per-stage timings (queue-wait / compute / serialize) as observed by
+    // the server across every request this bench sent over loopback.
+    let stage_timings: String = {
+        use serde_json::ValueExt;
+        let line = client.roundtrip(r#"{"op":"stats"}"#).expect("final stats");
+        let v: serde_json::Value = serde_json::from_str(&line).expect("stats is JSON");
+        let result = v.get("result").expect("stats result");
+        let field = |key: &str| -> u64 {
+            result
+                .get(key)
+                .and_then(|x| x.as_u64())
+                .unwrap_or_else(|| panic!("stats missing `{key}`"))
+        };
+        format!(
+            "{{\"queue_p50\": {}, \"queue_p99\": {}, \"compute_p50\": {}, \
+             \"compute_p99\": {}, \"serialize_p50\": {}, \"serialize_p99\": {}}}",
+            field("stage_queue_p50_us"),
+            field("stage_queue_p99_us"),
+            field("stage_compute_p50_us"),
+            field("stage_compute_p99_us"),
+            field("stage_serialize_p50_us"),
+            field("stage_serialize_p99_us"),
+        )
+    };
+
     server.shutdown();
 
     let find = |id: &str| -> &BenchResult {
@@ -150,11 +175,13 @@ fn main() {
     let json = format!(
         "{{\n  \"benchmarks\": [\n{}  ],\n  \"whatif_cold_over_cached\": {:.2},\n  \
          \"loopback_whatif_cold_over_cached\": {:.2},\n  \
-         \"stats_requests_per_sec\": {:.0}\n}}\n",
+         \"stats_requests_per_sec\": {:.0},\n  \
+         \"stage_timings_us\": {}\n}}\n",
         rows.trim_end_matches(",\n").to_string() + "\n",
         speedup,
         wire_speedup,
-        rps
+        rps,
+        stage_timings
     );
     // Benches run with the package dir as CWD; anchor at the workspace root.
     let results_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");

@@ -18,6 +18,7 @@ dblayout — automated database layout advisor (ICDE 2003 reproduction)
 
 USAGE:
     dblayout --database <spec> --workload <file> [options]
+    dblayout explain [explain-options]  narrate the search, step by step
     dblayout serve [serve-options]      run the what-if advisory service
     dblayout client [client-options]    talk to a running service
     dblayout lint [lint-options]        static-analyze the workspace sources
@@ -34,10 +35,38 @@ OPTIONS:
     --k <n>               greedy step width (default 1)
     --script <dbname>     print the filegroup deployment script
     --json <file>         write the recommendation as JSON
+    --trace-out <file>    also record the search as raw trace JSONL
     --help                this text
 
-See `dblayout serve --help` and `dblayout client --help` for the service,
-and `dblayout lint --help` for the static-analysis pass.
+See `dblayout explain --help` for the search narrative, `dblayout serve
+--help` and `dblayout client --help` for the service, and `dblayout lint
+--help` for the static-analysis pass.
+";
+
+const EXPLAIN_USAGE: &str = "\
+dblayout explain — run the advisor and narrate the search, step by step
+
+USAGE:
+    dblayout explain --database <spec> --workload <file> [options]
+
+Runs the full Figure-3 pipeline under a deterministic trace collector and
+prints a human-readable narrative: the access-graph summary, every step-1
+partition assignment, and — for each TS-GREEDY iteration — the candidate
+count and the winning merge with its cost delta, then a per-sub-plan cost
+breakdown of the recommended layout. The raw trace is written as JSONL
+(default results/explain_trace.jsonl) and round-trips through the
+dblayout-obs parser. Both outputs are byte-identical across runs for the
+same inputs.
+
+OPTIONS:
+    --database <spec>     built-in catalog (required; see `dblayout --help`)
+    --workload <file>     SQL workload file (required)
+    --disks <file>        drive list (default: the paper's 8-drive array)
+    --constraints <file>  constraint file
+    --k <n>               greedy step width (default 1)
+    --trace-out <file>    where to write the raw trace JSONL
+                          (default results/explain_trace.jsonl)
+    --help                this text
 ";
 
 const LINT_USAGE: &str = "\
@@ -108,9 +137,10 @@ struct Args {
     k: usize,
     script: Option<String>,
     json: Option<String>,
+    trace_out: Option<String>,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(argv: &[String], usage: &str, allow_outputs: bool) -> Result<Args, String> {
     let mut args = Args {
         database: String::new(),
         workload: String::new(),
@@ -119,30 +149,43 @@ fn parse_args() -> Result<Args, String> {
         k: 1,
         script: None,
         json: None,
+        trace_out: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.iter();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
         match flag.as_str() {
             "--database" => args.database = value("--database")?,
             "--workload" => args.workload = value("--workload")?,
             "--disks" => args.disks = Some(value("--disks")?),
             "--constraints" => args.constraints = Some(value("--constraints")?),
             "--k" => args.k = value("--k")?.parse().map_err(|e| format!("bad --k: {e}"))?,
-            "--script" => args.script = Some(value("--script")?),
-            "--json" => args.json = Some(value("--json")?),
-            "--help" | "-h" => return Err(USAGE.to_string()),
-            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+            "--script" if allow_outputs => args.script = Some(value("--script")?),
+            "--json" if allow_outputs => args.json = Some(value("--json")?),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--help" | "-h" => return Err(usage.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n\n{usage}")),
         }
     }
     if args.database.is_empty() || args.workload.is_empty() {
-        return Err(format!("--database and --workload are required\n\n{USAGE}"));
+        return Err(format!("--database and --workload are required\n\n{usage}"));
     }
     Ok(args)
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
+/// The resolved Figure-3 inputs shared by `run` and `run_explain`.
+struct Inputs {
+    catalog: dblayout_catalog::Catalog,
+    workload_text: String,
+    disks: Vec<dblayout_disksim::DiskSpec>,
+    constraints: dblayout_core::constraints::Constraints,
+}
+
+fn load_inputs(args: &Args) -> Result<Inputs, String> {
     let catalog = resolve_catalog(&args.database)?;
     let workload_text = std::fs::read_to_string(&args.workload)
         .map_err(|e| format!("cannot read workload `{}`: {e}", args.workload))?;
@@ -162,14 +205,51 @@ fn run() -> Result<(), String> {
         }
         None => dblayout_core::constraints::Constraints::none(),
     };
+    Ok(Inputs {
+        catalog,
+        workload_text,
+        disks,
+        constraints,
+    })
+}
 
-    let cfg = AdvisorConfig {
+/// Writes trace records as one JSONL line each, creating parent directories.
+fn write_trace(path: &str, records: &[dblayout_obs::Record]) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
+        }
+    }
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_jsonl());
+        out.push('\n');
+    }
+    std::fs::write(path, out).map_err(|e| format!("cannot write `{path}`: {e}"))
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = parse_args(argv, USAGE, true)?;
+    let inputs = load_inputs(&args)?;
+    let Inputs {
+        catalog,
+        workload_text,
+        disks,
+        constraints,
+    } = inputs;
+
+    let mut cfg = AdvisorConfig {
         search: TsGreedyConfig {
             k: args.k,
             constraints,
             ..Default::default()
         },
     };
+    let ring = std::sync::Arc::new(dblayout_obs::RingSink::new(usize::MAX));
+    if args.trace_out.is_some() {
+        cfg.search.collector = dblayout_obs::Collector::deterministic(ring.clone());
+    }
     let advisor = Advisor::new(&catalog, &disks);
     let rec = advisor
         .recommend_sql(&workload_text, &cfg)
@@ -234,6 +314,65 @@ fn run() -> Result<(), String> {
         std::fs::write(path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
         println!("\n(JSON written to {path})");
     }
+
+    if let Some(path) = &args.trace_out {
+        write_trace(path, &ring.drain())?;
+        println!("(trace written to {path})");
+    }
+    Ok(())
+}
+
+fn run_explain(argv: &[String]) -> Result<(), String> {
+    let args = parse_args(argv, EXPLAIN_USAGE, false)?;
+    let inputs = load_inputs(&args)?;
+    let Inputs {
+        catalog,
+        workload_text,
+        disks,
+        constraints,
+    } = inputs;
+
+    let ring = std::sync::Arc::new(dblayout_obs::RingSink::new(usize::MAX));
+    let collector = dblayout_obs::Collector::deterministic(ring.clone());
+    let mut cfg = AdvisorConfig {
+        search: TsGreedyConfig {
+            k: args.k,
+            constraints,
+            ..Default::default()
+        },
+    };
+    cfg.search.collector = collector.clone();
+    let advisor = Advisor::new(&catalog, &disks);
+    let rec = advisor
+        .recommend_sql(&workload_text, &cfg)
+        .map_err(|e| e.to_string())?;
+
+    // Cost the winning layout once more with a traced model so the
+    // narrative ends with the per-sub-plan breakdown (during the search the
+    // model stays untraced — candidate costings would swamp the trace).
+    let mut model = cfg.search.cost_model.clone();
+    model.collector = collector;
+    let subplans = dblayout_core::costmodel::decompose_workload(&rec.plans);
+    model.workload_cost_subplans(&subplans, &rec.layout, &disks);
+
+    let records = ring.drain();
+    let object_names: Vec<String> = catalog.objects().iter().map(|o| o.name.clone()).collect();
+    let disk_names: Vec<String> = disks.iter().map(|d| d.name.clone()).collect();
+    let names = dblayout_core::NarrativeNames {
+        objects: &object_names,
+        disks: &disk_names,
+    };
+    print!("{}", dblayout_core::render_narrative(&records, &names));
+    println!(
+        "Estimated improvement over full striping: {:.1}%",
+        rec.estimated_improvement_pct
+    );
+
+    let path = args
+        .trace_out
+        .unwrap_or_else(|| "results/explain_trace.jsonl".to_string());
+    write_trace(&path, &records)?;
+    println!("(trace written to {path})");
     Ok(())
 }
 
@@ -389,10 +528,11 @@ fn run_lint(args: &[String]) -> Result<ExitCode, String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let outcome = match args.first().map(String::as_str) {
+        Some("explain") => run_explain(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("serve") => run_serve(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("client") => run_client(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("lint") => run_lint(&args[1..]),
-        _ => run().map(|()| ExitCode::SUCCESS),
+        _ => run(&args).map(|()| ExitCode::SUCCESS),
     };
     match outcome {
         Ok(code) => code,

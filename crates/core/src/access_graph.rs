@@ -10,6 +10,7 @@
 //! simplification, validated by its experiments (and by this reproduction's
 //! A4 ablation).
 
+use dblayout_obs::{f, Collector};
 use dblayout_partition::Graph;
 use dblayout_planner::PhysicalPlan;
 
@@ -34,12 +35,36 @@ pub fn build_access_graph(n_objects: usize, plans: &[(PhysicalPlan, f64)]) -> Gr
 /// [`build_access_graph`] over the concatenated workload — the invariant the
 /// server's incremental sessions rely on.
 pub fn extend_access_graph(g: &mut Graph, plans: &[(PhysicalPlan, f64)]) {
-    for (plan, weight) in plans {
+    extend_access_graph_traced(g, plans, &Collector::default());
+}
+
+/// [`extend_access_graph`] with Figure-6 accumulation tracing: one
+/// `graph.extend` span covering the batch, and per plan a `graph.plan`
+/// event recording how many node-weight and edge-weight updates it
+/// contributed. A disabled `collector` makes this identical to
+/// [`extend_access_graph`].
+pub fn extend_access_graph_traced(
+    g: &mut Graph,
+    plans: &[(PhysicalPlan, f64)],
+    collector: &Collector,
+) {
+    let span = collector.span(
+        "graph.extend",
+        if collector.enabled() {
+            vec![f("plans", plans.len()), f("objects", g.len())]
+        } else {
+            Vec::new()
+        },
+    );
+    for (plan_idx, (plan, weight)) in plans.iter().enumerate() {
         let subplans = plan.subplans();
+        let mut node_updates = 0usize;
+        let mut edge_updates = 0usize;
         // Step 3: node values — total blocks of each object in the plan.
         for sub in &subplans {
             for access in &sub.accesses {
                 g.add_node_weight(access.object.index(), weight * access.blocks as f64);
+                node_updates += 1;
             }
         }
         // Steps 4-5: pairwise co-access within each non-blocking sub-plan.
@@ -50,10 +75,31 @@ pub fn extend_access_graph(g: &mut Graph, plans: &[(PhysicalPlan, f64)]) {
                     let bu = sub.blocks_of(u);
                     let bv = sub.blocks_of(v);
                     g.add_edge(u.index(), v.index(), weight * (bu + bv) as f64);
+                    edge_updates += 1;
                 }
             }
         }
+        if span.enabled() {
+            span.event(
+                "graph.plan",
+                vec![
+                    f("plan", plan_idx),
+                    f("weight", *weight),
+                    f("subplans", subplans.len()),
+                    f("node_updates", node_updates),
+                    f("edge_updates", edge_updates),
+                ],
+            );
+        }
     }
+    span.end_with(if collector.enabled() {
+        vec![
+            f("edges", g.edge_count()),
+            f("total_edge_weight", g.total_edge_weight()),
+        ]
+    } else {
+        Vec::new()
+    });
 }
 
 #[cfg(test)]
@@ -208,6 +254,43 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn traced_extension_matches_untraced_and_records_accumulation() {
+        use dblayout_obs::{Collector, RecordKind, RingSink};
+        use std::sync::Arc;
+        let plan = PhysicalPlan::new(PlanNode::MergeJoin {
+            on: "x".into(),
+            rows: 1.0,
+            left: Box::new(scan(0, 100)),
+            right: Box::new(scan(1, 50)),
+        });
+        let plans = vec![(plan, 2.0)];
+        let plain = build_access_graph(2, &plans);
+        let ring = Arc::new(RingSink::new(64));
+        let collector = Collector::deterministic(ring.clone());
+        let mut traced = Graph::new(2);
+        extend_access_graph_traced(&mut traced, &plans, &collector);
+        for u in 0..2 {
+            assert_eq!(
+                plain.node_weight(u).to_bits(),
+                traced.node_weight(u).to_bits()
+            );
+        }
+        assert_eq!(
+            plain.edge_weight(0, 1).to_bits(),
+            traced.edge_weight(0, 1).to_bits()
+        );
+        let records = ring.drain();
+        let plan_event = records.iter().find(|r| r.name == "graph.plan").unwrap();
+        assert_eq!(plan_event.field_u64("node_updates"), Some(2));
+        assert_eq!(plan_event.field_u64("edge_updates"), Some(1));
+        let end = records
+            .iter()
+            .find(|r| r.kind == RecordKind::SpanEnd)
+            .unwrap();
+        assert_eq!(end.field_u64("edges"), Some(1));
     }
 
     #[test]

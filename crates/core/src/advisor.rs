@@ -18,7 +18,7 @@ use dblayout_partition::Graph;
 use dblayout_planner::{plan_statement, PhysicalPlan, PlanError, Subplan};
 use dblayout_sql::{parse_workload_file, ParseError, Statement};
 
-use crate::access_graph::build_access_graph;
+use crate::access_graph::extend_access_graph_traced;
 use crate::costmodel::{decompose_workload, CostModel};
 use crate::tsgreedy::{ts_greedy, SearchError, TsGreedyConfig, TsGreedyResult};
 
@@ -175,7 +175,10 @@ impl<'a> Advisor<'a> {
             return Err(AdvisorError::EmptyWorkload);
         }
         let n_objects = self.catalog.objects().len();
-        let graph = build_access_graph(n_objects, &plans);
+        // The search collector also witnesses the Analyze-Workload pass, so
+        // one `dblayout explain` trace covers the whole Figure-3 pipeline.
+        let mut graph = dblayout_partition::Graph::new(n_objects);
+        extend_access_graph_traced(&mut graph, &plans, &cfg.search.collector);
         let workload = decompose_workload(&plans);
         self.recommend_prepared(plans, graph, &workload, cfg)
     }

@@ -22,6 +22,7 @@
 //! [`CostModel::include_temp_io`] to add a tempdb lane (our extension).
 
 use dblayout_disksim::{DiskSpec, Layout};
+use dblayout_obs::{f, Collector};
 use dblayout_planner::{PhysicalPlan, Subplan};
 
 /// Configurable cost model.
@@ -32,6 +33,12 @@ pub struct CostModel {
     pub include_temp_io: bool,
     /// The tempdb drive used when `include_temp_io` is set.
     pub tempdb: DiskSpec,
+    /// Trace collector for per-sub-plan cost terms. Disabled by default —
+    /// the search calls [`CostModel::subplan_cost`] thousands of times per
+    /// run, so the hot path pays exactly one branch when off. Enable only
+    /// for one-shot breakdowns (e.g. `dblayout explain`'s final costing of
+    /// the recommended layout).
+    pub collector: Collector,
 }
 
 impl Default for CostModel {
@@ -39,6 +46,7 @@ impl Default for CostModel {
         Self {
             include_temp_io: false,
             tempdb: dblayout_disksim::tempdb_disk(),
+            collector: Collector::default(),
         }
     }
 }
@@ -46,64 +54,93 @@ impl Default for CostModel {
 impl CostModel {
     /// `Cost(Q, L)` in milliseconds.
     pub fn statement_cost(&self, plan: &PhysicalPlan, layout: &Layout, disks: &[DiskSpec]) -> f64 {
-        plan.subplans()
-            .iter()
-            .map(|sub| self.subplan_cost(sub, layout, disks))
-            .sum()
+        self.statement_cost_subplans(&plan.subplans(), layout, disks)
     }
 
     /// Cost of one non-blocking sub-plan: the bottleneck disk's time.
+    #[inline]
     pub fn subplan_cost(&self, sub: &Subplan, layout: &Layout, disks: &[DiskSpec]) -> f64 {
-        // Objects may appear once per access kind; aggregate per object for
-        // the seek term (built once — this function is the search's hot
-        // loop), while transfer is charged at each access's own rate.
-        let mut totals: Vec<(usize, u64)> = Vec::with_capacity(sub.accesses.len());
-        for access in &sub.accesses {
-            let idx = access.object.index();
-            match totals.iter_mut().find(|(o, _)| *o == idx) {
-                Some((_, t)) => *t += access.blocks,
-                None => totals.push((idx, access.blocks)),
-            }
+        if self.collector.enabled() {
+            return self.subplan_cost_traced(sub, layout, disks);
         }
+        self.subplan_cost_untraced(sub, layout, disks)
+    }
+
+    /// The collector-free hot path. The search costs thousands of layouts
+    /// per run, so the per-statement entry points branch on the collector
+    /// once and then stay on this function; it must not touch
+    /// `self.collector` at all.
+    #[inline]
+    fn subplan_cost_untraced(&self, sub: &Subplan, layout: &Layout, disks: &[DiskSpec]) -> f64 {
+        let totals = object_totals(sub);
         let mut max_cost = 0.0f64;
         for (j, disk) in disks.iter().enumerate() {
-            let mut transfer = 0.0;
-            let mut k = 0usize;
-            let mut min_share = f64::INFINITY;
-            for &(obj, total_blocks) in &totals {
-                let x = layout.fraction(obj, j);
-                if x <= 0.0 || total_blocks == 0 {
-                    continue;
-                }
-                k += 1;
-                min_share = min_share.min(x * total_blocks as f64);
-            }
-            for access in &sub.accesses {
-                let x = layout.fraction(access.object.index(), j);
-                if x <= 0.0 {
-                    continue;
-                }
-                let ms_per_block = if access.kind.is_read() {
-                    disk.read_ms_per_block()
-                } else {
-                    disk.write_ms_per_block()
-                };
-                transfer += x * access.blocks as f64 * ms_per_block;
-            }
-            let seek = if k > 1 {
-                k as f64 * disk.avg_seek_ms * min_share
-            } else {
-                0.0
-            };
+            let (transfer, seek, _) = disk_term(sub, &totals, layout, j, disk);
             max_cost = max_cost.max(transfer + seek);
         }
         if self.include_temp_io {
-            let temp = (sub.temp_write_blocks as f64) * self.tempdb.write_ms_per_block()
-                + (sub.temp_read_blocks as f64) * self.tempdb.read_ms_per_block();
             // tempdb is its own drive: it participates in the bottleneck max.
-            max_cost = max_cost.max(temp);
+            max_cost = max_cost.max(self.temp_ms(sub));
         }
         max_cost
+    }
+
+    /// [`CostModel::subplan_cost`] with per-disk term events — identical
+    /// arithmetic (both paths share [`disk_term`]), plus a
+    /// `costmodel.subplan` span recording each contributing disk's transfer
+    /// and seek milliseconds and the bottleneck. Kept out of line so the
+    /// untraced hot path stays small enough to inline into the search loop.
+    #[cold]
+    #[inline(never)]
+    fn subplan_cost_traced(&self, sub: &Subplan, layout: &Layout, disks: &[DiskSpec]) -> f64 {
+        let totals = object_totals(sub);
+        let span = self.collector.span(
+            "costmodel.subplan",
+            vec![
+                f("objects", totals.len()),
+                f("accesses", sub.accesses.len()),
+            ],
+        );
+        let mut max_cost = 0.0f64;
+        let mut bottleneck: i64 = -1; // -1: no disk contributes (or tempdb)
+        for (j, disk) in disks.iter().enumerate() {
+            let (transfer, seek, k) = disk_term(sub, &totals, layout, j, disk);
+            if k > 0 {
+                span.event(
+                    "costmodel.disk",
+                    vec![
+                        f("disk", j),
+                        f("objects", k),
+                        f("transfer_ms", transfer),
+                        f("seek_ms", seek),
+                    ],
+                );
+            }
+            if transfer + seek > max_cost {
+                bottleneck = j as i64;
+            }
+            max_cost = max_cost.max(transfer + seek);
+        }
+        let mut temp_ms = 0.0f64;
+        if self.include_temp_io {
+            temp_ms = self.temp_ms(sub);
+            if temp_ms > max_cost {
+                bottleneck = -1;
+            }
+            max_cost = max_cost.max(temp_ms);
+        }
+        span.end_with(vec![
+            f("cost_ms", max_cost),
+            f("bottleneck_disk", bottleneck),
+            f("temp_ms", temp_ms),
+        ]);
+        max_cost
+    }
+
+    /// Tempdb spill time for one sub-plan (the extension lane).
+    fn temp_ms(&self, sub: &Subplan) -> f64 {
+        (sub.temp_write_blocks as f64) * self.tempdb.write_ms_per_block()
+            + (sub.temp_read_blocks as f64) * self.tempdb.read_ms_per_block()
     }
 
     /// `Σ_Q w_Q · Cost(Q, L)` — the optimization objective (Figure 2).
@@ -119,15 +156,23 @@ impl CostModel {
             .sum()
     }
 
-    /// Cost of one pre-decomposed statement (sum over its sub-plans).
+    /// Cost of one pre-decomposed statement (sum over its sub-plans). The
+    /// collector branch is taken once here, not per sub-plan — this is the
+    /// call the search's candidate loop makes.
     pub fn statement_cost_subplans(
         &self,
         subs: &[Subplan],
         layout: &Layout,
         disks: &[DiskSpec],
     ) -> f64 {
+        if self.collector.enabled() {
+            return subs
+                .iter()
+                .map(|s| self.subplan_cost_traced(s, layout, disks))
+                .sum();
+        }
         subs.iter()
-            .map(|s| self.subplan_cost(s, layout, disks))
+            .map(|s| self.subplan_cost_untraced(s, layout, disks))
             .sum()
     }
 
@@ -143,14 +188,68 @@ impl CostModel {
     ) -> f64 {
         workload
             .iter()
-            .map(|(subs, w)| {
-                w * subs
-                    .iter()
-                    .map(|s| self.subplan_cost(s, layout, disks))
-                    .sum::<f64>()
-            })
+            .map(|(subs, w)| w * self.statement_cost_subplans(subs, layout, disks))
             .sum()
     }
+}
+
+/// Aggregates each object's total blocks across a sub-plan's accesses.
+/// Objects may appear once per access kind; the seek term needs per-object
+/// totals (built once — [`CostModel::subplan_cost`] is the search's hot
+/// loop), while transfer is charged at each access's own rate.
+#[inline]
+fn object_totals(sub: &Subplan) -> Vec<(usize, u64)> {
+    let mut totals: Vec<(usize, u64)> = Vec::with_capacity(sub.accesses.len());
+    for access in &sub.accesses {
+        let idx = access.object.index();
+        match totals.iter_mut().find(|(o, _)| *o == idx) {
+            Some((_, t)) => *t += access.blocks,
+            None => totals.push((idx, access.blocks)),
+        }
+    }
+    totals
+}
+
+/// One disk's Figure-7 terms for a sub-plan: `(transfer_ms, seek_ms, k)`
+/// where `k` is how many accessed objects live on the disk. Shared by the
+/// traced and untraced cost paths so their arithmetic cannot diverge.
+#[inline]
+fn disk_term(
+    sub: &Subplan,
+    totals: &[(usize, u64)],
+    layout: &Layout,
+    j: usize,
+    disk: &DiskSpec,
+) -> (f64, f64, usize) {
+    let mut k = 0usize;
+    let mut min_share = f64::INFINITY;
+    for &(obj, total_blocks) in totals {
+        let x = layout.fraction(obj, j);
+        if x <= 0.0 || total_blocks == 0 {
+            continue;
+        }
+        k += 1;
+        min_share = min_share.min(x * total_blocks as f64);
+    }
+    let mut transfer = 0.0;
+    for access in &sub.accesses {
+        let x = layout.fraction(access.object.index(), j);
+        if x <= 0.0 {
+            continue;
+        }
+        let ms_per_block = if access.kind.is_read() {
+            disk.read_ms_per_block()
+        } else {
+            disk.write_ms_per_block()
+        };
+        transfer += x * access.blocks as f64 * ms_per_block;
+    }
+    let seek = if k > 1 {
+        k as f64 * disk.avg_seek_ms * min_share
+    } else {
+        0.0
+    };
+    (transfer, seek, k)
 }
 
 /// Decomposes a weighted workload once, for repeated cost evaluation.
@@ -313,6 +412,36 @@ mod tests {
         let single = statement_cost(&plan, &layout, &disks);
         let total = workload_cost(&[(plan, 3.0)], &layout, &disks);
         assert!((total - 3.0 * single).abs() < 1e-9);
+    }
+
+    /// The traced path shares `disk_term` with the hot path; this guards
+    /// against the two ever diverging.
+    #[test]
+    fn traced_cost_is_bit_identical_to_untraced() {
+        use dblayout_obs::{Collector, RingSink};
+        use std::sync::Arc;
+        let (plan, disks, sizes) = example5();
+        let layout = Layout::full_striping(sizes, &disks);
+        let ring = Arc::new(RingSink::new(1024));
+        let traced = CostModel {
+            collector: Collector::deterministic(ring.clone()),
+            ..CostModel::default()
+        };
+        let c0 = CostModel::default().statement_cost(&plan, &layout, &disks);
+        let c1 = traced.statement_cost(&plan, &layout, &disks);
+        assert_eq!(c0.to_bits(), c1.to_bits());
+        let records = ring.drain();
+        // One subplan span with per-disk term events and a bottleneck
+        // summary on the span end.
+        assert!(records.iter().any(|r| r.name == "costmodel.disk"));
+        let end = records
+            .iter()
+            .find(|r| r.kind == dblayout_obs::RecordKind::SpanEnd)
+            .unwrap();
+        assert_eq!(
+            end.field_f64("cost_ms").map(f64::to_bits),
+            Some(c1.to_bits())
+        );
     }
 
     #[test]

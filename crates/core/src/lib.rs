@@ -52,9 +52,10 @@ pub mod constraints;
 pub mod costmodel;
 pub mod deploy;
 pub mod exhaustive;
+pub mod explain;
 pub mod tsgreedy;
 
-pub use access_graph::{build_access_graph, extend_access_graph};
+pub use access_graph::{build_access_graph, extend_access_graph, extend_access_graph_traced};
 pub use advisor::{Advisor, AdvisorConfig, AdvisorError, Recommendation};
 pub use concurrency::{
     build_concurrent_access_graph, concurrent_cost_workload, ConcurrentWorkload,
@@ -64,4 +65,5 @@ pub use costmodel::{statement_cost, workload_cost, CostModel};
 pub use dblayout_disksim::{Layout, LayoutError};
 pub use deploy::{compile_filegroups, render_script, DeploymentPlan, Filegroup};
 pub use exhaustive::exhaustive_search;
+pub use explain::{render_narrative, NarrativeNames};
 pub use tsgreedy::{ts_greedy, TsGreedyConfig, TsGreedyResult};

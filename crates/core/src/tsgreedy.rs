@@ -19,6 +19,7 @@
 //! the current layout.
 
 use dblayout_disksim::{DiskSpec, Layout};
+use dblayout_obs::{f, Collector};
 use dblayout_partition::{max_cut_partition, Graph};
 use dblayout_planner::Subplan;
 
@@ -34,6 +35,10 @@ pub struct TsGreedyConfig {
     pub constraints: Constraints,
     /// Cost model used for the objective.
     pub cost_model: CostModel,
+    /// Trace collector for search decisions (disabled by default; the hot
+    /// loop pays one branch per iteration when off). See DESIGN.md §6 for
+    /// the span taxonomy.
+    pub collector: Collector,
 }
 
 impl Default for TsGreedyConfig {
@@ -42,6 +47,7 @@ impl Default for TsGreedyConfig {
             k: 1,
             constraints: Constraints::none(),
             cost_model: CostModel::default(),
+            collector: Collector::default(),
         }
     }
 }
@@ -114,6 +120,21 @@ pub fn ts_greedy(
         members[gi].push(i);
     }
 
+    let collector = &cfg.collector;
+    let search_span = collector.span(
+        "tsgreedy.search",
+        if collector.enabled() {
+            vec![
+                f("objects", n),
+                f("groups", g_count),
+                f("disks", m),
+                f("k", cfg.k),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
+
     // Contracted access graph over groups.
     let mut cg = Graph::new(g_count);
     for (i, &gi) in group_index.iter().enumerate() {
@@ -178,7 +199,14 @@ pub fn ts_greedy(
             .then(a.cmp(&b))
     });
 
-    for part in &partitions {
+    if search_span.enabled() {
+        search_span.event(
+            "tsgreedy.partition",
+            vec![f("parts", partitions.len()), f("groups", g_count)],
+        );
+    }
+
+    for (part_idx, part) in partitions.iter().enumerate() {
         let part_blocks: u64 = part
             .iter()
             .flat_map(|&g| members[g].iter())
@@ -194,6 +222,7 @@ pub fn ts_greedy(
                 break;
             }
         }
+        let merged = chosen.is_none();
         let disk_set = match chosen {
             Some(set) => {
                 for &j in &set {
@@ -244,6 +273,18 @@ pub fn ts_greedy(
                 }
             }
         }
+        if search_span.enabled() {
+            search_span.event(
+                "tsgreedy.assign",
+                vec![
+                    f("partition", part_idx),
+                    f("groups", id_list(part)),
+                    f("blocks", part_blocks),
+                    f("disks", id_list(&disk_set)),
+                    f("merged", merged),
+                ],
+            );
+        }
         placed.push((part.clone(), disk_set));
     }
 
@@ -262,6 +303,9 @@ pub fn ts_greedy(
     evals += 1;
     let initial_layout = layout.clone();
     let initial_cost = cost;
+    if search_span.enabled() {
+        search_span.event("tsgreedy.step1", vec![f("cost_ms", initial_cost)]);
+    }
 
     // ---- Step 2: greedy parallelism widening. ----
     // Incremental evaluation: a move touches only one co-location group, so
@@ -286,10 +330,19 @@ pub fn ts_greedy(
         }
     }
 
-    // (candidate layout, its total cost, per-statement cost updates)
-    type Candidate = (Layout, f64, Vec<(usize, f64)>);
+    // (candidate layout, its total cost, per-statement cost updates, the
+    // widened group, the disks added)
+    type Candidate = (Layout, f64, Vec<(usize, f64)>, usize, Vec<usize>);
     let mut iterations = 0usize;
     loop {
+        let iter_span = search_span.child(
+            "tsgreedy.iteration",
+            if search_span.enabled() {
+                vec![f("iter", iterations + 1)]
+            } else {
+                Vec::new()
+            },
+        );
         let mut best: Option<Candidate> = None;
         for g in 0..g_count {
             let current_set = layout.disks_of(members[g][0]);
@@ -306,9 +359,21 @@ pub fn ts_greedy(
                     trial.place_proportional(i, &new_set, disks);
                 }
                 if trial.validate(disks).is_err() {
+                    if iter_span.enabled() {
+                        iter_span.event(
+                            "tsgreedy.candidate",
+                            candidate_fields(g, &members[g], &combo, None, "invalid_layout"),
+                        );
+                    }
                     continue;
                 }
                 if cfg.constraints.check(&trial, disks).is_err() {
+                    if iter_span.enabled() {
+                        iter_span.event(
+                            "tsgreedy.candidate",
+                            candidate_fields(g, &members[g], &combo, None, "constraint_violation"),
+                        );
+                    }
                     continue;
                 }
                 let mut c = cost;
@@ -320,23 +385,65 @@ pub fn ts_greedy(
                     updates.push((s_idx, new_cost));
                 }
                 evals += 1;
-                if c < cost - 1e-9 && best.as_ref().is_none_or(|(_, bc, _)| c < *bc) {
-                    best = Some((trial, c, updates));
+                let improves = c < cost - 1e-9;
+                if iter_span.enabled() {
+                    let reason = if improves {
+                        "improves"
+                    } else {
+                        "no_improvement"
+                    };
+                    iter_span.event(
+                        "tsgreedy.candidate",
+                        candidate_fields(g, &members[g], &combo, Some((c, c - cost)), reason),
+                    );
+                }
+                if improves && best.as_ref().is_none_or(|(_, bc, _, _, _)| c < *bc) {
+                    best = Some((trial, c, updates, g, combo));
                 }
             }
         }
         match best {
-            Some((l, c, updates)) => {
+            Some((l, c, updates, g, combo)) => {
+                if iter_span.enabled() {
+                    iter_span.event(
+                        "tsgreedy.adopt",
+                        vec![
+                            f("group", g),
+                            f("objects", id_list(&members[g])),
+                            f("add_disks", id_list(&combo)),
+                            f("cost_ms", c),
+                            f("delta_ms", c - cost),
+                        ],
+                    );
+                }
                 layout = l;
                 cost = c;
                 for (s_idx, new_cost) in updates {
                     stmt_costs[s_idx] = new_cost;
                 }
                 iterations += 1;
+                iter_span.end();
             }
-            None => break,
+            None => {
+                if iter_span.enabled() {
+                    iter_span.event("tsgreedy.no_move", vec![f("cost_ms", cost)]);
+                }
+                iter_span.end();
+                break;
+            }
         }
     }
+
+    search_span.end_with(if collector.enabled() {
+        vec![
+            f("iterations", iterations),
+            f("cost_evaluations", evals),
+            f("initial_cost_ms", initial_cost),
+            f("final_cost_ms", cost),
+        ]
+    } else {
+        Vec::new()
+    });
 
     Ok(TsGreedyResult {
         layout,
@@ -346,6 +453,41 @@ pub fn ts_greedy(
         iterations,
         cost_evaluations: evals,
     })
+}
+
+/// Renders a list of indices as a stable comma-joined trace field
+/// (`"0,3,5"`).
+fn id_list(ids: &[usize]) -> String {
+    let mut out = String::new();
+    for (pos, id) in ids.iter().enumerate() {
+        if pos > 0 {
+            out.push(',');
+        }
+        out.push_str(&id.to_string());
+    }
+    out
+}
+
+/// Fields for a `tsgreedy.candidate` event; `outcome` carries the
+/// predicted cost and delta when the candidate was actually costed.
+fn candidate_fields(
+    group: usize,
+    members: &[usize],
+    combo: &[usize],
+    outcome: Option<(f64, f64)>,
+    reason: &str,
+) -> Vec<(String, dblayout_obs::FieldValue)> {
+    let mut fields = vec![
+        f("group", group),
+        f("objects", id_list(members)),
+        f("add_disks", id_list(combo)),
+    ];
+    if let Some((cost_ms, delta_ms)) = outcome {
+        fields.push(f("cost_ms", cost_ms));
+        fields.push(f("delta_ms", delta_ms));
+    }
+    fields.push(f("reason", reason));
+    fields
 }
 
 /// Does placing `blocks` proportionally (by read rate) on `set` fit within

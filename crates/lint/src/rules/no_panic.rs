@@ -1,10 +1,13 @@
 //! R1 — no-panic-in-hot-path.
 //!
-//! The request-serving path (`crates/server`) and the inner cost loops
-//! (`core::costmodel`, `core::tsgreedy`) must not contain panic shortcuts:
-//! a panic inside a worker poisons whatever session/queue lock it holds,
-//! and a panic inside the cost model aborts a search the caller already
-//! validated inputs for. Flagged outside `#[cfg(test)]`:
+//! The request-serving path (`crates/server`), the inner cost loops
+//! (`core::costmodel`, `core::tsgreedy`), and the tracing emit paths
+//! (`crates/obs`) must not contain panic shortcuts: a panic inside a
+//! worker poisons whatever session/queue lock it holds, a panic inside
+//! the cost model aborts a search the caller already validated inputs
+//! for, and a panic while *emitting a trace record* would turn
+//! observability itself into a crash vector. Flagged outside
+//! `#[cfg(test)]`:
 //!
 //! * `.unwrap()` / `.expect(...)` on `Option`/`Result`;
 //! * the panicking macros `panic!` / `unreachable!` / `todo!` /
@@ -28,6 +31,7 @@ const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"]
 
 fn in_panic_zone(path: &str) -> bool {
     path.starts_with("crates/server/src/")
+        || path.starts_with("crates/obs/src/")
         || path == "crates/core/src/costmodel.rs"
         || path == "crates/core/src/tsgreedy.rs"
 }

@@ -1,0 +1,219 @@
+//! Sinks: where emitted records go.
+//!
+//! A sink must be cheap, thread-safe, and total — the emit path never
+//! panics and never blocks on anything slower than a short mutex hold.
+//! Three sinks cover the repo's needs: [`JsonlSink`] streams lines to any
+//! writer (the `--trace-out` artifact), [`RingSink`] keeps the newest N
+//! records in memory (the server's `trace` request drains it), and the
+//! null sink is simply a disabled [`crate::Collector`].
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::record::Record;
+
+/// Destination for trace records. Implementations must tolerate concurrent
+/// `emit` calls and must not panic.
+pub trait Sink: Send + Sync {
+    /// Accepts one record. Errors are swallowed (and counted where the
+    /// sink can) — tracing must never take down the traced program.
+    fn emit(&self, record: Record);
+}
+
+/// Recovers a mutex guard even if a previous holder panicked; the guarded
+/// state here (a writer or a queue of records) stays usable.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Streams records as JSON lines to a writer.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+    write_errors: AtomicU64,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps `writer`; each record becomes one `\n`-terminated line.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+            write_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// How many records failed to write (I/O errors are swallowed, not
+    /// propagated).
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn into_inner(self) -> W {
+        let mut writer = self
+            .writer
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        let _ = writer.flush();
+        writer
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn emit(&self, record: Record) {
+        let line = record.to_jsonl();
+        let mut writer = lock_unpoisoned(&self.writer);
+        if writeln!(writer, "{line}").is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Bounded in-memory buffer keeping the most recent records; older records
+/// are dropped (and counted) once capacity is reached.
+pub struct RingSink {
+    buf: Mutex<VecDeque<Record>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` records (capacity 0 drops
+    /// everything).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            buf: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum records retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cumulative count of records evicted (or rejected at capacity 0).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records currently buffered.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.buf).len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns all buffered records, oldest first. The dropped
+    /// counter is cumulative and survives the drain.
+    pub fn drain(&self) -> Vec<Record> {
+        lock_unpoisoned(&self.buf).drain(..).collect()
+    }
+
+    /// Copies the buffered records without removing them, oldest first.
+    pub fn snapshot(&self) -> Vec<Record> {
+        lock_unpoisoned(&self.buf).iter().cloned().collect()
+    }
+}
+
+impl Sink for RingSink {
+    fn emit(&self, record: Record) {
+        if self.capacity == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut buf = lock_unpoisoned(&self.buf);
+        while buf.len() >= self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{parse_trace, RecordKind};
+
+    fn rec(seq: u64) -> Record {
+        Record {
+            seq,
+            kind: RecordKind::Event,
+            span: 0,
+            parent: None,
+            name: format!("e{seq}"),
+            fields: Vec::new(),
+            elapsed_us: None,
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.emit(rec(0));
+        sink.emit(rec(1));
+        assert_eq!(sink.write_errors(), 0);
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let records = parse_trace(&text).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].name, "e1");
+    }
+
+    struct FailingWriter;
+    impl Write for FailingWriter {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("nope"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_counts_write_errors_without_panicking() {
+        let sink = JsonlSink::new(FailingWriter);
+        sink.emit(rec(0));
+        sink.emit(rec(1));
+        assert_eq!(sink.write_errors(), 2);
+    }
+
+    #[test]
+    fn ring_sink_keeps_newest_and_counts_drops() {
+        let ring = RingSink::new(3);
+        for i in 0..5 {
+            ring.emit(rec(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let drained = ring.drain();
+        let seqs: Vec<u64> = drained.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 2, "drain does not reset the counter");
+    }
+
+    #[test]
+    fn ring_sink_capacity_zero_drops_everything() {
+        let ring = RingSink::new(0);
+        ring.emit(rec(0));
+        assert_eq!(ring.len(), 0);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn snapshot_leaves_buffer_intact() {
+        let ring = RingSink::new(4);
+        ring.emit(rec(0));
+        ring.emit(rec(1));
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(ring.len(), 2);
+    }
+}

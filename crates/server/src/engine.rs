@@ -5,18 +5,23 @@
 //! overhead.
 
 use std::sync::atomic::Ordering;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use dblayout_catalog::resolve_catalog;
 use dblayout_core::advisor::{Advisor, AdvisorConfig, AdvisorError};
 use dblayout_core::costmodel::CostModel;
 use dblayout_core::tsgreedy::TsGreedyConfig;
 use dblayout_disksim::Layout;
+use dblayout_obs::{Collector, RingSink};
 use serde_json::Value;
 
-use crate::metrics::Metrics;
+use crate::metrics::{render_prometheus, Gauges, Metrics};
 use crate::protocol::{obj, recommendation_result, resolve_disks, ApiError, LayoutSpec, Request};
 use crate::session::{layout_hash, CostCache, Session, SessionRegistry};
+
+/// Default capacity of the engine's bounded trace ring buffer (records,
+/// not requests; each served request emits two span records).
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
 /// Transport-side gauges folded into `stats` responses (zero when driving
 /// the engine in-process).
@@ -34,16 +39,43 @@ pub struct Engine {
     cache: Mutex<CostCache>,
     /// Request/error/cache/latency counters (shared with the transport).
     pub metrics: Metrics,
+    trace: Arc<RingSink>,
+    /// Always-on collector feeding the bounded trace ring; the transport
+    /// opens one `server.request` span per request through it. The ring
+    /// drops oldest records at capacity, so tracing never grows memory.
+    pub collector: Collector,
 }
 
 impl Engine {
     /// An engine bounded to `session_capacity` open sessions and
-    /// `cache_capacity` memoized costs.
+    /// `cache_capacity` memoized costs, with the default trace ring.
     pub fn new(session_capacity: usize, cache_capacity: usize) -> Self {
+        Self::with_trace_capacity(session_capacity, cache_capacity, DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// [`Engine::new`] with an explicit trace ring capacity (in records).
+    pub fn with_trace_capacity(
+        session_capacity: usize,
+        cache_capacity: usize,
+        trace_capacity: usize,
+    ) -> Self {
+        let trace = Arc::new(RingSink::new(trace_capacity));
         Self {
             registry: Mutex::new(SessionRegistry::new(session_capacity)),
             cache: Mutex::new(CostCache::new(cache_capacity)),
             metrics: Metrics::default(),
+            collector: Collector::new(trace.clone()),
+            trace,
+        }
+    }
+
+    /// Samples the engine-owned gauges, folding in the transport-owned
+    /// queue depth.
+    fn gauges(&self, runtime: &RuntimeInfo) -> Gauges {
+        Gauges {
+            queue_depth: runtime.queue_depth,
+            sessions_open: crate::lock_unpoisoned(&self.registry).len() as u64,
+            cache_entries: crate::lock_unpoisoned(&self.cache).len() as u64,
         }
     }
 
@@ -149,9 +181,7 @@ impl Engine {
                 Ok(recommendation_result(&s.catalog, &s.disks, &rec))
             }
             Request::Stats => {
-                let m = self.metrics.snapshot();
-                let sessions_open = crate::lock_unpoisoned(&self.registry).len() as u64;
-                let cache_entries = crate::lock_unpoisoned(&self.cache).len() as u64;
+                let m = self.metrics.snapshot_with_gauges(self.gauges(runtime));
                 Ok(obj(vec![
                     ("requests_total", Value::U64(m.requests_total)),
                     ("errors_total", Value::U64(m.errors_total)),
@@ -161,15 +191,40 @@ impl Engine {
                         "deadline_expired_total",
                         Value::U64(m.deadline_expired_total),
                     ),
-                    ("sessions_open", Value::U64(sessions_open)),
-                    ("cache_entries", Value::U64(cache_entries)),
+                    ("sessions_open", Value::U64(m.sessions_open)),
+                    ("cache_entries", Value::U64(m.cache_entries)),
                     ("cache_hits", Value::U64(m.cache_hits)),
                     ("cache_misses", Value::U64(m.cache_misses)),
                     ("cache_hit_rate", Value::F64(m.cache_hit_rate)),
-                    ("queue_depth", Value::U64(runtime.queue_depth)),
+                    ("queue_depth", Value::U64(m.queue_depth)),
                     ("threads", Value::U64(runtime.threads)),
                     ("latency_p50_us", Value::U64(m.latency_p50_us)),
                     ("latency_p99_us", Value::U64(m.latency_p99_us)),
+                    ("stage_queue_p50_us", Value::U64(m.stage_queue.p50_us)),
+                    ("stage_queue_p99_us", Value::U64(m.stage_queue.p99_us)),
+                    ("stage_compute_p50_us", Value::U64(m.stage_compute.p50_us)),
+                    ("stage_compute_p99_us", Value::U64(m.stage_compute.p99_us)),
+                    (
+                        "stage_serialize_p50_us",
+                        Value::U64(m.stage_serialize.p50_us),
+                    ),
+                    (
+                        "stage_serialize_p99_us",
+                        Value::U64(m.stage_serialize.p99_us),
+                    ),
+                ]))
+            }
+            Request::Metrics => {
+                let m = self.metrics.snapshot_with_gauges(self.gauges(runtime));
+                Ok(obj(vec![("text", Value::Str(render_prometheus(&m)))]))
+            }
+            Request::Trace => {
+                let dropped = self.trace.dropped();
+                let records = self.trace.drain();
+                let events: Vec<Value> = records.iter().map(|r| r.to_json()).collect();
+                Ok(obj(vec![
+                    ("events", Value::Seq(events)),
+                    ("dropped", Value::U64(dropped)),
                 ]))
             }
             Request::CloseSession { session } => {
@@ -242,6 +297,44 @@ mod tests {
         exec(&engine, Request::CloseSession { session: sid });
         let stats = exec(&engine, Request::Stats);
         assert_eq!(stats.get("sessions_open").and_then(|v| v.as_u64()), Some(0));
+    }
+
+    #[test]
+    fn metrics_op_renders_prometheus_text() {
+        let engine = Engine::new(4, 16);
+        engine
+            .metrics
+            .requests_total
+            .fetch_add(7, Ordering::Relaxed);
+        let m = exec(&engine, Request::Metrics);
+        let text = m.get("text").and_then(|v| v.as_str()).unwrap();
+        assert!(text.contains("dblayout_requests_total 7\n"), "{text}");
+        assert!(text.contains("# TYPE dblayout_queue_depth gauge"), "{text}");
+        assert!(text.contains("dblayout_stage_compute_us_count"), "{text}");
+    }
+
+    #[test]
+    fn trace_op_drains_the_ring() {
+        use dblayout_obs::f;
+        let engine = Engine::new(4, 16);
+        let span = engine
+            .collector
+            .span("server.request", vec![f("op", "stats")]);
+        span.end_with(vec![f("ok", true)]);
+        let t = exec(&engine, Request::Trace);
+        let events = t.get("events").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(events.len(), 2, "span start + end");
+        assert_eq!(
+            events[0].get("name").and_then(|v| v.as_str()),
+            Some("server.request")
+        );
+        assert_eq!(t.get("dropped").and_then(|v| v.as_u64()), Some(0));
+        // Draining empties the ring.
+        let again = exec(&engine, Request::Trace);
+        assert_eq!(
+            again.get("events").and_then(|v| v.as_array()).map(Vec::len),
+            Some(0)
+        );
     }
 
     #[test]

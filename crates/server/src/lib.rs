@@ -21,8 +21,10 @@
 //! * [`session`] — the registry of open sessions (catalog + disks + plans +
 //!   incrementally-extended access graph), the statement-set versioning
 //!   that keys memoization, and the LRU layout-hash→cost cache;
-//! * [`metrics`] — request/error/cache counters and a log-bucket latency
-//!   histogram surfaced by the `stats` op;
+//! * [`metrics`] — request/error/cache counters, per-stage (queue-wait /
+//!   compute / serialize) latency histograms, and gauges, surfaced by the
+//!   `stats` op and rendered as Prometheus text by the `metrics` op;
+//!   per-request spans land in a bounded ring drained by the `trace` op;
 //! * [`client`] — a small blocking client for tests, benches, and the CLI.
 //!
 //! Determinism is a design constraint, not an accident: responses serialize
@@ -54,8 +56,10 @@ pub(crate) fn lock_unpoisoned<T>(mutex: &std::sync::Mutex<T>) -> std::sync::Mute
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
-pub use engine::{Engine, RuntimeInfo};
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use engine::{Engine, RuntimeInfo, DEFAULT_TRACE_CAPACITY};
+pub use metrics::{
+    render_prometheus, Gauges, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot,
+};
 pub use protocol::{
     parse_request, recommendation_result, resolve_disks, ApiError, LayoutSpec, Request,
 };

@@ -1,13 +1,151 @@
-//! Server metrics: lock-free counters plus a log-bucketed latency histogram
+//! Server metrics: lock-free counters plus log-bucketed latency histograms
 //! good enough for p50/p99 without keeping per-request samples.
+//!
+//! Besides the overall request latency, three *stage* histograms break each
+//! request's wall-clock into where it went: `queue` (connection admission
+//! wait), `compute` (parse + engine execution), and `serialize` (response
+//! line construction). The `metrics` wire op renders everything in
+//! Prometheus text exposition format (see [`render_prometheus`]).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Histogram bucket count. Bucket `i` holds requests whose latency in
-/// microseconds `l` satisfies `floor(log2(max(l, 1))) == i`; the last bucket
+/// Histogram bucket count. Bucket `i` holds observations whose value in
+/// microseconds `v` satisfies `floor(log2(max(v, 1))) == i`; the last bucket
 /// absorbs everything slower (`2^62 µs` is far beyond any deadline).
 const BUCKETS: usize = 63;
+
+/// Upper bound in µs of bucket `i`: `2^(i+1) - 1`.
+fn bucket_bound_us(i: usize) -> u64 {
+    (1u64 << (i + 1).min(63)).wrapping_sub(1)
+}
+
+/// The largest value a percentile estimate can report: the upper bound of
+/// the last bucket (`2^63 - 1` µs). Returned instead of a sentinel when a
+/// rank overshoots the scanned counts (relaxed-atomic skew).
+pub const LAST_BUCKET_BOUND_US: u64 = u64::MAX >> 1;
+
+/// A lock-free log2-bucketed histogram of microsecond observations.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A point-in-time reading of one [`Histogram`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values (µs, saturating).
+    pub sum_us: u64,
+    /// Median (µs, bucket upper bound; 0 when empty).
+    pub p50_us: u64,
+    /// 99th percentile (µs, bucket upper bound; 0 when empty).
+    pub p99_us: u64,
+}
+
+impl Histogram {
+    /// Records one duration (values below 1 µs count as 1 µs; values past
+    /// `u64` µs saturate into the last bucket).
+    pub fn observe(&self, took: Duration) {
+        self.observe_us(u64::try_from(took.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one microsecond value.
+    pub fn observe_us(&self, us: u64) {
+        let us = us.max(1);
+        let bucket = (63 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        if let Some(b) = self.buckets.get(bucket) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        // Saturating sum: fetch_add wraps, so clamp via compare loop only
+        // when near the top — in practice fetch_add is fine for monitoring,
+        // but don't let a wrapped sum masquerade as small.
+        let prev = self.sum_us.fetch_add(us, Ordering::Relaxed);
+        if prev.checked_add(us).is_none() {
+            self.sum_us.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads the per-bucket counts.
+    fn counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| match self.buckets.get(i) {
+            Some(b) => b.load(Ordering::Relaxed),
+            None => 0,
+        })
+    }
+
+    /// Bucket-resolution percentile: the upper bound of the bucket
+    /// containing the q-quantile observation (0 when empty).
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        let counts = self.counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64 * q).ceil() as u64).max(1);
+        percentile_from_counts(&counts, rank)
+    }
+
+    /// Reads count, sum, and the standard percentiles at once.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts = self.counts();
+        let total: u64 = counts.iter().sum();
+        let rank = |q: f64| ((total as f64 * q).ceil() as u64).max(1);
+        HistogramSnapshot {
+            count: total,
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            p50_us: if total == 0 {
+                0
+            } else {
+                percentile_from_counts(&counts, rank(0.50))
+            },
+            p99_us: if total == 0 {
+                0
+            } else {
+                percentile_from_counts(&counts, rank(0.99))
+            },
+        }
+    }
+}
+
+/// Finds the bucket containing the observation of the given 1-based rank
+/// and returns its upper bound. When `rank` exceeds the total count — which
+/// relaxed-atomic skew between a `sum` and a later per-bucket scan can
+/// produce — the answer is the **last finite bucket bound**
+/// ([`LAST_BUCKET_BOUND_US`]), never a `u64::MAX` sentinel that would
+/// poison latency dashboards.
+fn percentile_from_counts(counts: &[u64], rank: u64) -> u64 {
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen = seen.saturating_add(c);
+        if seen >= rank {
+            return bucket_bound_us(i);
+        }
+    }
+    LAST_BUCKET_BOUND_US
+}
+
+/// Gauges sampled at snapshot time by whoever owns the live structures (the
+/// engine knows sessions and cache; the transport knows its queue).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauges {
+    /// Connections currently waiting for a worker.
+    pub queue_depth: u64,
+    /// Sessions currently open.
+    pub sessions_open: u64,
+    /// Entries resident in the what-if cost cache.
+    pub cache_entries: u64,
+}
 
 /// Shared metric counters (all relaxed atomics — monitoring, not
 /// synchronization).
@@ -26,7 +164,14 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// What-if cost cache misses.
     pub cache_misses: AtomicU64,
-    latency_buckets: [AtomicU64; BUCKETS],
+    /// End-to-end request latency.
+    pub latency: Histogram,
+    /// Stage: connection admission wait in the bounded queue.
+    pub stage_queue: Histogram,
+    /// Stage: request parse + engine execution.
+    pub stage_compute: Histogram,
+    /// Stage: response line construction.
+    pub stage_serialize: Histogram,
 }
 
 impl Default for Metrics {
@@ -39,12 +184,16 @@ impl Default for Metrics {
             deadline_expired_total: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
-            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency: Histogram::default(),
+            stage_queue: Histogram::default(),
+            stage_compute: Histogram::default(),
+            stage_serialize: Histogram::default(),
         }
     }
 }
 
-/// A point-in-time metrics reading, plus gauges sampled by the caller.
+/// A point-in-time metrics reading, including gauges supplied by the
+/// caller (zero when snapshotting without a transport, e.g. in-process).
 #[derive(Debug, Clone, Copy)]
 pub struct MetricsSnapshot {
     /// Requests fully served.
@@ -67,23 +216,40 @@ pub struct MetricsSnapshot {
     pub latency_p50_us: u64,
     /// 99th-percentile request latency (µs, bucket upper bound).
     pub latency_p99_us: u64,
+    /// Full end-to-end latency histogram reading.
+    pub latency: HistogramSnapshot,
+    /// Queue-wait stage histogram reading.
+    pub stage_queue: HistogramSnapshot,
+    /// Compute stage histogram reading.
+    pub stage_compute: HistogramSnapshot,
+    /// Serialize stage histogram reading.
+    pub stage_serialize: HistogramSnapshot,
+    /// Connections currently waiting for a worker.
+    pub queue_depth: u64,
+    /// Sessions currently open.
+    pub sessions_open: u64,
+    /// Entries resident in the what-if cost cache.
+    pub cache_entries: u64,
 }
 
 impl Metrics {
-    /// Records one served request's latency.
+    /// Records one served request's end-to-end latency.
     pub fn observe_latency(&self, took: Duration) {
-        let us = took.as_micros().max(1) as u64;
-        let bucket = (63 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        if let Some(b) = self.latency_buckets.get(bucket) {
-            b.fetch_add(1, Ordering::Relaxed);
-        }
+        self.latency.observe(took);
     }
 
-    /// Reads every counter and derives the percentile estimates.
+    /// Reads every counter with zeroed gauges (in-process callers have no
+    /// queue or registry to sample).
     pub fn snapshot(&self) -> MetricsSnapshot {
+        self.snapshot_with_gauges(Gauges::default())
+    }
+
+    /// Reads every counter and folds in the caller-sampled gauges.
+    pub fn snapshot_with_gauges(&self, gauges: Gauges) -> MetricsSnapshot {
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
         let lookups = hits + misses;
+        let latency = self.latency.snapshot();
         MetricsSnapshot {
             requests_total: self.requests_total.load(Ordering::Relaxed),
             errors_total: self.errors_total.load(Ordering::Relaxed),
@@ -97,33 +263,62 @@ impl Metrics {
             } else {
                 0.0
             },
-            latency_p50_us: self.percentile_us(0.50),
-            latency_p99_us: self.percentile_us(0.99),
+            latency_p50_us: latency.p50_us,
+            latency_p99_us: latency.p99_us,
+            latency,
+            stage_queue: self.stage_queue.snapshot(),
+            stage_compute: self.stage_compute.snapshot(),
+            stage_serialize: self.stage_serialize.snapshot(),
+            queue_depth: gauges.queue_depth,
+            sessions_open: gauges.sessions_open,
+            cache_entries: gauges.cache_entries,
         }
     }
+}
 
-    /// Bucket-resolution percentile: the upper bound (`2^(i+1) - 1` µs) of
-    /// the bucket containing the q-quantile observation.
-    fn percentile_us(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self
-            .latency_buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((total as f64 * q).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return (1u64 << (i + 1)) - 1;
-            }
-        }
-        u64::MAX
-    }
+fn push_counter(out: &mut String, name: &str, value: u64) {
+    out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+}
+
+fn push_gauge(out: &mut String, name: &str, value: u64) {
+    out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+}
+
+fn push_summary(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    out.push_str(&format!(
+        "# TYPE {name} summary\n\
+         {name}{{quantile=\"0.5\"}} {}\n\
+         {name}{{quantile=\"0.99\"}} {}\n\
+         {name}_sum {}\n\
+         {name}_count {}\n",
+        h.p50_us, h.p99_us, h.sum_us, h.count,
+    ));
+}
+
+/// Renders a snapshot in Prometheus text exposition format (the `metrics`
+/// wire op's payload). Deterministic key order; quantiles are
+/// bucket-resolution, in microseconds.
+pub fn render_prometheus(s: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    push_counter(&mut out, "dblayout_requests_total", s.requests_total);
+    push_counter(&mut out, "dblayout_errors_total", s.errors_total);
+    push_counter(&mut out, "dblayout_connections_total", s.connections_total);
+    push_counter(&mut out, "dblayout_rejected_total", s.rejected_total);
+    push_counter(
+        &mut out,
+        "dblayout_deadline_expired_total",
+        s.deadline_expired_total,
+    );
+    push_counter(&mut out, "dblayout_cache_hits_total", s.cache_hits);
+    push_counter(&mut out, "dblayout_cache_misses_total", s.cache_misses);
+    push_gauge(&mut out, "dblayout_queue_depth", s.queue_depth);
+    push_gauge(&mut out, "dblayout_sessions_open", s.sessions_open);
+    push_gauge(&mut out, "dblayout_cache_entries", s.cache_entries);
+    push_summary(&mut out, "dblayout_request_latency_us", &s.latency);
+    push_summary(&mut out, "dblayout_stage_queue_us", &s.stage_queue);
+    push_summary(&mut out, "dblayout_stage_compute_us", &s.stage_compute);
+    push_summary(&mut out, "dblayout_stage_serialize_us", &s.stage_serialize);
+    out
 }
 
 #[cfg(test)]
@@ -137,6 +332,8 @@ mod tests {
         assert_eq!(s.requests_total, 0);
         assert_eq!(s.latency_p50_us, 0);
         assert_eq!(s.cache_hit_rate, 0.0);
+        assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.stage_compute.count, 0);
     }
 
     #[test]
@@ -161,5 +358,104 @@ mod tests {
         m.cache_hits.fetch_add(3, Ordering::Relaxed);
         m.cache_misses.fetch_add(1, Ordering::Relaxed);
         assert_eq!(m.snapshot().cache_hit_rate, 0.75);
+    }
+
+    /// Exact powers of two sit at the *bottom* of their bucket: `2^i` µs
+    /// lands in bucket `i`, whose reported bound is `2^(i+1) - 1`.
+    #[test]
+    fn power_of_two_boundaries_land_in_their_bucket() {
+        for i in 0..BUCKETS {
+            let h = Histogram::default();
+            h.observe_us(1u64 << i);
+            assert_eq!(
+                h.percentile_us(0.5),
+                bucket_bound_us(i),
+                "2^{i} µs should report bucket {i}'s bound"
+            );
+            // One below the power (when distinct from 0) is the previous
+            // bucket's top.
+            if i >= 1 {
+                let h = Histogram::default();
+                h.observe_us((1u64 << i) - 1);
+                assert_eq!(h.percentile_us(0.5), bucket_bound_us(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_one_microsecond_share_the_first_bucket() {
+        let h = Histogram::default();
+        h.observe(Duration::ZERO);
+        h.observe(Duration::from_micros(1));
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50_us, 1);
+        assert_eq!(s.p99_us, 1);
+        // Zero clamps to 1 µs in the sum as well.
+        assert_eq!(s.sum_us, 2);
+    }
+
+    /// `Duration::MAX` is ~5.8e14 years; its microsecond count overflows
+    /// `u64`. It must saturate into the last bucket, not truncate into an
+    /// arbitrary one.
+    #[test]
+    fn duration_max_saturates_into_last_bucket() {
+        let h = Histogram::default();
+        h.observe(Duration::MAX);
+        assert_eq!(h.percentile_us(0.5), LAST_BUCKET_BOUND_US);
+        assert_eq!(h.snapshot().p99_us, LAST_BUCKET_BOUND_US);
+    }
+
+    /// Regression for the racing-counts fallthrough: when the rank exceeds
+    /// everything the scan sees (relaxed-atomic skew between the total and
+    /// the per-bucket reads), the estimate is the last finite bucket bound,
+    /// not a `u64::MAX` sentinel.
+    #[test]
+    fn rank_overshooting_counts_returns_last_bucket_bound() {
+        let counts = [3u64, 2, 0, 1]; // total 6
+        assert_eq!(percentile_from_counts(&counts, 7), LAST_BUCKET_BOUND_US);
+        assert_ne!(percentile_from_counts(&counts, 7), u64::MAX);
+        // In-range ranks still resolve normally.
+        assert_eq!(percentile_from_counts(&counts, 1), 1);
+        assert_eq!(percentile_from_counts(&counts, 4), 3);
+        assert_eq!(percentile_from_counts(&counts, 6), 15);
+        // Empty counts behave identically.
+        assert_eq!(percentile_from_counts(&[], 1), LAST_BUCKET_BOUND_US);
+    }
+
+    #[test]
+    fn prometheus_exposition_contains_all_families() {
+        let m = Metrics::default();
+        m.requests_total.fetch_add(5, Ordering::Relaxed);
+        m.observe_latency(Duration::from_micros(100));
+        m.stage_queue.observe(Duration::from_micros(10));
+        m.stage_compute.observe(Duration::from_micros(80));
+        m.stage_serialize.observe(Duration::from_micros(5));
+        let text = render_prometheus(&m.snapshot_with_gauges(Gauges {
+            queue_depth: 2,
+            sessions_open: 3,
+            cache_entries: 4,
+        }));
+        assert!(text.contains("dblayout_requests_total 5\n"), "{text}");
+        assert!(text.contains("dblayout_queue_depth 2\n"), "{text}");
+        assert!(text.contains("dblayout_sessions_open 3\n"), "{text}");
+        assert!(text.contains("dblayout_cache_entries 4\n"), "{text}");
+        assert!(
+            text.contains("dblayout_request_latency_us{quantile=\"0.5\"} 127\n"),
+            "{text}"
+        );
+        for stage in ["queue", "compute", "serialize"] {
+            assert!(
+                text.contains(&format!("dblayout_stage_{stage}_us_count 1\n")),
+                "missing stage {stage} in: {text}"
+            );
+        }
+        // Every line is a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# ") || line.split(' ').count() == 2,
+                "malformed line: {line}"
+            );
+        }
     }
 }

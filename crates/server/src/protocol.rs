@@ -18,6 +18,8 @@
 //! |                  | objects×disks fraction matrix), `no_cache`?      |
 //! | `recommend`      | `session`, `k`? (greedy step width, default 1)   |
 //! | `stats`          | —                                                |
+//! | `metrics`        | — (Prometheus text exposition under `text`)      |
+//! | `trace`          | — (drains the server's span ring buffer)         |
 //! | `close_session`  | `session`                                        |
 
 use dblayout_catalog::Catalog;
@@ -93,11 +95,32 @@ pub enum Request {
     },
     /// Server metrics snapshot.
     Stats,
+    /// Server metrics in Prometheus text exposition format.
+    Metrics,
+    /// Drain the server's bounded trace ring buffer.
+    Trace,
     /// Drop a session and everything it holds resident.
     CloseSession {
         /// Target session id.
         session: u64,
     },
+}
+
+impl Request {
+    /// The wire `op` name of this request (the span/label vocabulary shared
+    /// with the trace records the server emits).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::OpenSession { .. } => "open_session",
+            Request::AddStatements { .. } => "add_statements",
+            Request::WhatifCost { .. } => "whatif_cost",
+            Request::Recommend { .. } => "recommend",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Trace => "trace",
+            Request::CloseSession { .. } => "close_session",
+        }
+    }
 }
 
 /// Parses one request line.
@@ -194,6 +217,8 @@ pub fn parse_request(line: &str) -> Result<Request, ApiError> {
             })
         }
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
+        "trace" => Ok(Request::Trace),
         "close_session" => Ok(Request::CloseSession {
             session: session(&value)?,
         }),
@@ -385,6 +410,16 @@ mod tests {
             Request::Recommend { session: 2, k: 2 }
         );
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
+        assert_eq!(parse_request(r#"{"op":"trace"}"#).unwrap(), Request::Trace);
+        assert_eq!(
+            Request::Metrics.op_name(),
+            "metrics",
+            "op_name mirrors the wire vocabulary"
+        );
         assert_eq!(
             parse_request(r#"{"op":"close_session","session":9}"#).unwrap(),
             Request::CloseSession { session: 9 }

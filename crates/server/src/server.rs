@@ -24,7 +24,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::engine::{Engine, RuntimeInfo};
+use dblayout_obs::f;
+
+use crate::engine::{Engine, RuntimeInfo, DEFAULT_TRACE_CAPACITY};
 use crate::protocol::{err_line, ok_line, parse_request, ApiError, Request};
 
 /// Server tuning knobs.
@@ -46,6 +48,9 @@ pub struct ServerConfig {
     pub session_capacity: usize,
     /// Maximum memoized what-if costs.
     pub cache_capacity: usize,
+    /// Capacity (in records) of the bounded trace ring the `trace` op
+    /// drains; oldest records are dropped first.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +63,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(30),
             session_capacity: 64,
             cache_capacity: 1024,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -92,7 +98,11 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            engine: Engine::new(config.session_capacity, config.cache_capacity),
+            engine: Engine::with_trace_capacity(
+                config.session_capacity,
+                config.cache_capacity,
+                config.trace_capacity,
+            ),
             config,
         });
 
@@ -190,7 +200,8 @@ fn worker_loop(shared: &Arc<Shared>) {
         let Some((stream, enqueued)) = popped else {
             return; // shutdown with an empty queue: drained.
         };
-        if enqueued.elapsed() > shared.config.deadline {
+        let waited = enqueued.elapsed();
+        if waited > shared.config.deadline {
             shared
                 .engine
                 .metrics
@@ -205,6 +216,9 @@ fn worker_loop(shared: &Arc<Shared>) {
             );
             continue;
         }
+        // Queue-wait stage: admission wait of connections that get served
+        // (expired ones are counted above instead).
+        shared.engine.metrics.stage_queue.observe(waited);
         serve_connection(shared, stream);
     }
 }
@@ -249,10 +263,13 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
             continue;
         }
         let started = Instant::now();
+        let span = shared.engine.collector.span("server.request", Vec::new());
+        let mut op = "invalid";
         let outcome = parse_request(&line).and_then(|req| {
-            // Gauges are only read by `stats`; fetch them lazily so every
-            // other op skips the queue lock.
-            let runtime = if matches!(req, Request::Stats) {
+            op = req.op_name();
+            // Gauges are only read by `stats`/`metrics`; fetch them lazily
+            // so every other op skips the queue lock.
+            let runtime = if matches!(req, Request::Stats | Request::Metrics) {
                 RuntimeInfo {
                     queue_depth: crate::lock_unpoisoned(&shared.queue).len() as u64,
                     threads: shared.config.threads as u64,
@@ -262,11 +279,19 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
             };
             execute_guarded(|| shared.engine.execute(req, &runtime))
         });
+        // Compute stage: parse + engine execution.
+        shared
+            .engine
+            .metrics
+            .stage_compute
+            .observe(started.elapsed());
         shared
             .engine
             .metrics
             .requests_total
             .fetch_add(1, Ordering::Relaxed);
+        let ok = outcome.is_ok();
+        let serialize_started = Instant::now();
         let mut response = match outcome {
             Ok(result) => ok_line(result),
             Err(err) => {
@@ -278,8 +303,15 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 err_line(&err)
             }
         };
-        shared.engine.metrics.observe_latency(started.elapsed());
         response.push('\n');
+        // Serialize stage: response-line construction.
+        shared
+            .engine
+            .metrics
+            .stage_serialize
+            .observe(serialize_started.elapsed());
+        shared.engine.metrics.observe_latency(started.elapsed());
+        span.end_with(vec![f("op", op), f("ok", ok)]);
         if writer.write_all(response.as_bytes()).is_err() {
             break;
         }
@@ -384,6 +416,67 @@ mod tests {
                 .unwrap(),
         );
         assert_eq!(closed.get("closed").and_then(|v| v.as_u64()), Some(sid));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_and_trace_ops_over_loopback() {
+        let server = start();
+        let mut client = Client::connect(&server.addr().to_string()).unwrap();
+
+        let stats = result(&client.roundtrip(r#"{"op":"stats"}"#).unwrap());
+        assert!(
+            stats
+                .get("stage_compute_p50_us")
+                .and_then(|v| v.as_u64())
+                .is_some(),
+            "stats surfaces stage percentiles: {stats:?}"
+        );
+
+        let m = result(&client.roundtrip(r#"{"op":"metrics"}"#).unwrap());
+        let text = m.get("text").and_then(|v| v.as_str()).unwrap();
+        assert!(
+            text.contains("# TYPE dblayout_requests_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("dblayout_sessions_open 0\n"), "{text}");
+        // The queue-wait stage observed at least this connection's admission.
+        assert!(text.contains("dblayout_stage_queue_us_count 1\n"), "{text}");
+
+        let t = result(&client.roundtrip(r#"{"op":"trace"}"#).unwrap());
+        let events = t.get("events").and_then(|v| v.as_array()).unwrap();
+        // stats + metrics spans completed (start/end each); the in-flight
+        // trace request contributes at least its span_start.
+        assert!(events.len() >= 5, "got {} events", events.len());
+        // The wire events round-trip through the trace parser as JSONL.
+        let jsonl: String = events
+            .iter()
+            .map(|e| {
+                let mut line = serde_json::to_string(e).unwrap();
+                line.push('\n');
+                line
+            })
+            .collect();
+        let parsed = dblayout_obs::parse_trace(&jsonl).unwrap();
+        assert_eq!(parsed.len(), events.len());
+        assert!(
+            parsed
+                .iter()
+                .any(|r| r.name == "server.request" && r.field_str("op") == Some("stats")),
+            "missing stats span in {jsonl}"
+        );
+        let end = parsed
+            .iter()
+            .find(|r| r.field_str("op") == Some("metrics"))
+            .unwrap();
+        assert!(end.elapsed_us.is_some(), "timed collector stamps span ends");
+        assert_eq!(end.field("ok"), Some(&dblayout_obs::FieldValue::Bool(true)));
+
+        // Draining leaves only records emitted after the drain.
+        let t2 = result(&client.roundtrip(r#"{"op":"trace"}"#).unwrap());
+        let events2 = t2.get("events").and_then(|v| v.as_array()).unwrap();
+        assert!(events2.len() < events.len());
 
         server.shutdown();
     }

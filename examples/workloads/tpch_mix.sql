@@ -1,0 +1,9 @@
+-- Bundled example workload for `dblayout explain` (TPC-H subset).
+-- Three weighted statements: two co-accessing joins and one scan, enough
+-- for the access graph to force separation and for TS-GREEDY's step 2 to
+-- find at least one improving widen.
+-- weight: 10
+SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;
+-- weight: 3
+SELECT COUNT(*) FROM partsupp, part WHERE ps_partkey = p_partkey;
+SELECT COUNT(*) FROM customer;

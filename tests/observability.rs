@@ -1,0 +1,92 @@
+//! Cross-crate observability tests: the explain pipeline's trace must
+//! round-trip through the `dblayout-obs` parser byte-for-byte, stay
+//! deterministic across runs, and narrate every adopted merge; the
+//! disabled-collector path must leave advisor results bit-identical.
+
+use std::sync::Arc;
+
+use dblayout_catalog::resolve_catalog;
+use dblayout_core::advisor::{Advisor, AdvisorConfig};
+use dblayout_core::{render_narrative, NarrativeNames};
+use dblayout_disksim::paper_disks;
+use dblayout_obs::{parse_trace, Collector, Record, RingSink};
+
+const WORKLOAD: &str = "-- weight: 10\n\
+     SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;\n\
+     -- weight: 3\n\
+     SELECT COUNT(*) FROM partsupp, part WHERE ps_partkey = p_partkey;\n\
+     SELECT COUNT(*) FROM customer;";
+
+fn traced_run() -> (Vec<Record>, f64) {
+    let catalog = resolve_catalog("tpch:0.1").expect("catalog");
+    let disks = paper_disks();
+    let ring = Arc::new(RingSink::new(usize::MAX));
+    let mut cfg = AdvisorConfig::default();
+    cfg.search.collector = Collector::deterministic(ring.clone());
+    let rec = Advisor::new(&catalog, &disks)
+        .recommend_sql(WORKLOAD, &cfg)
+        .expect("advisor succeeds");
+    (ring.drain(), rec.recommended_cost_ms)
+}
+
+#[test]
+fn explain_trace_round_trips_through_the_parser() {
+    let (records, _) = traced_run();
+    assert!(!records.is_empty());
+    let jsonl: String = records
+        .iter()
+        .map(|r| {
+            let mut line = r.to_jsonl();
+            line.push('\n');
+            line
+        })
+        .collect();
+    let parsed = parse_trace(&jsonl).expect("trace parses");
+    assert_eq!(parsed, records, "JSONL round-trip is lossless");
+}
+
+#[test]
+fn traces_and_results_are_deterministic_and_unaffected_by_tracing() {
+    let (r1, cost1) = traced_run();
+    let (r2, cost2) = traced_run();
+    assert_eq!(cost1.to_bits(), cost2.to_bits());
+    let l1: Vec<String> = r1.iter().map(Record::to_jsonl).collect();
+    let l2: Vec<String> = r2.iter().map(Record::to_jsonl).collect();
+    assert_eq!(l1, l2, "deterministic collector reproduces the trace");
+
+    // Tracing must not perturb the recommendation itself.
+    let catalog = resolve_catalog("tpch:0.1").expect("catalog");
+    let disks = paper_disks();
+    let untraced = Advisor::new(&catalog, &disks)
+        .recommend_sql(WORKLOAD, &AdvisorConfig::default())
+        .expect("advisor succeeds");
+    assert_eq!(untraced.recommended_cost_ms.to_bits(), cost1.to_bits());
+}
+
+#[test]
+fn narrative_covers_every_adopted_merge() {
+    let (records, _) = traced_run();
+    let catalog = resolve_catalog("tpch:0.1").expect("catalog");
+    let object_names: Vec<String> = catalog.objects().iter().map(|o| o.name.clone()).collect();
+    let disk_names: Vec<String> = paper_disks().iter().map(|d| d.name.clone()).collect();
+    let narrative = render_narrative(
+        &records,
+        &NarrativeNames {
+            objects: &object_names,
+            disks: &disk_names,
+        },
+    );
+    let adopts = records
+        .iter()
+        .filter(|r| r.name == "tsgreedy.adopt")
+        .count();
+    assert!(adopts >= 1, "expected at least one adopted merge");
+    assert_eq!(narrative.matches("— adopt: widen [").count(), adopts);
+    for i in 1..=adopts {
+        assert!(
+            narrative.contains(&format!("iteration {i}: ")),
+            "iteration {i} missing from narrative:\n{narrative}"
+        );
+    }
+    assert!(narrative.contains("no improving move; search stops"));
+}
