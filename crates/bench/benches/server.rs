@@ -53,6 +53,7 @@ fn main() {
             Request::OpenSession {
                 catalog: "tpch:0.1".into(),
                 disks: "paper".into(),
+                threads: 1,
             },
             &rt,
         )

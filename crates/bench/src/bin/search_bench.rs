@@ -1,0 +1,45 @@
+//! Sequential-vs-parallel TS-GREEDY wall times on `tpch_mix.sql`.
+//!
+//! Usage: `search_bench [threads...]` (default `1 2 4 8`). Runs the
+//! sequential full-re-evaluation baseline, then the incremental parallel
+//! engine at each thread count, writes `results/search_bench.json`, and
+//! exits non-zero if any configuration's layout or cost diverges from the
+//! baseline — the identity check the CI bench-smoke job enforces.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let threads: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let threads = if threads.is_empty() {
+        vec![1, 2, 4, 8]
+    } else {
+        threads
+    };
+    println!("search bench: sequential full re-evaluation vs incremental parallel (dblayout-par)");
+    println!();
+    let report = dblayout_bench::search_bench::run_with(&threads, 5);
+    println!(
+        "workload {} ({} statements), host parallelism {}",
+        report.workload, report.statements, report.host_available_parallelism
+    );
+    println!(
+        "{:>18} {:>8} {:>12} {:>9} {:>10}",
+        "engine", "threads", "best (ms)", "speedup", "identical"
+    );
+    for r in &report.rows {
+        println!(
+            "{:>18} {:>8} {:>12.2} {:>8.2}x {:>10}",
+            r.engine, r.threads, r.best_ms, r.speedup_vs_sequential_full, r.identical_to_baseline
+        );
+    }
+    dblayout_bench::write_json("search_bench", &report);
+    if report.all_identical {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: parallel search output diverged from the sequential baseline");
+        ExitCode::FAILURE
+    }
+}

@@ -19,6 +19,7 @@
 //! | Ablations A1-A5                            | [`ablations`] | `ablation_*` |
 //! | WK-SCALE(N) workload-size scaling          | [`wkscale_bench`] | `wkscale` |
 //! | Concurrency extension (§2.2/§9)            | [`extension_concurrency`] | `extension_concurrency` |
+//! | Sequential vs parallel search (dblayout-par) | [`search_bench`] | `search_bench` |
 
 pub mod ablations;
 pub mod common;
@@ -27,6 +28,7 @@ pub mod extension_concurrency;
 pub mod figure10;
 pub mod figure11;
 pub mod figure12;
+pub mod search_bench;
 pub mod table2;
 pub mod wkscale_bench;
 

@@ -1,0 +1,180 @@
+//! Search-engine bench: sequential full re-evaluation vs the incremental
+//! parallel engine (`dblayout-par`) on the bundled `tpch_mix.sql` workload.
+//!
+//! The baseline is the pre-dblayout-par search: every candidate move scored
+//! by a full Figure-7 re-evaluation on one thread
+//! (`full_reevaluation: true, threads: 1`). Against it we measure the
+//! incremental delta evaluator at each requested thread count. Because the
+//! delta evaluator re-sums in full-evaluation order and the parallel
+//! reduction adopts in sequential candidate order, **every configuration
+//! must produce bit-identical layouts and costs** — the bench asserts this
+//! (`identical_to_baseline`) and the `search_bench` binary exits non-zero
+//! on any divergence, which is what the CI bench-smoke job keys off.
+//!
+//! Wall-clock speedup from *threads* requires actual cores; the report
+//! records the host's available parallelism so single-core CI results read
+//! honestly (there the speedup comes from the incremental evaluator).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use dblayout_catalog::tpch::tpch_catalog;
+use dblayout_core::costmodel::decompose_workload;
+use dblayout_core::tsgreedy::{ts_greedy, TsGreedyConfig};
+use dblayout_core::{build_access_graph, Layout};
+use dblayout_disksim::paper_disks;
+use dblayout_planner::plan_statement;
+use dblayout_sql::parse_workload_file;
+
+/// One measured engine configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct SearchBenchRow {
+    /// `full_reevaluation` (the baseline) or `incremental`.
+    pub engine: &'static str,
+    /// Worker threads used for candidate scoring.
+    pub threads: usize,
+    /// Best (minimum) wall time over the measured repetitions, ms.
+    pub best_ms: f64,
+    /// Baseline `best_ms` divided by this row's `best_ms`.
+    pub speedup_vs_sequential_full: f64,
+    /// Layout fractions and final cost are bit-identical to the baseline.
+    pub identical_to_baseline: bool,
+    /// Greedy iterations adopted (must match the baseline).
+    pub iterations: usize,
+    /// Cost-model evaluations performed (must match the baseline).
+    pub cost_evaluations: usize,
+}
+
+/// The whole bench run, as written to `results/search_bench.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct SearchBenchReport {
+    /// Workload file the search ran over.
+    pub workload: String,
+    /// Statements in the workload (after weight expansion).
+    pub statements: usize,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_available_parallelism: usize,
+    /// Repetitions per configuration (`best_ms` is the minimum).
+    pub reps: usize,
+    /// Every row's layout/cost matched the baseline bit for bit.
+    pub all_identical: bool,
+    /// Per-configuration measurements.
+    pub rows: Vec<SearchBenchRow>,
+}
+
+/// Every placement fraction's bit pattern — the byte-level identity the
+/// differential harness compares.
+fn layout_bits(l: &Layout) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for i in 0..l.object_count() {
+        for j in 0..l.disk_count() {
+            bits.push(l.fraction(i, j).to_bits());
+        }
+    }
+    bits
+}
+
+/// Path of the bundled workload, resolved relative to this crate so the
+/// bench works from any working directory.
+pub fn tpch_mix_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/workloads/tpch_mix.sql")
+}
+
+/// Runs the bench: the sequential full-re-evaluation baseline, then the
+/// incremental engine at each of `thread_counts`, `reps` repetitions each.
+pub fn run_with(thread_counts: &[usize], reps: usize) -> SearchBenchReport {
+    let reps = reps.max(1);
+    let catalog = tpch_catalog(1.0);
+    let disks = paper_disks();
+    let text = std::fs::read_to_string(tpch_mix_path()).expect("bundled tpch_mix.sql is readable");
+    let entries = parse_workload_file(&text).expect("tpch_mix.sql parses");
+    let plans: Vec<_> = entries
+        .iter()
+        .map(|e| {
+            (
+                plan_statement(&catalog, &e.statement).expect("tpch_mix.sql plans"),
+                e.weight,
+            )
+        })
+        .collect();
+    let sizes: Vec<u64> = catalog.objects().iter().map(|o| o.size_blocks).collect();
+    let graph = build_access_graph(sizes.len(), &plans);
+    let workload = decompose_workload(&plans);
+
+    let measure = |cfg: &TsGreedyConfig| {
+        let mut best_ms = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let r = ts_greedy(&sizes, &graph, &workload, &disks, cfg).expect("search succeeds");
+            best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            result = Some(r);
+        }
+        (best_ms, result.expect("at least one repetition ran"))
+    };
+
+    let baseline_cfg = TsGreedyConfig {
+        full_reevaluation: true,
+        threads: 1,
+        ..Default::default()
+    };
+    let (baseline_ms, baseline) = measure(&baseline_cfg);
+    let baseline_layout = layout_bits(&baseline.layout);
+    let baseline_cost = baseline.final_cost.to_bits();
+
+    let mut rows = vec![SearchBenchRow {
+        engine: "full_reevaluation",
+        threads: 1,
+        best_ms: baseline_ms,
+        speedup_vs_sequential_full: 1.0,
+        identical_to_baseline: true,
+        iterations: baseline.iterations,
+        cost_evaluations: baseline.cost_evaluations,
+    }];
+    for &threads in thread_counts {
+        let cfg = TsGreedyConfig {
+            threads: threads.max(1),
+            ..Default::default()
+        };
+        let (best_ms, r) = measure(&cfg);
+        rows.push(SearchBenchRow {
+            engine: "incremental",
+            threads: threads.max(1),
+            best_ms,
+            speedup_vs_sequential_full: baseline_ms / best_ms,
+            identical_to_baseline: layout_bits(&r.layout) == baseline_layout
+                && r.final_cost.to_bits() == baseline_cost,
+            iterations: r.iterations,
+            cost_evaluations: r.cost_evaluations,
+        });
+    }
+    let all_identical = rows.iter().all(|r| r.identical_to_baseline);
+    SearchBenchReport {
+        workload: "examples/workloads/tpch_mix.sql".to_string(),
+        statements: plans.len(),
+        host_available_parallelism: dblayout_core::available_parallelism(),
+        reps,
+        all_identical,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_engine_matches_the_sequential_baseline() {
+        let report = run_with(&[1, 2, 4], 1);
+        assert!(report.all_identical, "{report:?}");
+        assert_eq!(report.rows.len(), 4);
+        let base = &report.rows[0];
+        assert!(base.iterations >= 1, "search adopted no move");
+        for row in &report.rows[1..] {
+            assert_eq!(row.iterations, base.iterations);
+            assert_eq!(row.cost_evaluations, base.cost_evaluations);
+        }
+    }
+}

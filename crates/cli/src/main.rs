@@ -33,6 +33,8 @@ INPUTS (paper Figure 3):
 
 OPTIONS:
     --k <n>               greedy step width (default 1)
+    --threads <n>         search worker threads (default: available
+                          parallelism; results are identical at any value)
     --script <dbname>     print the filegroup deployment script
     --json <file>         write the recommendation as JSON
     --trace-out <file>    also record the search as raw trace JSONL
@@ -64,6 +66,9 @@ OPTIONS:
     --disks <file>        drive list (default: the paper's 8-drive array)
     --constraints <file>  constraint file
     --k <n>               greedy step width (default 1)
+    --threads <n>         search worker threads (default: available
+                          parallelism; narrative and trace are identical
+                          at any value)
     --trace-out <file>    where to write the raw trace JSONL
                           (default results/explain_trace.jsonl)
     --help                this text
@@ -135,9 +140,20 @@ struct Args {
     disks: Option<String>,
     constraints: Option<String>,
     k: usize,
+    threads: Option<usize>,
     script: Option<String>,
     json: Option<String>,
     trace_out: Option<String>,
+}
+
+impl Args {
+    /// The search worker count: `--threads` if given, else the host's
+    /// available parallelism. Results are identical either way.
+    fn search_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(dblayout_core::par::available_parallelism)
+            .max(1)
+    }
 }
 
 fn parse_args(argv: &[String], usage: &str, allow_outputs: bool) -> Result<Args, String> {
@@ -147,6 +163,7 @@ fn parse_args(argv: &[String], usage: &str, allow_outputs: bool) -> Result<Args,
         disks: None,
         constraints: None,
         k: 1,
+        threads: None,
         script: None,
         json: None,
         trace_out: None,
@@ -164,6 +181,15 @@ fn parse_args(argv: &[String], usage: &str, allow_outputs: bool) -> Result<Args,
             "--disks" => args.disks = Some(value("--disks")?),
             "--constraints" => args.constraints = Some(value("--constraints")?),
             "--k" => args.k = value("--k")?.parse().map_err(|e| format!("bad --k: {e}"))?,
+            "--threads" => {
+                let t: usize = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                args.threads = Some(t);
+            }
             "--script" if allow_outputs => args.script = Some(value("--script")?),
             "--json" if allow_outputs => args.json = Some(value("--json")?),
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
@@ -242,6 +268,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     let mut cfg = AdvisorConfig {
         search: TsGreedyConfig {
             k: args.k,
+            threads: args.search_threads(),
             constraints,
             ..Default::default()
         },
@@ -337,6 +364,7 @@ fn run_explain(argv: &[String]) -> Result<(), String> {
     let mut cfg = AdvisorConfig {
         search: TsGreedyConfig {
             k: args.k,
+            threads: args.search_threads(),
             constraints,
             ..Default::default()
         },

@@ -191,6 +191,209 @@ impl CostModel {
             .map(|(subs, w)| w * self.statement_cost_subplans(subs, layout, disks))
             .sum()
     }
+
+    /// Builds a [`DeltaEvaluator`] over `workload`, primed with a full
+    /// evaluation of `layout` (its [`DeltaEvaluator::total`] equals
+    /// [`CostModel::workload_cost_subplans`] bit for bit).
+    pub fn delta_evaluator<'a>(
+        &'a self,
+        workload: &'a [(Vec<Subplan>, f64)],
+        layout: &Layout,
+        disks: &'a [DiskSpec],
+    ) -> DeltaEvaluator<'a> {
+        let mut touching: Vec<Vec<(u32, u32)>> = vec![Vec::new(); layout.object_count()];
+        for (s, (subs, _)) in workload.iter().enumerate() {
+            for (p, sub) in subs.iter().enumerate() {
+                let pair = (s as u32, p as u32);
+                for access in &sub.accesses {
+                    if let Some(list) = touching.get_mut(access.object.index()) {
+                        // Pairs arrive in increasing (s, p) order, so the
+                        // last-entry guard keeps each list sorted + unique.
+                        if list.last() != Some(&pair) {
+                            list.push(pair);
+                        }
+                    }
+                }
+            }
+        }
+        let mut eval = DeltaEvaluator {
+            model: self,
+            workload,
+            disks,
+            sub_costs: Vec::new(),
+            stmt_costs: Vec::new(),
+            total: 0.0,
+            touching,
+        };
+        eval.rebase(layout);
+        eval
+    }
+}
+
+/// Incremental Figure-7 evaluation over a fixed decomposed workload.
+///
+/// The evaluator keeps a ledger of every sub-plan's unweighted cost under a
+/// *base* layout. [`DeltaEvaluator::evaluate_move`] re-costs only the
+/// sub-plans touching the moved objects and re-sums statements and the
+/// workload **in the original evaluation order**, substituting the
+/// recomputed terms — the identical sequence of float additions a full
+/// [`CostModel::workload_cost_subplans`] performs, with unchanged terms
+/// reused. The resulting total is therefore bit-identical to a full
+/// re-evaluation (0 ULPs), not merely close: the search can score thousands
+/// of candidate moves incrementally without its trajectory ever diverging
+/// from a naive implementation's. When a layout change is not expressible
+/// as a known set of moved objects, fall back to
+/// [`DeltaEvaluator::evaluate_full`] or [`DeltaEvaluator::rebase`].
+#[derive(Debug, Clone)]
+pub struct DeltaEvaluator<'a> {
+    model: &'a CostModel,
+    workload: &'a [(Vec<Subplan>, f64)],
+    disks: &'a [DiskSpec],
+    /// `sub_costs[s][p]` — unweighted cost of statement `s`'s sub-plan `p`
+    /// under the base layout.
+    sub_costs: Vec<Vec<f64>>,
+    /// `stmt_costs[s]` — `w_s · Σ_p sub_costs[s][p]`, summed in `p` order.
+    stmt_costs: Vec<f64>,
+    /// `Σ_s stmt_costs[s]`, summed in `s` order — the workload objective.
+    total: f64,
+    /// For each object id, the sorted unique `(statement, sub-plan)` pairs
+    /// whose sub-plan accesses it.
+    touching: Vec<Vec<(u32, u32)>>,
+}
+
+/// The outcome of one [`DeltaEvaluator`] evaluation: the recomputed
+/// sub-plan and statement costs, and the workload total under the trial
+/// layout. [`DeltaEvaluator::apply`] installs it as the new base.
+#[derive(Debug, Clone)]
+pub struct CostDelta {
+    /// Recomputed `(statement, sub-plan, unweighted cost)` triples, sorted.
+    sub_updates: Vec<(u32, u32, f64)>,
+    /// Recomputed weighted statement costs, sorted by statement.
+    stmt_updates: Vec<(u32, f64)>,
+    /// Workload cost (ms) under the evaluated layout — bit-identical to a
+    /// full re-evaluation of that layout.
+    pub total: f64,
+}
+
+impl DeltaEvaluator<'_> {
+    /// Workload cost of the current base layout (ms).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Scores `layout`, where only the objects in `moved` changed placement
+    /// relative to the base layout. Sub-plans not touching a moved object
+    /// are reused from the ledger; everything else is recomputed.
+    pub fn evaluate_move(&self, layout: &Layout, moved: &[usize]) -> CostDelta {
+        let mut touched: Vec<(u32, u32)> = Vec::new();
+        for &obj in moved {
+            if let Some(list) = self.touching.get(obj) {
+                touched.extend_from_slice(list);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        let sub_updates: Vec<(u32, u32, f64)> = touched
+            .iter()
+            .map(|&(s, p)| {
+                let sub = &self.workload[s as usize].0[p as usize];
+                (s, p, self.model.subplan_cost(sub, layout, self.disks))
+            })
+            .collect();
+        self.finish(sub_updates)
+    }
+
+    /// Scores `layout` by recomputing every sub-plan — the fallback for
+    /// arbitrary layout changes, and the reference the incremental path is
+    /// differential-tested against (identical totals, bit for bit).
+    pub fn evaluate_full(&self, layout: &Layout) -> CostDelta {
+        let mut sub_updates = Vec::new();
+        for (s, (subs, _)) in self.workload.iter().enumerate() {
+            for (p, sub) in subs.iter().enumerate() {
+                sub_updates.push((
+                    s as u32,
+                    p as u32,
+                    self.model.subplan_cost(sub, layout, self.disks),
+                ));
+            }
+        }
+        self.finish(sub_updates)
+    }
+
+    /// Installs a previously evaluated delta as the new base (call after
+    /// the search adopts the corresponding layout).
+    pub fn apply(&mut self, delta: &CostDelta) {
+        for &(s, p, c) in &delta.sub_updates {
+            self.sub_costs[s as usize][p as usize] = c;
+        }
+        for &(s, c) in &delta.stmt_updates {
+            self.stmt_costs[s as usize] = c;
+        }
+        self.total = delta.total;
+    }
+
+    /// Rebuilds the whole ledger against `layout` — the full-evaluation
+    /// fallback when the base layout changed in ways no move describes.
+    pub fn rebase(&mut self, layout: &Layout) {
+        let sub_costs: Vec<Vec<f64>> = self
+            .workload
+            .iter()
+            .map(|(subs, _)| {
+                subs.iter()
+                    .map(|sub| self.model.subplan_cost(sub, layout, self.disks))
+                    .collect()
+            })
+            .collect();
+        let stmt_costs: Vec<f64> = self
+            .workload
+            .iter()
+            .zip(&sub_costs)
+            .map(|((_, w), subs)| w * subs.iter().sum::<f64>())
+            .collect();
+        self.total = stmt_costs.iter().sum();
+        self.sub_costs = sub_costs;
+        self.stmt_costs = stmt_costs;
+    }
+
+    /// Folds recomputed sub-plan costs into statement and workload totals,
+    /// replaying the exact addition order of a full evaluation.
+    fn finish(&self, sub_updates: Vec<(u32, u32, f64)>) -> CostDelta {
+        let mut stmt_updates: Vec<(u32, f64)> = Vec::new();
+        let mut i = 0usize;
+        while i < sub_updates.len() {
+            let s = sub_updates[i].0;
+            let w = self.workload[s as usize].1;
+            let mut sum = 0.0f64;
+            for (p, &cached) in self.sub_costs[s as usize].iter().enumerate() {
+                let next_is_update = sub_updates
+                    .get(i)
+                    .is_some_and(|&(us, up, _)| us == s && up == p as u32);
+                if next_is_update {
+                    sum += sub_updates[i].2;
+                    i += 1;
+                } else {
+                    sum += cached;
+                }
+            }
+            stmt_updates.push((s, w * sum));
+        }
+        let mut total = 0.0f64;
+        let mut u = 0usize;
+        for (s, &cached) in self.stmt_costs.iter().enumerate() {
+            let updated = stmt_updates.get(u).is_some_and(|&(us, _)| us == s as u32);
+            if updated {
+                total += stmt_updates[u].1;
+                u += 1;
+            } else {
+                total += cached;
+            }
+        }
+        CostDelta {
+            sub_updates,
+            stmt_updates,
+            total,
+        }
+    }
 }
 
 /// Aggregates each object's total blocks across a sub-plan's accesses.
@@ -442,6 +645,85 @@ mod tests {
             end.field_f64("cost_ms").map(f64::to_bits),
             Some(c1.to_bits())
         );
+    }
+
+    /// Two statements over three objects: a merge join (0 ⋈ 1) weighted 5
+    /// and a scan of 2 weighted 1 — enough structure that moving one
+    /// object touches some but not all sub-plans.
+    #[allow(clippy::type_complexity)]
+    fn delta_fixture() -> (Vec<(Vec<Subplan>, f64)>, Vec<DiskSpec>, Layout) {
+        let join = PhysicalPlan::new(PlanNode::MergeJoin {
+            on: "a=b".into(),
+            rows: 100.0,
+            left: Box::new(scan(0, 300)),
+            right: Box::new(scan(1, 150)),
+        });
+        let lone = PhysicalPlan::new(scan(2, 90));
+        let disks = uniform_disks(3, 100_000, 10.0, 20.0);
+        let workload = decompose_workload(&[(join, 5.0), (lone, 1.0)]);
+        let mut layout = Layout::empty(vec![300, 150, 90], 3);
+        layout.place(0, &[(0, 1.0), (1, 1.0)]);
+        layout.place(1, &[(2, 1.0)]);
+        layout.place(2, &[(0, 0.5), (1, 0.25), (2, 0.25)]);
+        (workload, disks, layout)
+    }
+
+    #[test]
+    fn delta_evaluator_base_total_is_bit_identical_to_full_cost() {
+        let (workload, disks, layout) = delta_fixture();
+        let model = CostModel::default();
+        let eval = model.delta_evaluator(&workload, &layout, &disks);
+        let full = model.workload_cost_subplans(&workload, &layout, &disks);
+        assert_eq!(eval.total().to_bits(), full.to_bits());
+    }
+
+    #[test]
+    fn evaluate_move_is_bit_identical_to_full_reevaluation() {
+        let (workload, disks, layout) = delta_fixture();
+        let model = CostModel::default();
+        let eval = model.delta_evaluator(&workload, &layout, &disks);
+        // Move object 1 (touches only the join's sub-plan) onto all disks.
+        let mut trial = layout.clone();
+        trial.place(1, &[(0, 1.0), (1, 1.0), (2, 1.0)]);
+        let delta = eval.evaluate_move(&trial, &[1]);
+        let full = model.workload_cost_subplans(&workload, &trial, &disks);
+        assert_eq!(delta.total.to_bits(), full.to_bits());
+        // The explicit full-evaluation fallback agrees too.
+        let via_full = eval.evaluate_full(&trial);
+        assert_eq!(via_full.total.to_bits(), full.to_bits());
+    }
+
+    #[test]
+    fn apply_installs_the_trial_as_the_new_base() {
+        let (workload, disks, layout) = delta_fixture();
+        let model = CostModel::default();
+        let mut eval = model.delta_evaluator(&workload, &layout, &disks);
+        let mut trial = layout.clone();
+        trial.place(2, &[(0, 1.0)]);
+        let delta = eval.evaluate_move(&trial, &[2]);
+        eval.apply(&delta);
+        // After apply, the evaluator behaves as if constructed on `trial`:
+        // further moves score bit-identically to a fresh evaluator.
+        let fresh = model.delta_evaluator(&workload, &trial, &disks);
+        assert_eq!(eval.total().to_bits(), fresh.total().to_bits());
+        let mut next = trial.clone();
+        next.place(0, &[(0, 1.0), (1, 1.0), (2, 1.0)]);
+        let a = eval.evaluate_move(&next, &[0]);
+        let b = fresh.evaluate_move(&next, &[0]);
+        assert_eq!(a.total.to_bits(), b.total.to_bits());
+    }
+
+    #[test]
+    fn rebase_resyncs_after_arbitrary_layout_change() {
+        let (workload, disks, layout) = delta_fixture();
+        let model = CostModel::default();
+        let mut eval = model.delta_evaluator(&workload, &layout, &disks);
+        // Change several objects at once without telling the evaluator
+        // which — rebase is the recovery path.
+        let other = Layout::full_striping(vec![300, 150, 90], &disks);
+        eval.rebase(&other);
+        let full = model.workload_cost_subplans(&workload, &other, &disks);
+        assert_eq!(eval.total().to_bits(), full.to_bits());
     }
 
     #[test]

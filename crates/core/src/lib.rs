@@ -20,6 +20,9 @@
 //!   (Figure 9, TS-GREEDY);
 //! * [`exhaustive`] — brute-force enumeration for small instances (the
 //!   quality yardstick the paper compares TS-GREEDY against);
+//! * [`par`] — `dblayout-par`, the deterministic scoped-thread evaluation
+//!   pool: candidates are scored in parallel but adopted in sequential
+//!   candidate order, so results are byte-identical at any thread count;
 //! * [`constraints`] — `Co-Located(R_i, R_k)`, `Avail-Requirement(R_i)`,
 //!   and the incremental data-movement bound (§2.3);
 //! * [`advisor`] — the end-to-end front-end: SQL text in, recommended
@@ -53,6 +56,7 @@ pub mod costmodel;
 pub mod deploy;
 pub mod exhaustive;
 pub mod explain;
+pub mod par;
 pub mod tsgreedy;
 
 pub use access_graph::{build_access_graph, extend_access_graph, extend_access_graph_traced};
@@ -61,9 +65,10 @@ pub use concurrency::{
     build_concurrent_access_graph, concurrent_cost_workload, ConcurrentWorkload,
 };
 pub use constraints::{ConstraintViolation, Constraints};
-pub use costmodel::{statement_cost, workload_cost, CostModel};
+pub use costmodel::{statement_cost, workload_cost, CostDelta, CostModel, DeltaEvaluator};
 pub use dblayout_disksim::{Layout, LayoutError};
 pub use deploy::{compile_filegroups, render_script, DeploymentPlan, Filegroup};
 pub use exhaustive::exhaustive_search;
 pub use explain::{render_narrative, NarrativeNames};
+pub use par::{available_parallelism, with_pool};
 pub use tsgreedy::{ts_greedy, TsGreedyConfig, TsGreedyResult};

@@ -1,0 +1,279 @@
+//! `dblayout-par` — a std-only scoped-thread evaluation pool with a
+//! deterministic reduction contract.
+//!
+//! TS-GREEDY's step-2 loop scores hundreds of candidate moves per
+//! iteration through the Figure-7 cost model — the dominant hot path.
+//! [`with_pool`] fans that scoring across a persistent worker pool while
+//! keeping the search's output **byte-identical at any thread count**:
+//!
+//! * Work is split into *contiguous* chunks ([`chunk_range`]), so worker
+//!   `w` always owns the same candidate indices for a given
+//!   `(len, threads)` — no work stealing, no racy assignment.
+//! * Workers only *score*; they never adopt. The caller reduces the
+//!   per-worker results in worker order, which is candidate-enumeration
+//!   order, so tie-breaking ("earliest strictly-better candidate wins")
+//!   matches a sequential scan exactly.
+//! * Floating-point arithmetic happens per candidate against an immutable
+//!   snapshot; no cross-candidate accumulation order depends on thread
+//!   interleaving.
+//!
+//! The pool is spawned once per search (not per iteration) via
+//! [`std::thread::scope`], so per-iteration dispatch costs two channel
+//! hops per worker rather than a thread spawn. A worker that dies
+//! mid-iteration (a panic in the scoring closure) is tolerated: its chunk
+//! is recomputed inline by the dispatcher, so a transient worker failure
+//! degrades throughput, never correctness. See DESIGN.md §7 for the full
+//! determinism argument.
+
+use std::ops::Range;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+/// Worker threads the host offers, with a floor of 1 (the CLI's
+/// `--threads` default; [`std::thread::available_parallelism`] can fail in
+/// restricted environments, in which case parallelism is unavailable
+/// anyway).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The contiguous slice of `0..len` owned by worker `w` of `workers`.
+///
+/// Balanced to within one item, deterministic in its inputs, and covering:
+/// concatenating the ranges for `w = 0..workers` yields exactly `0..len`
+/// in order — the property the in-order reduction relies on.
+pub fn chunk_range(len: usize, workers: usize, w: usize) -> Range<usize> {
+    let workers = workers.max(1);
+    if w >= workers {
+        return len..len;
+    }
+    let base = len / workers;
+    let rem = len % workers;
+    let start = w * base + w.min(rem);
+    let size = base + usize::from(w < rem);
+    start..(start + size).min(len)
+}
+
+/// One worker's channel pair: jobs in, results out. A dedicated result
+/// lane per worker (rather than one shared channel) means a dead worker is
+/// detected by its closed channel instead of a hung `recv`.
+struct Lane<J, O> {
+    job_tx: Sender<Arc<J>>,
+    result_rx: Receiver<O>,
+}
+
+/// Handle to a running evaluation pool; see [`with_pool`].
+pub struct Pool<'p, J, O> {
+    threads: usize,
+    process: &'p (dyn Fn(usize, &J) -> O + Sync),
+    /// Empty when `threads == 1`: dispatch then runs inline on the caller's
+    /// thread and no workers exist at all.
+    lanes: Vec<Lane<J, O>>,
+}
+
+impl<J, O> Pool<'_, J, O> {
+    /// The pool's worker count (at least 1; 1 means inline execution).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Ships one job snapshot to every worker and collects their outputs
+    /// in worker order (`outputs[w]` is worker `w`'s result).
+    ///
+    /// With one thread the closure runs inline as worker 0. If a worker
+    /// died (its scoring closure panicked on an earlier job), its chunk is
+    /// recomputed inline here with the same `(w, job)` arguments, so the
+    /// returned vector always has `threads()` entries with identical
+    /// content to an all-healthy run.
+    pub fn dispatch(&self, job: Arc<J>) -> Vec<O> {
+        if self.lanes.is_empty() {
+            return vec![(self.process)(0, &job)];
+        }
+        let delivered: Vec<bool> = self
+            .lanes
+            .iter()
+            .map(|lane| lane.job_tx.send(job.clone()).is_ok())
+            .collect();
+        let mut outputs = Vec::with_capacity(self.lanes.len());
+        for (w, lane) in self.lanes.iter().enumerate() {
+            let out = if delivered[w] {
+                lane.result_rx.recv().ok()
+            } else {
+                None
+            };
+            outputs.push(out.unwrap_or_else(|| (self.process)(w, &job)));
+        }
+        outputs
+    }
+}
+
+/// Runs `body` with a pool of `threads` workers, each applying `process`
+/// to every dispatched job; tears the pool down (joining all workers)
+/// before returning `body`'s result.
+///
+/// `process(w, &job)` must derive worker `w`'s share of the work from the
+/// job itself (conventionally via [`chunk_range`]) and must not mutate
+/// shared state — the determinism contract is that `process` is a pure
+/// function of `(w, job)`. `threads <= 1` spawns nothing and evaluates
+/// inline, so the single-threaded path has zero concurrency overhead.
+pub fn with_pool<J, O, R>(
+    threads: usize,
+    process: &(impl Fn(usize, &J) -> O + Sync),
+    body: impl FnOnce(&Pool<'_, J, O>) -> R,
+) -> R
+where
+    J: Send + Sync,
+    O: Send,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        return body(&Pool {
+            threads,
+            process,
+            lanes: Vec::new(),
+        });
+    }
+    std::thread::scope(|scope| {
+        let mut lanes = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let (job_tx, job_rx) = channel::<Arc<J>>();
+            let (result_tx, result_rx) = channel::<O>();
+            scope.spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    // A panicking scorer must not unwind through the scope
+                    // (that would re-raise at join and kill the search the
+                    // dispatcher just rescued): catch it, drop this
+                    // worker's lanes, and let `dispatch` recompute the
+                    // chunk inline. The job snapshot is immutable, so a
+                    // mid-score panic leaves no partial state behind.
+                    let out =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| process(w, &job)));
+                    drop(job); // release the snapshot before handing back
+                    match out {
+                        Ok(out) => {
+                            if result_tx.send(out).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+            });
+            lanes.push(Lane { job_tx, result_rx });
+        }
+        body(&Pool {
+            threads,
+            process,
+            lanes,
+        })
+        // Dropping the pool closes every job channel; workers drain and
+        // exit, and the scope joins them.
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn chunk_ranges_partition_the_input() {
+        for len in [0usize, 1, 2, 7, 8, 9, 100] {
+            for workers in [1usize, 2, 3, 4, 8, 13] {
+                let mut covered = Vec::new();
+                for w in 0..workers {
+                    let r = chunk_range(len, workers, w);
+                    assert!(r.start <= r.end);
+                    covered.extend(r);
+                }
+                let expected: Vec<usize> = (0..len).collect();
+                assert_eq!(covered, expected, "len={len} workers={workers}");
+                // Balanced to within one item.
+                let sizes: Vec<usize> = (0..workers)
+                    .map(|w| chunk_range(len, workers, w).len())
+                    .collect();
+                let (min, max) = (sizes.iter().min(), sizes.iter().max());
+                assert!(max.unwrap_or(&0) - min.unwrap_or(&0) <= 1);
+            }
+        }
+        // Out-of-range workers own nothing.
+        assert!(chunk_range(10, 4, 4).is_empty());
+    }
+
+    #[test]
+    fn dispatch_outputs_are_identical_at_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let score = |w: usize, job: &Vec<u64>| -> Vec<u64> {
+            chunk_range(job.len(), 4, w)
+                .map(|i| job[i] * 3 + 1)
+                .collect()
+        };
+        // Reference: 4 "workers" inline.
+        let reference: Vec<u64> = (0..4).flat_map(|w| score(w, &items)).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let score_t = |w: usize, job: &Vec<u64>| -> Vec<u64> {
+                chunk_range(job.len(), threads, w)
+                    .map(|i| job[i] * 3 + 1)
+                    .collect()
+            };
+            let flat: Vec<u64> = with_pool(threads, &score_t, |pool| {
+                assert_eq!(pool.threads(), threads.max(1));
+                pool.dispatch(Arc::new(items.clone()))
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            });
+            assert_eq!(flat, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_survives_repeated_dispatch() {
+        let sum = |w: usize, job: &Vec<u64>| -> u64 {
+            chunk_range(job.len(), 3, w).map(|i| job[i]).sum()
+        };
+        with_pool(3, &sum, |pool| {
+            for round in 0..10u64 {
+                let items: Vec<u64> = (0..round * 10).collect();
+                let total: u64 = pool.dispatch(Arc::new(items.clone())).into_iter().sum();
+                assert_eq!(total, items.iter().sum::<u64>());
+            }
+        });
+    }
+
+    #[test]
+    fn dead_worker_chunk_is_recomputed_inline() {
+        // Worker 1 panics on its first job only; the dispatcher must
+        // recover its chunk inline and later dispatches must keep working.
+        static TRIPPED: AtomicBool = AtomicBool::new(false);
+        TRIPPED.store(false, Ordering::SeqCst);
+        let score = |w: usize, job: &Vec<u64>| -> u64 {
+            if w == 1 && !TRIPPED.swap(true, Ordering::SeqCst) {
+                panic!("induced worker failure");
+            }
+            chunk_range(job.len(), 3, w).map(|i| job[i]).sum()
+        };
+        with_pool(3, &score, |pool| {
+            let items: Vec<u64> = (0..30).collect();
+            let expected: u64 = items.iter().sum();
+            let first: u64 = pool.dispatch(Arc::new(items.clone())).into_iter().sum();
+            assert_eq!(first, expected);
+            // Worker 1 is gone; its chunk keeps being served inline.
+            let second: u64 = pool.dispatch(Arc::new(items)).into_iter().sum();
+            assert_eq!(second, expected);
+        });
+    }
+
+    #[test]
+    fn single_thread_runs_inline_without_workers() {
+        let tid = std::thread::current().id();
+        let check = move |_w: usize, _job: &()| -> bool { std::thread::current().id() == tid };
+        let inline = with_pool(1, &check, |pool| pool.dispatch(Arc::new(())));
+        assert_eq!(inline, vec![true]);
+        // threads == 0 is clamped to 1.
+        let clamped = with_pool(0, &check, |pool| pool.dispatch(Arc::new(())));
+        assert_eq!(clamped, vec![true]);
+    }
+}

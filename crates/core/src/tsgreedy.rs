@@ -18,13 +18,16 @@
 //! drives, and a data-movement bound rejects moves that stray too far from
 //! the current layout.
 
+use std::sync::Arc;
+
 use dblayout_disksim::{DiskSpec, Layout};
 use dblayout_obs::{f, Collector};
 use dblayout_partition::{max_cut_partition, Graph};
 use dblayout_planner::Subplan;
 
 use crate::constraints::Constraints;
-use crate::costmodel::CostModel;
+use crate::costmodel::{CostDelta, CostModel, DeltaEvaluator};
+use crate::par;
 
 /// Search configuration.
 #[derive(Debug, Clone)]
@@ -39,6 +42,19 @@ pub struct TsGreedyConfig {
     /// loop pays one branch per iteration when off). See DESIGN.md §6 for
     /// the span taxonomy.
     pub collector: Collector,
+    /// Worker threads for candidate scoring (`dblayout-par`). 1 (the
+    /// default) evaluates inline with no concurrency machinery; any value
+    /// produces byte-identical layouts, costs, and deterministic traces —
+    /// candidates are scored in parallel but adopted in the fixed
+    /// sequential candidate order (DESIGN.md §7). The CLI defaults this to
+    /// the host's available parallelism.
+    pub threads: usize,
+    /// Score every candidate with a full Figure-7 re-evaluation instead of
+    /// the incremental delta evaluator. The delta path is bit-identical to
+    /// full re-evaluation, so this knob never changes results; it is kept
+    /// as the reference engine (the differential baseline `search_bench`
+    /// measures speedup against).
+    pub full_reevaluation: bool,
 }
 
 impl Default for TsGreedyConfig {
@@ -48,6 +64,8 @@ impl Default for TsGreedyConfig {
             constraints: Constraints::none(),
             cost_model: CostModel::default(),
             collector: Collector::default(),
+            threads: 1,
+            full_reevaluation: false,
         }
     }
 }
@@ -299,42 +317,190 @@ pub fn ts_greedy(
 
     let model = &cfg.cost_model;
     let mut evals = 0usize;
-    let mut cost = model.workload_cost_subplans(workload, &layout, disks);
+    let mut eval = model.delta_evaluator(workload, &layout, disks);
     evals += 1;
+    let mut cost = eval.total();
     let initial_layout = layout.clone();
     let initial_cost = cost;
     if search_span.enabled() {
         search_span.event("tsgreedy.step1", vec![f("cost_ms", initial_cost)]);
     }
 
-    // ---- Step 2: greedy parallelism widening. ----
-    // Incremental evaluation: a move touches only one co-location group, so
-    // only statements accessing that group's objects change cost. Track
-    // per-statement costs and re-cost just the affected ones per candidate
-    // (results are bit-identical to full re-evaluation; the statement costs
-    // are additive).
-    let mut stmt_costs: Vec<f64> = workload
-        .iter()
-        .map(|(subs, w)| w * model.statement_cost_subplans(subs, &layout, disks))
-        .collect();
-    let mut stmts_of_group: Vec<Vec<usize>> = vec![Vec::new(); g_count];
-    for (s_idx, (subs, _)) in workload.iter().enumerate() {
-        let mut touched: Vec<usize> = subs
-            .iter()
-            .flat_map(|s| s.accesses.iter().map(|a| group_index[a.object.index()]))
-            .collect();
-        touched.sort_unstable();
-        touched.dedup();
-        for g in touched {
-            stmts_of_group[g].push(s_idx);
+    // ---- Step 2: greedy parallelism widening (dblayout-par). ----
+    // A move touches only one co-location group, so the delta evaluator
+    // re-costs just the sub-plans reading that group's objects, re-summing
+    // in full-evaluation order — bit-identical totals at a fraction of the
+    // work. Validity is checked the same way: only the moved rows are
+    // re-examined and per-disk usage is patched with exact integer deltas,
+    // so the verdict matches `Layout::validate` on every candidate. Candidates are *scored* in parallel against an immutable
+    // per-iteration snapshot and *adopted* in the fixed sequential
+    // candidate order: each worker owns a contiguous chunk of the
+    // enumeration, tracks its chunk's earliest strict minimum, and the
+    // reduction merges chunk winners in worker (= candidate) order with a
+    // strict `<` — exactly the sequential scan's earliest-wins tie
+    // semantics, so the chosen layout is byte-identical at any thread
+    // count (DESIGN.md §7).
+    let threads = cfg.threads.max(1);
+    let full_reevaluation = cfg.full_reevaluation;
+
+    /// One candidate move: widen `group` onto its current disks ∪ `add`.
+    struct Move {
+        group: usize,
+        add: Vec<usize>,
+    }
+    /// Per-candidate scoring outcome, in enumeration order.
+    enum Scored {
+        InvalidLayout,
+        ConstraintViolation,
+        Costed(f64),
+    }
+    /// A chunk's earliest strictly-improving minimum, ready to adopt.
+    struct ChunkBest {
+        index: usize,
+        cost: f64,
+        trial: Layout,
+        delta: CostDelta,
+    }
+    struct Chunk {
+        outcomes: Vec<Scored>,
+        best: Option<ChunkBest>,
+    }
+    /// Immutable per-iteration snapshot shipped to every worker.
+    struct Job<'a> {
+        layout: Layout,
+        eval: DeltaEvaluator<'a>,
+        cost: f64,
+        current_sets: Vec<Vec<usize>>,
+        moves: Vec<Move>,
+        /// `layout.disk_count() == disks.len()` (Definition 2 dimensions).
+        dims_ok: bool,
+        /// `layout.blocks_on(i)` for every object (incremental engine only).
+        base_blocks: Vec<Vec<u64>>,
+        /// `layout.disk_usage()` (incremental engine only).
+        base_usage: Vec<u64>,
+        /// Per-object row verdicts of `layout` (incremental engine only).
+        row_bad: Vec<bool>,
+        /// How many entries of `row_bad` are true.
+        bad_rows: usize,
+    }
+
+    impl Job<'_> {
+        /// Incremental Definition-2 check: the same verdict as
+        /// `trial.validate(disks).is_ok()` given that `trial` differs from
+        /// `self.layout` only in `moved`'s rows. Unmoved rows keep the
+        /// snapshot's verdicts, and per-disk usage is patched by swapping
+        /// the moved objects' old block counts for their new ones — exact
+        /// integer arithmetic (`blocks_on` is deterministic per row), so
+        /// the capacity comparison is bit-for-bit the full scan's.
+        fn trial_is_valid(&self, trial: &Layout, moved: &[usize], disks: &[DiskSpec]) -> bool {
+            if !self.dims_ok {
+                return false;
+            }
+            let moved_bad = moved.iter().filter(|&&i| self.row_bad[i]).count();
+            if self.bad_rows != moved_bad {
+                return false; // an unmoved row was already invalid
+            }
+            if !moved.iter().all(|&i| trial.row_is_valid(i)) {
+                return false;
+            }
+            let mut usage = self.base_usage.clone();
+            for &i in moved {
+                for (j, b) in trial.blocks_on(i).into_iter().enumerate() {
+                    // `usage[j]` still includes `base_blocks[i][j]` (each
+                    // moved object is swapped out exactly once), so the
+                    // subtraction cannot underflow.
+                    usage[j] = usage[j] - self.base_blocks[i][j] + b;
+                }
+            }
+            usage
+                .iter()
+                .zip(disks)
+                .all(|(&used, d)| used <= d.capacity_blocks)
         }
     }
 
-    // (candidate layout, its total cost, per-statement cost updates, the
-    // widened group, the disks added)
-    type Candidate = (Layout, f64, Vec<(usize, f64)>, usize, Vec<usize>);
+    let members_ref = &members;
+    let constraints = &cfg.constraints;
+    // Widen `mv.group` onto its current disks ∪ `mv.add` inside `trial`
+    // (which must hold the base placement for every other group).
+    let widen = |trial: &mut Layout, job: &Job<'_>, mv: &Move| {
+        let mut new_set = job.current_sets[mv.group].clone();
+        new_set.extend_from_slice(&mv.add);
+        for &i in &members_ref[mv.group] {
+            trial.place_proportional(i, &new_set, disks);
+        }
+    };
+    let score = |w: usize, job: &Job<'_>| -> Chunk {
+        let range = par::chunk_range(job.moves.len(), threads, w);
+        let mut outcomes = Vec::with_capacity(range.len());
+        let mut best: Option<ChunkBest> = None;
+        if full_reevaluation {
+            // Reference engine: the pre-dblayout-par per-candidate work —
+            // a fresh layout clone and a full Definition-2 scan per move.
+            for idx in range {
+                let mv = &job.moves[idx];
+                let mut trial = job.layout.clone();
+                widen(&mut trial, job, mv);
+                if trial.validate(disks).is_err() {
+                    outcomes.push(Scored::InvalidLayout);
+                    continue;
+                }
+                if constraints.check(&trial, disks).is_err() {
+                    outcomes.push(Scored::ConstraintViolation);
+                    continue;
+                }
+                let delta = job.eval.evaluate_full(&trial);
+                let c = delta.total;
+                outcomes.push(Scored::Costed(c));
+                if c < job.cost - 1e-9 && best.as_ref().is_none_or(|b| c < b.cost) {
+                    best = Some(ChunkBest {
+                        index: idx,
+                        cost: c,
+                        trial,
+                        delta,
+                    });
+                }
+            }
+        } else {
+            // Incremental engine: one scratch layout per chunk. Each
+            // candidate rewrites only the moved group's rows, is validated
+            // incrementally against the snapshot, and restores the rows
+            // afterwards — no per-candidate layout clone, no O(objects)
+            // validation. A full clone happens only when a candidate
+            // becomes the chunk's running best.
+            let mut trial = job.layout.clone();
+            for idx in range {
+                let mv = &job.moves[idx];
+                let moved: &[usize] = &members_ref[mv.group];
+                widen(&mut trial, job, mv);
+                let outcome = if !job.trial_is_valid(&trial, moved, disks) {
+                    Scored::InvalidLayout
+                } else if constraints.check(&trial, disks).is_err() {
+                    Scored::ConstraintViolation
+                } else {
+                    let delta = job.eval.evaluate_move(&trial, moved);
+                    let c = delta.total;
+                    if c < job.cost - 1e-9 && best.as_ref().is_none_or(|b| c < b.cost) {
+                        best = Some(ChunkBest {
+                            index: idx,
+                            cost: c,
+                            trial: trial.clone(),
+                            delta,
+                        });
+                    }
+                    Scored::Costed(c)
+                };
+                outcomes.push(outcome);
+                for &i in moved {
+                    trial.copy_row_from(&job.layout, i);
+                }
+            }
+        }
+        Chunk { outcomes, best }
+    };
+
     let mut iterations = 0usize;
-    loop {
+    par::with_pool(threads, &score, |pool| loop {
         let iter_span = search_span.child(
             "tsgreedy.iteration",
             if search_span.enabled() {
@@ -343,7 +509,11 @@ pub fn ts_greedy(
                 Vec::new()
             },
         );
-        let mut best: Option<Candidate> = None;
+        // Enumerate this iteration's moves in the canonical sequential
+        // order (group-major, combination order preserved) — chunk indices
+        // and the reduction below both key off this ordering.
+        let mut current_sets: Vec<Vec<usize>> = Vec::with_capacity(g_count);
+        let mut moves: Vec<Move> = Vec::new();
         for g in 0..g_count {
             let current_set = layout.disks_of(members[g][0]);
             let candidates: Vec<usize> = eligible[g]
@@ -352,75 +522,136 @@ pub fn ts_greedy(
                 .filter(|j| !current_set.contains(j))
                 .collect();
             for combo in combinations_up_to(&candidates, cfg.k) {
-                let mut trial = layout.clone();
-                let mut new_set = current_set.clone();
-                new_set.extend_from_slice(&combo);
-                for &i in &members[g] {
-                    trial.place_proportional(i, &new_set, disks);
+                moves.push(Move {
+                    group: g,
+                    add: combo,
+                });
+            }
+            current_sets.push(current_set);
+        }
+        // Validity snapshot for the incremental engine's O(moved) checks;
+        // the full engine re-derives all of it per candidate instead.
+        let (base_blocks, base_usage, row_bad, bad_rows) = if full_reevaluation {
+            (Vec::new(), Vec::new(), Vec::new(), 0)
+        } else {
+            let blocks: Vec<Vec<u64>> = (0..n).map(|i| layout.blocks_on(i)).collect();
+            let mut usage = vec![0u64; m];
+            for row in &blocks {
+                for (j, b) in row.iter().enumerate() {
+                    usage[j] += b;
                 }
-                if trial.validate(disks).is_err() {
-                    if iter_span.enabled() {
-                        iter_span.event(
-                            "tsgreedy.candidate",
-                            candidate_fields(g, &members[g], &combo, None, "invalid_layout"),
-                        );
-                    }
-                    continue;
-                }
-                if cfg.constraints.check(&trial, disks).is_err() {
-                    if iter_span.enabled() {
-                        iter_span.event(
-                            "tsgreedy.candidate",
-                            candidate_fields(g, &members[g], &combo, None, "constraint_violation"),
-                        );
-                    }
-                    continue;
-                }
-                let mut c = cost;
-                let mut updates = Vec::with_capacity(stmts_of_group[g].len());
-                for &s_idx in &stmts_of_group[g] {
-                    let (subs, w) = &workload[s_idx];
-                    let new_cost = w * model.statement_cost_subplans(subs, &trial, disks);
-                    c += new_cost - stmt_costs[s_idx];
-                    updates.push((s_idx, new_cost));
-                }
-                evals += 1;
-                let improves = c < cost - 1e-9;
-                if iter_span.enabled() {
-                    let reason = if improves {
-                        "improves"
-                    } else {
-                        "no_improvement"
+            }
+            let bad: Vec<bool> = (0..n).map(|i| !layout.row_is_valid(i)).collect();
+            let count = bad.iter().filter(|&&b| b).count();
+            (blocks, usage, bad, count)
+        };
+        let job = Arc::new(Job {
+            layout: layout.clone(),
+            eval: eval.clone(),
+            cost,
+            current_sets,
+            moves,
+            dims_ok: layout.disk_count() == disks.len(),
+            base_blocks,
+            base_usage,
+            row_bad,
+            bad_rows,
+        });
+        let chunks = pool.dispatch(job.clone());
+
+        // Deterministic reduction. Concatenating chunk outcomes in worker
+        // order replays the candidate enumeration exactly, so trace events
+        // are emitted by this (the only emitting) thread with the same
+        // order and content as a sequential scan.
+        if iter_span.enabled() {
+            let mut idx = 0usize;
+            for chunk in &chunks {
+                for outcome in &chunk.outcomes {
+                    let mv = &job.moves[idx];
+                    idx += 1;
+                    let fields = match outcome {
+                        Scored::InvalidLayout => candidate_fields(
+                            mv.group,
+                            &members[mv.group],
+                            &mv.add,
+                            None,
+                            "invalid_layout",
+                        ),
+                        Scored::ConstraintViolation => candidate_fields(
+                            mv.group,
+                            &members[mv.group],
+                            &mv.add,
+                            None,
+                            "constraint_violation",
+                        ),
+                        Scored::Costed(c) => {
+                            let reason = if *c < cost - 1e-9 {
+                                "improves"
+                            } else {
+                                "no_improvement"
+                            };
+                            candidate_fields(
+                                mv.group,
+                                &members[mv.group],
+                                &mv.add,
+                                Some((*c, *c - cost)),
+                                reason,
+                            )
+                        }
                     };
-                    iter_span.event(
-                        "tsgreedy.candidate",
-                        candidate_fields(g, &members[g], &combo, Some((c, c - cost)), reason),
-                    );
+                    iter_span.event("tsgreedy.candidate", fields);
                 }
-                if improves && best.as_ref().is_none_or(|(_, bc, _, _, _)| c < *bc) {
-                    best = Some((trial, c, updates, g, combo));
+            }
+            // Per-worker candidate counts are scheduling detail: they vary
+            // with the thread count, so they only appear on timed
+            // (wall-clock) collectors, never in deterministic traces.
+            if collector.timed() {
+                let counts: Vec<usize> = chunks.iter().map(|ch| ch.outcomes.len()).collect();
+                iter_span.event(
+                    "tsgreedy.workers",
+                    vec![
+                        f("threads", pool.threads()),
+                        f("candidates_per_worker", id_list(&counts)),
+                    ],
+                );
+            }
+        }
+        evals += chunks
+            .iter()
+            .map(|ch| {
+                ch.outcomes
+                    .iter()
+                    .filter(|o| matches!(o, Scored::Costed(_)))
+                    .count()
+            })
+            .sum::<usize>();
+
+        let mut best: Option<ChunkBest> = None;
+        for chunk in chunks {
+            if let Some(b) = chunk.best {
+                if best.as_ref().is_none_or(|cur| b.cost < cur.cost) {
+                    best = Some(b);
                 }
             }
         }
         match best {
-            Some((l, c, updates, g, combo)) => {
+            Some(b) => {
+                let mv = &job.moves[b.index];
                 if iter_span.enabled() {
                     iter_span.event(
                         "tsgreedy.adopt",
                         vec![
-                            f("group", g),
-                            f("objects", id_list(&members[g])),
-                            f("add_disks", id_list(&combo)),
-                            f("cost_ms", c),
-                            f("delta_ms", c - cost),
+                            f("group", mv.group),
+                            f("objects", id_list(&members[mv.group])),
+                            f("add_disks", id_list(&mv.add)),
+                            f("cost_ms", b.cost),
+                            f("delta_ms", b.cost - cost),
                         ],
                     );
                 }
-                layout = l;
-                cost = c;
-                for (s_idx, new_cost) in updates {
-                    stmt_costs[s_idx] = new_cost;
-                }
+                layout = b.trial;
+                eval.apply(&b.delta);
+                cost = b.cost;
                 iterations += 1;
                 iter_span.end();
             }
@@ -432,7 +663,7 @@ pub fn ts_greedy(
                 break;
             }
         }
-    }
+    });
 
     search_span.end_with(if collector.enabled() {
         vec![
@@ -774,5 +1005,196 @@ mod tests {
         let c3 = combinations_up_to(&items, 3);
         assert_eq!(c3.len(), 7);
         assert!(combinations_up_to(&[], 2).is_empty());
+    }
+
+    /// Every placement fraction's raw bits, for byte-level layout equality.
+    fn layout_bits(l: &Layout) -> Vec<u64> {
+        let mut bits = Vec::new();
+        for i in 0..l.object_count() {
+            for j in 0..l.disk_count() {
+                bits.push(l.fraction(i, j).to_bits());
+            }
+        }
+        bits
+    }
+
+    /// A mixed workload (two joins + a hot scan) whose search runs several
+    /// iterations — enough work that chunking actually splits candidates.
+    #[allow(clippy::type_complexity)]
+    fn parallel_fixture() -> (
+        Vec<u64>,
+        dblayout_partition::Graph,
+        Vec<(Vec<Subplan>, f64)>,
+        Vec<DiskSpec>,
+    ) {
+        let disks = uniform_disks(6, 100_000, 10.0, 20.0);
+        let sizes = vec![500u64, 250, 180, 120, 90];
+        let plans = vec![
+            (merge_join(0, 500, 1, 250), 4.0),
+            (merge_join(2, 180, 3, 120), 2.0),
+            (PhysicalPlan::new(scan(4, 90)), 1.0),
+        ];
+        let graph = build_access_graph(5, &plans);
+        let workload = decompose_workload(&plans);
+        (sizes, graph, workload, disks)
+    }
+
+    /// The dblayout-par contract at unit scope: any thread count yields a
+    /// bit-identical layout, costs, and search counters.
+    #[test]
+    fn parallel_search_is_bit_identical_at_any_thread_count() {
+        let (sizes, graph, workload, disks) = parallel_fixture();
+        let reference = ts_greedy(
+            &sizes,
+            &graph,
+            &workload,
+            &disks,
+            &TsGreedyConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            reference.iterations >= 2,
+            "fixture too easy to exercise chunking"
+        );
+        for threads in [2usize, 3, 4, 8] {
+            let r = ts_greedy(
+                &sizes,
+                &graph,
+                &workload,
+                &disks,
+                &TsGreedyConfig {
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                layout_bits(&r.layout),
+                layout_bits(&reference.layout),
+                "threads={threads}"
+            );
+            assert_eq!(r.final_cost.to_bits(), reference.final_cost.to_bits());
+            assert_eq!(r.initial_cost.to_bits(), reference.initial_cost.to_bits());
+            assert_eq!(r.iterations, reference.iterations);
+            assert_eq!(r.cost_evaluations, reference.cost_evaluations);
+        }
+    }
+
+    /// The incremental delta evaluator never changes what the search does:
+    /// forcing full re-evaluation of every candidate lands on the same
+    /// bits (it is the reference engine the bench measures against).
+    #[test]
+    fn full_reevaluation_engine_is_bit_identical_to_incremental() {
+        let (sizes, graph, workload, disks) = parallel_fixture();
+        let incremental = ts_greedy(
+            &sizes,
+            &graph,
+            &workload,
+            &disks,
+            &TsGreedyConfig::default(),
+        )
+        .unwrap();
+        let full = ts_greedy(
+            &sizes,
+            &graph,
+            &workload,
+            &disks,
+            &TsGreedyConfig {
+                full_reevaluation: true,
+                threads: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(layout_bits(&full.layout), layout_bits(&incremental.layout));
+        assert_eq!(full.final_cost.to_bits(), incremental.final_cost.to_bits());
+        assert_eq!(full.iterations, incremental.iterations);
+        assert_eq!(full.cost_evaluations, incremental.cost_evaluations);
+    }
+
+    /// Capacity-tight disks force `invalid_layout` rejections; the
+    /// incremental engine's patched-usage validity check must classify
+    /// every candidate exactly like the full engine's `Layout::validate`,
+    /// which the deterministic trace (with per-candidate reasons) records.
+    #[test]
+    fn engines_agree_on_capacity_rejections() {
+        use dblayout_obs::RingSink;
+        let disks = uniform_disks(4, 160, 10.0, 20.0);
+        let sizes = vec![300u64, 200];
+        let plans = vec![
+            (merge_join(0, 300, 1, 200), 2.0),
+            (PhysicalPlan::new(scan(0, 300)), 1.0),
+        ];
+        let graph = build_access_graph(2, &plans);
+        let workload = decompose_workload(&plans);
+        let trace_with = |full: bool| -> Vec<String> {
+            let ring = Arc::new(RingSink::new(usize::MAX));
+            let cfg = TsGreedyConfig {
+                full_reevaluation: full,
+                collector: Collector::deterministic(ring.clone()),
+                ..Default::default()
+            };
+            ts_greedy(&sizes, &graph, &workload, &disks, &cfg).unwrap();
+            ring.drain().iter().map(|r| r.to_jsonl()).collect()
+        };
+        let full = trace_with(true);
+        assert!(
+            full.iter().any(|l| l.contains("invalid_layout")),
+            "fixture produced no capacity rejections"
+        );
+        assert_eq!(trace_with(false), full);
+    }
+
+    /// Deterministic traces are part of the identity contract: the same
+    /// search at different thread counts emits byte-identical records.
+    #[test]
+    fn deterministic_trace_is_byte_identical_across_thread_counts() {
+        use dblayout_obs::RingSink;
+        let (sizes, graph, workload, disks) = parallel_fixture();
+        let trace_at = |threads: usize| -> Vec<String> {
+            let ring = Arc::new(RingSink::new(usize::MAX));
+            let cfg = TsGreedyConfig {
+                threads,
+                collector: Collector::deterministic(ring.clone()),
+                ..Default::default()
+            };
+            ts_greedy(&sizes, &graph, &workload, &disks, &cfg).unwrap();
+            ring.drain().iter().map(|r| r.to_jsonl()).collect()
+        };
+        let reference = trace_at(1);
+        assert!(
+            reference.iter().any(|l| l.contains("tsgreedy.candidate")),
+            "trace records no candidates"
+        );
+        // No per-worker scheduling detail leaks into deterministic traces.
+        assert!(reference.iter().all(|l| !l.contains("tsgreedy.workers")));
+        for threads in [2usize, 4, 8] {
+            assert_eq!(trace_at(threads), reference, "threads={threads}");
+        }
+    }
+
+    /// Timed collectors do get the per-worker scheduling event.
+    #[test]
+    fn timed_trace_records_per_worker_candidate_counts() {
+        use dblayout_obs::RingSink;
+        let (sizes, graph, workload, disks) = parallel_fixture();
+        let ring = Arc::new(RingSink::new(usize::MAX));
+        let cfg = TsGreedyConfig {
+            threads: 4,
+            collector: Collector::new(ring.clone()),
+            ..Default::default()
+        };
+        ts_greedy(&sizes, &graph, &workload, &disks, &cfg).unwrap();
+        let workers: Vec<_> = ring
+            .drain()
+            .into_iter()
+            .filter(|r| r.name == "tsgreedy.workers")
+            .collect();
+        assert!(!workers.is_empty());
+        for w in workers {
+            assert_eq!(w.field_u64("threads"), Some(4));
+            let counts = w.field_str("candidates_per_worker").unwrap_or("");
+            assert_eq!(counts.split(',').count(), 4, "counts = {counts:?}");
+        }
     }
 }

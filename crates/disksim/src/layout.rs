@@ -204,6 +204,18 @@ impl Layout {
         self.place(object, &weights);
     }
 
+    /// Overwrites `object`'s fraction row with the same row of `other`.
+    ///
+    /// This is the restore half of the search's scratch-trial idiom: a
+    /// candidate move rewrites one group's rows in a reused layout, and
+    /// this puts the base placement back without reallocating.
+    ///
+    /// # Panics
+    /// Panics if the two layouts have different disk counts.
+    pub fn copy_row_from(&mut self, other: &Layout, object: usize) {
+        self.fractions[object].copy_from_slice(&other.fractions[object]);
+    }
+
     /// The disks holding any part of `object`.
     pub fn disks_of(&self, object: usize) -> Vec<usize> {
         self.fractions[object]
@@ -232,6 +244,33 @@ impl Layout {
         usage
     }
 
+    /// The per-row half of [`Layout::validate`] for one object.
+    fn row_error(&self, object: usize) -> Option<LayoutError> {
+        let mut sum = 0.0;
+        for (j, &f) in self.fractions[object].iter().enumerate() {
+            if !f.is_finite() || !(0.0..=1.0 + 1e-9).contains(&f) {
+                return Some(LayoutError::BadFraction {
+                    object,
+                    disk: j,
+                    value: f,
+                });
+            }
+            sum += f;
+        }
+        if (sum - 1.0).abs() > 1e-6 {
+            return Some(LayoutError::NotFullyAllocated { object, sum });
+        }
+        None
+    }
+
+    /// Whether `object`'s row alone passes Definition 2 (valid fractions
+    /// summing to 1). The same check [`Layout::validate`] applies per row,
+    /// exposed so incremental validity checks (which re-examine only the
+    /// rows a candidate move rewrote) agree with the full scan bit for bit.
+    pub fn row_is_valid(&self, object: usize) -> bool {
+        self.row_error(object).is_none()
+    }
+
     /// Checks Definition 2 validity against `disks`.
     pub fn validate(&self, disks: &[DiskSpec]) -> Result<(), LayoutError> {
         if self.disk_count() != disks.len() {
@@ -240,20 +279,9 @@ impl Layout {
                 actual_disks: disks.len(),
             });
         }
-        for (i, row) in self.fractions.iter().enumerate() {
-            let mut sum = 0.0;
-            for (j, &f) in row.iter().enumerate() {
-                if !f.is_finite() || !(0.0..=1.0 + 1e-9).contains(&f) {
-                    return Err(LayoutError::BadFraction {
-                        object: i,
-                        disk: j,
-                        value: f,
-                    });
-                }
-                sum += f;
-            }
-            if (sum - 1.0).abs() > 1e-6 {
-                return Err(LayoutError::NotFullyAllocated { object: i, sum });
+        for i in 0..self.object_count() {
+            if let Some(e) = self.row_error(i) {
+                return Err(e);
             }
         }
         for (j, (&used, spec)) in self.disk_usage().iter().zip(disks).enumerate() {
@@ -405,5 +433,33 @@ mod tests {
         let disks = disks3();
         let l = Layout::full_striping(vec![300, 150], &disks);
         assert_eq!(l.disk_usage(), vec![150, 150, 150]);
+    }
+
+    #[test]
+    fn row_is_valid_matches_validate_per_row() {
+        let disks = disks3();
+        let mut l = Layout::full_striping(vec![300, 150], &disks);
+        assert!(l.row_is_valid(0) && l.row_is_valid(1));
+        l.place(1, &[(0, 1.0)]);
+        // Corrupt row 1 only: fractions no longer sum to 1.
+        let mut broken = Layout::empty(vec![300, 150], 3);
+        broken.copy_row_from(&l, 0);
+        assert!(broken.row_is_valid(0));
+        assert!(!broken.row_is_valid(1)); // still the all-zero empty row
+        assert!(matches!(
+            broken.validate(&disks),
+            Err(LayoutError::NotFullyAllocated { object: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn copy_row_from_restores_the_base_placement() {
+        let disks = disks3();
+        let base = Layout::full_striping(vec![300, 150], &disks);
+        let mut trial = base.clone();
+        trial.place(0, &[(0, 1.0)]);
+        assert_ne!(trial.fractions_of(0), base.fractions_of(0));
+        trial.copy_row_from(&base, 0);
+        assert_eq!(trial, base);
     }
 }

@@ -1,8 +1,8 @@
 //! R1 — no-panic-in-hot-path.
 //!
 //! The request-serving path (`crates/server`), the inner cost loops
-//! (`core::costmodel`, `core::tsgreedy`), and the tracing emit paths
-//! (`crates/obs`) must not contain panic shortcuts: a panic inside a
+//! (`core::costmodel`, `core::tsgreedy`, `core::par`), and the tracing
+//! emit paths (`crates/obs`) must not contain panic shortcuts: a panic inside a
 //! worker poisons whatever session/queue lock it holds, a panic inside
 //! the cost model aborts a search the caller already validated inputs
 //! for, and a panic while *emitting a trace record* would turn
@@ -34,6 +34,7 @@ fn in_panic_zone(path: &str) -> bool {
         || path.starts_with("crates/obs/src/")
         || path == "crates/core/src/costmodel.rs"
         || path == "crates/core/src/tsgreedy.rs"
+        || path == "crates/core/src/par.rs"
 }
 
 fn in_index_zone(path: &str) -> bool {

@@ -82,17 +82,22 @@ impl Engine {
     /// Executes one request against the resident state.
     pub fn execute(&self, request: Request, runtime: &RuntimeInfo) -> Result<Value, ApiError> {
         match request {
-            Request::OpenSession { catalog, disks } => {
+            Request::OpenSession {
+                catalog,
+                disks,
+                threads,
+            } => {
                 let catalog = resolve_catalog(&catalog).map_err(ApiError::bad_request)?;
                 let disks = resolve_disks(&disks)?;
                 let objects = catalog.objects().len() as u64;
                 let n_disks = disks.len() as u64;
-                let id =
-                    crate::lock_unpoisoned(&self.registry).open(Session::new(catalog, disks))?;
+                let id = crate::lock_unpoisoned(&self.registry)
+                    .open(Session::with_threads(catalog, disks, threads))?;
                 Ok(obj(vec![
                     ("session", Value::U64(id)),
                     ("objects", Value::U64(objects)),
                     ("disks", Value::U64(n_disks)),
+                    ("threads", Value::U64(threads.max(1) as u64)),
                 ]))
             }
             Request::AddStatements { session, sql } => {
@@ -166,6 +171,7 @@ impl Engine {
                 let cfg = AdvisorConfig {
                     search: TsGreedyConfig {
                         k,
+                        threads: s.threads,
                         ..Default::default()
                     },
                 };
@@ -255,8 +261,10 @@ mod tests {
             Request::OpenSession {
                 catalog: "tpch:0.01".into(),
                 disks: "paper".into(),
+                threads: 2,
             },
         );
+        assert_eq!(open.get("threads").and_then(|v| v.as_u64()), Some(2));
         let sid = open.get("session").and_then(|v| v.as_u64()).unwrap();
         exec(
             &engine,
@@ -345,6 +353,7 @@ mod tests {
             Request::OpenSession {
                 catalog: "tpch:0.01".into(),
                 disks: "paper".into(),
+                threads: 1,
             },
         );
         let sid = open.get("session").and_then(|v| v.as_u64()).unwrap();

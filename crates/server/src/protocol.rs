@@ -12,7 +12,8 @@
 //!
 //! | op               | fields                                           |
 //! |------------------|--------------------------------------------------|
-//! | `open_session`   | `catalog` (spec), `disks`? (spec, default paper) |
+//! | `open_session`   | `catalog` (spec), `disks`? (spec, default paper),|
+//! |                  | `threads`? (search workers, default 1, max 512)  |
 //! | `add_statements` | `session`, `sql` (workload-file syntax)          |
 //! | `whatif_cost`    | `session`, `layout` (`"full_striping"` or an     |
 //! |                  | objects×disks fraction matrix), `no_cache`?      |
@@ -69,6 +70,10 @@ pub enum Request {
         catalog: String,
         /// Disk spec (`paper` or `uniform:<n>:<cap>:<seek>:<read>`).
         disks: String,
+        /// Worker threads for this session's searches (dblayout-par).
+        /// Results are byte-identical at any value; this only trades CPU
+        /// for latency.
+        threads: usize,
     },
     /// Append weighted statements to a session's resident workload.
     AddStatements {
@@ -142,18 +147,36 @@ pub fn parse_request(line: &str) -> Result<Request, ApiError> {
     };
 
     match op {
-        "open_session" => Ok(Request::OpenSession {
-            catalog: value
-                .get("catalog")
-                .and_then(|v| v.as_str())
-                .ok_or_else(|| ApiError::bad_request("open_session needs string `catalog`"))?
-                .to_string(),
-            disks: value
-                .get("disks")
-                .and_then(|v| v.as_str())
-                .unwrap_or("paper")
-                .to_string(),
-        }),
+        "open_session" => {
+            let threads = match value.get("threads") {
+                None => 1,
+                Some(v) => {
+                    let t = v.as_u64().ok_or_else(|| {
+                        ApiError::bad_request("`threads` must be a positive integer")
+                    })?;
+                    if t == 0 {
+                        return Err(ApiError::bad_request("`threads` must be at least 1"));
+                    }
+                    if t > 512 {
+                        return Err(ApiError::bad_request("`threads` must be at most 512"));
+                    }
+                    t as usize
+                }
+            };
+            Ok(Request::OpenSession {
+                catalog: value
+                    .get("catalog")
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| ApiError::bad_request("open_session needs string `catalog`"))?
+                    .to_string(),
+                disks: value
+                    .get("disks")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("paper")
+                    .to_string(),
+                threads,
+            })
+        }
         "add_statements" => Ok(Request::AddStatements {
             session: session(&value)?,
             sql: value
@@ -379,7 +402,16 @@ mod tests {
             parse_request(r#"{"op":"open_session","catalog":"tpch:0.1"}"#).unwrap(),
             Request::OpenSession {
                 catalog: "tpch:0.1".into(),
-                disks: "paper".into()
+                disks: "paper".into(),
+                threads: 1
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"open_session","catalog":"apb","threads":4}"#).unwrap(),
+            Request::OpenSession {
+                catalog: "apb".into(),
+                disks: "paper".into(),
+                threads: 4
             }
         );
         assert_eq!(
@@ -446,6 +478,15 @@ mod tests {
                 .code,
             "bad_request"
         );
+        // `threads` must be a positive integer within the server's cap.
+        for bad in [
+            r#"{"op":"open_session","catalog":"apb","threads":0}"#,
+            r#"{"op":"open_session","catalog":"apb","threads":513}"#,
+            r#"{"op":"open_session","catalog":"apb","threads":"four"}"#,
+            r#"{"op":"open_session","catalog":"apb","threads":-2}"#,
+        ] {
+            assert_eq!(parse_request(bad).unwrap_err().code, "bad_request", "{bad}");
+        }
     }
 
     #[test]

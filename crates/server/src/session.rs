@@ -43,6 +43,9 @@ pub struct Session {
     pub graph: Graph,
     /// Statement-set version; bumps on every successful `add_statements`.
     pub version: u64,
+    /// Worker threads for this session's TS-GREEDY runs (dblayout-par).
+    /// Purely a latency knob: results are byte-identical at any value.
+    pub threads: usize,
     /// Full-striping baseline layout, built once at open — object sizes and
     /// disks are fixed for the life of the session, so what-if requests
     /// against the baseline never rebuild it.
@@ -52,8 +55,15 @@ pub struct Session {
 }
 
 impl Session {
-    /// Opens a session over a catalog and disk set.
+    /// Opens a session over a catalog and disk set with single-threaded
+    /// search (see [`Session::with_threads`]).
     pub fn new(catalog: Catalog, disks: Vec<DiskSpec>) -> Self {
+        Self::with_threads(catalog, disks, 1)
+    }
+
+    /// Opens a session whose searches score candidates on `threads`
+    /// workers (clamped to at least 1).
+    pub fn with_threads(catalog: Catalog, disks: Vec<DiskSpec>, threads: usize) -> Self {
         let n = catalog.objects().len();
         let sizes: Vec<u64> = catalog.objects().iter().map(|o| o.size_blocks).collect();
         let fs_layout = Layout::full_striping(sizes, &disks);
@@ -65,6 +75,7 @@ impl Session {
             workload: Vec::new(),
             graph: Graph::new(n),
             version: 0,
+            threads: threads.max(1),
             fs_layout,
             fs_hash,
         }

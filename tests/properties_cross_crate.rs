@@ -114,6 +114,60 @@ proptest! {
         prop_assert!(g.cut_weight(&assignment) >= g.total_edge_weight() / 2.0 - 1e-9);
     }
 
+    /// dblayout-par: after a random single-object move on a randomized
+    /// fractional layout, the incremental delta evaluator's total equals a
+    /// full Figure-7 re-evaluation within 0 ULPs (`total_cmp` equality) —
+    /// the identity that lets the parallel search swap engines freely.
+    #[test]
+    fn incremental_delta_matches_full_reevaluation_to_the_bit(
+        base_w in proptest::collection::vec(proptest::collection::vec(0.1f64..10.0, 4..5), 3..4),
+        move_w in proptest::collection::vec(0.1f64..10.0, 4..5),
+        moved in 0usize..3,
+    ) {
+        use dblayout_planner::AccessKind;
+        let disks = uniform_disks(4, 100_000, 10.0, 20.0);
+        let sizes = vec![900u64, 600, 300];
+        let model = CostModel::default();
+        // A join reading objects 0 and 1, plus a scan of object 2, so the
+        // move either touches a multi-access sub-plan or leaves one alone.
+        let mut join = Subplan::default();
+        for (obj, blocks) in [(0u32, 900u64), (1, 600)] {
+            join.add(ObjectAccess {
+                object: ObjectId(obj),
+                blocks,
+                rows: 1.0,
+                kind: AccessKind::SequentialRead,
+            });
+        }
+        let mut scan2 = Subplan::default();
+        scan2.add(ObjectAccess {
+            object: ObjectId(2),
+            blocks: 300,
+            rows: 1.0,
+            kind: AccessKind::SequentialRead,
+        });
+        let workload = vec![(vec![join], 3.0), (vec![scan2], 1.0)];
+
+        let mut base = Layout::empty(sizes, 4);
+        for (i, w) in base_w.iter().enumerate() {
+            let weights: Vec<(usize, f64)> = w.iter().copied().enumerate().collect();
+            base.place(i, &weights);
+        }
+        let eval = model.delta_evaluator(&workload, &base, &disks);
+        let base_full = model.workload_cost_subplans(&workload, &base, &disks);
+        prop_assert_eq!(eval.total().total_cmp(&base_full), std::cmp::Ordering::Equal);
+
+        let mut trial = base.clone();
+        let weights: Vec<(usize, f64)> = move_w.iter().copied().enumerate().collect();
+        trial.place(moved, &weights);
+        let delta = eval.evaluate_move(&trial, &[moved]);
+        let full = model.workload_cost_subplans(&workload, &trial, &disks);
+        prop_assert!(
+            delta.total.total_cmp(&full) == std::cmp::Ordering::Equal,
+            "incremental {} != full {}", delta.total, full
+        );
+    }
+
     /// Sub-plan cost is superadditive in accesses: adding a co-accessed
     /// object to a sub-plan never lowers the bottleneck cost.
     #[test]

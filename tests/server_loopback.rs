@@ -199,6 +199,110 @@ fn malformed_requests_yield_structured_errors() {
     server.shutdown();
 }
 
+/// dblayout-par stress: 8 concurrent sessions each running a
+/// multi-threaded recommend (`threads: 4`) against one server. No client
+/// may see an internal error (a poisoned lock surfaces as one), all
+/// recommendations must be byte-identical (thread count is a latency knob,
+/// never a results knob), the gauges must return to zero once every
+/// session is closed and the queue drained, and the Prometheus exposition
+/// must stay parseable afterwards.
+#[test]
+fn concurrent_multithreaded_searches_leave_no_residue() {
+    const CLIENTS: usize = 8;
+    let text = tpch22_workload_text();
+    let server = start(ServerConfig {
+        threads: 4,
+        session_capacity: CLIENTS + 1,
+        ..Default::default()
+    });
+    let addr = server.addr().to_string();
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let text = text.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let open = expect_result(
+                    &client
+                        .roundtrip(&json_request(vec![
+                            ("op", Value::Str("open_session".into())),
+                            ("catalog", Value::Str("tpch:0.1".into())),
+                            ("threads", Value::U64(4)),
+                        ]))
+                        .unwrap(),
+                );
+                assert_eq!(open.get("threads").and_then(|v| v.as_u64()), Some(4));
+                let sid = open.get("session").and_then(|v| v.as_u64()).unwrap();
+                expect_result(
+                    &client
+                        .roundtrip(&json_request(vec![
+                            ("op", Value::Str("add_statements".into())),
+                            ("session", Value::U64(sid)),
+                            ("sql", Value::Str(text)),
+                        ]))
+                        .unwrap(),
+                );
+                let recommend_line = client
+                    .roundtrip(&json_request(vec![
+                        ("op", Value::Str("recommend".into())),
+                        ("session", Value::U64(sid)),
+                    ]))
+                    .unwrap();
+                expect_result(&recommend_line);
+                expect_result(
+                    &client
+                        .roundtrip(&json_request(vec![
+                            ("op", Value::Str("close_session".into())),
+                            ("session", Value::U64(sid)),
+                        ]))
+                        .unwrap(),
+                );
+                recommend_line
+            })
+        })
+        .collect();
+
+    let lines: Vec<String> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .collect();
+    for line in &lines[1..] {
+        assert_eq!(
+            line, &lines[0],
+            "multi-threaded recommendations diverged between sessions"
+        );
+    }
+
+    // Every session closed and every worker idle: the gauges must be back
+    // to zero (a poisoned registry/queue lock could not answer at all).
+    let mut client = Client::connect(&addr).unwrap();
+    let stats = expect_result(&client.roundtrip(r#"{"op":"stats"}"#).unwrap());
+    assert_eq!(stats.get("sessions_open").and_then(|v| v.as_u64()), Some(0));
+    assert_eq!(stats.get("queue_depth").and_then(|v| v.as_u64()), Some(0));
+
+    // And the exposition endpoint still renders parseable Prometheus text.
+    let metrics = expect_result(&client.roundtrip(r#"{"op":"metrics"}"#).unwrap());
+    let body = metrics
+        .get("text")
+        .and_then(|v| v.as_str())
+        .expect("metrics op returns exposition text");
+    assert!(body.contains("dblayout_sessions_open 0\n"), "{body}");
+    assert!(body.contains("dblayout_queue_depth 0\n"), "{body}");
+    for line in body
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let (name, value) = line.rsplit_once(' ').expect("gauge lines are `name value`");
+        assert!(name.starts_with("dblayout_"), "unexpected metric {line}");
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("unparseable value in {line}"));
+    }
+
+    server.shutdown();
+}
+
 /// 1,000 sequential requests churning sessions and what-if costs leave the
 /// session registry empty and the cost cache at (or under) its configured
 /// bound — no unbounded growth in resident state.
