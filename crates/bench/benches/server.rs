@@ -189,6 +189,39 @@ fn main() {
     std::fs::create_dir_all(&results_dir).expect("results dir");
     std::fs::write(results_dir.join("server_bench.json"), json)
         .expect("write results/server_bench.json");
+
+    // Observatory: append this run to the repo-root BENCH_server.json.
+    // Criterion's adaptive iteration counts make the work counters
+    // non-deterministic here, so benchdiff runs this history with
+    // --ignore-counters; the counters are recorded for inspection only.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let entry = dblayout_bench::observatory::HistoryEntry {
+        rev: dblayout_bench::observatory::git_rev(&root),
+        config: "workload=tpch22;catalog=tpch:0.1;adaptive_iterations".to_string(),
+        threads: vec![2],
+        timings_ms: c
+            .results
+            .iter()
+            .map(|r| (r.id.clone(), r.mean_ns / 1e6))
+            .collect(),
+        phases_ms: engine
+            .prof
+            .rows()
+            .into_iter()
+            .map(|p| (p.name, p.total_us as f64 / 1e3))
+            .collect(),
+        counters: dblayout_obs::counters::snapshot()
+            .deterministic_pairs()
+            .into_iter()
+            .map(|(name, v)| (name.to_string(), v))
+            .collect(),
+    };
+    let history = root.join("BENCH_server.json");
+    match dblayout_bench::observatory::append_history(&history, &entry) {
+        Ok(n) => eprintln!("(history appended to {} — {n} entries)", history.display()),
+        Err(e) => eprintln!("warning: {e}"),
+    }
+
     eprintln!(
         "cold/cached what-if speedup: {speedup:.1}x in-process, {wire_speedup:.1}x over \
          loopback; stats throughput: {rps:.0} req/s (results/server_bench.json)"

@@ -2,9 +2,11 @@
 //!
 //! Usage: `search_bench [threads...]` (default `1 2 4 8`). Runs the
 //! sequential full-re-evaluation baseline, then the incremental parallel
-//! engine at each thread count, writes `results/search_bench.json`, and
-//! exits non-zero if any configuration's layout or cost diverges from the
-//! baseline — the identity check the CI bench-smoke job enforces.
+//! engine at each thread count, writes `results/search_bench.json`,
+//! appends one observatory entry to the repo-root `BENCH_search.json`
+//! history (see `dblayout benchdiff`), and exits non-zero if any
+//! configuration's layout or cost diverges from the baseline — the
+//! identity check the CI bench-smoke job enforces.
 
 use std::process::ExitCode;
 
@@ -36,6 +38,44 @@ fn main() -> ExitCode {
         );
     }
     dblayout_bench::write_json("search_bench", &report);
+
+    // Observatory: append this run to the repo-root history. The config
+    // fingerprint gates benchdiff's exact counter comparison, so it must
+    // capture everything the deterministic counters depend on.
+    let entry = dblayout_bench::observatory::HistoryEntry {
+        rev: report.git_rev.clone(),
+        config: format!(
+            "workload=tpch_mix;reps={};threads={}",
+            report.reps,
+            threads
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+        threads: threads.clone(),
+        timings_ms: report
+            .rows
+            .iter()
+            .map(|r| (format!("{}/t{}", r.engine, r.threads), r.best_ms))
+            .collect(),
+        phases_ms: report
+            .phases
+            .iter()
+            .map(|p| (p.phase.clone(), p.total_ms))
+            .collect(),
+        counters: report
+            .counters
+            .iter()
+            .map(|c| (c.name.clone(), c.value))
+            .collect(),
+    };
+    let history = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_search.json");
+    match dblayout_bench::observatory::append_history(&history, &entry) {
+        Ok(n) => eprintln!("(history appended to {} — {n} entries)", history.display()),
+        Err(e) => eprintln!("warning: {e}"),
+    }
+
     if report.all_identical {
         ExitCode::SUCCESS
     } else {

@@ -20,6 +20,10 @@
 //! | WK-SCALE(N) workload-size scaling          | [`wkscale_bench`] | `wkscale` |
 //! | Concurrency extension (§2.2/§9)            | [`extension_concurrency`] | `extension_concurrency` |
 //! | Sequential vs parallel search (dblayout-par) | [`search_bench`] | `search_bench` |
+//!
+//! [`observatory`] is not a paper artifact: it appends every
+//! `search_bench`/server-bench run to the repo-root `BENCH_*.json`
+//! histories and backs `dblayout benchdiff`'s regression gate.
 
 pub mod ablations;
 pub mod common;
@@ -28,6 +32,7 @@ pub mod extension_concurrency;
 pub mod figure10;
 pub mod figure11;
 pub mod figure12;
+pub mod observatory;
 pub mod search_bench;
 pub mod table2;
 pub mod wkscale_bench;

@@ -1,0 +1,502 @@
+//! The benchmark-regression observatory (`dblayout-prof`).
+//!
+//! Benches append one [`HistoryEntry`] per run to a repo-root history file
+//! (`BENCH_search.json`, `BENCH_server.json`): a JSON array where every
+//! element records the git revision, a config fingerprint, per-metric wall
+//! times, per-phase attribution, and the deterministic work-counter
+//! snapshot. `dblayout benchdiff <baseline> <current>` then compares two
+//! histories with noise-aware thresholds:
+//!
+//! * **Timings** are compared median-vs-median over the last
+//!   [`DiffOptions::window`] entries of each history, and only flagged when
+//!   the current median exceeds the baseline median by more than
+//!   [`DiffOptions::tolerance`] (relative) *and* the absolute times are
+//!   above [`DiffOptions::min_ms`] — sub-millisecond metrics are all noise.
+//! * **Deterministic counters** (the dblayout-par fingerprint:
+//!   candidates enumerated/scored/adopted, delta vs. full re-costs, graph
+//!   folds) are compared exactly between the latest entries, but only when
+//!   both ran the same config. Any divergence is a hard failure regardless
+//!   of timing tolerance — it means the *work done* changed, not the clock.
+//!
+//! The diff never compares scheduling-class counters (chunk sizes, pool
+//! fallbacks); those legitimately vary run to run.
+
+use std::path::Path;
+
+use serde_json::{Value, ValueExt};
+
+/// One appended bench run.
+#[derive(Debug, Clone, Default)]
+pub struct HistoryEntry {
+    /// Git revision of the measured tree (short hash, or `unknown`).
+    pub rev: String,
+    /// Config fingerprint; counter comparison requires equal fingerprints.
+    pub config: String,
+    /// Thread counts exercised by the run.
+    pub threads: Vec<usize>,
+    /// Named wall-time metrics, milliseconds (the regression gate).
+    pub timings_ms: Vec<(String, f64)>,
+    /// Per-phase wall-time attribution, milliseconds (informational).
+    pub phases_ms: Vec<(String, f64)>,
+    /// Deterministic work counters (the exact-equality gate).
+    pub counters: Vec<(String, u64)>,
+}
+
+impl HistoryEntry {
+    /// The JSON object appended to the history file.
+    pub fn to_value(&self) -> Value {
+        let map = |pairs: &[(String, f64)]| {
+            Value::Map(
+                pairs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::F64(*v)))
+                    .collect(),
+            )
+        };
+        Value::Map(vec![
+            ("rev".to_string(), Value::Str(self.rev.clone())),
+            ("config".to_string(), Value::Str(self.config.clone())),
+            (
+                "threads".to_string(),
+                Value::Seq(self.threads.iter().map(|&t| Value::U64(t as u64)).collect()),
+            ),
+            ("timings_ms".to_string(), map(&self.timings_ms)),
+            ("phases_ms".to_string(), map(&self.phases_ms)),
+            (
+                "counters".to_string(),
+                Value::Map(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::U64(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The git revision of the tree at `root` (short hash), `unknown` when the
+/// `git` binary and `.git` metadata are both unavailable. Never fails: the
+/// observatory must work in tarball checkouts too.
+pub fn git_rev(root: &Path) -> String {
+    if let Ok(out) = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+    {
+        if out.status.success() {
+            let rev = String::from_utf8_lossy(&out.stdout).trim().to_string();
+            if !rev.is_empty() {
+                return rev;
+            }
+        }
+    }
+    // Fallback: read `.git/HEAD` directly (detached or symbolic).
+    let head_path = root.join(".git/HEAD");
+    if let Ok(head) = std::fs::read_to_string(&head_path) {
+        let head = head.trim();
+        let hash = match head.strip_prefix("ref: ") {
+            Some(r) => std::fs::read_to_string(root.join(".git").join(r))
+                .map(|s| s.trim().to_string())
+                .unwrap_or_default(),
+            None => head.to_string(),
+        };
+        if hash.len() >= 12 && hash.chars().all(|c| c.is_ascii_hexdigit()) {
+            return hash[..12].to_string();
+        }
+    }
+    "unknown".to_string()
+}
+
+/// Appends `entry` to the JSON-array history at `path`, creating the file
+/// (and parent directories) on first use. Returns the new entry count.
+pub fn append_history(path: &Path, entry: &HistoryEntry) -> Result<usize, String> {
+    let mut entries: Vec<Value> = match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let v: Value = serde_json::from_str(&text)
+                .map_err(|e| format!("history `{}` is not valid JSON: {e}", path.display()))?;
+            v.as_array()
+                .cloned()
+                .ok_or_else(|| format!("history `{}` is not a JSON array", path.display()))?
+        }
+        Err(_) => Vec::new(),
+    };
+    entries.push(entry.to_value());
+    let n = entries.len();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
+        }
+    }
+    let json = serde_json::to_string_pretty(&Value::Seq(entries))
+        .map_err(|e| format!("cannot serialize history: {e}"))?;
+    std::fs::write(path, json).map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+    Ok(n)
+}
+
+/// Loads a history file as its entry array.
+pub fn load_history(path: &Path) -> Result<Vec<Value>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+    let v: Value = serde_json::from_str(&text)
+        .map_err(|e| format!("history `{}` is not valid JSON: {e}", path.display()))?;
+    v.as_array()
+        .cloned()
+        .ok_or_else(|| format!("history `{}` is not a JSON array", path.display()))
+}
+
+/// Thresholds for [`diff`].
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Relative slowdown above which a timing metric regresses (0.5 = 50%).
+    pub tolerance: f64,
+    /// Entries from the tail of each history whose median is compared.
+    pub window: usize,
+    /// Skip the exact counter gate (adaptive-iteration benches).
+    pub ignore_counters: bool,
+    /// Both medians must exceed this for a timing to count (noise floor).
+    pub min_ms: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 0.5,
+            window: 5,
+            ignore_counters: false,
+            min_ms: 1.0,
+        }
+    }
+}
+
+/// One compared timing metric.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Metric name from `timings_ms`.
+    pub metric: String,
+    /// Median over the baseline window, ms.
+    pub baseline_ms: f64,
+    /// Median over the current window, ms.
+    pub current_ms: f64,
+    /// `current / baseline` (infinite when the baseline is zero).
+    pub ratio: f64,
+    /// Beyond tolerance and above the noise floor.
+    pub regressed: bool,
+}
+
+/// One deterministic counter whose value changed between runs.
+#[derive(Debug, Clone)]
+pub struct CounterDivergence {
+    /// Counter name.
+    pub name: String,
+    /// Value in the latest baseline entry.
+    pub baseline: u64,
+    /// Value in the latest current entry.
+    pub current: u64,
+}
+
+/// The outcome of comparing two bench histories.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Every timing metric present in the baseline.
+    pub metrics: Vec<MetricDelta>,
+    /// Deterministic counters that diverged (always a hard failure).
+    pub counter_divergences: Vec<CounterDivergence>,
+    /// Whether the counter gate ran (same config, not ignored).
+    pub counters_compared: bool,
+    /// Baseline metrics the current history lacks (a hard failure: a
+    /// silently dropped measurement must not read as "no regression").
+    pub missing_metrics: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when `benchdiff` should exit non-zero.
+    pub fn regressed(&self) -> bool {
+        !self.missing_metrics.is_empty()
+            || !self.counter_divergences.is_empty()
+            || self.metrics.iter().any(|m| m.regressed)
+    }
+
+    /// The human-readable delta table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<34} {:>12} {:>12} {:>8}  {}\n",
+            "metric", "baseline ms", "current ms", "ratio", "status"
+        ));
+        for m in &self.metrics {
+            out.push_str(&format!(
+                "{:<34} {:>12.2} {:>12.2} {:>7.2}x  {}\n",
+                m.metric,
+                m.baseline_ms,
+                m.current_ms,
+                m.ratio,
+                if m.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        for name in &self.missing_metrics {
+            out.push_str(&format!("{name:<34} missing from current history\n"));
+        }
+        if self.counters_compared {
+            if self.counter_divergences.is_empty() {
+                out.push_str("deterministic counters: identical\n");
+            } else {
+                for c in &self.counter_divergences {
+                    out.push_str(&format!(
+                        "counter {} diverged: baseline {} -> current {}\n",
+                        c.name, c.baseline, c.current
+                    ));
+                }
+            }
+        } else {
+            out.push_str(
+                "deterministic counters: not compared (config mismatch or --ignore-counters)\n",
+            );
+        }
+        out.push_str(if self.regressed() {
+            "verdict: REGRESSED\n"
+        } else {
+            "verdict: ok\n"
+        });
+        out
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(|a, b| a.total_cmp(b));
+    Some(xs[xs.len() / 2])
+}
+
+/// Median of `timings_ms[metric]` over the last `window` entries.
+fn windowed_median(entries: &[Value], metric: &str, window: usize) -> Option<f64> {
+    let tail = &entries[entries.len().saturating_sub(window.max(1))..];
+    median(
+        tail.iter()
+            .filter_map(|e| e.get("timings_ms")?.get(metric)?.as_f64())
+            .collect(),
+    )
+}
+
+/// All timing-metric names of an entry, in file order.
+fn metric_names(entry: &Value) -> Vec<String> {
+    match entry.get("timings_ms") {
+        Some(Value::Map(pairs)) => pairs.iter().map(|(k, _)| k.clone()).collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn str_field(entry: &Value, key: &str) -> String {
+    entry
+        .get(key)
+        .and_then(|v| v.as_str())
+        .unwrap_or_default()
+        .to_string()
+}
+
+/// Compares two bench histories (arrays of [`HistoryEntry`] objects).
+///
+/// Returns an error only for structurally empty inputs; a regression is a
+/// *successful* diff whose [`DiffReport::regressed`] is true.
+pub fn diff(
+    baseline: &[Value],
+    current: &[Value],
+    opts: &DiffOptions,
+) -> Result<DiffReport, String> {
+    let base_last = baseline.last().ok_or("baseline history is empty")?;
+    let cur_last = current.last().ok_or("current history is empty")?;
+
+    let mut report = DiffReport::default();
+    for metric in metric_names(base_last) {
+        let Some(baseline_ms) = windowed_median(baseline, &metric, opts.window) else {
+            continue;
+        };
+        let Some(current_ms) = windowed_median(current, &metric, opts.window) else {
+            report.missing_metrics.push(metric);
+            continue;
+        };
+        let ratio = if baseline_ms > 0.0 {
+            current_ms / baseline_ms
+        } else {
+            f64::INFINITY
+        };
+        let above_floor = baseline_ms > opts.min_ms && current_ms > opts.min_ms;
+        report.metrics.push(MetricDelta {
+            metric,
+            baseline_ms,
+            current_ms,
+            ratio,
+            regressed: above_floor && current_ms > baseline_ms * (1.0 + opts.tolerance),
+        });
+    }
+
+    let same_config = str_field(base_last, "config") == str_field(cur_last, "config")
+        && !str_field(base_last, "config").is_empty();
+    report.counters_compared = same_config && !opts.ignore_counters;
+    if report.counters_compared {
+        if let (Some(Value::Map(base_c)), Some(cur_c)) =
+            (base_last.get("counters"), cur_last.get("counters"))
+        {
+            for (name, bval) in base_c {
+                let b = bval.as_u64().unwrap_or(0);
+                let c = cur_c.get(name).and_then(|v| v.as_u64()).unwrap_or(0);
+                if b != c {
+                    report.counter_divergences.push(CounterDivergence {
+                        name: name.clone(),
+                        baseline: b,
+                        current: c,
+                    });
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(config: &str, timing: f64, counter: u64) -> HistoryEntry {
+        HistoryEntry {
+            rev: "deadbeef0123".to_string(),
+            config: config.to_string(),
+            threads: vec![1, 4],
+            timings_ms: vec![
+                ("incremental/t4".to_string(), timing),
+                ("tiny/noise".to_string(), 0.04),
+            ],
+            phases_ms: vec![("search".to_string(), timing)],
+            counters: vec![("tsgreedy_candidates_enumerated".to_string(), counter)],
+        }
+    }
+
+    fn history(entries: &[HistoryEntry]) -> Vec<Value> {
+        entries.iter().map(HistoryEntry::to_value).collect()
+    }
+
+    #[test]
+    fn identical_histories_pass() {
+        let h = history(&[entry("c", 100.0, 42)]);
+        let report = diff(&h, &h, &DiffOptions::default()).unwrap();
+        assert!(!report.regressed(), "{}", report.render());
+        assert!(report.counters_compared);
+        assert!(report.render().contains("verdict: ok"));
+    }
+
+    #[test]
+    fn two_x_slowdown_regresses() {
+        let base = history(&[entry("c", 100.0, 42)]);
+        let cur = history(&[entry("c", 200.0, 42)]);
+        let report = diff(&base, &cur, &DiffOptions::default()).unwrap();
+        assert!(report.regressed());
+        let m = report
+            .metrics
+            .iter()
+            .find(|m| m.metric == "incremental/t4")
+            .unwrap();
+        assert!(m.regressed);
+        assert!((m.ratio - 2.0).abs() < 1e-9);
+        assert!(report.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn counter_divergence_fails_even_with_huge_tolerance() {
+        let base = history(&[entry("c", 100.0, 42)]);
+        let cur = history(&[entry("c", 100.0, 43)]);
+        let opts = DiffOptions {
+            tolerance: 100.0,
+            ..DiffOptions::default()
+        };
+        let report = diff(&base, &cur, &opts).unwrap();
+        assert!(report.regressed(), "work-done change must hard-fail");
+        assert_eq!(report.counter_divergences.len(), 1);
+        assert_eq!(report.counter_divergences[0].baseline, 42);
+        assert_eq!(report.counter_divergences[0].current, 43);
+    }
+
+    #[test]
+    fn ignore_counters_and_config_mismatch_skip_the_counter_gate() {
+        let base = history(&[entry("c", 100.0, 42)]);
+        let cur = history(&[entry("c", 100.0, 43)]);
+        let opts = DiffOptions {
+            ignore_counters: true,
+            ..DiffOptions::default()
+        };
+        assert!(!diff(&base, &cur, &opts).unwrap().regressed());
+        // Different config fingerprints: counters are incomparable.
+        let other = history(&[entry("d", 100.0, 43)]);
+        let report = diff(&base, &other, &DiffOptions::default()).unwrap();
+        assert!(!report.counters_compared);
+        assert!(!report.regressed());
+    }
+
+    #[test]
+    fn sub_noise_floor_timings_never_regress() {
+        // "tiny/noise" doubles but sits under min_ms — stays ok.
+        let base = history(&[entry("c", 100.0, 42)]);
+        let mut slow = entry("c", 100.0, 42);
+        slow.timings_ms[1].1 = 0.9;
+        let cur = history(&[slow]);
+        assert!(!diff(&base, &cur, &DiffOptions::default())
+            .unwrap()
+            .regressed());
+    }
+
+    #[test]
+    fn missing_metric_is_a_hard_failure() {
+        let base = history(&[entry("c", 100.0, 42)]);
+        let mut cur_entry = entry("c", 100.0, 42);
+        cur_entry.timings_ms.remove(0);
+        let report = diff(&base, &history(&[cur_entry]), &DiffOptions::default()).unwrap();
+        assert_eq!(report.missing_metrics, vec!["incremental/t4".to_string()]);
+        assert!(report.regressed());
+    }
+
+    #[test]
+    fn median_window_absorbs_one_outlier() {
+        // Baseline window of 3 with one slow outlier; current matches the
+        // typical value — no regression.
+        let base = history(&[
+            entry("c", 100.0, 42),
+            entry("c", 350.0, 42),
+            entry("c", 100.0, 42),
+        ]);
+        let cur = history(&[entry("c", 110.0, 42)]);
+        let report = diff(&base, &cur, &DiffOptions::default()).unwrap();
+        assert!(!report.regressed(), "{}", report.render());
+    }
+
+    #[test]
+    fn history_file_roundtrip_appends() {
+        let dir = std::env::temp_dir().join(format!("dblayout_observatory_{}", std::process::id()));
+        let path = dir.join("BENCH_test.json");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(append_history(&path, &entry("c", 1.0, 1)).unwrap(), 1);
+        assert_eq!(append_history(&path, &entry("c", 2.0, 1)).unwrap(), 2);
+        let loaded = load_history(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(
+            loaded[1]
+                .get("timings_ms")
+                .and_then(|t| t.get("incremental/t4"))
+                .and_then(|v| v.as_f64()),
+            Some(2.0)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn git_rev_in_this_repo_is_a_short_hash() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let rev = git_rev(&root);
+        assert!(
+            rev == "unknown" || rev.chars().all(|c| c.is_ascii_hexdigit()),
+            "{rev}"
+        );
+    }
+}

@@ -25,6 +25,8 @@ use dblayout_core::costmodel::decompose_workload;
 use dblayout_core::tsgreedy::{ts_greedy, TsGreedyConfig};
 use dblayout_core::{build_access_graph, Layout};
 use dblayout_disksim::paper_disks;
+use dblayout_obs::counters::{self, Counter};
+use dblayout_obs::prof::PhaseTimer;
 use dblayout_planner::plan_statement;
 use dblayout_sql::parse_workload_file;
 
@@ -47,11 +49,33 @@ pub struct SearchBenchRow {
     pub cost_evaluations: usize,
 }
 
+/// One deterministic work-counter delta accumulated across the run.
+#[derive(Debug, Clone, Serialize)]
+pub struct CounterValue {
+    /// Registry name (`tsgreedy_candidates_enumerated`, ...).
+    pub name: String,
+    /// Delta over the whole bench run.
+    pub value: u64,
+}
+
+/// One phase's aggregated wall time across the run.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseMs {
+    /// Phase name (`analyze`, `build-graph`, `search`).
+    pub phase: String,
+    /// Times the phase was entered.
+    pub calls: u64,
+    /// Total wall time, milliseconds.
+    pub total_ms: f64,
+}
+
 /// The whole bench run, as written to `results/search_bench.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct SearchBenchReport {
     /// Workload file the search ran over.
     pub workload: String,
+    /// Git revision of the measured tree (`unknown` outside a checkout).
+    pub git_rev: String,
     /// Statements in the workload (after weight expansion).
     pub statements: usize,
     /// `std::thread::available_parallelism()` on the measuring host.
@@ -60,8 +84,17 @@ pub struct SearchBenchReport {
     pub reps: usize,
     /// Every row's layout/cost matched the baseline bit for bit.
     pub all_identical: bool,
+    /// Dead-worker pool fallbacks observed during the run (scheduling
+    /// class — should be 0 on a healthy host; nonzero means wall times
+    /// include sequential rescue work and are not comparable).
+    pub pool_fallbacks: u64,
     /// Per-configuration measurements.
     pub rows: Vec<SearchBenchRow>,
+    /// Deterministic work-counter deltas over the whole run — the
+    /// fingerprint `dblayout benchdiff` compares exactly.
+    pub counters: Vec<CounterValue>,
+    /// Wall-time attribution per pipeline phase.
+    pub phases: Vec<PhaseMs>,
 }
 
 /// Every placement fraction's bit pattern — the byte-level identity the
@@ -86,9 +119,12 @@ pub fn tpch_mix_path() -> PathBuf {
 /// incremental engine at each of `thread_counts`, `reps` repetitions each.
 pub fn run_with(thread_counts: &[usize], reps: usize) -> SearchBenchReport {
     let reps = reps.max(1);
+    let prof = PhaseTimer::new();
+    let before = counters::snapshot();
     let catalog = tpch_catalog(1.0);
     let disks = paper_disks();
     let text = std::fs::read_to_string(tpch_mix_path()).expect("bundled tpch_mix.sql is readable");
+    let analyze = prof.phase("analyze");
     let entries = parse_workload_file(&text).expect("tpch_mix.sql parses");
     let plans: Vec<_> = entries
         .iter()
@@ -99,11 +135,19 @@ pub fn run_with(thread_counts: &[usize], reps: usize) -> SearchBenchReport {
             )
         })
         .collect();
+    drop(analyze);
     let sizes: Vec<u64> = catalog.objects().iter().map(|o| o.size_blocks).collect();
-    let graph = build_access_graph(sizes.len(), &plans);
-    let workload = decompose_workload(&plans);
+    let graph = {
+        let _build = prof.phase("build-graph");
+        build_access_graph(sizes.len(), &plans)
+    };
+    let workload = {
+        let _analyze = prof.phase("analyze");
+        decompose_workload(&plans)
+    };
 
     let measure = |cfg: &TsGreedyConfig| {
+        let _search = prof.phase("search");
         let mut best_ms = f64::INFINITY;
         let mut result = None;
         for _ in 0..reps {
@@ -151,13 +195,35 @@ pub fn run_with(thread_counts: &[usize], reps: usize) -> SearchBenchReport {
         });
     }
     let all_identical = rows.iter().all(|r| r.identical_to_baseline);
+    let delta = counters::snapshot().delta(&before);
     SearchBenchReport {
         workload: "examples/workloads/tpch_mix.sql".to_string(),
+        git_rev: crate::observatory::git_rev(
+            &PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        ),
         statements: plans.len(),
         host_available_parallelism: dblayout_core::available_parallelism(),
         reps,
         all_identical,
+        pool_fallbacks: delta.get(Counter::ParPoolFallbacks),
         rows,
+        counters: delta
+            .deterministic_pairs()
+            .into_iter()
+            .map(|(name, value)| CounterValue {
+                name: name.to_string(),
+                value,
+            })
+            .collect(),
+        phases: prof
+            .rows()
+            .into_iter()
+            .map(|r| PhaseMs {
+                phase: r.name,
+                calls: r.calls,
+                total_ms: r.total_us as f64 / 1e3,
+            })
+            .collect(),
     }
 }
 

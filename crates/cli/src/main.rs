@@ -22,6 +22,7 @@ USAGE:
     dblayout serve [serve-options]      run the what-if advisory service
     dblayout client [client-options]    talk to a running service
     dblayout lint [lint-options]        static-analyze the workspace sources
+    dblayout benchdiff <base> <cur>     compare two BENCH_*.json histories
 
 INPUTS (paper Figure 3):
     --database <spec>     built-in catalog: tpch[:sf] | tpch-n:<sf>:<n> | apb | sales
@@ -41,8 +42,9 @@ OPTIONS:
     --help                this text
 
 See `dblayout explain --help` for the search narrative, `dblayout serve
---help` and `dblayout client --help` for the service, and `dblayout lint
---help` for the static-analysis pass.
+--help` and `dblayout client --help` for the service, `dblayout lint
+--help` for the static-analysis pass, and `dblayout benchdiff --help`
+for the benchmark-regression gate.
 ";
 
 const EXPLAIN_USAGE: &str = "\
@@ -55,10 +57,11 @@ Runs the full Figure-3 pipeline under a deterministic trace collector and
 prints a human-readable narrative: the access-graph summary, every step-1
 partition assignment, and — for each TS-GREEDY iteration — the candidate
 count and the winning merge with its cost delta, then a per-sub-plan cost
-breakdown of the recommended layout. The raw trace is written as JSONL
-(default results/explain_trace.jsonl) and round-trips through the
-dblayout-obs parser. Both outputs are byte-identical across runs for the
-same inputs.
+breakdown of the recommended layout, the deterministic work counters, and
+a wall-clock phase profile. The raw trace is written as JSONL (default
+results/explain_trace.jsonl) and round-trips through the dblayout-obs
+parser. The narrative, the trace, and the work counters are byte-identical
+across runs for the same inputs; only the phase profile's wall times vary.
 
 OPTIONS:
     --database <spec>     built-in catalog (required; see `dblayout --help`)
@@ -92,6 +95,32 @@ OPTIONS:
     --deny-warnings     treat rule findings as fatal (CI mode)
     --json              print the JSON report to stdout instead of text
     --root <dir>        workspace root to scan (default: .)
+    --help              this text
+";
+
+const BENCHDIFF_USAGE: &str = "\
+dblayout benchdiff — the benchmark-regression gate
+
+USAGE:
+    dblayout benchdiff <baseline.json> <current.json> [options]
+
+Compares two observatory histories (repo-root BENCH_search.json /
+BENCH_server.json, appended to by `search_bench` and the server bench).
+Timings compare median-vs-median over the last --window entries and only
+fail beyond --tolerance; deterministic work counters must match exactly
+when both histories ran the same config — a counter divergence means the
+work done changed, and fails regardless of tolerance.
+
+Exit status: non-zero when the report's verdict is REGRESSED.
+
+OPTIONS:
+    --tolerance <f>     relative slowdown allowed before a timing
+                        regresses (default 0.5 = 50%)
+    --window <n>        history entries whose median is compared
+                        (default 5)
+    --ignore-counters   skip the exact counter gate (use for histories
+                        from adaptive-iteration benches, e.g.
+                        BENCH_server.json)
     --help              this text
 ";
 
@@ -272,6 +301,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             constraints,
             ..Default::default()
         },
+        prof: Default::default(),
     };
     let ring = std::sync::Arc::new(dblayout_obs::RingSink::new(usize::MAX));
     if args.trace_out.is_some() {
@@ -344,9 +374,22 @@ fn run(argv: &[String]) -> Result<(), String> {
 
     if let Some(path) = &args.trace_out {
         write_trace(path, &ring.drain())?;
+        warn_on_trace_loss(&ring);
         println!("(trace written to {path})");
     }
     Ok(())
+}
+
+/// Satellite of `dblayout_trace_dropped_total`: an operator reading a
+/// truncated trace must learn it on stderr, not by counting lines.
+fn warn_on_trace_loss(ring: &dblayout_obs::RingSink) {
+    let dropped = ring.dropped();
+    if dropped > 0 {
+        eprintln!(
+            "warning: {dropped} trace record(s) were evicted by the ring buffer; \
+             the written trace is incomplete"
+        );
+    }
 }
 
 fn run_explain(argv: &[String]) -> Result<(), String> {
@@ -368,12 +411,15 @@ fn run_explain(argv: &[String]) -> Result<(), String> {
             constraints,
             ..Default::default()
         },
+        prof: dblayout_obs::prof::PhaseTimer::new(),
     };
     cfg.search.collector = collector.clone();
     let advisor = Advisor::new(&catalog, &disks);
+    let counters_before = dblayout_obs::counters::snapshot();
     let rec = advisor
         .recommend_sql(&workload_text, &cfg)
         .map_err(|e| e.to_string())?;
+    let counters_delta = dblayout_obs::counters::snapshot().delta(&counters_before);
 
     // Cost the winning layout once more with a traced model so the
     // narrative ends with the per-sub-plan breakdown (during the search the
@@ -396,12 +442,76 @@ fn run_explain(argv: &[String]) -> Result<(), String> {
         rec.estimated_improvement_pct
     );
 
+    // Performance accounting (dblayout-prof): the deterministic work
+    // counters are part of the reproducible output; the phase profile is
+    // wall clock and varies run to run.
+    println!();
+    println!("Deterministic work counters:");
+    for (name, value) in counters_delta.deterministic_pairs() {
+        println!("  {name:<34} {value}");
+    }
+    println!();
+    print!("{}", cfg.prof.render_table());
+
     let path = args
         .trace_out
         .unwrap_or_else(|| "results/explain_trace.jsonl".to_string());
     write_trace(&path, &records)?;
+    warn_on_trace_loss(&ring);
     println!("(trace written to {path})");
     Ok(())
+}
+
+fn run_benchdiff(args: &[String]) -> Result<ExitCode, String> {
+    use dblayout_bench::observatory::{diff, load_history, DiffOptions};
+    let mut opts = DiffOptions::default();
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--tolerance" => {
+                opts.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?;
+                if !(opts.tolerance.is_finite() && opts.tolerance >= 0.0) {
+                    return Err("--tolerance must be a finite non-negative number".to_string());
+                }
+            }
+            "--window" => {
+                opts.window = value("--window")?
+                    .parse()
+                    .map_err(|e| format!("bad --window: {e}"))?;
+                if opts.window == 0 {
+                    return Err("--window must be at least 1".to_string());
+                }
+            }
+            "--ignore-counters" => opts.ignore_counters = true,
+            "--help" | "-h" => return Err(BENCHDIFF_USAGE.to_string()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`\n\n{BENCHDIFF_USAGE}"))
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [baseline, current] = paths.as_slice() else {
+        return Err(format!(
+            "benchdiff needs exactly a baseline and a current history\n\n{BENCHDIFF_USAGE}"
+        ));
+    };
+    let base = load_history(std::path::Path::new(baseline))?;
+    let cur = load_history(std::path::Path::new(current))?;
+    let report = diff(&base, &cur, &opts)?;
+    print!("{}", report.render());
+    Ok(if report.regressed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn run_serve(args: &[String]) -> Result<(), String> {
@@ -560,6 +670,7 @@ fn main() -> ExitCode {
         Some("serve") => run_serve(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("client") => run_client(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("lint") => run_lint(&args[1..]),
+        Some("benchdiff") => run_benchdiff(&args[1..]),
         _ => run(&args).map(|()| ExitCode::SUCCESS),
     };
     match outcome {

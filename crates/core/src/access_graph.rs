@@ -10,6 +10,7 @@
 //! simplification, validated by its experiments (and by this reproduction's
 //! A4 ablation).
 
+use dblayout_obs::counters::{self, Counter};
 use dblayout_obs::{f, Collector};
 use dblayout_partition::Graph;
 use dblayout_planner::PhysicalPlan;
@@ -79,6 +80,10 @@ pub fn extend_access_graph_traced(
                 }
             }
         }
+        // Always-on accounting (deterministic class): folds depend only
+        // on the plans, never on tracing or thread count.
+        counters::add(Counter::GraphNodeUpdates, node_updates as u64);
+        counters::add(Counter::GraphEdgeUpdates, edge_updates as u64);
         if span.enabled() {
             span.event(
                 "graph.plan",

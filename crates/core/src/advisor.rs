@@ -14,6 +14,8 @@ use std::fmt;
 
 use dblayout_catalog::Catalog;
 use dblayout_disksim::{DiskSpec, Layout, LayoutError};
+use dblayout_obs::counters::{self, Counter};
+use dblayout_obs::prof::PhaseTimer;
 use dblayout_partition::Graph;
 use dblayout_planner::{plan_statement, PhysicalPlan, PlanError, Subplan};
 use dblayout_sql::{parse_workload_file, ParseError, Statement};
@@ -27,6 +29,10 @@ use crate::tsgreedy::{ts_greedy, SearchError, TsGreedyConfig, TsGreedyResult};
 pub struct AdvisorConfig {
     /// TS-GREEDY search settings (includes constraints and cost model).
     pub search: TsGreedyConfig,
+    /// Wall-clock phase attribution (`dblayout-prof`). Disabled by
+    /// default (free); when enabled the pipeline records `analyze` /
+    /// `build-graph` / `search` / `cost` phases into the shared profile.
+    pub prof: PhaseTimer,
 }
 
 /// Anything that can go wrong end to end.
@@ -145,7 +151,10 @@ impl<'a> Advisor<'a> {
         if workload.is_empty() {
             return Err(AdvisorError::EmptyWorkload);
         }
-        let plans = self.plan_workload(workload)?;
+        let plans = {
+            let _phase = cfg.prof.phase("analyze");
+            self.plan_workload(workload)?
+        };
         self.recommend_from_plans(plans, cfg)
     }
 
@@ -178,8 +187,14 @@ impl<'a> Advisor<'a> {
         // The search collector also witnesses the Analyze-Workload pass, so
         // one `dblayout explain` trace covers the whole Figure-3 pipeline.
         let mut graph = dblayout_partition::Graph::new(n_objects);
-        extend_access_graph_traced(&mut graph, &plans, &cfg.search.collector);
-        let workload = decompose_workload(&plans);
+        {
+            let _phase = cfg.prof.phase("build-graph");
+            extend_access_graph_traced(&mut graph, &plans, &cfg.search.collector);
+        }
+        let workload = {
+            let _phase = cfg.prof.phase("analyze");
+            decompose_workload(&plans)
+        };
         self.recommend_prepared(plans, graph, &workload, cfg)
     }
 
@@ -214,11 +229,16 @@ impl<'a> Advisor<'a> {
             iterations,
             cost_evaluations,
             ..
-        } = ts_greedy(&sizes, &graph, workload, self.disks, &cfg.search)?;
+        } = {
+            let _phase = cfg.prof.phase("search");
+            ts_greedy(&sizes, &graph, workload, self.disks, &cfg.search)?
+        };
 
         let model: &CostModel = &cfg.search.cost_model;
+        let _phase = cfg.prof.phase("cost");
         let full_striping = Layout::full_striping(sizes, self.disks);
         full_striping.validate(self.disks)?;
+        counters::incr(Counter::CostmodelFullRecosts);
         let fs_cost = model.workload_cost_subplans(workload, &full_striping, self.disks);
 
         // Never recommend worse than the trivial baseline: when the search

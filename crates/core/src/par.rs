@@ -29,6 +29,8 @@ use std::ops::Range;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
+use dblayout_obs::counters::{self, Counter};
+
 /// Worker threads the host offers, with a floor of 1 (the CLI's
 /// `--threads` default; [`std::thread::available_parallelism`] can fail in
 /// restricted environments, in which case parallelism is unavailable
@@ -103,7 +105,12 @@ impl<J, O> Pool<'_, J, O> {
             } else {
                 None
             };
-            outputs.push(out.unwrap_or_else(|| (self.process)(w, &job)));
+            outputs.push(out.unwrap_or_else(|| {
+                // Scheduling-class accounting: fallbacks vary with timing
+                // and never enter the deterministic fingerprint.
+                counters::incr(Counter::ParPoolFallbacks);
+                (self.process)(w, &job)
+            }));
         }
         outputs
     }

@@ -21,6 +21,7 @@
 use std::sync::Arc;
 
 use dblayout_disksim::{DiskSpec, Layout};
+use dblayout_obs::counters::{self, Counter};
 use dblayout_obs::{f, Collector};
 use dblayout_partition::{max_cut_partition, Graph};
 use dblayout_planner::Subplan;
@@ -319,6 +320,8 @@ pub fn ts_greedy(
     let mut evals = 0usize;
     let mut eval = model.delta_evaluator(workload, &layout, disks);
     evals += 1;
+    // Building the evaluator runs one full Figure-7 costing of `layout`.
+    counters::incr(Counter::CostmodelFullRecosts);
     let mut cost = eval.total();
     let initial_layout = layout.clone();
     let initial_cost = cost;
@@ -432,6 +435,11 @@ pub fn ts_greedy(
     };
     let score = |w: usize, job: &Job<'_>| -> Chunk {
         let range = par::chunk_range(job.moves.len(), threads, w);
+        // Scheduling-class accounting: one relaxed add per chunk, so the
+        // per-candidate loop below stays free of atomics. Chunk sizes
+        // (and re-scored chunks after a dead-worker fallback) depend on
+        // the thread count, so this never joins the deterministic set.
+        counters::add(Counter::ParChunkItems, range.len() as u64);
         let mut outcomes = Vec::with_capacity(range.len());
         let mut best: Option<ChunkBest> = None;
         if full_reevaluation {
@@ -616,7 +624,7 @@ pub fn ts_greedy(
                 );
             }
         }
-        evals += chunks
+        let scored = chunks
             .iter()
             .map(|ch| {
                 ch.outcomes
@@ -625,6 +633,28 @@ pub fn ts_greedy(
                     .count()
             })
             .sum::<usize>();
+        evals += scored;
+        // Deterministic-class accounting, batched on the dispatcher
+        // thread so the reduction (not the workers) owns the counts: the
+        // totals replay the sequential enumeration exactly and are
+        // byte-identical at any thread count. Every enumerated candidate
+        // gets one Definition-2 validity check (incremental or full-scan
+        // — same verdicts, same count), and every scored candidate costs
+        // one re-cost on the engine's evaluator.
+        counters::add(
+            Counter::TsgreedyCandidatesEnumerated,
+            job.moves.len() as u64,
+        );
+        counters::add(Counter::TsgreedyValidityChecks, job.moves.len() as u64);
+        counters::add(Counter::TsgreedyCandidatesScored, scored as u64);
+        counters::add(
+            if full_reevaluation {
+                Counter::CostmodelFullRecosts
+            } else {
+                Counter::CostmodelDeltaRecosts
+            },
+            scored as u64,
+        );
 
         let mut best: Option<ChunkBest> = None;
         for chunk in chunks {
@@ -653,6 +683,7 @@ pub fn ts_greedy(
                 eval.apply(&b.delta);
                 cost = b.cost;
                 iterations += 1;
+                counters::incr(Counter::TsgreedyCandidatesAdopted);
                 iter_span.end();
             }
             None => {

@@ -2,12 +2,14 @@
 //!
 //! The request-serving path (`crates/server`), the inner cost loops
 //! (`core::costmodel`, `core::tsgreedy`, `core::par`), and the tracing
-//! emit paths (`crates/obs`) must not contain panic shortcuts: a panic inside a
-//! worker poisons whatever session/queue lock it holds, a panic inside
-//! the cost model aborts a search the caller already validated inputs
-//! for, and a panic while *emitting a trace record* would turn
-//! observability itself into a crash vector. Flagged outside
-//! `#[cfg(test)]`:
+//! emit paths (`crates/obs` — including the always-on `obs::counters`
+//! registry and the `obs::prof` phase timer, which run on every hot-path
+//! iteration even with tracing disabled) must not contain panic
+//! shortcuts: a panic inside a worker poisons whatever session/queue
+//! lock it holds, a panic inside the cost model aborts a search the
+//! caller already validated inputs for, and a panic while *emitting a
+//! trace record or bumping a counter* would turn observability itself
+//! into a crash vector. Flagged outside `#[cfg(test)]`:
 //!
 //! * `.unwrap()` / `.expect(...)` on `Option`/`Result`;
 //! * the panicking macros `panic!` / `unreachable!` / `todo!` /
@@ -119,6 +121,30 @@ fn check_file(file: &FileCtx, findings: &mut Vec<Finding>) {
                      structured error instead"
                 ),
             });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::in_panic_zone;
+
+    /// The always-on accounting paths (`obs::counters`, `obs::prof`) run
+    /// on every hot-path iteration — they must stay inside the R1 zone so
+    /// a panic shortcut there is caught at lint time, not in production.
+    #[test]
+    fn counter_registry_and_phase_timer_are_in_the_panic_zone() {
+        for path in [
+            "crates/obs/src/counters.rs",
+            "crates/obs/src/prof.rs",
+            "crates/obs/src/sink.rs",
+            "crates/server/src/engine.rs",
+            "crates/core/src/tsgreedy.rs",
+        ] {
+            assert!(in_panic_zone(path), "{path} must be R1-zoned");
+        }
+        for path in ["crates/bench/src/observatory.rs", "crates/cli/src/main.rs"] {
+            assert!(!in_panic_zone(path), "{path} is not hot-path code");
         }
     }
 }

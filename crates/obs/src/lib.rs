@@ -32,6 +32,26 @@
 //! order; sort by it to recover a single logical timeline. `span` ties
 //! events to their innermost enclosing span; `parent` (on `span_start`)
 //! encodes nesting. [`parse_trace`] inverts the serialization exactly.
+//!
+//! ## Performance accounting (`dblayout-prof`)
+//!
+//! Two always-available companions to the opt-in collector:
+//!
+//! * [`counters`] — a fixed, lock-free registry of monotonic work
+//!   counters (relaxed atomics, no collector branch), cheap enough for
+//!   the disabled-tracing search path's 2% overhead budget. The
+//!   deterministic subset is thread-count-invariant and serves as the
+//!   regression fingerprint for `dblayout benchdiff`.
+//! * [`prof`] — scoped wall-clock phase attribution
+//!   ([`prof::PhaseTimer`]): analyze / build-graph / search / cost /
+//!   serialize totals for explain output, the server `profile` op, and
+//!   bench history entries.
+//!
+//! Both live under lint rule R1's no-panic zone like the rest of this
+//! crate.
+
+pub mod counters;
+pub mod prof;
 
 mod collector;
 mod record;

@@ -119,6 +119,23 @@ impl RingSink {
     pub fn snapshot(&self) -> Vec<Record> {
         lock_unpoisoned(&self.buf).iter().cloned().collect()
     }
+
+    /// Atomically drains the buffer and reads the cumulative dropped
+    /// count as **one consistent cut**: both happen under a single buffer
+    /// lock acquisition, so concurrent emitters are either entirely
+    /// before the cut (their record is returned, their evictions counted)
+    /// or entirely after it (their record is retained for the next
+    /// `take`). No record can be both returned and retained, and the
+    /// dropped count can never run ahead of the drain it is reported
+    /// with. This is what the server's `trace` op uses.
+    pub fn take(&self) -> (Vec<Record>, u64) {
+        let mut buf = lock_unpoisoned(&self.buf);
+        let records = buf.drain(..).collect();
+        // Still under the lock: evictions are counted while holding it
+        // (capacity-0 rings bypass the lock, but those retain nothing).
+        let dropped = self.dropped.load(Ordering::Relaxed);
+        (records, dropped)
+    }
 }
 
 impl Sink for RingSink {
@@ -215,5 +232,78 @@ mod tests {
         let snap = ring.snapshot();
         assert_eq!(snap.len(), 2);
         assert_eq!(ring.len(), 2);
+    }
+
+    #[test]
+    fn take_returns_records_and_dropped_in_one_cut() {
+        let ring = RingSink::new(2);
+        for i in 0..5 {
+            ring.emit(rec(i));
+        }
+        let (records, dropped) = ring.take();
+        assert_eq!(records.len(), 2);
+        assert_eq!(dropped, 3);
+        assert!(ring.is_empty());
+        let (records, dropped) = ring.take();
+        assert!(records.is_empty());
+        assert_eq!(dropped, 3, "dropped is cumulative across takes");
+    }
+
+    /// Satellite: concurrent writers vs. a concurrent drainer. Every
+    /// emitted record must end up in exactly one place — returned by
+    /// exactly one `take`, or still buffered at the end — never both,
+    /// never neither (the ring is unbounded here so nothing is evicted).
+    #[test]
+    fn concurrent_take_never_duplicates_or_loses_records() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        const WRITERS: u64 = 4;
+        const PER_WRITER: u64 = 2_000;
+        let ring = Arc::new(RingSink::new(usize::MAX));
+        let done = Arc::new(AtomicBool::new(false));
+
+        let drainer = {
+            let ring = ring.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut taken: Vec<Record> = Vec::new();
+                while !done.load(Ordering::Acquire) {
+                    let (records, dropped) = ring.take();
+                    assert_eq!(dropped, 0, "unbounded ring must never evict");
+                    taken.extend(records);
+                }
+                taken
+            })
+        };
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let ring = ring.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_WRITER {
+                        ring.emit(rec(w * PER_WRITER + i));
+                    }
+                })
+            })
+            .collect();
+        for h in writers {
+            h.join().expect("writer panicked");
+        }
+        done.store(true, Ordering::Release);
+        let mut taken = drainer.join().expect("drainer panicked");
+        let (rest, dropped) = ring.take();
+        assert_eq!(dropped, 0);
+        taken.extend(rest);
+
+        // Conservation + exclusivity: every seq exactly once.
+        assert_eq!(taken.len() as u64, WRITERS * PER_WRITER);
+        let mut seqs: Vec<u64> = taken.iter().map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(
+            seqs.len() as u64,
+            WRITERS * PER_WRITER,
+            "a record was returned twice or lost"
+        );
     }
 }

@@ -12,6 +12,8 @@ use dblayout_core::advisor::{Advisor, AdvisorConfig, AdvisorError};
 use dblayout_core::costmodel::CostModel;
 use dblayout_core::tsgreedy::TsGreedyConfig;
 use dblayout_disksim::Layout;
+use dblayout_obs::counters::{self, Counter};
+use dblayout_obs::prof::PhaseTimer;
 use dblayout_obs::{Collector, RingSink};
 use serde_json::Value;
 
@@ -44,6 +46,10 @@ pub struct Engine {
     /// opens one `server.request` span per request through it. The ring
     /// drops oldest records at capacity, so tracing never grows memory.
     pub collector: Collector,
+    /// Always-on wall-clock phase profile (`dblayout-prof`): analyze /
+    /// build-graph / search / cost accumulate here across requests (the
+    /// transport adds `serialize`); the `profile` op reads it.
+    pub prof: PhaseTimer,
 }
 
 impl Engine {
@@ -66,6 +72,7 @@ impl Engine {
             metrics: Metrics::default(),
             collector: Collector::new(trace.clone()),
             trace,
+            prof: PhaseTimer::new(),
         }
     }
 
@@ -103,7 +110,7 @@ impl Engine {
             Request::AddStatements { session, sql } => {
                 let handle = crate::lock_unpoisoned(&self.registry).get(session)?;
                 let mut s = crate::lock_unpoisoned(&handle);
-                let added = s.add_statements(&sql)? as u64;
+                let added = s.add_statements_profiled(&sql, &self.prof)? as u64;
                 let result = obj(vec![
                     ("added", Value::U64(added)),
                     ("statements", Value::U64(s.plans.len() as u64)),
@@ -141,13 +148,17 @@ impl Engine {
                 let cost_ms = match cost {
                     Some(c) => {
                         self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        counters::incr(Counter::ServerCacheHits);
                         cached = true;
                         c
                     }
                     None => {
                         if !no_cache {
                             self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                            counters::incr(Counter::ServerCacheMisses);
                         }
+                        let _phase = self.prof.phase("cost");
+                        counters::incr(Counter::CostmodelFullRecosts);
                         let c = CostModel::default().workload_cost_subplans(
                             &s.workload,
                             layout,
@@ -174,6 +185,7 @@ impl Engine {
                         threads: s.threads,
                         ..Default::default()
                     },
+                    prof: self.prof.clone(),
                 };
                 let advisor = Advisor::new(&s.catalog, &s.disks);
                 let rec = advisor
@@ -221,17 +233,39 @@ impl Engine {
                 ]))
             }
             Request::Metrics => {
-                let m = self.metrics.snapshot_with_gauges(self.gauges(runtime));
+                let mut m = self.metrics.snapshot_with_gauges(self.gauges(runtime));
+                // Trace loss is owned by the engine's ring, not the metric
+                // counters; stamp it after the snapshot. (No JSONL sink is
+                // attached server-side, so write errors stay 0 here.)
+                m.trace_dropped_total = self.trace.dropped();
                 Ok(obj(vec![("text", Value::Str(render_prometheus(&m)))]))
             }
             Request::Trace => {
-                let dropped = self.trace.dropped();
-                let records = self.trace.drain();
+                // One consistent snapshot-and-clear: records and the
+                // dropped count come from a single cut (`RingSink::take`),
+                // so a span written mid-drain is either fully in this
+                // response or fully retained for the next one.
+                let (records, dropped) = self.trace.take();
                 let events: Vec<Value> = records.iter().map(|r| r.to_json()).collect();
                 Ok(obj(vec![
                     ("events", Value::Seq(events)),
                     ("dropped", Value::U64(dropped)),
                 ]))
+            }
+            Request::Profile => {
+                let phases: Vec<Value> = self
+                    .prof
+                    .rows()
+                    .into_iter()
+                    .map(|r| {
+                        obj(vec![
+                            ("phase", Value::Str(r.name)),
+                            ("calls", Value::U64(r.calls)),
+                            ("total_us", Value::U64(r.total_us)),
+                        ])
+                    })
+                    .collect();
+                Ok(obj(vec![("phases", Value::Seq(phases))]))
             }
             Request::CloseSession { session } => {
                 crate::lock_unpoisoned(&self.registry).close(session)?;
@@ -319,6 +353,59 @@ mod tests {
         assert!(text.contains("dblayout_requests_total 7\n"), "{text}");
         assert!(text.contains("# TYPE dblayout_queue_depth gauge"), "{text}");
         assert!(text.contains("dblayout_stage_compute_us_count"), "{text}");
+        // The trace-loss counters and the work-counter registry ride along
+        // in the same exposition.
+        assert!(text.contains("dblayout_trace_dropped_total 0\n"), "{text}");
+        assert!(
+            text.contains("dblayout_trace_write_errors_total 0\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE dblayout_server_cache_hits_total counter"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn profile_op_reports_engine_phases() {
+        let engine = Engine::new(4, 16);
+        let open = exec(
+            &engine,
+            Request::OpenSession {
+                catalog: "tpch:0.01".into(),
+                disks: "paper".into(),
+                threads: 1,
+            },
+        );
+        let sid = open.get("session").and_then(|v| v.as_u64()).unwrap();
+        exec(
+            &engine,
+            Request::AddStatements {
+                session: sid,
+                sql: "SELECT COUNT(*) FROM lineitem;".into(),
+            },
+        );
+        exec(
+            &engine,
+            Request::WhatifCost {
+                session: sid,
+                layout: LayoutSpec::FullStriping,
+                no_cache: false,
+            },
+        );
+        let p = exec(&engine, Request::Profile);
+        let phases = p.get("phases").and_then(|v| v.as_array()).unwrap();
+        let names: Vec<&str> = phases
+            .iter()
+            .filter_map(|row| row.get("phase").and_then(|v| v.as_str()))
+            .collect();
+        for expected in ["analyze", "build-graph", "cost"] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        for row in phases {
+            assert!(row.get("calls").and_then(|v| v.as_u64()).unwrap() >= 1);
+            assert!(row.get("total_us").and_then(|v| v.as_u64()).is_some());
+        }
     }
 
     #[test]

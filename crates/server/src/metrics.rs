@@ -10,6 +10,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use dblayout_obs::counters::{self, CounterSnapshot};
+
 /// Histogram bucket count. Bucket `i` holds observations whose value in
 /// microseconds `v` satisfies `floor(log2(max(v, 1))) == i`; the last bucket
 /// absorbs everything slower (`2^62 µs` is far beyond any deadline).
@@ -230,6 +232,15 @@ pub struct MetricsSnapshot {
     pub sessions_open: u64,
     /// Entries resident in the what-if cost cache.
     pub cache_entries: u64,
+    /// Trace records evicted from the engine's span ring (the engine
+    /// owner fills this in after snapshotting; 0 when no ring exists).
+    pub trace_dropped_total: u64,
+    /// Trace records lost to JSONL sink write errors (0 unless a file
+    /// sink is attached and failing).
+    pub trace_write_errors_total: u64,
+    /// The workspace-wide `obs::counters` registry reading taken with
+    /// this snapshot — rendered as `dblayout_<name>_total` families.
+    pub work: CounterSnapshot,
 }
 
 impl Metrics {
@@ -272,6 +283,9 @@ impl Metrics {
             queue_depth: gauges.queue_depth,
             sessions_open: gauges.sessions_open,
             cache_entries: gauges.cache_entries,
+            trace_dropped_total: 0,
+            trace_write_errors_total: 0,
+            work: counters::snapshot(),
         }
     }
 }
@@ -284,14 +298,35 @@ fn push_gauge(out: &mut String, name: &str, value: u64) {
     out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
 }
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote, and line feed become `\\`, `\"`, and `\n`.
+/// Every label value emitted here is a static quantile string, but going
+/// through the escaper keeps the renderer correct by construction (and
+/// testable) should dynamic labels ever appear.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn push_summary(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    out.push_str(&format!("# TYPE {name} summary\n"));
+    for (q, v) in [("0.5", h.p50_us), ("0.99", h.p99_us)] {
+        out.push_str(&format!(
+            "{name}{{quantile=\"{}\"}} {v}\n",
+            escape_label_value(q)
+        ));
+    }
     out.push_str(&format!(
-        "# TYPE {name} summary\n\
-         {name}{{quantile=\"0.5\"}} {}\n\
-         {name}{{quantile=\"0.99\"}} {}\n\
-         {name}_sum {}\n\
-         {name}_count {}\n",
-        h.p50_us, h.p99_us, h.sum_us, h.count,
+        "{name}_sum {}\n{name}_count {}\n",
+        h.sum_us, h.count
     ));
 }
 
@@ -311,6 +346,21 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
     );
     push_counter(&mut out, "dblayout_cache_hits_total", s.cache_hits);
     push_counter(&mut out, "dblayout_cache_misses_total", s.cache_misses);
+    push_counter(
+        &mut out,
+        "dblayout_trace_dropped_total",
+        s.trace_dropped_total,
+    );
+    push_counter(
+        &mut out,
+        "dblayout_trace_write_errors_total",
+        s.trace_write_errors_total,
+    );
+    // The workspace-wide work-unit registry (obs::counters), in its fixed
+    // exposition order.
+    for (name, value) in s.work.pairs() {
+        push_counter(&mut out, &format!("dblayout_{name}_total"), value);
+    }
     push_gauge(&mut out, "dblayout_queue_depth", s.queue_depth);
     push_gauge(&mut out, "dblayout_sessions_open", s.sessions_open);
     push_gauge(&mut out, "dblayout_cache_entries", s.cache_entries);
@@ -457,5 +507,108 @@ mod tests {
                 "malformed line: {line}"
             );
         }
+    }
+
+    #[test]
+    fn exposition_includes_trace_loss_and_work_counters() {
+        let m = Metrics::default();
+        let mut s = m.snapshot();
+        s.trace_dropped_total = 7;
+        s.trace_write_errors_total = 2;
+        let text = render_prometheus(&s);
+        assert!(text.contains("dblayout_trace_dropped_total 7\n"), "{text}");
+        assert!(
+            text.contains("dblayout_trace_write_errors_total 2\n"),
+            "{text}"
+        );
+        // Every registry counter appears as a `_total` family.
+        for (name, _) in s.work.pairs() {
+            assert!(
+                text.contains(&format!("# TYPE dblayout_{name}_total counter\n")),
+                "registry counter {name} missing from: {text}"
+            );
+        }
+    }
+
+    /// Format correctness: every emitted sample family has exactly one
+    /// `# TYPE` line, declared before its first sample, and every metric
+    /// name is legal (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    #[test]
+    fn every_family_has_a_type_line_and_legal_name() {
+        let m = Metrics::default();
+        m.observe_latency(Duration::from_micros(50));
+        let text = render_prometheus(&m.snapshot());
+        let mut typed: Vec<String> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let fam = parts.next().unwrap_or("").to_string();
+                let kind = parts.next().unwrap_or("");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "summary"),
+                    "unknown TYPE kind in: {line}"
+                );
+                assert!(!typed.contains(&fam), "duplicate TYPE for {fam}");
+                typed.push(fam);
+                continue;
+            }
+            let name_part = line.split([' ', '{']).next().unwrap_or("");
+            // Samples belong to a family declared above: the name itself,
+            // or a summary's `_sum`/`_count` companion series.
+            let family = name_part
+                .strip_suffix("_sum")
+                .or_else(|| name_part.strip_suffix("_count"))
+                .filter(|f| typed.contains(&(*f).to_string()))
+                .unwrap_or(name_part);
+            assert!(
+                typed.contains(&family.to_string()),
+                "sample `{line}` precedes its # TYPE declaration"
+            );
+            let mut chars = name_part.chars();
+            let first = chars.next().unwrap();
+            assert!(
+                first.is_ascii_alphabetic() || first == '_' || first == ':',
+                "illegal first char in metric name: {name_part}"
+            );
+            assert!(
+                chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "illegal metric name: {name_part}"
+            );
+        }
+        assert!(!typed.is_empty());
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value("0.99"), "0.99");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        // The rendered quantile labels parse as quoted strings.
+        let m = Metrics::default();
+        m.observe_latency(Duration::from_micros(10));
+        let text = render_prometheus(&m.snapshot());
+        assert!(text.contains("{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("{quantile=\"0.99\"}"), "{text}");
+    }
+
+    /// Counter monotonicity across the exposition boundary: registry
+    /// increments between two renders can only increase the exported
+    /// `_total` values (8-thread hammering of the registry itself lives
+    /// in `dblayout_obs::counters`).
+    #[test]
+    fn rendered_work_counters_are_monotonic() {
+        use dblayout_obs::counters::Counter;
+        let m = Metrics::default();
+        let before = m.snapshot();
+        counters::add(Counter::ServerCacheHits, 3);
+        let after = m.snapshot();
+        for ((name, b), (_, a)) in before.work.pairs().into_iter().zip(after.work.pairs()) {
+            assert!(a >= b, "{name} went backwards: {b} -> {a}");
+        }
+        assert!(
+            after.work.get(Counter::ServerCacheHits)
+                >= before.work.get(Counter::ServerCacheHits) + 3
+        );
     }
 }

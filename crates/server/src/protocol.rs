@@ -21,6 +21,7 @@
 //! | `stats`          | —                                                |
 //! | `metrics`        | — (Prometheus text exposition under `text`)      |
 //! | `trace`          | — (drains the server's span ring buffer)         |
+//! | `profile`        | — (aggregated wall-time per engine phase)        |
 //! | `close_session`  | `session`                                        |
 
 use dblayout_catalog::Catalog;
@@ -104,6 +105,8 @@ pub enum Request {
     Metrics,
     /// Drain the server's bounded trace ring buffer.
     Trace,
+    /// Aggregated wall-time attribution per engine phase (dblayout-prof).
+    Profile,
     /// Drop a session and everything it holds resident.
     CloseSession {
         /// Target session id.
@@ -123,6 +126,7 @@ impl Request {
             Request::Stats => "stats",
             Request::Metrics => "metrics",
             Request::Trace => "trace",
+            Request::Profile => "profile",
             Request::CloseSession { .. } => "close_session",
         }
     }
@@ -242,6 +246,7 @@ pub fn parse_request(line: &str) -> Result<Request, ApiError> {
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
         "trace" => Ok(Request::Trace),
+        "profile" => Ok(Request::Profile),
         "close_session" => Ok(Request::CloseSession {
             session: session(&value)?,
         }),
@@ -447,6 +452,10 @@ mod tests {
             Request::Metrics
         );
         assert_eq!(parse_request(r#"{"op":"trace"}"#).unwrap(), Request::Trace);
+        assert_eq!(
+            parse_request(r#"{"op":"profile"}"#).unwrap(),
+            Request::Profile
+        );
         assert_eq!(
             Request::Metrics.op_name(),
             "metrics",

@@ -292,6 +292,7 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
             .fetch_add(1, Ordering::Relaxed);
         let ok = outcome.is_ok();
         let serialize_started = Instant::now();
+        let serialize_phase = shared.engine.prof.phase("serialize");
         let mut response = match outcome {
             Ok(result) => ok_line(result),
             Err(err) => {
@@ -304,6 +305,7 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
             }
         };
         response.push('\n');
+        drop(serialize_phase);
         // Serialize stage: response-line construction.
         shared
             .engine

@@ -23,6 +23,7 @@ use dblayout_catalog::Catalog;
 use dblayout_core::costmodel::decompose_workload;
 use dblayout_core::extend_access_graph;
 use dblayout_disksim::{DiskSpec, Layout};
+use dblayout_obs::prof::PhaseTimer;
 use dblayout_partition::Graph;
 use dblayout_planner::{plan_statement, PhysicalPlan, Subplan};
 use dblayout_sql::parse_workload_file;
@@ -95,6 +96,18 @@ impl Session {
     /// session. All-or-nothing: on any parse/plan error the session state is
     /// untouched. Returns the number of statements added.
     pub fn add_statements(&mut self, sql: &str) -> Result<usize, ApiError> {
+        self.add_statements_profiled(sql, &PhaseTimer::disabled())
+    }
+
+    /// [`Self::add_statements`] with phase attribution: parse + plan +
+    /// decompose accrue to `analyze`, access-graph folds to `build-graph`.
+    /// A disabled timer makes this identical to [`Self::add_statements`].
+    pub fn add_statements_profiled(
+        &mut self,
+        sql: &str,
+        prof: &PhaseTimer,
+    ) -> Result<usize, ApiError> {
+        let analyze = prof.phase("analyze");
         let entries = parse_workload_file(sql)
             .map_err(|e| ApiError::new("parse_error", format!("workload parse error: {e}")))?;
         if entries.is_empty() {
@@ -106,7 +119,12 @@ impl Session {
                 .map_err(|e| ApiError::new("plan_error", format!("planning error: {e}")))?;
             new_plans.push((plan, entry.weight));
         }
-        extend_access_graph(&mut self.graph, &new_plans);
+        drop(analyze);
+        {
+            let _build = prof.phase("build-graph");
+            extend_access_graph(&mut self.graph, &new_plans);
+        }
+        let _analyze = prof.phase("analyze");
         self.workload.extend(decompose_workload(&new_plans));
         let added = new_plans.len();
         self.plans.extend(new_plans);

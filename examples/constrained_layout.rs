@@ -43,6 +43,7 @@ fn main() {
             constraints: constraints.clone(),
             ..Default::default()
         },
+        ..Default::default()
     };
 
     let advisor = Advisor::new(&catalog, &disks);

@@ -17,6 +17,7 @@ fn config_with(constraints: Constraints) -> AdvisorConfig {
             constraints,
             ..Default::default()
         },
+        ..Default::default()
     }
 }
 

@@ -1,12 +1,15 @@
 //! Differential harness for `dblayout-par`: the parallel TS-GREEDY engine
 //! must be **byte-identical** to the single-threaded search on every axis a
 //! caller can observe — layout fractions, cost bits, search counters, the
-//! deterministic cost trace, and the rendered explain narrative — across a
-//! seeded matrix of workloads × disk configurations × thread counts. A
+//! deterministic cost trace, the rendered explain narrative, and the
+//! deterministic work-counter deltas (`dblayout-prof`) — across a seeded
+//! matrix of workloads × disk configurations × thread counts. A
 //! small-instance oracle test additionally pins the parallel engine to the
 //! same quality bound against exhaustive enumeration as the sequential one.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+use dblayout_obs::counters;
 
 use dblayout_catalog::tpch::tpch_catalog;
 use dblayout_catalog::ObjectId;
@@ -32,6 +35,11 @@ fn layout_bits(l: &Layout) -> Vec<u64> {
     bits
 }
 
+/// The work counters are process-global, so measuring a per-run delta is
+/// only sound while no other search runs concurrently. Both tests in this
+/// binary take this lock around every counted region.
+static COUNTER_ISOLATION: Mutex<()> = Mutex::new(());
+
 /// Everything a caller can observe from one search run, fully serialized
 /// so the differential comparison is a single `assert_eq!`.
 #[derive(Debug, PartialEq)]
@@ -43,6 +51,10 @@ struct Observed {
     cost_evaluations: usize,
     trace: Vec<String>,
     narrative: String,
+    /// Deterministic work-counter deltas (scheduling-class counters
+    /// excluded) — the dblayout-prof fingerprint, which must not move
+    /// with the thread count.
+    work_counters: Vec<(&'static str, u64)>,
 }
 
 /// Runs TS-GREEDY at `threads` under a deterministic collector and captures
@@ -60,8 +72,12 @@ fn observe(
         collector: Collector::deterministic(ring.clone()),
         ..Default::default()
     };
+    let guard = COUNTER_ISOLATION.lock().unwrap_or_else(|e| e.into_inner());
+    let before = counters::snapshot();
     let r: TsGreedyResult =
         ts_greedy(sizes, graph, workload, disks, &cfg).expect("search succeeds");
+    let work_counters = counters::snapshot().delta(&before).deterministic_pairs();
+    drop(guard);
     let records = ring.drain();
     let names = NarrativeNames {
         objects: &[],
@@ -75,6 +91,7 @@ fn observe(
         cost_evaluations: r.cost_evaluations,
         trace: records.iter().map(|rec| rec.to_jsonl()).collect(),
         narrative: render_narrative(&records, &names),
+        work_counters,
     }
 }
 
@@ -107,6 +124,13 @@ fn seeded_matrix_is_byte_identical_across_thread_counts() {
                     .iter()
                     .any(|l| l.contains("tsgreedy.candidate")),
                 "seed {seed} × {disk_name}: trace records no candidates"
+            );
+            assert!(
+                reference
+                    .work_counters
+                    .iter()
+                    .any(|&(name, v)| { name == "tsgreedy_candidates_enumerated" && v > 0 }),
+                "seed {seed} × {disk_name}: search enumerated no counted candidates"
             );
             for threads in [2usize, 4, 8] {
                 let got = observe(&sizes, &graph, &workload, disks, threads);
@@ -154,6 +178,7 @@ fn small_instance_tracks_the_exhaustive_oracle() {
     opt_layout.validate(&disks).expect("oracle layout is valid");
 
     let mut final_costs = Vec::new();
+    let _guard = COUNTER_ISOLATION.lock().unwrap_or_else(|e| e.into_inner());
     for threads in [1usize, 2, 4, 8] {
         let cfg = TsGreedyConfig {
             threads,
