@@ -54,6 +54,7 @@ fn main() {
                 catalog: "tpch:0.1".into(),
                 disks: "paper".into(),
                 threads: 1,
+                decay: 1.0,
             },
             &rt,
         )

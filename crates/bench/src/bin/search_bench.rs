@@ -37,6 +37,14 @@ fn main() -> ExitCode {
             r.engine, r.threads, r.best_ms, r.speedup_vs_sequential_full, r.identical_to_baseline
         );
     }
+    println!();
+    println!(
+        "migration plan (full striping -> recommendation): {} steps, {} blocks ({} MB), {:.0} ms model transfer",
+        report.migration.steps,
+        report.migration.total_moved_blocks,
+        report.migration.total_moved_bytes / 1_048_576,
+        report.migration.total_step_ms
+    );
     dblayout_bench::write_json("search_bench", &report);
 
     // Observatory: append this run to the repo-root history. The config

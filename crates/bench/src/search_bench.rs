@@ -21,7 +21,7 @@ use std::time::Instant;
 use serde::Serialize;
 
 use dblayout_catalog::tpch::tpch_catalog;
-use dblayout_core::costmodel::decompose_workload;
+use dblayout_core::costmodel::{decompose_workload, CostModel};
 use dblayout_core::tsgreedy::{ts_greedy, TsGreedyConfig};
 use dblayout_core::{build_access_graph, Layout};
 use dblayout_disksim::paper_disks;
@@ -69,6 +69,24 @@ pub struct PhaseMs {
     pub total_ms: f64,
 }
 
+/// Migration-plan stamp: what it costs to *get to* the recommended
+/// layout (FULL STRIPING → the baseline recommendation), as planned by
+/// `dblayout-relayout`. Fully deterministic — the step count and moved
+/// volume participate in the benchdiff counter gate via the
+/// `migration_steps_planned` / `migration_blocks_planned` counters.
+#[derive(Debug, Clone, Serialize)]
+pub struct MigrationStamp {
+    /// Ordered whole-object moves in the plan.
+    pub steps: usize,
+    /// Blocks relocated across all steps (§2.3.1 metric).
+    pub total_moved_blocks: u64,
+    /// The same volume in bytes.
+    pub total_moved_bytes: u64,
+    /// Sum of per-step transfer estimates, ms (drive model, not wall
+    /// clock — deterministic).
+    pub total_step_ms: f64,
+}
+
 /// The whole bench run, as written to `results/search_bench.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct SearchBenchReport {
@@ -88,6 +106,8 @@ pub struct SearchBenchReport {
     /// class — should be 0 on a healthy host; nonzero means wall times
     /// include sequential rescue work and are not comparable).
     pub pool_fallbacks: u64,
+    /// Migration plan from FULL STRIPING to the baseline recommendation.
+    pub migration: MigrationStamp,
     /// Per-configuration measurements.
     pub rows: Vec<SearchBenchRow>,
     /// Deterministic work-counter deltas over the whole run — the
@@ -195,6 +215,24 @@ pub fn run_with(thread_counts: &[usize], reps: usize) -> SearchBenchReport {
         });
     }
     let all_identical = rows.iter().all(|r| r.identical_to_baseline);
+    let migration = {
+        let _migrate = prof.phase("migrate");
+        let current = Layout::full_striping(sizes.clone(), &disks);
+        let plan = dblayout_relayout::plan_migration(
+            &current,
+            &baseline.layout,
+            &disks,
+            &workload,
+            &CostModel::default(),
+        )
+        .expect("migration from full striping is feasible");
+        MigrationStamp {
+            steps: plan.steps.len(),
+            total_moved_blocks: plan.total_moved_blocks,
+            total_moved_bytes: plan.total_moved_bytes,
+            total_step_ms: plan.total_step_ms,
+        }
+    };
     let delta = counters::snapshot().delta(&before);
     SearchBenchReport {
         workload: "examples/workloads/tpch_mix.sql".to_string(),
@@ -206,6 +244,7 @@ pub fn run_with(thread_counts: &[usize], reps: usize) -> SearchBenchReport {
         reps,
         all_identical,
         pool_fallbacks: delta.get(Counter::ParPoolFallbacks),
+        migration,
         rows,
         counters: delta
             .deterministic_pairs()

@@ -23,6 +23,8 @@ USAGE:
     dblayout client [client-options]    talk to a running service
     dblayout lint [lint-options]        static-analyze the workspace sources
     dblayout benchdiff <base> <cur>     compare two BENCH_*.json histories
+    dblayout drift [drift-options]      detect workload drift vs the advised graph
+    dblayout migrate [migrate-options]  budgeted relayout + ordered migration plan
 
 INPUTS (paper Figure 3):
     --database <spec>     built-in catalog: tpch[:sf] | tpch-n:<sf>:<n> | apb | sales
@@ -43,8 +45,65 @@ OPTIONS:
 
 See `dblayout explain --help` for the search narrative, `dblayout serve
 --help` and `dblayout client --help` for the service, `dblayout lint
---help` for the static-analysis pass, and `dblayout benchdiff --help`
-for the benchmark-regression gate.
+--help` for the static-analysis pass, `dblayout benchdiff --help`
+for the benchmark-regression gate, and `dblayout drift --help` /
+`dblayout migrate --help` for the continuous-relayout tools.
+";
+
+const DRIFT_USAGE: &str = "\
+dblayout drift — compare the observed access pattern against the advised one
+
+USAGE:
+    dblayout drift --database <spec> --baseline <file> --workload <file> [options]
+
+Builds the Figure-6 access graph for both workload files and runs the
+relayout drift detector: the total-variation distance between the
+unit-normalized edge-weight (and node-weight) distributions, plus the
+rank churn among the top-k co-access edges. Drift fires when either
+distance crosses --distance-threshold or the churn crosses
+--churn-threshold (see DESIGN.md, \"Continuous relayout\").
+
+Exit status: 0 when the workloads agree, 2 when drift fired, 1 on error.
+
+OPTIONS:
+    --database <spec>          built-in catalog (required; see `dblayout --help`)
+    --baseline <file>          workload the deployed layout was advised on
+    --workload <file>          recently observed workload
+    --top-k <n>                co-access edges ranked for churn (default 10)
+    --distance-threshold <f>   weight distance in [0,1] that fires (default 0.25)
+    --churn-threshold <f>      rank churn in [0,1] that fires (default 0.5)
+    --json <file>              also write the DriftReport as JSON
+    --help                     this text
+";
+
+const MIGRATE_USAGE: &str = "\
+dblayout migrate — movement-budgeted relayout plus an ordered migration plan
+
+USAGE:
+    dblayout migrate --database <spec> --workload <file> [options]
+
+Starts from the FULL STRIPING deployment, searches for the best layout
+reachable while relocating at most --budget-mb (the paper's §2.3.1
+data-movement constraint, seeded from the deployed layout), then compiles
+the ordered per-object migration plan: every step is checked for
+free-space feasibility (shadow-copy when scratch allows, in-place delta
+otherwise) and priced through the drive model, along with every degraded
+intermediate layout. The combined recommendation + plan artifact is
+written as JSON.
+
+OPTIONS:
+    --database <spec>       built-in catalog (required; see `dblayout --help`)
+    --workload <file>       SQL workload file (required)
+    --disks <file>          drive list (default: the paper's 8-drive array)
+    --constraints <file>    constraint file
+    --k <n>                 greedy step width (default 1)
+    --threads <n>           search worker threads (default: available
+                            parallelism; results are identical at any value)
+    --budget-mb <n>         relocation budget in MB (default: unbounded)
+    --min-improvement <f>   required cost improvement percent (default 0;
+                            shortfall is reported, not fatal)
+    --json <file>           artifact path (default results/migration_plan.json)
+    --help                  this text
 ";
 
 const EXPLAIN_USAGE: &str = "\
@@ -663,6 +722,269 @@ fn run_lint(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+/// Plans every statement of a workload file against `catalog` — the
+/// Analyze-Workload pass of Figure 3, shared by `drift` and `migrate`.
+fn plan_workload_file(
+    catalog: &dblayout_catalog::Catalog,
+    path: &str,
+) -> Result<Vec<(dblayout_planner::PhysicalPlan, f64)>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read workload `{path}`: {e}"))?;
+    plan_workload_text(catalog, &text).map_err(|e| format!("workload `{path}`: {e}"))
+}
+
+/// Plans an in-memory workload text (weighted `;`-separated DML).
+fn plan_workload_text(
+    catalog: &dblayout_catalog::Catalog,
+    text: &str,
+) -> Result<Vec<(dblayout_planner::PhysicalPlan, f64)>, String> {
+    let entries = dblayout_sql::parse_workload_file(text).map_err(|e| e.to_string())?;
+    if entries.is_empty() {
+        return Err("contains no statements".to_string());
+    }
+    entries
+        .into_iter()
+        .map(|e| {
+            dblayout_planner::plan_statement(catalog, &e.statement)
+                .map(|p| (p, e.weight))
+                .map_err(|err| err.to_string())
+        })
+        .collect()
+}
+
+/// Writes a JSON value pretty-printed, creating parent directories.
+fn write_json_value(path: &str, value: &serde_json::Value) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
+        }
+    }
+    let text = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))
+}
+
+fn parse_unit_fraction(text: &str, name: &str) -> Result<f64, String> {
+    let v: f64 = text.parse().map_err(|e| format!("bad {name}: {e}"))?;
+    if !(0.0..=1.0).contains(&v) {
+        return Err(format!("{name} must be within [0, 1]"));
+    }
+    Ok(v)
+}
+
+fn run_drift(args: &[String]) -> Result<ExitCode, String> {
+    use dblayout_relayout::{detect_drift, DriftConfig};
+
+    let mut database = String::new();
+    let mut baseline = String::new();
+    let mut workload = String::new();
+    let mut cfg = DriftConfig::default();
+    let mut json_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--database" => database = value("--database")?,
+            "--baseline" => baseline = value("--baseline")?,
+            "--workload" => workload = value("--workload")?,
+            "--top-k" => {
+                cfg.top_k = value("--top-k")?
+                    .parse()
+                    .map_err(|e| format!("bad --top-k: {e}"))?;
+                if cfg.top_k == 0 {
+                    return Err("--top-k must be at least 1".to_string());
+                }
+            }
+            "--distance-threshold" => {
+                cfg.distance_threshold =
+                    parse_unit_fraction(&value("--distance-threshold")?, "--distance-threshold")?;
+            }
+            "--churn-threshold" => {
+                cfg.churn_threshold =
+                    parse_unit_fraction(&value("--churn-threshold")?, "--churn-threshold")?;
+            }
+            "--json" => json_out = Some(value("--json")?),
+            "--help" | "-h" => return Err(DRIFT_USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n\n{DRIFT_USAGE}")),
+        }
+    }
+    if database.is_empty() || baseline.is_empty() || workload.is_empty() {
+        return Err(format!(
+            "--database, --baseline and --workload are required\n\n{DRIFT_USAGE}"
+        ));
+    }
+
+    let catalog = resolve_catalog(&database)?;
+    let n = catalog.objects().len();
+    let advised_plans = plan_workload_file(&catalog, &baseline)?;
+    let current_plans = plan_workload_file(&catalog, &workload)?;
+    let mut advised = dblayout_partition::Graph::new(n);
+    dblayout_core::extend_access_graph(&mut advised, &advised_plans);
+    let mut current = dblayout_partition::Graph::new(n);
+    dblayout_core::extend_access_graph(&mut current, &current_plans);
+
+    let report = detect_drift(&current, &advised, &cfg);
+    println!(
+        "edge-weight distance : {:.4}  (fires at {:.2})",
+        report.edge_distance, cfg.distance_threshold
+    );
+    println!(
+        "node-weight distance : {:.4}  (fires at {:.2})",
+        report.node_distance, cfg.distance_threshold
+    );
+    println!(
+        "top-{} rank churn     : {:.4}  (fires at {:.2})",
+        report.top_k, report.rank_churn, cfg.churn_threshold
+    );
+    println!(
+        "verdict: {}",
+        if report.drifted {
+            "DRIFTED — the observed workload no longer matches the advised layout"
+        } else {
+            "quiet"
+        }
+    );
+    if let Some(path) = &json_out {
+        write_json_value(path, &report.to_json())?;
+        println!("(report written to {path})");
+    }
+    Ok(if report.drifted {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn run_migrate(argv: &[String]) -> Result<(), String> {
+    use dblayout_relayout::{plan_migration, recommend_budgeted, BudgetConfig};
+
+    // Peel the migrate-only flags; everything else (including shared-flag
+    // values, which arrive in order) flows through the common parser.
+    let mut budget_mb: Option<u64> = None;
+    let mut min_improvement = 0.0f64;
+    let mut json_out = "results/migration_plan.json".to_string();
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--budget-mb" => {
+                budget_mb = Some(
+                    value("--budget-mb")?
+                        .parse()
+                        .map_err(|e| format!("bad --budget-mb: {e}"))?,
+                )
+            }
+            "--min-improvement" => {
+                min_improvement = value("--min-improvement")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-improvement: {e}"))?;
+                if !(min_improvement.is_finite() && min_improvement >= 0.0) {
+                    return Err("--min-improvement must be a finite non-negative percent".into());
+                }
+            }
+            "--json" => json_out = value("--json")?,
+            "--help" | "-h" => return Err(MIGRATE_USAGE.to_string()),
+            other => rest.push(other.to_string()),
+        }
+    }
+    let args = parse_args(&rest, MIGRATE_USAGE, false)?;
+    let Inputs {
+        catalog,
+        workload_text,
+        disks,
+        constraints,
+    } = load_inputs(&args)?;
+
+    let plans =
+        plan_workload_text(&catalog, &workload_text).map_err(|e| format!("workload: {e}"))?;
+    let n = catalog.objects().len();
+    let sizes: Vec<u64> = catalog.objects().iter().map(|o| o.size_blocks).collect();
+    let mut graph = dblayout_partition::Graph::new(n);
+    dblayout_core::extend_access_graph(&mut graph, &plans);
+    let workload = dblayout_core::costmodel::decompose_workload(&plans);
+    let current = dblayout_core::Layout::full_striping(sizes.clone(), &disks);
+
+    let blocks_per_mb = 1_048_576 / dblayout_catalog::BLOCK_BYTES;
+    let cfg = BudgetConfig {
+        budget_blocks: budget_mb.map(|mb| mb.saturating_mul(blocks_per_mb)),
+        min_improvement_pct: min_improvement,
+        search: TsGreedyConfig {
+            k: args.k,
+            threads: args.search_threads(),
+            constraints,
+            ..Default::default()
+        },
+    };
+    let outcome = recommend_budgeted(&sizes, &graph, &workload, &disks, &current, &cfg)
+        .map_err(|e| e.to_string())?;
+    let plan = plan_migration(
+        &current,
+        &outcome.layout,
+        &disks,
+        &workload,
+        &dblayout_core::costmodel::CostModel::default(),
+    )
+    .map_err(|e| format!("migration planning failed: {e}"))?;
+
+    println!(
+        "deployed (full striping) cost : {:.0} ms",
+        outcome.current_cost_ms
+    );
+    println!(
+        "recommended cost              : {:.0} ms  ({:.1}% improvement, {} strategy)",
+        outcome.new_cost_ms,
+        outcome.improvement_pct,
+        outcome.strategy.as_str()
+    );
+    match budget_mb {
+        Some(mb) => println!(
+            "relocation: {} blocks ({} MB) within the {} MB budget",
+            outcome.moved_blocks,
+            outcome.moved_bytes / 1_048_576,
+            mb
+        ),
+        None => println!(
+            "relocation: {} blocks ({} MB), unbounded budget",
+            outcome.moved_blocks,
+            outcome.moved_bytes / 1_048_576
+        ),
+    }
+    if !outcome.meets_improvement {
+        eprintln!(
+            "warning: improvement {:.1}% is below the required {:.1}%",
+            outcome.improvement_pct, min_improvement
+        );
+    }
+    println!();
+    println!(
+        "migration plan: {} steps, {} blocks moved, {:.0} ms of transfer",
+        plan.steps.len(),
+        plan.total_moved_blocks,
+        plan.total_step_ms
+    );
+    println!(
+        "workload cost during migration: start {:.0} ms, worst intermediate {:.0} ms, final {:.0} ms",
+        plan.start_cost_ms, plan.worst_intermediate_cost_ms, plan.final_cost_ms
+    );
+
+    let artifact = serde_json::Value::Map(vec![
+        ("recommendation".to_string(), outcome.to_json()),
+        ("plan".to_string(), plan.to_json()),
+    ]);
+    write_json_value(&json_out, &artifact)?;
+    println!("(plan artifact written to {json_out})");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let outcome = match args.first().map(String::as_str) {
@@ -671,6 +993,8 @@ fn main() -> ExitCode {
         Some("client") => run_client(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("lint") => run_lint(&args[1..]),
         Some("benchdiff") => run_benchdiff(&args[1..]),
+        Some("drift") => run_drift(&args[1..]),
+        Some("migrate") => run_migrate(&args[1..]).map(|()| ExitCode::SUCCESS),
         _ => run(&args).map(|()| ExitCode::SUCCESS),
     };
     match outcome {

@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use dblayout_disksim::{DiskSpec, Layout};
 use dblayout_obs::counters::{self, Counter};
-use dblayout_obs::{f, Collector};
+use dblayout_obs::{f, Collector, Span};
 use dblayout_partition::{max_cut_partition, Graph};
 use dblayout_planner::Subplan;
 
@@ -56,6 +56,14 @@ pub struct TsGreedyConfig {
     /// as the reference engine (the differential baseline `search_bench`
     /// measures speedup against).
     pub full_reevaluation: bool,
+    /// Start the greedy search from this layout instead of running step 1
+    /// (`dblayout-relayout`). Seeded searches also enumerate *narrow*
+    /// (drop one drive) and *swap* (drop one, add one) moves per group, so
+    /// the search can walk away from the seed under a movement bound —
+    /// pure widening from an already-deployed layout usually has nowhere
+    /// to go. `None` (the default) is the paper's two-step search,
+    /// bit-identical to the pre-seeding behaviour.
+    pub seed: Option<Layout>,
 }
 
 impl Default for TsGreedyConfig {
@@ -67,6 +75,7 @@ impl Default for TsGreedyConfig {
             collector: Collector::default(),
             threads: 1,
             full_reevaluation: false,
+            seed: None,
         }
     }
 }
@@ -93,7 +102,8 @@ impl std::error::Error for SearchError {}
 pub struct TsGreedyResult {
     /// The recommended layout.
     pub layout: Layout,
-    /// The layout after step 1 only (pure co-location minimization).
+    /// The layout the greedy loop started from: step 1's pure
+    /// co-location minimization, or the caller's seed in seeded mode.
     pub initial_layout: Layout,
     /// Workload cost of `initial_layout`.
     pub initial_cost: f64,
@@ -187,9 +197,494 @@ pub fn ts_greedy(
         eligible.push(allowed);
     }
 
-    // ---- Step 1: partition and assign to disjoint disk sets. ----
+    let seeded = cfg.seed.is_some();
+    let mut layout = if let Some(seed) = &cfg.seed {
+        // ---- Seeded mode (dblayout-relayout): adopt the caller's layout
+        // as the starting point and skip step 1 entirely. The seed is the
+        // deployed layout of a running system, so it must already be
+        // Definition-2 valid for these objects and drives.
+        if seed.object_count() != n || seed.disk_count() != m {
+            return Err(SearchError::Infeasible(format!(
+                "seed layout is {}x{} but the search covers {n} objects on {m} disks",
+                seed.object_count(),
+                seed.disk_count()
+            )));
+        }
+        if let Err(e) = seed.validate(disks) {
+            return Err(SearchError::Infeasible(format!(
+                "seed layout is invalid: {e}"
+            )));
+        }
+        if search_span.enabled() {
+            search_span.event("tsgreedy.seed", vec![f("objects", n), f("disks", m)]);
+        }
+        seed.clone()
+    } else {
+        step1_layout(
+            sizes,
+            disks,
+            &cg,
+            &members,
+            &eligible,
+            &group_index,
+            &search_span,
+        )
+    };
+
+    let model = &cfg.cost_model;
+    let mut evals = 0usize;
+
+    let mut eval = model.delta_evaluator(workload, &layout, disks);
+    evals += 1;
+    // Building the evaluator runs one full Figure-7 costing of `layout`.
+    counters::incr(Counter::CostmodelFullRecosts);
+    let mut cost = eval.total();
+    let initial_layout = layout.clone();
+    let initial_cost = cost;
+    if search_span.enabled() {
+        search_span.event("tsgreedy.step1", vec![f("cost_ms", initial_cost)]);
+    }
+
+    // ---- Step 2: greedy parallelism widening (dblayout-par). ----
+    // A move touches only one co-location group, so the delta evaluator
+    // re-costs just the sub-plans reading that group's objects, re-summing
+    // in full-evaluation order — bit-identical totals at a fraction of the
+    // work. Validity is checked the same way: only the moved rows are
+    // re-examined and per-disk usage is patched with exact integer deltas,
+    // so the verdict matches `Layout::validate` on every candidate. Candidates are *scored* in parallel against an immutable
+    // per-iteration snapshot and *adopted* in the fixed sequential
+    // candidate order: each worker owns a contiguous chunk of the
+    // enumeration, tracks its chunk's earliest strict minimum, and the
+    // reduction merges chunk winners in worker (= candidate) order with a
+    // strict `<` — exactly the sequential scan's earliest-wins tie
+    // semantics, so the chosen layout is byte-identical at any thread
+    // count (DESIGN.md §7).
+    let threads = cfg.threads.max(1);
+    let full_reevaluation = cfg.full_reevaluation;
+
+    /// One candidate move: re-place `group` onto (current ∖ `drop`) ∪
+    /// `add`. Classic widening keeps `drop` empty; seeded searches also
+    /// enumerate narrow (`add` empty) and swap (one of each) moves.
+    struct Move {
+        group: usize,
+        add: Vec<usize>,
+        drop: Vec<usize>,
+    }
+    /// Per-candidate scoring outcome, in enumeration order.
+    enum Scored {
+        InvalidLayout,
+        ConstraintViolation,
+        Costed(f64),
+    }
+    /// A chunk's earliest strictly-improving minimum, ready to adopt.
+    struct ChunkBest {
+        index: usize,
+        cost: f64,
+        trial: Layout,
+        delta: CostDelta,
+    }
+    struct Chunk {
+        outcomes: Vec<Scored>,
+        best: Option<ChunkBest>,
+    }
+    /// Immutable per-iteration snapshot shipped to every worker.
+    struct Job<'a> {
+        layout: Layout,
+        eval: DeltaEvaluator<'a>,
+        cost: f64,
+        current_sets: Vec<Vec<usize>>,
+        moves: Vec<Move>,
+        /// `layout.disk_count() == disks.len()` (Definition 2 dimensions).
+        dims_ok: bool,
+        /// `layout.blocks_on(i)` for every object (incremental engine only).
+        base_blocks: Vec<Vec<u64>>,
+        /// `layout.disk_usage()` (incremental engine only).
+        base_usage: Vec<u64>,
+        /// Per-object row verdicts of `layout` (incremental engine only).
+        row_bad: Vec<bool>,
+        /// How many entries of `row_bad` are true.
+        bad_rows: usize,
+    }
+
+    impl Job<'_> {
+        /// Incremental Definition-2 check: the same verdict as
+        /// `trial.validate(disks).is_ok()` given that `trial` differs from
+        /// `self.layout` only in `moved`'s rows. Unmoved rows keep the
+        /// snapshot's verdicts, and per-disk usage is patched by swapping
+        /// the moved objects' old block counts for their new ones — exact
+        /// integer arithmetic (`blocks_on` is deterministic per row), so
+        /// the capacity comparison is bit-for-bit the full scan's.
+        fn trial_is_valid(&self, trial: &Layout, moved: &[usize], disks: &[DiskSpec]) -> bool {
+            if !self.dims_ok {
+                return false;
+            }
+            let moved_bad = moved.iter().filter(|&&i| self.row_bad[i]).count();
+            if self.bad_rows != moved_bad {
+                return false; // an unmoved row was already invalid
+            }
+            if !moved.iter().all(|&i| trial.row_is_valid(i)) {
+                return false;
+            }
+            let mut usage = self.base_usage.clone();
+            for &i in moved {
+                for (j, b) in trial.blocks_on(i).into_iter().enumerate() {
+                    // `usage[j]` still includes `base_blocks[i][j]` (each
+                    // moved object is swapped out exactly once), so the
+                    // subtraction cannot underflow.
+                    usage[j] = usage[j] - self.base_blocks[i][j] + b;
+                }
+            }
+            usage
+                .iter()
+                .zip(disks)
+                .all(|(&used, d)| used <= d.capacity_blocks)
+        }
+    }
+
+    let members_ref = &members;
+    let constraints = &cfg.constraints;
+    // Widen `mv.group` onto its current disks ∪ `mv.add` inside `trial`
+    // (which must hold the base placement for every other group).
+    let widen = |trial: &mut Layout, job: &Job<'_>, mv: &Move| {
+        let mut new_set: Vec<usize> = job.current_sets[mv.group]
+            .iter()
+            .copied()
+            .filter(|j| !mv.drop.contains(j))
+            .collect();
+        new_set.extend_from_slice(&mv.add);
+        for &i in &members_ref[mv.group] {
+            trial.place_proportional(i, &new_set, disks);
+        }
+    };
+    let score = |w: usize, job: &Job<'_>| -> Chunk {
+        let range = par::chunk_range(job.moves.len(), threads, w);
+        // Scheduling-class accounting: one relaxed add per chunk, so the
+        // per-candidate loop below stays free of atomics. Chunk sizes
+        // (and re-scored chunks after a dead-worker fallback) depend on
+        // the thread count, so this never joins the deterministic set.
+        counters::add(Counter::ParChunkItems, range.len() as u64);
+        let mut outcomes = Vec::with_capacity(range.len());
+        let mut best: Option<ChunkBest> = None;
+        if full_reevaluation {
+            // Reference engine: the pre-dblayout-par per-candidate work —
+            // a fresh layout clone and a full Definition-2 scan per move.
+            for idx in range {
+                let mv = &job.moves[idx];
+                let mut trial = job.layout.clone();
+                widen(&mut trial, job, mv);
+                if trial.validate(disks).is_err() {
+                    outcomes.push(Scored::InvalidLayout);
+                    continue;
+                }
+                if constraints.check(&trial, disks).is_err() {
+                    outcomes.push(Scored::ConstraintViolation);
+                    continue;
+                }
+                let delta = job.eval.evaluate_full(&trial);
+                let c = delta.total;
+                outcomes.push(Scored::Costed(c));
+                if c < job.cost - 1e-9 && best.as_ref().is_none_or(|b| c < b.cost) {
+                    best = Some(ChunkBest {
+                        index: idx,
+                        cost: c,
+                        trial,
+                        delta,
+                    });
+                }
+            }
+        } else {
+            // Incremental engine: one scratch layout per chunk. Each
+            // candidate rewrites only the moved group's rows, is validated
+            // incrementally against the snapshot, and restores the rows
+            // afterwards — no per-candidate layout clone, no O(objects)
+            // validation. A full clone happens only when a candidate
+            // becomes the chunk's running best.
+            let mut trial = job.layout.clone();
+            for idx in range {
+                let mv = &job.moves[idx];
+                let moved: &[usize] = &members_ref[mv.group];
+                widen(&mut trial, job, mv);
+                let outcome = if !job.trial_is_valid(&trial, moved, disks) {
+                    Scored::InvalidLayout
+                } else if constraints.check(&trial, disks).is_err() {
+                    Scored::ConstraintViolation
+                } else {
+                    let delta = job.eval.evaluate_move(&trial, moved);
+                    let c = delta.total;
+                    if c < job.cost - 1e-9 && best.as_ref().is_none_or(|b| c < b.cost) {
+                        best = Some(ChunkBest {
+                            index: idx,
+                            cost: c,
+                            trial: trial.clone(),
+                            delta,
+                        });
+                    }
+                    Scored::Costed(c)
+                };
+                outcomes.push(outcome);
+                for &i in moved {
+                    trial.copy_row_from(&job.layout, i);
+                }
+            }
+        }
+        Chunk { outcomes, best }
+    };
+
+    let mut iterations = 0usize;
+    par::with_pool(threads, &score, |pool| loop {
+        let iter_span = search_span.child(
+            "tsgreedy.iteration",
+            if search_span.enabled() {
+                vec![f("iter", iterations + 1)]
+            } else {
+                Vec::new()
+            },
+        );
+        // Enumerate this iteration's moves in the canonical sequential
+        // order (group-major, combination order preserved) — chunk indices
+        // and the reduction below both key off this ordering.
+        let mut current_sets: Vec<Vec<usize>> = Vec::with_capacity(g_count);
+        let mut moves: Vec<Move> = Vec::new();
+        for g in 0..g_count {
+            let current_set = layout.disks_of(members[g][0]);
+            let candidates: Vec<usize> = eligible[g]
+                .iter()
+                .copied()
+                .filter(|j| !current_set.contains(j))
+                .collect();
+            for combo in combinations_up_to(&candidates, cfg.k) {
+                moves.push(Move {
+                    group: g,
+                    add: combo,
+                    drop: Vec::new(),
+                });
+            }
+            if seeded {
+                // Narrow: shed one drive (an object must keep ≥ 1 drive).
+                if current_set.len() >= 2 {
+                    for &d in &current_set {
+                        moves.push(Move {
+                            group: g,
+                            add: Vec::new(),
+                            drop: vec![d],
+                        });
+                    }
+                }
+                // Swap: trade one current drive for one eligible candidate.
+                for &d in &current_set {
+                    for &c in &candidates {
+                        moves.push(Move {
+                            group: g,
+                            add: vec![c],
+                            drop: vec![d],
+                        });
+                    }
+                }
+            }
+            current_sets.push(current_set);
+        }
+        // Validity snapshot for the incremental engine's O(moved) checks;
+        // the full engine re-derives all of it per candidate instead.
+        let (base_blocks, base_usage, row_bad, bad_rows) = if full_reevaluation {
+            (Vec::new(), Vec::new(), Vec::new(), 0)
+        } else {
+            let blocks: Vec<Vec<u64>> = (0..n).map(|i| layout.blocks_on(i)).collect();
+            let mut usage = vec![0u64; m];
+            for row in &blocks {
+                for (j, b) in row.iter().enumerate() {
+                    usage[j] += b;
+                }
+            }
+            let bad: Vec<bool> = (0..n).map(|i| !layout.row_is_valid(i)).collect();
+            let count = bad.iter().filter(|&&b| b).count();
+            (blocks, usage, bad, count)
+        };
+        let job = Arc::new(Job {
+            layout: layout.clone(),
+            eval: eval.clone(),
+            cost,
+            current_sets,
+            moves,
+            dims_ok: layout.disk_count() == disks.len(),
+            base_blocks,
+            base_usage,
+            row_bad,
+            bad_rows,
+        });
+        let chunks = pool.dispatch(job.clone());
+
+        // Deterministic reduction. Concatenating chunk outcomes in worker
+        // order replays the candidate enumeration exactly, so trace events
+        // are emitted by this (the only emitting) thread with the same
+        // order and content as a sequential scan.
+        if iter_span.enabled() {
+            let mut idx = 0usize;
+            for chunk in &chunks {
+                for outcome in &chunk.outcomes {
+                    let mv = &job.moves[idx];
+                    idx += 1;
+                    let fields = match outcome {
+                        Scored::InvalidLayout => candidate_fields(
+                            mv.group,
+                            &members[mv.group],
+                            &mv.add,
+                            &mv.drop,
+                            None,
+                            "invalid_layout",
+                        ),
+                        Scored::ConstraintViolation => candidate_fields(
+                            mv.group,
+                            &members[mv.group],
+                            &mv.add,
+                            &mv.drop,
+                            None,
+                            "constraint_violation",
+                        ),
+                        Scored::Costed(c) => {
+                            let reason = if *c < cost - 1e-9 {
+                                "improves"
+                            } else {
+                                "no_improvement"
+                            };
+                            candidate_fields(
+                                mv.group,
+                                &members[mv.group],
+                                &mv.add,
+                                &mv.drop,
+                                Some((*c, *c - cost)),
+                                reason,
+                            )
+                        }
+                    };
+                    iter_span.event("tsgreedy.candidate", fields);
+                }
+            }
+            // Per-worker candidate counts are scheduling detail: they vary
+            // with the thread count, so they only appear on timed
+            // (wall-clock) collectors, never in deterministic traces.
+            if collector.timed() {
+                let counts: Vec<usize> = chunks.iter().map(|ch| ch.outcomes.len()).collect();
+                iter_span.event(
+                    "tsgreedy.workers",
+                    vec![
+                        f("threads", pool.threads()),
+                        f("candidates_per_worker", id_list(&counts)),
+                    ],
+                );
+            }
+        }
+        let scored = chunks
+            .iter()
+            .map(|ch| {
+                ch.outcomes
+                    .iter()
+                    .filter(|o| matches!(o, Scored::Costed(_)))
+                    .count()
+            })
+            .sum::<usize>();
+        evals += scored;
+        // Deterministic-class accounting, batched on the dispatcher
+        // thread so the reduction (not the workers) owns the counts: the
+        // totals replay the sequential enumeration exactly and are
+        // byte-identical at any thread count. Every enumerated candidate
+        // gets one Definition-2 validity check (incremental or full-scan
+        // — same verdicts, same count), and every scored candidate costs
+        // one re-cost on the engine's evaluator.
+        counters::add(
+            Counter::TsgreedyCandidatesEnumerated,
+            job.moves.len() as u64,
+        );
+        counters::add(Counter::TsgreedyValidityChecks, job.moves.len() as u64);
+        counters::add(Counter::TsgreedyCandidatesScored, scored as u64);
+        counters::add(
+            if full_reevaluation {
+                Counter::CostmodelFullRecosts
+            } else {
+                Counter::CostmodelDeltaRecosts
+            },
+            scored as u64,
+        );
+
+        let mut best: Option<ChunkBest> = None;
+        for chunk in chunks {
+            if let Some(b) = chunk.best {
+                if best.as_ref().is_none_or(|cur| b.cost < cur.cost) {
+                    best = Some(b);
+                }
+            }
+        }
+        match best {
+            Some(b) => {
+                let mv = &job.moves[b.index];
+                if iter_span.enabled() {
+                    let mut fields = vec![
+                        f("group", mv.group),
+                        f("objects", id_list(&members[mv.group])),
+                        f("add_disks", id_list(&mv.add)),
+                    ];
+                    if !mv.drop.is_empty() {
+                        fields.push(f("drop_disks", id_list(&mv.drop)));
+                    }
+                    fields.push(f("cost_ms", b.cost));
+                    fields.push(f("delta_ms", b.cost - cost));
+                    iter_span.event("tsgreedy.adopt", fields);
+                }
+                layout = b.trial;
+                eval.apply(&b.delta);
+                cost = b.cost;
+                iterations += 1;
+                counters::incr(Counter::TsgreedyCandidatesAdopted);
+                iter_span.end();
+            }
+            None => {
+                if iter_span.enabled() {
+                    iter_span.event("tsgreedy.no_move", vec![f("cost_ms", cost)]);
+                }
+                iter_span.end();
+                break;
+            }
+        }
+    });
+
+    search_span.end_with(if collector.enabled() {
+        vec![
+            f("iterations", iterations),
+            f("cost_evaluations", evals),
+            f("initial_cost_ms", initial_cost),
+            f("final_cost_ms", cost),
+        ]
+    } else {
+        Vec::new()
+    });
+
+    Ok(TsGreedyResult {
+        layout,
+        initial_layout,
+        initial_cost,
+        final_cost: cost,
+        iterations,
+        cost_evaluations: evals,
+    })
+}
+
+/// Step 1 of TS-GREEDY (Figure 9): max-cut partition the contracted group
+/// graph, assign partitions (heaviest first) to the smallest fastest-first
+/// prefix of unused drives that fits, merge with the least co-accessed
+/// placed partition when drives run out, and stripe eligible-wide as a
+/// last-resort repair if the result is invalid.
+fn step1_layout(
+    sizes: &[u64],
+    disks: &[DiskSpec],
+    cg: &Graph,
+    members: &[Vec<usize>],
+    eligible: &[Vec<usize>],
+    group_index: &[usize],
+    search_span: &Span,
+) -> Layout {
+    let m = disks.len();
+    let g_count = members.len();
     let p = m.min(g_count).max(1);
-    let assignment = max_cut_partition(&cg, p);
+    let assignment = max_cut_partition(cg, p);
     let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); p]; // group ids
     for (gi, &part) in assignment.iter().enumerate() {
         partitions[part].push(gi);
@@ -315,406 +810,7 @@ pub fn ts_greedy(
             layout.place_proportional(i, &set, disks);
         }
     }
-
-    let model = &cfg.cost_model;
-    let mut evals = 0usize;
-    let mut eval = model.delta_evaluator(workload, &layout, disks);
-    evals += 1;
-    // Building the evaluator runs one full Figure-7 costing of `layout`.
-    counters::incr(Counter::CostmodelFullRecosts);
-    let mut cost = eval.total();
-    let initial_layout = layout.clone();
-    let initial_cost = cost;
-    if search_span.enabled() {
-        search_span.event("tsgreedy.step1", vec![f("cost_ms", initial_cost)]);
-    }
-
-    // ---- Step 2: greedy parallelism widening (dblayout-par). ----
-    // A move touches only one co-location group, so the delta evaluator
-    // re-costs just the sub-plans reading that group's objects, re-summing
-    // in full-evaluation order — bit-identical totals at a fraction of the
-    // work. Validity is checked the same way: only the moved rows are
-    // re-examined and per-disk usage is patched with exact integer deltas,
-    // so the verdict matches `Layout::validate` on every candidate. Candidates are *scored* in parallel against an immutable
-    // per-iteration snapshot and *adopted* in the fixed sequential
-    // candidate order: each worker owns a contiguous chunk of the
-    // enumeration, tracks its chunk's earliest strict minimum, and the
-    // reduction merges chunk winners in worker (= candidate) order with a
-    // strict `<` — exactly the sequential scan's earliest-wins tie
-    // semantics, so the chosen layout is byte-identical at any thread
-    // count (DESIGN.md §7).
-    let threads = cfg.threads.max(1);
-    let full_reevaluation = cfg.full_reevaluation;
-
-    /// One candidate move: widen `group` onto its current disks ∪ `add`.
-    struct Move {
-        group: usize,
-        add: Vec<usize>,
-    }
-    /// Per-candidate scoring outcome, in enumeration order.
-    enum Scored {
-        InvalidLayout,
-        ConstraintViolation,
-        Costed(f64),
-    }
-    /// A chunk's earliest strictly-improving minimum, ready to adopt.
-    struct ChunkBest {
-        index: usize,
-        cost: f64,
-        trial: Layout,
-        delta: CostDelta,
-    }
-    struct Chunk {
-        outcomes: Vec<Scored>,
-        best: Option<ChunkBest>,
-    }
-    /// Immutable per-iteration snapshot shipped to every worker.
-    struct Job<'a> {
-        layout: Layout,
-        eval: DeltaEvaluator<'a>,
-        cost: f64,
-        current_sets: Vec<Vec<usize>>,
-        moves: Vec<Move>,
-        /// `layout.disk_count() == disks.len()` (Definition 2 dimensions).
-        dims_ok: bool,
-        /// `layout.blocks_on(i)` for every object (incremental engine only).
-        base_blocks: Vec<Vec<u64>>,
-        /// `layout.disk_usage()` (incremental engine only).
-        base_usage: Vec<u64>,
-        /// Per-object row verdicts of `layout` (incremental engine only).
-        row_bad: Vec<bool>,
-        /// How many entries of `row_bad` are true.
-        bad_rows: usize,
-    }
-
-    impl Job<'_> {
-        /// Incremental Definition-2 check: the same verdict as
-        /// `trial.validate(disks).is_ok()` given that `trial` differs from
-        /// `self.layout` only in `moved`'s rows. Unmoved rows keep the
-        /// snapshot's verdicts, and per-disk usage is patched by swapping
-        /// the moved objects' old block counts for their new ones — exact
-        /// integer arithmetic (`blocks_on` is deterministic per row), so
-        /// the capacity comparison is bit-for-bit the full scan's.
-        fn trial_is_valid(&self, trial: &Layout, moved: &[usize], disks: &[DiskSpec]) -> bool {
-            if !self.dims_ok {
-                return false;
-            }
-            let moved_bad = moved.iter().filter(|&&i| self.row_bad[i]).count();
-            if self.bad_rows != moved_bad {
-                return false; // an unmoved row was already invalid
-            }
-            if !moved.iter().all(|&i| trial.row_is_valid(i)) {
-                return false;
-            }
-            let mut usage = self.base_usage.clone();
-            for &i in moved {
-                for (j, b) in trial.blocks_on(i).into_iter().enumerate() {
-                    // `usage[j]` still includes `base_blocks[i][j]` (each
-                    // moved object is swapped out exactly once), so the
-                    // subtraction cannot underflow.
-                    usage[j] = usage[j] - self.base_blocks[i][j] + b;
-                }
-            }
-            usage
-                .iter()
-                .zip(disks)
-                .all(|(&used, d)| used <= d.capacity_blocks)
-        }
-    }
-
-    let members_ref = &members;
-    let constraints = &cfg.constraints;
-    // Widen `mv.group` onto its current disks ∪ `mv.add` inside `trial`
-    // (which must hold the base placement for every other group).
-    let widen = |trial: &mut Layout, job: &Job<'_>, mv: &Move| {
-        let mut new_set = job.current_sets[mv.group].clone();
-        new_set.extend_from_slice(&mv.add);
-        for &i in &members_ref[mv.group] {
-            trial.place_proportional(i, &new_set, disks);
-        }
-    };
-    let score = |w: usize, job: &Job<'_>| -> Chunk {
-        let range = par::chunk_range(job.moves.len(), threads, w);
-        // Scheduling-class accounting: one relaxed add per chunk, so the
-        // per-candidate loop below stays free of atomics. Chunk sizes
-        // (and re-scored chunks after a dead-worker fallback) depend on
-        // the thread count, so this never joins the deterministic set.
-        counters::add(Counter::ParChunkItems, range.len() as u64);
-        let mut outcomes = Vec::with_capacity(range.len());
-        let mut best: Option<ChunkBest> = None;
-        if full_reevaluation {
-            // Reference engine: the pre-dblayout-par per-candidate work —
-            // a fresh layout clone and a full Definition-2 scan per move.
-            for idx in range {
-                let mv = &job.moves[idx];
-                let mut trial = job.layout.clone();
-                widen(&mut trial, job, mv);
-                if trial.validate(disks).is_err() {
-                    outcomes.push(Scored::InvalidLayout);
-                    continue;
-                }
-                if constraints.check(&trial, disks).is_err() {
-                    outcomes.push(Scored::ConstraintViolation);
-                    continue;
-                }
-                let delta = job.eval.evaluate_full(&trial);
-                let c = delta.total;
-                outcomes.push(Scored::Costed(c));
-                if c < job.cost - 1e-9 && best.as_ref().is_none_or(|b| c < b.cost) {
-                    best = Some(ChunkBest {
-                        index: idx,
-                        cost: c,
-                        trial,
-                        delta,
-                    });
-                }
-            }
-        } else {
-            // Incremental engine: one scratch layout per chunk. Each
-            // candidate rewrites only the moved group's rows, is validated
-            // incrementally against the snapshot, and restores the rows
-            // afterwards — no per-candidate layout clone, no O(objects)
-            // validation. A full clone happens only when a candidate
-            // becomes the chunk's running best.
-            let mut trial = job.layout.clone();
-            for idx in range {
-                let mv = &job.moves[idx];
-                let moved: &[usize] = &members_ref[mv.group];
-                widen(&mut trial, job, mv);
-                let outcome = if !job.trial_is_valid(&trial, moved, disks) {
-                    Scored::InvalidLayout
-                } else if constraints.check(&trial, disks).is_err() {
-                    Scored::ConstraintViolation
-                } else {
-                    let delta = job.eval.evaluate_move(&trial, moved);
-                    let c = delta.total;
-                    if c < job.cost - 1e-9 && best.as_ref().is_none_or(|b| c < b.cost) {
-                        best = Some(ChunkBest {
-                            index: idx,
-                            cost: c,
-                            trial: trial.clone(),
-                            delta,
-                        });
-                    }
-                    Scored::Costed(c)
-                };
-                outcomes.push(outcome);
-                for &i in moved {
-                    trial.copy_row_from(&job.layout, i);
-                }
-            }
-        }
-        Chunk { outcomes, best }
-    };
-
-    let mut iterations = 0usize;
-    par::with_pool(threads, &score, |pool| loop {
-        let iter_span = search_span.child(
-            "tsgreedy.iteration",
-            if search_span.enabled() {
-                vec![f("iter", iterations + 1)]
-            } else {
-                Vec::new()
-            },
-        );
-        // Enumerate this iteration's moves in the canonical sequential
-        // order (group-major, combination order preserved) — chunk indices
-        // and the reduction below both key off this ordering.
-        let mut current_sets: Vec<Vec<usize>> = Vec::with_capacity(g_count);
-        let mut moves: Vec<Move> = Vec::new();
-        for g in 0..g_count {
-            let current_set = layout.disks_of(members[g][0]);
-            let candidates: Vec<usize> = eligible[g]
-                .iter()
-                .copied()
-                .filter(|j| !current_set.contains(j))
-                .collect();
-            for combo in combinations_up_to(&candidates, cfg.k) {
-                moves.push(Move {
-                    group: g,
-                    add: combo,
-                });
-            }
-            current_sets.push(current_set);
-        }
-        // Validity snapshot for the incremental engine's O(moved) checks;
-        // the full engine re-derives all of it per candidate instead.
-        let (base_blocks, base_usage, row_bad, bad_rows) = if full_reevaluation {
-            (Vec::new(), Vec::new(), Vec::new(), 0)
-        } else {
-            let blocks: Vec<Vec<u64>> = (0..n).map(|i| layout.blocks_on(i)).collect();
-            let mut usage = vec![0u64; m];
-            for row in &blocks {
-                for (j, b) in row.iter().enumerate() {
-                    usage[j] += b;
-                }
-            }
-            let bad: Vec<bool> = (0..n).map(|i| !layout.row_is_valid(i)).collect();
-            let count = bad.iter().filter(|&&b| b).count();
-            (blocks, usage, bad, count)
-        };
-        let job = Arc::new(Job {
-            layout: layout.clone(),
-            eval: eval.clone(),
-            cost,
-            current_sets,
-            moves,
-            dims_ok: layout.disk_count() == disks.len(),
-            base_blocks,
-            base_usage,
-            row_bad,
-            bad_rows,
-        });
-        let chunks = pool.dispatch(job.clone());
-
-        // Deterministic reduction. Concatenating chunk outcomes in worker
-        // order replays the candidate enumeration exactly, so trace events
-        // are emitted by this (the only emitting) thread with the same
-        // order and content as a sequential scan.
-        if iter_span.enabled() {
-            let mut idx = 0usize;
-            for chunk in &chunks {
-                for outcome in &chunk.outcomes {
-                    let mv = &job.moves[idx];
-                    idx += 1;
-                    let fields = match outcome {
-                        Scored::InvalidLayout => candidate_fields(
-                            mv.group,
-                            &members[mv.group],
-                            &mv.add,
-                            None,
-                            "invalid_layout",
-                        ),
-                        Scored::ConstraintViolation => candidate_fields(
-                            mv.group,
-                            &members[mv.group],
-                            &mv.add,
-                            None,
-                            "constraint_violation",
-                        ),
-                        Scored::Costed(c) => {
-                            let reason = if *c < cost - 1e-9 {
-                                "improves"
-                            } else {
-                                "no_improvement"
-                            };
-                            candidate_fields(
-                                mv.group,
-                                &members[mv.group],
-                                &mv.add,
-                                Some((*c, *c - cost)),
-                                reason,
-                            )
-                        }
-                    };
-                    iter_span.event("tsgreedy.candidate", fields);
-                }
-            }
-            // Per-worker candidate counts are scheduling detail: they vary
-            // with the thread count, so they only appear on timed
-            // (wall-clock) collectors, never in deterministic traces.
-            if collector.timed() {
-                let counts: Vec<usize> = chunks.iter().map(|ch| ch.outcomes.len()).collect();
-                iter_span.event(
-                    "tsgreedy.workers",
-                    vec![
-                        f("threads", pool.threads()),
-                        f("candidates_per_worker", id_list(&counts)),
-                    ],
-                );
-            }
-        }
-        let scored = chunks
-            .iter()
-            .map(|ch| {
-                ch.outcomes
-                    .iter()
-                    .filter(|o| matches!(o, Scored::Costed(_)))
-                    .count()
-            })
-            .sum::<usize>();
-        evals += scored;
-        // Deterministic-class accounting, batched on the dispatcher
-        // thread so the reduction (not the workers) owns the counts: the
-        // totals replay the sequential enumeration exactly and are
-        // byte-identical at any thread count. Every enumerated candidate
-        // gets one Definition-2 validity check (incremental or full-scan
-        // — same verdicts, same count), and every scored candidate costs
-        // one re-cost on the engine's evaluator.
-        counters::add(
-            Counter::TsgreedyCandidatesEnumerated,
-            job.moves.len() as u64,
-        );
-        counters::add(Counter::TsgreedyValidityChecks, job.moves.len() as u64);
-        counters::add(Counter::TsgreedyCandidatesScored, scored as u64);
-        counters::add(
-            if full_reevaluation {
-                Counter::CostmodelFullRecosts
-            } else {
-                Counter::CostmodelDeltaRecosts
-            },
-            scored as u64,
-        );
-
-        let mut best: Option<ChunkBest> = None;
-        for chunk in chunks {
-            if let Some(b) = chunk.best {
-                if best.as_ref().is_none_or(|cur| b.cost < cur.cost) {
-                    best = Some(b);
-                }
-            }
-        }
-        match best {
-            Some(b) => {
-                let mv = &job.moves[b.index];
-                if iter_span.enabled() {
-                    iter_span.event(
-                        "tsgreedy.adopt",
-                        vec![
-                            f("group", mv.group),
-                            f("objects", id_list(&members[mv.group])),
-                            f("add_disks", id_list(&mv.add)),
-                            f("cost_ms", b.cost),
-                            f("delta_ms", b.cost - cost),
-                        ],
-                    );
-                }
-                layout = b.trial;
-                eval.apply(&b.delta);
-                cost = b.cost;
-                iterations += 1;
-                counters::incr(Counter::TsgreedyCandidatesAdopted);
-                iter_span.end();
-            }
-            None => {
-                if iter_span.enabled() {
-                    iter_span.event("tsgreedy.no_move", vec![f("cost_ms", cost)]);
-                }
-                iter_span.end();
-                break;
-            }
-        }
-    });
-
-    search_span.end_with(if collector.enabled() {
-        vec![
-            f("iterations", iterations),
-            f("cost_evaluations", evals),
-            f("initial_cost_ms", initial_cost),
-            f("final_cost_ms", cost),
-        ]
-    } else {
-        Vec::new()
-    });
-
-    Ok(TsGreedyResult {
-        layout,
-        initial_layout,
-        initial_cost,
-        final_cost: cost,
-        iterations,
-        cost_evaluations: evals,
-    })
+    layout
 }
 
 /// Renders a list of indices as a stable comma-joined trace field
@@ -731,11 +827,14 @@ fn id_list(ids: &[usize]) -> String {
 }
 
 /// Fields for a `tsgreedy.candidate` event; `outcome` carries the
-/// predicted cost and delta when the candidate was actually costed.
+/// predicted cost and delta when the candidate was actually costed. The
+/// `drop_disks` field appears only for seeded-mode narrow/swap moves, so
+/// classic (unseeded) traces keep their exact pre-seeding bytes.
 fn candidate_fields(
     group: usize,
     members: &[usize],
     combo: &[usize],
+    dropped: &[usize],
     outcome: Option<(f64, f64)>,
     reason: &str,
 ) -> Vec<(String, dblayout_obs::FieldValue)> {
@@ -744,6 +843,9 @@ fn candidate_fields(
         f("objects", id_list(members)),
         f("add_disks", id_list(combo)),
     ];
+    if !dropped.is_empty() {
+        fields.push(f("drop_disks", id_list(dropped)));
+    }
     if let Some((cost_ms, delta_ms)) = outcome {
         fields.push(f("cost_ms", cost_ms));
         fields.push(f("delta_ms", delta_ms));

@@ -34,6 +34,7 @@ const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"]
 fn in_panic_zone(path: &str) -> bool {
     path.starts_with("crates/server/src/")
         || path.starts_with("crates/obs/src/")
+        || path.starts_with("crates/relayout/src/")
         || path == "crates/core/src/costmodel.rs"
         || path == "crates/core/src/tsgreedy.rs"
         || path == "crates/core/src/par.rs"
@@ -140,6 +141,10 @@ mod tests {
             "crates/obs/src/sink.rs",
             "crates/server/src/engine.rs",
             "crates/core/src/tsgreedy.rs",
+            "crates/relayout/src/drift.rs",
+            "crates/relayout/src/budget.rs",
+            "crates/relayout/src/planner.rs",
+            "crates/relayout/src/decay.rs",
         ] {
             assert!(in_panic_zone(path), "{path} must be R1-zoned");
         }

@@ -71,10 +71,20 @@ pub enum Counter {
     /// Dispatches that fell back to inline scoring because a worker lane
     /// was dead (scheduling class).
     ParPoolFallbacks = 11,
+    /// Decayed access-graph epoch advances (`dblayout-relayout`): one per
+    /// ingestion batch when decay < 1.0, zero on the bit-identical
+    /// decay = 1.0 path.
+    RelayoutEpochAdvances = 12,
+    /// Drift-detector evaluations (`drift` op / `dblayout drift`).
+    RelayoutDriftChecks = 13,
+    /// Migration-plan steps emitted by the planner.
+    MigrationStepsPlanned = 14,
+    /// Blocks relocated across all planned migration steps.
+    MigrationBlocksPlanned = 15,
 }
 
 /// Number of registered counters (slots in the backing array).
-pub const COUNT: usize = 12;
+pub const COUNT: usize = 16;
 
 impl Counter {
     /// Every counter, in declaration (= exposition) order.
@@ -91,6 +101,10 @@ impl Counter {
         Counter::ServerCacheMisses,
         Counter::ParChunkItems,
         Counter::ParPoolFallbacks,
+        Counter::RelayoutEpochAdvances,
+        Counter::RelayoutDriftChecks,
+        Counter::MigrationStepsPlanned,
+        Counter::MigrationBlocksPlanned,
     ];
 
     /// Static snake_case name. Renderers add their own affixes (the
@@ -109,6 +123,10 @@ impl Counter {
             Counter::ServerCacheMisses => "server_cache_misses",
             Counter::ParChunkItems => "par_chunk_items",
             Counter::ParPoolFallbacks => "par_pool_fallbacks",
+            Counter::RelayoutEpochAdvances => "relayout_epoch_advances",
+            Counter::RelayoutDriftChecks => "relayout_drift_checks",
+            Counter::MigrationStepsPlanned => "migration_steps_planned",
+            Counter::MigrationBlocksPlanned => "migration_blocks_planned",
         }
     }
 

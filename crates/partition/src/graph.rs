@@ -94,6 +94,25 @@ impl Graph {
         self.edges().iter().map(|&(_, _, w)| w).sum()
     }
 
+    /// Scales every node and edge weight by `factor` in place.
+    ///
+    /// This is the epoch-advance primitive of the decayed access graph
+    /// (`dblayout-relayout`): multiplying all weights by a decay factor
+    /// ages past observations while new folds keep accumulating at full
+    /// weight. Callers that need the decay-1.0 identity skip the call
+    /// entirely rather than multiplying by 1.0, so the no-decay path stays
+    /// bit-for-bit the plain accumulation path.
+    pub fn scale(&mut self, factor: f64) {
+        for w in &mut self.node_weights {
+            *w *= factor;
+        }
+        for nbrs in &mut self.adj {
+            for w in nbrs.values_mut() {
+                *w *= factor;
+            }
+        }
+    }
+
     /// Sum of edge weights crossing partitions under `assignment`
     /// (`assignment[u]` = partition of node `u`).
     pub fn cut_weight(&self, assignment: &[usize]) -> f64 {

@@ -1,0 +1,192 @@
+//! Windowed/decayed access-graph maintenance.
+//!
+//! The access graph of paper §4 only ever accumulates, so a year-old join
+//! storm weighs as much as this morning's. Continuous relayout instead
+//! buckets ingestion into *epochs*: advancing an epoch multiplies every
+//! node and edge weight by a decay factor `d ∈ (0, 1]`, after which new
+//! statements fold in at full weight. The effective weight of an
+//! observation `a` epochs old is therefore `d^a` — an exponentially decayed
+//! window whose half-life is `ln 2 / ln(1/d)` epochs.
+//!
+//! **The decay = 1.0 identity.** With `d = 1.0` the scale is a no-op, and
+//! [`advance_epoch`] skips it entirely instead of multiplying by 1.0 —
+//! weights pass through the exact same sequence of `+=` folds as
+//! [`extend_access_graph`](dblayout_core::extend_access_graph), so graphs
+//! (and the layouts advised from them) are bit-for-bit identical to the
+//! accumulate-only path. The `relayout_differential` suite locks this in.
+
+use dblayout_obs::counters::{self, Counter};
+use dblayout_partition::Graph;
+use dblayout_planner::PhysicalPlan;
+
+/// Multiplies every node and edge weight of `graph` by `decay`, the
+/// epoch-advance primitive. Returns `true` when the graph was scaled;
+/// `decay >= 1.0` is skipped entirely (not multiplied by 1.0) so the
+/// no-decay path stays bit-identical to plain accumulation.
+///
+/// # Panics
+/// Asserts `0 < decay <= 1` — amplifying history is never meaningful.
+pub fn advance_epoch(graph: &mut Graph, decay: f64) -> bool {
+    assert!(
+        decay > 0.0 && decay <= 1.0,
+        "decay must be in (0, 1], got {decay}"
+    );
+    if decay >= 1.0 {
+        return false;
+    }
+    graph.scale(decay);
+    counters::incr(Counter::RelayoutEpochAdvances);
+    true
+}
+
+/// An access graph with epoch-bucketed exponential decay: the offline
+/// (CLI / test harness) counterpart of the server session's decayed graph.
+///
+/// Usage per epoch: [`DecayedGraph::advance_epoch`] once, then
+/// [`DecayedGraph::fold`] the epoch's plans.
+#[derive(Debug, Clone)]
+pub struct DecayedGraph {
+    graph: Graph,
+    decay: f64,
+    epoch: u64,
+}
+
+impl DecayedGraph {
+    /// An empty decayed graph over `n_objects` catalog objects.
+    ///
+    /// # Panics
+    /// Asserts `0 < decay <= 1`.
+    pub fn new(n_objects: usize, decay: f64) -> Self {
+        assert!(
+            decay > 0.0 && decay <= 1.0,
+            "decay must be in (0, 1], got {decay}"
+        );
+        Self {
+            graph: Graph::new(n_objects),
+            decay,
+            epoch: 0,
+        }
+    }
+
+    /// Closes the current epoch: ages all existing weights by the decay
+    /// factor (see [`advance_epoch`]) and bumps the epoch counter.
+    /// Returns `true` when weights were actually scaled.
+    pub fn advance_epoch(&mut self) -> bool {
+        self.epoch += 1;
+        advance_epoch(&mut self.graph, self.decay)
+    }
+
+    /// Folds weighted plans into the current epoch at full weight — the
+    /// same Figure-6 accumulation as
+    /// [`extend_access_graph`](dblayout_core::extend_access_graph).
+    pub fn fold(&mut self, plans: &[(PhysicalPlan, f64)]) {
+        dblayout_core::extend_access_graph(&mut self.graph, plans);
+    }
+
+    /// The decayed graph, ready for drift detection or advising.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The configured decay factor.
+    pub fn decay(&self) -> f64 {
+        self.decay
+    }
+
+    /// Epochs advanced so far (= `advance_epoch` calls).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Consumes the wrapper, yielding the underlying graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+/// Canonical byte serialization of a graph: node count, every node
+/// weight's raw bits, then every edge `(u, v, w)` with `u < v` in sorted
+/// order, weights as raw bits. Two graphs serialize identically iff they
+/// are bit-for-bit the same — the equality the decay-1.0 differential
+/// tests assert.
+pub fn graph_bytes(g: &Graph) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 8 * g.len() + 24 * g.edge_count());
+    out.extend_from_slice(&(g.len() as u64).to_le_bytes());
+    for u in 0..g.len() {
+        out.extend_from_slice(&g.node_weight(u).to_bits().to_le_bytes());
+    }
+    for (u, v, w) in g.edges() {
+        out.extend_from_slice(&(u as u64).to_le_bytes());
+        out.extend_from_slice(&(v as u64).to_le_bytes());
+        out.extend_from_slice(&w.to_bits().to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblayout_catalog::ObjectId;
+    use dblayout_planner::PlanNode;
+
+    fn scan(obj: u32, blocks: u64) -> PlanNode {
+        PlanNode::TableScan {
+            object: ObjectId(obj),
+            name: format!("t{obj}"),
+            blocks,
+            rows: blocks as f64,
+        }
+    }
+
+    fn join(a: u32, ab: u64, b: u32, bb: u64) -> PhysicalPlan {
+        PhysicalPlan::new(PlanNode::MergeJoin {
+            on: "k".into(),
+            rows: 1.0,
+            left: Box::new(scan(a, ab)),
+            right: Box::new(scan(b, bb)),
+        })
+    }
+
+    #[test]
+    fn decay_one_skips_scaling_and_matches_plain_extension() {
+        let plans = vec![(join(0, 100, 1, 50), 1.5), (join(1, 30, 2, 70), 2.0)];
+        let mut plain = Graph::new(3);
+        dblayout_core::extend_access_graph(&mut plain, &plans);
+
+        let mut dg = DecayedGraph::new(3, 1.0);
+        for p in &plans {
+            assert!(!dg.advance_epoch(), "decay=1.0 must never scale");
+            dg.fold(std::slice::from_ref(p));
+        }
+        assert_eq!(graph_bytes(dg.graph()), graph_bytes(&plain));
+        assert_eq!(dg.epoch(), 2);
+    }
+
+    #[test]
+    fn decay_scales_old_epochs_only() {
+        let mut dg = DecayedGraph::new(2, 0.5);
+        dg.fold(&[(join(0, 100, 1, 100), 1.0)]);
+        let w0 = dg.graph().edge_weight(0, 1);
+        assert!(dg.advance_epoch());
+        assert_eq!(dg.graph().edge_weight(0, 1), w0 * 0.5);
+        // New folds land at full weight on top of the decayed base.
+        dg.fold(&[(join(0, 100, 1, 100), 1.0)]);
+        assert_eq!(dg.graph().edge_weight(0, 1), w0 * 0.5 + w0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in")]
+    fn zero_decay_rejected() {
+        DecayedGraph::new(2, 0.0);
+    }
+
+    #[test]
+    fn graph_bytes_distinguishes_weights() {
+        let mut a = Graph::new(2);
+        let mut b = Graph::new(2);
+        a.add_edge(0, 1, 1.0);
+        b.add_edge(0, 1, 1.0 + f64::EPSILON);
+        assert_ne!(graph_bytes(&a), graph_bytes(&b));
+        assert_eq!(graph_bytes(&a), graph_bytes(&a.clone()));
+    }
+}

@@ -1,0 +1,493 @@
+//! The migration planner: (current, target) → ordered per-object moves.
+//!
+//! Relocating a database object is not instantaneous: blocks must be read
+//! off their old drives and written to their new ones while the rest of
+//! the database stays online. The planner sequences one object at a time
+//! and guarantees, at *every* step, that the intermediate layout is
+//! Definition-2 valid — never over any drive's capacity:
+//!
+//! * **copy-then-delete** (preferred): the object's *entire* new
+//!   placement is written to fresh space while the complete old copy
+//!   stays on disk as a back-out, so the peak usage during the step is
+//!   `usage[j] + new[j]` on every destination drive. Needs full
+//!   shadow-copy scratch headroom.
+//! * **direct** (fallback): blocks are relocated in place — old block
+//!   locations are released as their replacements land — so only the
+//!   post-step usage `usage[j] − old[j] + new[j]` must fit. Used when
+//!   shadow headroom is gone; flagged in the plan so operators know the
+//!   step has no back-out copy.
+//!
+//! Step order is a greedy space heuristic: among feasible objects, move
+//! the one that frees the most blocks first (ties: lowest object id), so
+//! later, tighter moves inherit the headroom. If neither mode admits any
+//! pending object the planner reports [`PlanError::Stuck`] rather than
+//! emit an infeasible step.
+//!
+//! Each step is priced with the `dblayout-disksim` drive model — reads
+//! and writes proceed in parallel across drives, so the step time is the
+//! slowest source read plus the slowest destination write. Copy steps
+//! read the whole old copy and write the whole new placement (the shadow
+//! copy rewrites even blocks that stay put); direct steps touch only the
+//! relocated delta. Independent of mode, `moved_blocks` counts the §2.3.1
+//! relocation volume `Σ_j max(0, new_j − old_j)` so plan totals line up
+//! with the movement-budget accounting. Additionally, every
+//! intermediate layout's workload cost is recorded, making the degraded
+//! service during migration part of the artifact.
+
+use dblayout_catalog::BLOCK_BYTES;
+use dblayout_core::costmodel::CostModel;
+use dblayout_disksim::{DiskSpec, Layout};
+use dblayout_obs::counters::{self, Counter};
+use dblayout_planner::Subplan;
+use serde_json::Value;
+
+/// Why a migration could not be planned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The endpoints disagree with each other or with the drive set.
+    Mismatch(String),
+    /// An endpoint is not a valid layout for the drives.
+    InvalidEndpoint(String),
+    /// No pending object can move in either mode — the drives lack the
+    /// free space to stage any remaining relocation.
+    Stuck {
+        /// Objects still waiting to move when the planner wedged.
+        remaining: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Mismatch(why) => write!(f, "migration endpoints mismatch: {why}"),
+            PlanError::InvalidEndpoint(why) => write!(f, "invalid migration endpoint: {why}"),
+            PlanError::Stuck { remaining } => write!(
+                f,
+                "no feasible next step: {remaining} object(s) cannot be staged \
+                 within the drives' free space"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One planned relocation: move `object` from its current drives to its
+/// target drives.
+#[derive(Debug, Clone)]
+pub struct PlanStep {
+    /// 0-based execution order.
+    pub seq: usize,
+    /// The object being moved.
+    pub object: usize,
+    /// Drives holding the object before this step.
+    pub from_disks: Vec<usize>,
+    /// Drives holding the object after this step.
+    pub to_disks: Vec<usize>,
+    /// Blocks relocated by this step: `Σ_j max(0, new_j − old_j)`, the
+    /// §2.3.1 data-movement metric (mode-independent).
+    pub moved_blocks: u64,
+    /// Estimated step duration: slowest source read + slowest destination
+    /// write, each `seek + blocks · per-block transfer` (disksim model).
+    /// Copy steps price the full shadow copy; direct steps only the delta.
+    pub step_ms: f64,
+    /// Workload cost of the intermediate layout after this step (ms).
+    pub intermediate_cost_ms: f64,
+    /// `true` when the step runs in direct (no scratch copy) mode.
+    pub direct: bool,
+}
+
+impl PlanStep {
+    fn to_json(&self) -> Value {
+        Value::Map(vec![
+            ("seq".into(), Value::U64(self.seq as u64)),
+            ("object".into(), Value::U64(self.object as u64)),
+            ("from_disks".into(), id_seq(&self.from_disks)),
+            ("to_disks".into(), id_seq(&self.to_disks)),
+            ("moved_blocks".into(), Value::U64(self.moved_blocks)),
+            ("step_ms".into(), Value::F64(self.step_ms)),
+            (
+                "intermediate_cost_ms".into(),
+                Value::F64(self.intermediate_cost_ms),
+            ),
+            ("direct".into(), Value::Bool(self.direct)),
+        ])
+    }
+}
+
+fn id_seq(ids: &[usize]) -> Value {
+    Value::Seq(ids.iter().map(|&j| Value::U64(j as u64)).collect())
+}
+
+/// A complete, feasibility-checked migration plan.
+#[derive(Debug, Clone)]
+pub struct MigrationPlan {
+    /// Ordered steps; empty when current and target are bit-identical.
+    pub steps: Vec<PlanStep>,
+    /// Total blocks written to new locations across all steps.
+    pub total_moved_blocks: u64,
+    /// The same volume in bytes (64 KB blocks).
+    pub total_moved_bytes: u64,
+    /// Sum of per-step transfer estimates (ms).
+    pub total_step_ms: f64,
+    /// Workload cost of the starting layout (ms).
+    pub start_cost_ms: f64,
+    /// Workload cost of the final (= target) layout (ms).
+    pub final_cost_ms: f64,
+    /// The worst workload cost over the start and every intermediate
+    /// layout — the degradation ceiling during migration (ms).
+    pub worst_intermediate_cost_ms: f64,
+}
+
+impl MigrationPlan {
+    /// The machine-readable plan artifact (the `plan_migration` wire
+    /// result and the `dblayout migrate` output document).
+    pub fn to_json(&self) -> Value {
+        Value::Map(vec![
+            ("step_count".into(), Value::U64(self.steps.len() as u64)),
+            (
+                "total_moved_blocks".into(),
+                Value::U64(self.total_moved_blocks),
+            ),
+            (
+                "total_moved_bytes".into(),
+                Value::U64(self.total_moved_bytes),
+            ),
+            ("total_step_ms".into(), Value::F64(self.total_step_ms)),
+            ("start_cost_ms".into(), Value::F64(self.start_cost_ms)),
+            ("final_cost_ms".into(), Value::F64(self.final_cost_ms)),
+            (
+                "worst_intermediate_cost_ms".into(),
+                Value::F64(self.worst_intermediate_cost_ms),
+            ),
+            (
+                "steps".into(),
+                Value::Seq(self.steps.iter().map(|s| s.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+/// Per-object move geometry for one candidate step.
+struct Candidate {
+    object: usize,
+    outbound: u64,
+    copy_ok: bool,
+    direct_ok: bool,
+}
+
+/// Plans the migration from `current` to `target`, pricing every step and
+/// intermediate layout. `workload` and `model` supply the degraded-cost
+/// accounting; an empty workload prices every intermediate at 0.
+///
+/// # Errors
+/// [`PlanError::Mismatch`] / [`PlanError::InvalidEndpoint`] on malformed
+/// endpoints, [`PlanError::Stuck`] when no step ordering can stage the
+/// remaining moves within drive capacities.
+pub fn plan_migration(
+    current: &Layout,
+    target: &Layout,
+    disks: &[DiskSpec],
+    workload: &[(Vec<Subplan>, f64)],
+    model: &CostModel,
+) -> Result<MigrationPlan, PlanError> {
+    let n = current.object_count();
+    let m = disks.len();
+    if target.object_count() != n {
+        return Err(PlanError::Mismatch(format!(
+            "current has {n} objects, target has {}",
+            target.object_count()
+        )));
+    }
+    if current.object_sizes() != target.object_sizes() {
+        return Err(PlanError::Mismatch(
+            "current and target disagree on object sizes".into(),
+        ));
+    }
+    if let Err(e) = current.validate(disks) {
+        return Err(PlanError::InvalidEndpoint(format!("current: {e}")));
+    }
+    if let Err(e) = target.validate(disks) {
+        return Err(PlanError::InvalidEndpoint(format!("target: {e}")));
+    }
+
+    counters::incr(Counter::CostmodelFullRecosts);
+    let start_cost = model.workload_cost_subplans(workload, current, disks);
+
+    // Objects whose placement actually changes, by exact fraction bits —
+    // identical rows produce no step, so plan(current, current) is empty.
+    let mut pending: Vec<usize> = (0..n)
+        .filter(|&i| {
+            (0..m).any(|j| current.fraction(i, j).to_bits() != target.fraction(i, j).to_bits())
+        })
+        .collect();
+
+    let caps: Vec<u64> = disks.iter().map(|d| d.capacity_blocks).collect();
+    let mut work = current.clone();
+    let mut usage = work.disk_usage();
+    let mut steps: Vec<PlanStep> = Vec::new();
+    let mut total_moved = 0u64;
+    let mut total_step_ms = 0.0f64;
+    let mut worst_cost = start_cost;
+    let mut final_cost = start_cost;
+
+    while !pending.is_empty() {
+        // Geometry of every pending move against the current usage.
+        let candidates: Vec<Candidate> = pending
+            .iter()
+            .map(|&i| {
+                let old = work.blocks_on(i);
+                let new = target.blocks_on(i);
+                // Shadow copy: the whole new placement lands before any
+                // old block is deleted.
+                let copy_ok = (0..m).all(|j| usage[j] + new[j] <= caps[j]);
+                let direct_ok = (0..m).all(|j| usage[j] - old[j] + new[j] <= caps[j]);
+                let outbound: u64 = (0..m).map(|j| old[j].saturating_sub(new[j])).sum();
+                Candidate {
+                    object: i,
+                    outbound,
+                    copy_ok,
+                    direct_ok,
+                }
+            })
+            .collect();
+
+        // Prefer copy mode; within a mode, free the most blocks first
+        // (ties: lowest object id, via the ascending scan + strict >).
+        let pick = |mode_ok: &dyn Fn(&Candidate) -> bool| -> Option<usize> {
+            let mut best: Option<(usize, u64)> = None;
+            for c in &candidates {
+                if mode_ok(c) && best.is_none_or(|(_, out)| c.outbound > out) {
+                    best = Some((c.object, c.outbound));
+                }
+            }
+            best.map(|(i, _)| i)
+        };
+        let (object, direct) = match pick(&|c: &Candidate| c.copy_ok) {
+            Some(i) => (i, false),
+            None => match pick(&|c: &Candidate| c.direct_ok) {
+                Some(i) => (i, true),
+                None => {
+                    return Err(PlanError::Stuck {
+                        remaining: pending.len(),
+                    })
+                }
+            },
+        };
+
+        let old = work.blocks_on(object);
+        let new = target.blocks_on(object);
+        let from_disks = work.disks_of(object);
+        let to_disks = target.disks_of(object);
+        let mut moved = 0u64;
+        let mut read_ms = 0.0f64;
+        let mut write_ms = 0.0f64;
+        for j in 0..m {
+            moved += new[j].saturating_sub(old[j]);
+            // Copy mode re-reads/re-writes the whole object (shadow copy);
+            // direct mode touches only the relocated delta.
+            let (read_blocks, write_blocks) = if direct {
+                (old[j].saturating_sub(new[j]), new[j].saturating_sub(old[j]))
+            } else {
+                (old[j], new[j])
+            };
+            if read_blocks > 0 {
+                let t = disks[j].avg_seek_ms + read_blocks as f64 * disks[j].read_ms_per_block();
+                read_ms = read_ms.max(t);
+            }
+            if write_blocks > 0 {
+                let t = disks[j].avg_seek_ms + write_blocks as f64 * disks[j].write_ms_per_block();
+                write_ms = write_ms.max(t);
+            }
+            usage[j] = usage[j] - old[j] + new[j];
+        }
+        work.copy_row_from(target, object);
+        if let Err(e) = work.validate(disks) {
+            // The feasibility arithmetic above should make this
+            // unreachable; fail closed rather than emit a bad plan.
+            return Err(PlanError::InvalidEndpoint(format!(
+                "intermediate layout after moving object {object}: {e}"
+            )));
+        }
+        counters::incr(Counter::CostmodelFullRecosts);
+        let intermediate_cost = model.workload_cost_subplans(workload, &work, disks);
+        worst_cost = worst_cost.max(intermediate_cost);
+        final_cost = intermediate_cost;
+        let step_ms = read_ms + write_ms;
+        total_moved += moved;
+        total_step_ms += step_ms;
+        steps.push(PlanStep {
+            seq: steps.len(),
+            object,
+            from_disks,
+            to_disks,
+            moved_blocks: moved,
+            step_ms,
+            intermediate_cost_ms: intermediate_cost,
+            direct,
+        });
+        pending.retain(|&i| i != object);
+    }
+
+    counters::add(Counter::MigrationStepsPlanned, steps.len() as u64);
+    counters::add(Counter::MigrationBlocksPlanned, total_moved);
+    Ok(MigrationPlan {
+        steps,
+        total_moved_blocks: total_moved,
+        total_moved_bytes: total_moved * BLOCK_BYTES,
+        total_step_ms,
+        start_cost_ms: start_cost,
+        final_cost_ms: final_cost,
+        worst_intermediate_cost_ms: worst_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblayout_catalog::ObjectId;
+    use dblayout_core::access_graph::build_access_graph;
+    use dblayout_core::costmodel::decompose_workload;
+    use dblayout_core::tsgreedy::{ts_greedy, TsGreedyConfig};
+    use dblayout_disksim::uniform_disks;
+    use dblayout_planner::{PhysicalPlan, PlanNode};
+
+    fn scan(obj: u32, blocks: u64) -> PlanNode {
+        PlanNode::TableScan {
+            object: ObjectId(obj),
+            name: format!("t{obj}"),
+            blocks,
+            rows: blocks as f64,
+        }
+    }
+
+    fn join(a: u32, ab: u64, b: u32, bb: u64) -> PhysicalPlan {
+        PhysicalPlan::new(PlanNode::MergeJoin {
+            on: "k".into(),
+            rows: 1.0,
+            left: Box::new(scan(a, ab)),
+            right: Box::new(scan(b, bb)),
+        })
+    }
+
+    #[test]
+    fn identity_migration_is_empty() {
+        let disks = uniform_disks(3, 10_000, 10.0, 20.0);
+        let l = Layout::full_striping(vec![300, 150], &disks);
+        let plan = plan_migration(&l, &l.clone(), &disks, &[], &CostModel::default()).unwrap();
+        assert!(plan.steps.is_empty());
+        assert_eq!(plan.total_moved_blocks, 0);
+        assert_eq!(plan.total_moved_bytes, 0);
+    }
+
+    #[test]
+    fn plan_reaches_searched_target_with_valid_intermediates() {
+        let disks = uniform_disks(4, 100_000, 10.0, 20.0);
+        let sizes = vec![400u64, 200, 100];
+        let plans = vec![
+            (join(0, 400, 1, 200), 2.0),
+            (PhysicalPlan::new(scan(2, 100)), 1.0),
+        ];
+        let graph = build_access_graph(3, &plans);
+        let workload = decompose_workload(&plans);
+        let current = Layout::full_striping(sizes.clone(), &disks);
+        let target = ts_greedy(
+            &sizes,
+            &graph,
+            &workload,
+            &disks,
+            &TsGreedyConfig::default(),
+        )
+        .unwrap()
+        .layout;
+        let plan =
+            plan_migration(&current, &target, &disks, &workload, &CostModel::default()).unwrap();
+        assert!(!plan.steps.is_empty());
+        assert_eq!(plan.total_moved_blocks, target.data_movement_from(&current));
+        // Replay: applying steps in order must stay valid and end at target.
+        let mut replay = current.clone();
+        for (i, step) in plan.steps.iter().enumerate() {
+            assert_eq!(step.seq, i);
+            assert!(step.moved_blocks > 0);
+            assert!(step.step_ms > 0.0);
+            replay.copy_row_from(&target, step.object);
+            replay.validate(&disks).unwrap();
+        }
+        for i in 0..target.object_count() {
+            for j in 0..target.disk_count() {
+                assert_eq!(
+                    replay.fraction(i, j).to_bits(),
+                    target.fraction(i, j).to_bits()
+                );
+            }
+        }
+        assert!(plan.worst_intermediate_cost_ms >= plan.final_cost_ms - 1e-9);
+    }
+
+    #[test]
+    fn tight_capacity_uses_direct_mode_or_sticks() {
+        // Two objects swapping dedicated disks with zero headroom: the
+        // copy staging never fits, the direct mode does.
+        let disks = uniform_disks(2, 100, 10.0, 20.0);
+        let sizes = vec![100u64, 100];
+        let mut current = Layout::empty(sizes.clone(), 2);
+        current.place_proportional(0, &[0], &disks);
+        current.place_proportional(1, &[1], &disks);
+        let mut target = Layout::empty(sizes, 2);
+        target.place_proportional(0, &[1], &disks);
+        target.place_proportional(1, &[0], &disks);
+        // Even direct mode cannot stage a swap with both drives full.
+        let err =
+            plan_migration(&current, &target, &disks, &[], &CostModel::default()).unwrap_err();
+        assert!(matches!(err, PlanError::Stuck { remaining: 2 }));
+    }
+
+    #[test]
+    fn direct_mode_engages_when_scratch_is_tight() {
+        // Object 0 consolidates from {0, 1} onto disk 1. The final state
+        // fits exactly (70 − 30 + 60 = 100), but a shadow copy would peak
+        // at 70 + 60 = 130 > 100, so the step must run direct.
+        let disks = uniform_disks(2, 100, 10.0, 20.0);
+        let sizes = vec![60u64, 40];
+        let mut current = Layout::empty(sizes.clone(), 2);
+        current.place_proportional(0, &[0, 1], &disks);
+        current.place_proportional(1, &[1], &disks);
+        let mut target = Layout::empty(sizes, 2);
+        target.place_proportional(0, &[1], &disks);
+        target.place_proportional(1, &[1], &disks);
+        let plan = plan_migration(&current, &target, &disks, &[], &CostModel::default()).unwrap();
+        assert_eq!(plan.steps.len(), 1);
+        assert!(
+            plan.steps[0].direct,
+            "shadow copy cannot fit 70 + 60 on a 100-block drive"
+        );
+        assert_eq!(plan.steps[0].moved_blocks, 30);
+        assert_eq!(plan.total_moved_blocks, 30);
+    }
+
+    #[test]
+    fn mismatched_endpoints_rejected() {
+        let disks = uniform_disks(2, 1_000, 10.0, 20.0);
+        let a = Layout::full_striping(vec![100], &disks);
+        let b = Layout::full_striping(vec![100, 50], &disks);
+        assert!(matches!(
+            plan_migration(&a, &b, &disks, &[], &CostModel::default()),
+            Err(PlanError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn json_artifact_has_plan_shape() {
+        let disks = uniform_disks(3, 10_000, 10.0, 20.0);
+        let sizes = vec![300u64];
+        let current = Layout::full_striping(sizes.clone(), &disks);
+        let mut target = Layout::empty(sizes, 3);
+        target.place_proportional(0, &[0], &disks);
+        let plan = plan_migration(&current, &target, &disks, &[], &CostModel::default()).unwrap();
+        let text = serde_json::to_string(&plan.to_json()).unwrap();
+        assert!(text.contains("\"step_count\":1"));
+        assert!(text.contains("\"steps\":["));
+        assert!(text.contains("\"from_disks\":[0,1,2]"));
+        assert!(text.contains("\"to_disks\":[0]"));
+    }
+}

@@ -6,6 +6,7 @@
 
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use dblayout_catalog::resolve_catalog;
 use dblayout_core::advisor::{Advisor, AdvisorConfig, AdvisorError};
@@ -15,6 +16,9 @@ use dblayout_disksim::Layout;
 use dblayout_obs::counters::{self, Counter};
 use dblayout_obs::prof::PhaseTimer;
 use dblayout_obs::{Collector, RingSink};
+use dblayout_relayout::{
+    detect_drift, plan_migration, recommend_budgeted, BudgetConfig, DriftConfig, PlanError,
+};
 use serde_json::Value;
 
 use crate::metrics::{render_prometheus, Gauges, Metrics};
@@ -76,35 +80,55 @@ impl Engine {
         }
     }
 
+    /// Sets (or clears) the max-idle session TTL; idle sessions are swept
+    /// on request entry. `None` (the default) disables eviction.
+    pub fn set_session_idle_ttl(&self, ttl: Option<Duration>) {
+        crate::lock_unpoisoned(&self.registry).set_idle_ttl(ttl);
+    }
+
     /// Samples the engine-owned gauges, folding in the transport-owned
     /// queue depth.
     fn gauges(&self, runtime: &RuntimeInfo) -> Gauges {
+        let registry = crate::lock_unpoisoned(&self.registry);
         Gauges {
             queue_depth: runtime.queue_depth,
-            sessions_open: crate::lock_unpoisoned(&self.registry).len() as u64,
+            sessions_open: registry.len() as u64,
+            sessions_evicted_total: registry.evicted_total(),
             cache_entries: crate::lock_unpoisoned(&self.cache).len() as u64,
         }
     }
 
     /// Executes one request against the resident state.
     pub fn execute(&self, request: Request, runtime: &RuntimeInfo) -> Result<Value, ApiError> {
+        // Reclaim sessions idle past the configured TTL (no-op when the
+        // TTL is unset) before dispatching, so an expired session answers
+        // `unknown_session` instead of being silently revived.
+        let evicted = crate::lock_unpoisoned(&self.registry).sweep_idle();
+        if !evicted.is_empty() {
+            let mut cache = crate::lock_unpoisoned(&self.cache);
+            for id in evicted {
+                cache.invalidate_session(id);
+            }
+        }
         match request {
             Request::OpenSession {
                 catalog,
                 disks,
                 threads,
+                decay,
             } => {
                 let catalog = resolve_catalog(&catalog).map_err(ApiError::bad_request)?;
                 let disks = resolve_disks(&disks)?;
                 let objects = catalog.objects().len() as u64;
                 let n_disks = disks.len() as u64;
                 let id = crate::lock_unpoisoned(&self.registry)
-                    .open(Session::with_threads(catalog, disks, threads))?;
+                    .open(Session::with_relayout(catalog, disks, threads, decay))?;
                 Ok(obj(vec![
                     ("session", Value::U64(id)),
                     ("objects", Value::U64(objects)),
                     ("disks", Value::U64(n_disks)),
                     ("threads", Value::U64(threads.max(1) as u64)),
+                    ("decay", Value::F64(decay)),
                 ]))
             }
             Request::AddStatements { session, sql } => {
@@ -198,6 +222,115 @@ impl Engine {
                     })?;
                 Ok(recommendation_result(&s.catalog, &s.disks, &rec))
             }
+            Request::Drift {
+                session,
+                top_k,
+                distance_threshold,
+                churn_threshold,
+            } => {
+                let handle = crate::lock_unpoisoned(&self.registry).get(session)?;
+                let s = crate::lock_unpoisoned(&handle);
+                let defaults = DriftConfig::default();
+                let cfg = DriftConfig {
+                    top_k: top_k.unwrap_or(defaults.top_k),
+                    distance_threshold: distance_threshold.unwrap_or(defaults.distance_threshold),
+                    churn_threshold: churn_threshold.unwrap_or(defaults.churn_threshold),
+                };
+                let report = detect_drift(&s.graph, &s.advised_graph, &cfg);
+                let mut pairs = vec![
+                    ("epoch".to_string(), Value::U64(s.epoch)),
+                    ("version".to_string(), Value::U64(s.version)),
+                    ("decay".to_string(), Value::F64(s.decay)),
+                ];
+                if let Value::Map(report_pairs) = report.to_json() {
+                    pairs.extend(report_pairs);
+                }
+                Ok(Value::Map(pairs))
+            }
+            Request::RecommendBudgeted {
+                session,
+                k,
+                budget_mb,
+                min_improvement_pct,
+            } => {
+                let handle = crate::lock_unpoisoned(&self.registry).get(session)?;
+                let mut s = crate::lock_unpoisoned(&handle);
+                if s.workload.is_empty() {
+                    return Err(ApiError::new(
+                        "empty_workload",
+                        "session has no statements yet",
+                    ));
+                }
+                let cfg = BudgetConfig {
+                    budget_blocks: budget_mb.map(mb_to_blocks),
+                    min_improvement_pct,
+                    search: TsGreedyConfig {
+                        k,
+                        threads: s.threads,
+                        ..Default::default()
+                    },
+                };
+                let sizes = s.object_sizes();
+                let outcome = {
+                    let _phase = self.prof.phase("search");
+                    recommend_budgeted(&sizes, &s.graph, &s.workload, &s.disks, &s.deployed, &cfg)
+                        .map_err(|e| ApiError::new("search_error", e.to_string()))?
+                };
+                // The recommendation becomes the implicit migration target,
+                // and the advised-graph snapshot resets to now.
+                s.last_target = Some(outcome.layout.clone());
+                s.advised_graph = s.graph.clone();
+                let mut pairs = Vec::new();
+                if let Value::Map(outcome_pairs) = outcome.to_json() {
+                    pairs.extend(outcome_pairs);
+                }
+                pairs.push(("layout".to_string(), fraction_rows(&outcome.layout)));
+                Ok(Value::Map(pairs))
+            }
+            Request::PlanMigration {
+                session,
+                target,
+                apply,
+            } => {
+                let handle = crate::lock_unpoisoned(&self.registry).get(session)?;
+                let mut s = crate::lock_unpoisoned(&handle);
+                let target_layout = match target {
+                    Some(fractions) => s.layout_from_fractions(&fractions)?,
+                    None => s.last_target.clone().ok_or_else(|| {
+                        ApiError::new(
+                            "no_target",
+                            "no stored recommendation to migrate to; \
+                             run recommend_budgeted first or pass `target`",
+                        )
+                    })?,
+                };
+                let plan = {
+                    let _phase = self.prof.phase("migrate");
+                    plan_migration(
+                        &s.deployed,
+                        &target_layout,
+                        &s.disks,
+                        &s.workload,
+                        &CostModel::default(),
+                    )
+                    .map_err(|e| {
+                        let code = match e {
+                            PlanError::Stuck { .. } => "migration_stuck",
+                            _ => "bad_request",
+                        };
+                        ApiError::new(code, e.to_string())
+                    })?
+                };
+                if apply {
+                    s.deployed = target_layout;
+                    s.advised_graph = s.graph.clone();
+                }
+                let mut pairs = vec![("applied".to_string(), Value::Bool(apply))];
+                if let Value::Map(plan_pairs) = plan.to_json() {
+                    pairs.extend(plan_pairs);
+                }
+                Ok(Value::Map(pairs))
+            }
             Request::Stats => {
                 let m = self.metrics.snapshot_with_gauges(self.gauges(runtime));
                 Ok(obj(vec![
@@ -210,6 +343,10 @@ impl Engine {
                         Value::U64(m.deadline_expired_total),
                     ),
                     ("sessions_open", Value::U64(m.sessions_open)),
+                    (
+                        "sessions_evicted_total",
+                        Value::U64(m.sessions_evicted_total),
+                    ),
                     ("cache_entries", Value::U64(m.cache_entries)),
                     ("cache_hits", Value::U64(m.cache_hits)),
                     ("cache_misses", Value::U64(m.cache_misses)),
@@ -276,6 +413,28 @@ impl Engine {
     }
 }
 
+/// Whole megabytes → 64 KB blocks (16 blocks per MB).
+fn mb_to_blocks(mb: u64) -> u64 {
+    mb.saturating_mul(1_048_576 / dblayout_catalog::BLOCK_BYTES)
+}
+
+/// A layout's full fraction matrix as an array of per-object rows.
+fn fraction_rows(layout: &Layout) -> Value {
+    Value::Seq(
+        (0..layout.object_count())
+            .map(|i| {
+                Value::Seq(
+                    layout
+                        .fractions_of(i)
+                        .iter()
+                        .map(|&f| Value::F64(f))
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +455,7 @@ mod tests {
                 catalog: "tpch:0.01".into(),
                 disks: "paper".into(),
                 threads: 2,
+                decay: 1.0,
             },
         );
         assert_eq!(open.get("threads").and_then(|v| v.as_u64()), Some(2));
@@ -375,6 +535,7 @@ mod tests {
                 catalog: "tpch:0.01".into(),
                 disks: "paper".into(),
                 threads: 1,
+                decay: 1.0,
             },
         );
         let sid = open.get("session").and_then(|v| v.as_u64()).unwrap();
@@ -441,6 +602,7 @@ mod tests {
                 catalog: "tpch:0.01".into(),
                 disks: "paper".into(),
                 threads: 1,
+                decay: 1.0,
             },
         );
         let sid = open.get("session").and_then(|v| v.as_u64()).unwrap();

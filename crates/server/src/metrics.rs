@@ -145,6 +145,9 @@ pub struct Gauges {
     pub queue_depth: u64,
     /// Sessions currently open.
     pub sessions_open: u64,
+    /// Sessions evicted by idle-TTL sweeps since startup (a counter that
+    /// rides along with the gauges because the registry owns it).
+    pub sessions_evicted_total: u64,
     /// Entries resident in the what-if cost cache.
     pub cache_entries: u64,
 }
@@ -230,6 +233,8 @@ pub struct MetricsSnapshot {
     pub queue_depth: u64,
     /// Sessions currently open.
     pub sessions_open: u64,
+    /// Sessions evicted by idle-TTL sweeps since startup.
+    pub sessions_evicted_total: u64,
     /// Entries resident in the what-if cost cache.
     pub cache_entries: u64,
     /// Trace records evicted from the engine's span ring (the engine
@@ -282,6 +287,7 @@ impl Metrics {
             stage_serialize: self.stage_serialize.snapshot(),
             queue_depth: gauges.queue_depth,
             sessions_open: gauges.sessions_open,
+            sessions_evicted_total: gauges.sessions_evicted_total,
             cache_entries: gauges.cache_entries,
             trace_dropped_total: 0,
             trace_write_errors_total: 0,
@@ -346,6 +352,11 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
     );
     push_counter(&mut out, "dblayout_cache_hits_total", s.cache_hits);
     push_counter(&mut out, "dblayout_cache_misses_total", s.cache_misses);
+    push_counter(
+        &mut out,
+        "dblayout_sessions_evicted_total",
+        s.sessions_evicted_total,
+    );
     push_counter(
         &mut out,
         "dblayout_trace_dropped_total",
@@ -484,11 +495,16 @@ mod tests {
         let text = render_prometheus(&m.snapshot_with_gauges(Gauges {
             queue_depth: 2,
             sessions_open: 3,
+            sessions_evicted_total: 6,
             cache_entries: 4,
         }));
         assert!(text.contains("dblayout_requests_total 5\n"), "{text}");
         assert!(text.contains("dblayout_queue_depth 2\n"), "{text}");
         assert!(text.contains("dblayout_sessions_open 3\n"), "{text}");
+        assert!(
+            text.contains("dblayout_sessions_evicted_total 6\n"),
+            "{text}"
+        );
         assert!(text.contains("dblayout_cache_entries 4\n"), "{text}");
         assert!(
             text.contains("dblayout_request_latency_us{quantile=\"0.5\"} 127\n"),

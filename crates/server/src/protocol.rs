@@ -10,19 +10,27 @@
 //!
 //! Requests are dispatched on the `op` field:
 //!
-//! | op               | fields                                           |
-//! |------------------|--------------------------------------------------|
-//! | `open_session`   | `catalog` (spec), `disks`? (spec, default paper),|
-//! |                  | `threads`? (search workers, default 1, max 512)  |
-//! | `add_statements` | `session`, `sql` (workload-file syntax)          |
-//! | `whatif_cost`    | `session`, `layout` (`"full_striping"` or an     |
-//! |                  | objects×disks fraction matrix), `no_cache`?      |
-//! | `recommend`      | `session`, `k`? (greedy step width, default 1)   |
-//! | `stats`          | —                                                |
-//! | `metrics`        | — (Prometheus text exposition under `text`)      |
-//! | `trace`          | — (drains the server's span ring buffer)         |
-//! | `profile`        | — (aggregated wall-time per engine phase)        |
-//! | `close_session`  | `session`                                        |
+//! | op                   | fields                                           |
+//! |----------------------|--------------------------------------------------|
+//! | `open_session`       | `catalog` (spec), `disks`? (spec, default paper),|
+//! |                      | `threads`? (search workers, default 1, max 512), |
+//! |                      | `decay`? (graph aging factor in (0, 1], default  |
+//! |                      | 1.0 = no aging)                                  |
+//! | `add_statements`     | `session`, `sql` (workload-file syntax)          |
+//! | `whatif_cost`        | `session`, `layout` (`"full_striping"` or an     |
+//! |                      | objects×disks fraction matrix), `no_cache`?      |
+//! | `recommend`          | `session`, `k`? (greedy step width, default 1)   |
+//! | `drift`              | `session`, `top_k`?, `distance_threshold`?,      |
+//! |                      | `churn_threshold`? — live vs advised graph       |
+//! | `recommend_budgeted` | `session`, `k`?, `budget_mb`? (absent =          |
+//! |                      | unbounded), `min_improvement_pct`? (default 0)   |
+//! | `plan_migration`     | `session`, `target`? (fraction matrix; default   |
+//! |                      | the last budgeted recommendation), `apply`?      |
+//! | `stats`              | —                                                |
+//! | `metrics`            | — (Prometheus text exposition under `text`)      |
+//! | `trace`              | — (drains the server's span ring buffer)         |
+//! | `profile`            | — (aggregated wall-time per engine phase)        |
+//! | `close_session`      | `session`                                        |
 
 use dblayout_catalog::Catalog;
 use dblayout_core::advisor::Recommendation;
@@ -75,6 +83,8 @@ pub enum Request {
         /// Results are byte-identical at any value; this only trades CPU
         /// for latency.
         threads: usize,
+        /// Access-graph decay factor in `(0, 1]` (1.0 = no aging).
+        decay: f64,
     },
     /// Append weighted statements to a session's resident workload.
     AddStatements {
@@ -98,6 +108,43 @@ pub enum Request {
         session: u64,
         /// Greedy step width (paper's `k`).
         k: usize,
+    },
+    /// Compare the live (decayed) access graph against the snapshot the
+    /// deployed layout was advised on (DESIGN.md §9).
+    Drift {
+        /// Target session id.
+        session: u64,
+        /// Heaviest-edge count for rank churn (default 10).
+        top_k: Option<usize>,
+        /// Edge-distance threshold in `[0, 1]` (default 0.25).
+        distance_threshold: Option<f64>,
+        /// Rank-churn threshold in `[0, 1]` (default 0.5).
+        churn_threshold: Option<f64>,
+    },
+    /// Movement-budgeted advising seeded from the deployed layout:
+    /// "improve cost, moving at most `budget_mb` megabytes".
+    RecommendBudgeted {
+        /// Target session id.
+        session: u64,
+        /// Greedy step width (paper's `k`).
+        k: usize,
+        /// Relocation budget in whole megabytes; `None` = unbounded.
+        budget_mb: Option<u64>,
+        /// Improvement (percent vs the deployed layout) the caller
+        /// considers worthwhile; stamped into the outcome.
+        min_improvement_pct: f64,
+    },
+    /// Sequence per-object block moves from the deployed layout to a
+    /// target, with per-step feasibility and degraded-cost pricing.
+    PlanMigration {
+        /// Target session id.
+        session: u64,
+        /// Explicit target fraction matrix; `None` uses the session's last
+        /// budgeted recommendation.
+        target: Option<Vec<Vec<f64>>>,
+        /// When true, a successful plan marks the target as deployed and
+        /// re-snapshots the advised graph.
+        apply: bool,
     },
     /// Server metrics snapshot.
     Stats,
@@ -123,6 +170,9 @@ impl Request {
             Request::AddStatements { .. } => "add_statements",
             Request::WhatifCost { .. } => "whatif_cost",
             Request::Recommend { .. } => "recommend",
+            Request::Drift { .. } => "drift",
+            Request::RecommendBudgeted { .. } => "recommend_budgeted",
+            Request::PlanMigration { .. } => "plan_migration",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
             Request::Trace => "trace",
@@ -152,6 +202,20 @@ pub fn parse_request(line: &str) -> Result<Request, ApiError> {
 
     match op {
         "open_session" => {
+            let decay = match value.get("decay") {
+                None => 1.0,
+                Some(v) => {
+                    let d = v.as_f64().ok_or_else(|| {
+                        ApiError::bad_request("`decay` must be a number in (0, 1]")
+                    })?;
+                    if !(d > 0.0 && d <= 1.0) {
+                        return Err(ApiError::bad_request(
+                            "`decay` must be greater than 0 and at most 1",
+                        ));
+                    }
+                    d
+                }
+            };
             let threads = match value.get("threads") {
                 None => 1,
                 Some(v) => {
@@ -179,6 +243,7 @@ pub fn parse_request(line: &str) -> Result<Request, ApiError> {
                     .unwrap_or("paper")
                     .to_string(),
                 threads,
+                decay,
             })
         }
         "add_statements" => Ok(Request::AddStatements {
@@ -193,28 +258,10 @@ pub fn parse_request(line: &str) -> Result<Request, ApiError> {
             let layout = match value.get("layout") {
                 None => LayoutSpec::FullStriping,
                 Some(v) if v.as_str() == Some("full_striping") => LayoutSpec::FullStriping,
-                Some(v) => {
-                    let rows = v.as_array().ok_or_else(|| {
-                        ApiError::bad_request(
-                            "`layout` must be \"full_striping\" or an array of per-object \
-                             fraction rows",
-                        )
-                    })?;
-                    let mut fractions = Vec::with_capacity(rows.len());
-                    for row in rows {
-                        let cols = row.as_array().ok_or_else(|| {
-                            ApiError::bad_request("each layout row must be an array of numbers")
-                        })?;
-                        let mut out = Vec::with_capacity(cols.len());
-                        for c in cols {
-                            out.push(c.as_f64().ok_or_else(|| {
-                                ApiError::bad_request("layout fractions must be numbers")
-                            })?);
-                        }
-                        fractions.push(out);
-                    }
-                    LayoutSpec::Fractions(fractions)
-                }
+                Some(v) => LayoutSpec::Fractions(fraction_matrix(
+                    v,
+                    "`layout` must be \"full_striping\" or an array of per-object fraction rows",
+                )?),
             };
             Ok(Request::WhatifCost {
                 session: session(&value)?,
@@ -243,6 +290,87 @@ pub fn parse_request(line: &str) -> Result<Request, ApiError> {
                 k,
             })
         }
+        "drift" => {
+            let opt_usize = |field: &str| -> Result<Option<usize>, ApiError> {
+                match value.get(field) {
+                    None => Ok(None),
+                    Some(v) => v.as_u64().map(|u| Some(u as usize)).ok_or_else(|| {
+                        ApiError::bad_request(format!("`{field}` must be a non-negative integer"))
+                    }),
+                }
+            };
+            let opt_unit = |field: &str| -> Result<Option<f64>, ApiError> {
+                match value.get(field) {
+                    None => Ok(None),
+                    Some(v) => match v.as_f64() {
+                        Some(x) if (0.0..=1.0).contains(&x) => Ok(Some(x)),
+                        _ => Err(ApiError::bad_request(format!(
+                            "`{field}` must be a number in [0, 1]"
+                        ))),
+                    },
+                }
+            };
+            Ok(Request::Drift {
+                session: session(&value)?,
+                top_k: opt_usize("top_k")?,
+                distance_threshold: opt_unit("distance_threshold")?,
+                churn_threshold: opt_unit("churn_threshold")?,
+            })
+        }
+        "recommend_budgeted" => {
+            let k = match value.get("k") {
+                None => 1,
+                Some(v) => {
+                    let k = v
+                        .as_u64()
+                        .ok_or_else(|| ApiError::bad_request("`k` must be a positive integer"))?;
+                    if k == 0 {
+                        return Err(ApiError::bad_request("`k` must be at least 1"));
+                    }
+                    k as usize
+                }
+            };
+            let budget_mb = match value.get("budget_mb") {
+                None => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    ApiError::bad_request("`budget_mb` must be a non-negative integer")
+                })?),
+            };
+            let min_improvement_pct = match value.get("min_improvement_pct") {
+                None => 0.0,
+                Some(v) => match v.as_f64() {
+                    Some(x) if x.is_finite() && x >= 0.0 => x,
+                    _ => {
+                        return Err(ApiError::bad_request(
+                            "`min_improvement_pct` must be a finite non-negative number",
+                        ))
+                    }
+                },
+            };
+            Ok(Request::RecommendBudgeted {
+                session: session(&value)?,
+                k,
+                budget_mb,
+                min_improvement_pct,
+            })
+        }
+        "plan_migration" => {
+            let target = match value.get("target") {
+                None => None,
+                Some(v) => Some(fraction_matrix(
+                    v,
+                    "`target` must be an array of per-object fraction rows",
+                )?),
+            };
+            Ok(Request::PlanMigration {
+                session: session(&value)?,
+                target,
+                apply: value
+                    .get("apply")
+                    .and_then(|v| v.as_bool())
+                    .unwrap_or(false),
+            })
+        }
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
         "trace" => Ok(Request::Trace),
@@ -252,6 +380,28 @@ pub fn parse_request(line: &str) -> Result<Request, ApiError> {
         }),
         other => Err(ApiError::bad_request(format!("unknown op `{other}`"))),
     }
+}
+
+/// Parses an objects×disks fraction matrix from a JSON array-of-arrays.
+fn fraction_matrix(v: &Value, shape_msg: &str) -> Result<Vec<Vec<f64>>, ApiError> {
+    let rows = v
+        .as_array()
+        .ok_or_else(|| ApiError::bad_request(shape_msg.to_string()))?;
+    let mut fractions = Vec::with_capacity(rows.len());
+    for row in rows {
+        let cols = row
+            .as_array()
+            .ok_or_else(|| ApiError::bad_request("each layout row must be an array of numbers"))?;
+        let mut out = Vec::with_capacity(cols.len());
+        for c in cols {
+            out.push(
+                c.as_f64()
+                    .ok_or_else(|| ApiError::bad_request("layout fractions must be numbers"))?,
+            );
+        }
+        fractions.push(out);
+    }
+    Ok(fractions)
 }
 
 /// Builds a JSON object value with keys in the given order.
@@ -408,15 +558,18 @@ mod tests {
             Request::OpenSession {
                 catalog: "tpch:0.1".into(),
                 disks: "paper".into(),
-                threads: 1
+                threads: 1,
+                decay: 1.0
             }
         );
         assert_eq!(
-            parse_request(r#"{"op":"open_session","catalog":"apb","threads":4}"#).unwrap(),
+            parse_request(r#"{"op":"open_session","catalog":"apb","threads":4,"decay":0.75}"#)
+                .unwrap(),
             Request::OpenSession {
                 catalog: "apb".into(),
                 disks: "paper".into(),
-                threads: 4
+                threads: 4,
+                decay: 0.75
             }
         );
         assert_eq!(
@@ -445,6 +598,67 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"op":"recommend","session":2,"k":2}"#).unwrap(),
             Request::Recommend { session: 2, k: 2 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"drift","session":1}"#).unwrap(),
+            Request::Drift {
+                session: 1,
+                top_k: None,
+                distance_threshold: None,
+                churn_threshold: None
+            }
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"op":"drift","session":1,"top_k":5,"distance_threshold":0.1,"churn_threshold":0.9}"#
+            )
+            .unwrap(),
+            Request::Drift {
+                session: 1,
+                top_k: Some(5),
+                distance_threshold: Some(0.1),
+                churn_threshold: Some(0.9)
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"recommend_budgeted","session":2}"#).unwrap(),
+            Request::RecommendBudgeted {
+                session: 2,
+                k: 1,
+                budget_mb: None,
+                min_improvement_pct: 0.0
+            }
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"op":"recommend_budgeted","session":2,"k":2,"budget_mb":64,"min_improvement_pct":5}"#
+            )
+            .unwrap(),
+            Request::RecommendBudgeted {
+                session: 2,
+                k: 2,
+                budget_mb: Some(64),
+                min_improvement_pct: 5.0
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"plan_migration","session":3}"#).unwrap(),
+            Request::PlanMigration {
+                session: 3,
+                target: None,
+                apply: false
+            }
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"op":"plan_migration","session":3,"target":[[1.0,0.0]],"apply":true}"#
+            )
+            .unwrap(),
+            Request::PlanMigration {
+                session: 3,
+                target: Some(vec![vec![1.0, 0.0]]),
+                apply: true
+            }
         );
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
         assert_eq!(
@@ -493,6 +707,20 @@ mod tests {
             r#"{"op":"open_session","catalog":"apb","threads":513}"#,
             r#"{"op":"open_session","catalog":"apb","threads":"four"}"#,
             r#"{"op":"open_session","catalog":"apb","threads":-2}"#,
+        ] {
+            assert_eq!(parse_request(bad).unwrap_err().code, "bad_request", "{bad}");
+        }
+        // Relayout knobs fail closed on out-of-range or mistyped values.
+        for bad in [
+            r#"{"op":"open_session","catalog":"apb","decay":0}"#,
+            r#"{"op":"open_session","catalog":"apb","decay":1.5}"#,
+            r#"{"op":"open_session","catalog":"apb","decay":"slow"}"#,
+            r#"{"op":"drift","session":1,"distance_threshold":2}"#,
+            r#"{"op":"drift","session":1,"churn_threshold":-0.5}"#,
+            r#"{"op":"recommend_budgeted","session":1,"k":0}"#,
+            r#"{"op":"recommend_budgeted","session":1,"budget_mb":-3}"#,
+            r#"{"op":"recommend_budgeted","session":1,"min_improvement_pct":-1}"#,
+            r#"{"op":"plan_migration","session":1,"target":"whatever"}"#,
         ] {
             assert_eq!(parse_request(bad).unwrap_err().code, "bad_request", "{bad}");
         }

@@ -51,6 +51,9 @@ pub struct ServerConfig {
     /// Capacity (in records) of the bounded trace ring the `trace` op
     /// drains; oldest records are dropped first.
     pub trace_capacity: usize,
+    /// Max-idle session TTL; sessions untouched for longer are evicted on
+    /// the next request. `None` (the default) keeps sessions until closed.
+    pub session_idle_ttl: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +67,7 @@ impl Default for ServerConfig {
             session_capacity: 64,
             cache_capacity: 1024,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            session_idle_ttl: None,
         }
     }
 }
@@ -105,6 +109,9 @@ impl Server {
             ),
             config,
         });
+        shared
+            .engine
+            .set_session_idle_ttl(shared.config.session_idle_ttl);
 
         let workers = (0..shared.config.threads.max(1))
             .map(|_| {

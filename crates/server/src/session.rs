@@ -15,9 +15,17 @@
 //!
 //! `version` increments on every successful `add_statements`; it keys the
 //! memoization of what-if costs so stale entries can never be served.
+//!
+//! For continuous relayout (DESIGN.md §9) the session additionally tracks
+//! an epoch counter and decay factor (each `add_statements` closes an epoch
+//! by aging the graph; decay 1.0 keeps the plain accumulate-only semantics
+//! bit-for-bit), the currently *deployed* layout, the graph snapshot the
+//! deployed layout was advised on (what `drift` compares against), and the
+//! last budgeted recommendation (the default `plan_migration` target).
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use dblayout_catalog::Catalog;
 use dblayout_core::costmodel::decompose_workload;
@@ -47,6 +55,23 @@ pub struct Session {
     /// Worker threads for this session's TS-GREEDY runs (dblayout-par).
     /// Purely a latency knob: results are byte-identical at any value.
     pub threads: usize,
+    /// Access-graph decay factor in `(0, 1]`; 1.0 (the default) disables
+    /// aging entirely and keeps graphs bit-identical to plain accumulation.
+    pub decay: f64,
+    /// Epochs closed so far (one per successful `add_statements`).
+    pub epoch: u64,
+    /// The layout currently considered deployed — the seed and movement
+    /// base for budgeted advising and the start point for migration plans.
+    /// Starts as the full-striping baseline; `plan_migration` with
+    /// `apply: true` moves it.
+    pub deployed: Layout,
+    /// Snapshot of the access graph at the moment the deployed layout was
+    /// last advised/applied; the `drift` op compares the live graph against
+    /// it. Starts empty, so traffic before any advice reads as full drift.
+    pub advised_graph: Graph,
+    /// The most recent budgeted recommendation — the implicit target of a
+    /// `plan_migration` request that names none.
+    pub last_target: Option<Layout>,
     /// Full-striping baseline layout, built once at open — object sizes and
     /// disks are fixed for the life of the session, so what-if requests
     /// against the baseline never rebuild it.
@@ -65,6 +90,25 @@ impl Session {
     /// Opens a session whose searches score candidates on `threads`
     /// workers (clamped to at least 1).
     pub fn with_threads(catalog: Catalog, disks: Vec<DiskSpec>, threads: usize) -> Self {
+        Self::with_relayout(catalog, disks, threads, 1.0)
+    }
+
+    /// [`Self::with_threads`] plus an access-graph decay factor in
+    /// `(0, 1]` (1.0 = no aging; see DESIGN.md §9).
+    ///
+    /// # Panics
+    /// Asserts the decay range — the protocol layer rejects out-of-range
+    /// values with a structured error before construction.
+    pub fn with_relayout(
+        catalog: Catalog,
+        disks: Vec<DiskSpec>,
+        threads: usize,
+        decay: f64,
+    ) -> Self {
+        assert!(
+            decay > 0.0 && decay <= 1.0,
+            "decay must be in (0, 1], got {decay}"
+        );
         let n = catalog.objects().len();
         let sizes: Vec<u64> = catalog.objects().iter().map(|o| o.size_blocks).collect();
         let fs_layout = Layout::full_striping(sizes, &disks);
@@ -77,6 +121,11 @@ impl Session {
             graph: Graph::new(n),
             version: 0,
             threads: threads.max(1),
+            decay,
+            epoch: 0,
+            deployed: fs_layout.clone(),
+            advised_graph: Graph::new(n),
+            last_target: None,
             fs_layout,
             fs_hash,
         }
@@ -122,6 +171,12 @@ impl Session {
         drop(analyze);
         {
             let _build = prof.phase("build-graph");
+            // Each successful ingestion closes an epoch: existing weights
+            // age by the decay factor, the new statements land at full
+            // weight. With decay 1.0 the scale is skipped outright, so the
+            // graph stays bit-identical to plain accumulation.
+            self.epoch += 1;
+            dblayout_relayout::advance_epoch(&mut self.graph, self.decay);
             extend_access_graph(&mut self.graph, &new_plans);
         }
         let _analyze = prof.phase("analyze");
@@ -189,20 +244,41 @@ impl Session {
 /// without limit. Sessions are handed out as `Arc<Mutex<_>>` so requests
 /// against *different* sessions run concurrently while the registry lock is
 /// held only for the lookup.
+///
+/// An optional max-idle TTL (off by default) lets long-running servers
+/// reclaim abandoned sessions: every lookup refreshes a session's last-used
+/// stamp, and [`SessionRegistry::sweep_idle`] — called by the engine on
+/// request entry — evicts sessions idle past the TTL, counting them in
+/// [`SessionRegistry::evicted_total`].
 pub struct SessionRegistry {
-    sessions: HashMap<u64, Arc<Mutex<Session>>>,
+    sessions: HashMap<u64, (Arc<Mutex<Session>>, Instant)>,
     next_id: u64,
     capacity: usize,
+    idle_ttl: Option<Duration>,
+    evicted_total: u64,
 }
 
 impl SessionRegistry {
-    /// An empty registry holding at most `capacity` concurrent sessions.
+    /// An empty registry holding at most `capacity` concurrent sessions,
+    /// with idle eviction disabled.
     pub fn new(capacity: usize) -> Self {
         Self {
             sessions: HashMap::new(),
             next_id: 1,
             capacity,
+            idle_ttl: None,
+            evicted_total: 0,
         }
+    }
+
+    /// Sets (or clears) the max-idle TTL. `None` disables idle eviction.
+    pub fn set_idle_ttl(&mut self, ttl: Option<Duration>) {
+        self.idle_ttl = ttl;
+    }
+
+    /// Sessions evicted by idle sweeps since the registry was created.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted_total
     }
 
     /// Opens a session, returning its id.
@@ -219,16 +295,46 @@ impl SessionRegistry {
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.sessions.insert(id, Arc::new(Mutex::new(session)));
+        self.sessions
+            .insert(id, (Arc::new(Mutex::new(session)), Instant::now()));
         Ok(id)
     }
 
-    /// Handle to an open session (clone of its shared lock).
-    pub fn get(&self, id: u64) -> Result<Arc<Mutex<Session>>, ApiError> {
-        self.sessions
-            .get(&id)
-            .cloned()
-            .ok_or_else(|| ApiError::new("unknown_session", format!("no open session {id}")))
+    /// Handle to an open session (clone of its shared lock); refreshes the
+    /// session's last-used stamp.
+    pub fn get(&mut self, id: u64) -> Result<Arc<Mutex<Session>>, ApiError> {
+        match self.sessions.get_mut(&id) {
+            Some((handle, last_used)) => {
+                *last_used = Instant::now();
+                Ok(handle.clone())
+            }
+            None => Err(ApiError::new(
+                "unknown_session",
+                format!("no open session {id}"),
+            )),
+        }
+    }
+
+    /// Evicts every session idle longer than the configured TTL, returning
+    /// the evicted ids (empty when no TTL is set). The caller is
+    /// responsible for invalidating any per-session caches.
+    pub fn sweep_idle(&mut self) -> Vec<u64> {
+        let Some(ttl) = self.idle_ttl else {
+            return Vec::new();
+        };
+        let now = Instant::now();
+        let mut evicted: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, (_, last_used))| now.duration_since(*last_used) > ttl)
+            .map(|(&id, _)| id)
+            .collect();
+        evicted.sort_unstable();
+        for id in &evicted {
+            self.sessions.remove(id);
+        }
+        self.evicted_total += evicted.len() as u64;
+        evicted
     }
 
     /// Closes a session, dropping its resident state.
@@ -397,6 +503,61 @@ mod tests {
         assert!(c > a, "ids are never reused");
         assert!(reg.get(a).is_err());
         assert_eq!(crate::lock_unpoisoned(&reg.get(c).unwrap()).version, 0);
+    }
+
+    #[test]
+    fn idle_ttl_evicts_only_stale_sessions() {
+        let mut reg = SessionRegistry::new(8);
+        let a = reg.open(tpch_session()).unwrap();
+        let b = reg.open(tpch_session()).unwrap();
+        // No TTL configured: sweeping is a no-op.
+        assert!(reg.sweep_idle().is_empty());
+        assert_eq!(reg.evicted_total(), 0);
+
+        reg.set_idle_ttl(Some(Duration::from_millis(30)));
+        std::thread::sleep(Duration::from_millis(60));
+        // Touching `b` refreshes it; `a` stays stale.
+        reg.get(b).unwrap();
+        let evicted = reg.sweep_idle();
+        assert_eq!(evicted, vec![a]);
+        assert_eq!(reg.evicted_total(), 1);
+        assert!(reg.get(a).is_err());
+        assert!(reg.get(b).is_ok());
+
+        // Disabling the TTL stops further eviction.
+        reg.set_idle_ttl(None);
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(reg.sweep_idle().is_empty());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn decay_session_ages_graph_per_ingestion() {
+        let mut s = Session::with_relayout(
+            resolve_catalog("tpch:0.01").unwrap(),
+            dblayout_disksim::paper_disks(),
+            1,
+            0.5,
+        );
+        s.add_statements("SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;")
+            .unwrap();
+        assert_eq!(s.epoch, 1);
+        let li = s.catalog.object_id("lineitem").unwrap().index();
+        let ord = s.catalog.object_id("orders").unwrap().index();
+        let w1 = s.graph.edge_weight(li, ord);
+        assert!(w1 > 0.0);
+        // Second identical ingestion: old weight halves, new lands on top.
+        s.add_statements("SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;")
+            .unwrap();
+        assert_eq!(s.epoch, 2);
+        assert_eq!(
+            s.graph.edge_weight(li, ord).to_bits(),
+            (w1 * 0.5 + w1).to_bits()
+        );
+        // Relayout state starts at the baseline with no advice taken.
+        assert_eq!(s.deployed.object_count(), s.full_striping().object_count());
+        assert!(s.last_target.is_none());
+        assert_eq!(s.advised_graph.edge_count(), 0);
     }
 
     #[test]

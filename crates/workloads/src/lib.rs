@@ -10,6 +10,7 @@
 //! | WK-SCALE(N) | 100..3200   | [`wkscale`] — synthetic TPC-H workloads of increasing size |
 //! | WK-CTRL1    | 5           | [`wkctrl`] — two-table `COUNT(*)` joins touching almost all data |
 //! | WK-CTRL2    | 10          | [`wkctrl`] — mixed single-/multi-table with simple aggregation |
+//! | WK-DRIFT    | per-epoch   | [`wkctrl::wk_drift`] — time-varying epochs whose hot set migrates (continuous relayout) |
 //!
 //! Plus [`qgen`], the qgen-style random query generator behind WK-SCALE,
 //! the 25-query synthetic validation workloads (§7.2), and the TPCH-88-N

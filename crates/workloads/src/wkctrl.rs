@@ -1,9 +1,17 @@
-//! The controlled validation workloads WK-CTRL1 and WK-CTRL2 (paper §7.1).
+//! The controlled validation workloads WK-CTRL1 and WK-CTRL2 (paper §7.1),
+//! plus the time-varying WK-DRIFT used by the continuous-relayout pipeline.
 //!
 //! "These workloads have a small number of queries; the queries have
 //! count(*) aggregate and access almost all the table data, here lineitem,
 //! orders, partsupp and part tables in TPC-H schema." WK-CTRL1 is five
 //! two-table joins; WK-CTRL2 mixes single-table and multi-table queries.
+//! [`wk_drift`] stretches the same controlled queries over epochs whose
+//! hot set migrates from the lineitem⨝orders pair to the partsupp⨝part
+//! pair, so a decayed access graph demonstrably walks away from an
+//! advised snapshot.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// WK-CTRL1: five two-table joins over the big TPC-H tables.
 ///
@@ -47,6 +55,64 @@ pub fn wk_ctrl2() -> Vec<String> {
     ]
 }
 
+/// Queries hot in WK-DRIFT's *early* epochs: the lineitem⨝orders pair.
+fn drift_early_pool() -> Vec<String> {
+    vec![
+        "SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey".into(),
+        "SELECT COUNT(*), SUM(l_quantity) FROM lineitem, orders WHERE l_orderkey = o_orderkey"
+            .into(),
+        "SELECT SUM(l_extendedprice), SUM(o_totalprice) FROM lineitem, orders \
+         WHERE l_orderkey = o_orderkey"
+            .into(),
+        "SELECT COUNT(*) FROM lineitem".into(),
+    ]
+}
+
+/// Queries hot in WK-DRIFT's *late* epochs: the partsupp⨝part pair.
+fn drift_late_pool() -> Vec<String> {
+    vec![
+        "SELECT COUNT(*) FROM partsupp, part WHERE ps_partkey = p_partkey".into(),
+        "SELECT COUNT(*), SUM(ps_availqty) FROM partsupp, part WHERE ps_partkey = p_partkey".into(),
+        "SELECT SUM(ps_supplycost) FROM partsupp, part WHERE ps_partkey = p_partkey".into(),
+        "SELECT COUNT(*) FROM part".into(),
+    ]
+}
+
+/// WK-DRIFT: `epochs` batches of `queries_per_epoch` controlled queries
+/// whose hot set shifts over time — the time-varying knob behind the
+/// continuous-relayout demo.
+///
+/// Epoch `e` draws each query from the late (partsupp⨝part) pool with
+/// probability `e / (epochs − 1)` and from the early (lineitem⨝orders)
+/// pool otherwise, so the first epoch is purely the early hot set, the
+/// last purely the late one, and the transition is gradual in between.
+/// Deterministic for a given `seed`.
+pub fn wk_drift(epochs: usize, queries_per_epoch: usize, seed: u64) -> Vec<Vec<String>> {
+    let early = drift_early_pool();
+    let late = drift_late_pool();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..epochs)
+        .map(|e| {
+            // Per-mille probability of drawing from the late pool.
+            let late_permille = if epochs <= 1 {
+                1000
+            } else {
+                (e * 1000) / (epochs - 1)
+            };
+            (0..queries_per_epoch)
+                .map(|_| {
+                    let pool = if rng.gen_range(0..1000) < late_permille {
+                        &late
+                    } else {
+                        &early
+                    };
+                    pool[rng.gen_range(0..pool.len())].clone()
+                })
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,6 +132,32 @@ mod tests {
         for q in wk_ctrl1().iter().chain(wk_ctrl2().iter()) {
             let stmts = parse_all(std::slice::from_ref(q)).unwrap();
             plan_statement(&catalog, &stmts[0].0).unwrap_or_else(|e| panic!("{q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn drift_epochs_shift_the_hot_set() {
+        let epochs = wk_drift(6, 12, 42);
+        assert_eq!(epochs.len(), 6);
+        assert!(epochs.iter().all(|e| e.len() == 12));
+        // Epoch 0 is purely the early hot set, the last purely the late one.
+        let early = drift_early_pool();
+        let late = drift_late_pool();
+        assert!(epochs[0].iter().all(|q| early.contains(q)));
+        assert!(epochs[5].iter().all(|q| late.contains(q)));
+        // Deterministic for a given seed; seed changes shuffle the middle.
+        assert_eq!(epochs, wk_drift(6, 12, 42));
+        assert_ne!(epochs, wk_drift(6, 12, 43));
+    }
+
+    #[test]
+    fn drift_queries_all_plan() {
+        let catalog = tpch_catalog(1.0);
+        for epoch in wk_drift(4, 6, 7) {
+            for q in &epoch {
+                let stmts = parse_all(std::slice::from_ref(q)).unwrap();
+                plan_statement(&catalog, &stmts[0].0).unwrap_or_else(|e| panic!("{q}: {e}"));
+            }
         }
     }
 

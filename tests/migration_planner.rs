@@ -1,0 +1,184 @@
+//! Planner matrix: {2 disk configurations} × {zero, binding, unbounded
+//! budget}. Every plan must replay feasibly step by step (each intermediate
+//! a valid Definition-2 layout within drive capacities, shadow copies never
+//! exceeding scratch), the recommended cost must be monotone in the budget,
+//! and a zero budget must produce the identity plan.
+
+use dblayout_catalog::resolve_catalog;
+use dblayout_core::costmodel::{decompose_workload, CostModel};
+use dblayout_core::{extend_access_graph, Layout};
+use dblayout_disksim::{paper_disks, DiskSpec};
+use dblayout_integration::{plan_workload, sizes};
+use dblayout_partition::Graph;
+use dblayout_relayout::{plan_migration, recommend_budgeted, BudgetConfig, MigrationPlan};
+use dblayout_server::resolve_disks;
+
+const WORKLOAD: &[&str] = &[
+    "SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey",
+    "SELECT SUM(l_extendedprice) FROM lineitem, orders WHERE l_orderkey = o_orderkey",
+    "SELECT COUNT(*) FROM partsupp, part WHERE ps_partkey = p_partkey",
+    "SELECT COUNT(*) FROM customer, orders WHERE c_custkey = o_custkey",
+];
+
+struct Fixture {
+    sizes: Vec<u64>,
+    graph: Graph,
+    workload: Vec<(Vec<dblayout_planner::Subplan>, f64)>,
+}
+
+fn fixture() -> Fixture {
+    let catalog = resolve_catalog("tpch:0.1").expect("tpch catalog");
+    let plans = plan_workload(&catalog, WORKLOAD);
+    let mut graph = Graph::new(catalog.objects().len());
+    extend_access_graph(&mut graph, &plans);
+    Fixture {
+        sizes: sizes(&catalog),
+        graph,
+        workload: decompose_workload(&plans),
+    }
+}
+
+fn disk_configs() -> Vec<(&'static str, Vec<DiskSpec>)> {
+    vec![
+        ("paper-8", paper_disks()),
+        (
+            "uniform-4",
+            resolve_disks("uniform:4:200000:9.0:20.0").expect("uniform disks"),
+        ),
+    ]
+}
+
+/// Replays the plan against the drive set: applies steps in order, checks
+/// that every intermediate is a valid layout, that shadow-copy steps have
+/// the scratch headroom they claim, and that the totals add up.
+fn replay(plan: &MigrationPlan, current: &Layout, target: &Layout, disks: &[DiskSpec], tag: &str) {
+    let caps: Vec<u64> = disks.iter().map(|d| d.capacity_blocks).collect();
+    let mut work = current.clone();
+    let mut summed_moves = 0u64;
+    for step in &plan.steps {
+        let old = work.blocks_on(step.object);
+        let new = target.blocks_on(step.object);
+        let usage = work.disk_usage();
+        if !step.direct {
+            for j in 0..disks.len() {
+                assert!(
+                    usage[j] + new[j] <= caps[j],
+                    "{tag}: step {} claims copy mode without scratch on drive {j}",
+                    step.seq
+                );
+            }
+        }
+        let moved: u64 = (0..disks.len())
+            .map(|j| new[j].saturating_sub(old[j]))
+            .sum();
+        assert_eq!(
+            moved, step.moved_blocks,
+            "{tag}: step {} movement",
+            step.seq
+        );
+        summed_moves += moved;
+
+        let row: Vec<(usize, f64)> = (0..disks.len())
+            .map(|j| (j, target.fraction(step.object, j)))
+            .filter(|&(_, f)| f > 0.0)
+            .collect();
+        work.place(step.object, &row);
+        work.validate(disks)
+            .unwrap_or_else(|e| panic!("{tag}: intermediate after step {} invalid: {e}", step.seq));
+    }
+    assert_eq!(summed_moves, plan.total_moved_blocks, "{tag}: plan totals");
+    assert_eq!(
+        plan.total_moved_blocks,
+        target.data_movement_from(current),
+        "{tag}: plan total must equal the §2.3.1 distance"
+    );
+    // After all steps the working layout is the target, bit for bit.
+    for i in 0..target.object_count() {
+        for j in 0..disks.len() {
+            assert_eq!(
+                work.fraction(i, j).to_bits(),
+                target.fraction(i, j).to_bits(),
+                "{tag}: replay did not land on the target"
+            );
+        }
+    }
+    // The degradation ceiling covers the start and every intermediate.
+    let floor = plan
+        .steps
+        .iter()
+        .map(|s| s.intermediate_cost_ms)
+        .fold(plan.start_cost_ms, f64::max);
+    assert!(
+        plan.worst_intermediate_cost_ms >= floor - 1e-9,
+        "{tag}: worst_intermediate_cost_ms below an observed intermediate"
+    );
+}
+
+#[test]
+fn planner_matrix_is_feasible_monotone_and_identity_at_zero() {
+    let fx = fixture();
+    for (tag, disks) in disk_configs() {
+        let current = Layout::full_striping(fx.sizes.clone(), &disks);
+
+        // Unbounded first: its movement defines the binding mid budget.
+        let unbounded = recommend_budgeted(
+            &fx.sizes,
+            &fx.graph,
+            &fx.workload,
+            &disks,
+            &current,
+            &BudgetConfig::default(),
+        )
+        .expect("unbounded search");
+        assert!(
+            unbounded.moved_blocks > 0,
+            "{tag}: the workload must warrant some movement for this matrix to bite"
+        );
+        let budgets = [Some(0u64), Some(unbounded.moved_blocks / 2), None];
+
+        let mut prev_cost = f64::INFINITY;
+        for budget in budgets {
+            let cfg = BudgetConfig {
+                budget_blocks: budget,
+                ..Default::default()
+            };
+            let outcome =
+                recommend_budgeted(&fx.sizes, &fx.graph, &fx.workload, &disks, &current, &cfg)
+                    .expect("budgeted search");
+            let label = format!("{tag}/budget={budget:?}");
+
+            // Never worse than staying put, and within the budget.
+            assert!(
+                outcome.new_cost_ms <= outcome.current_cost_ms + 1e-9,
+                "{label}"
+            );
+            if let Some(b) = budget {
+                assert!(outcome.moved_blocks <= b, "{label}: budget exceeded");
+            }
+            // Monotone: a larger budget never costs more.
+            assert!(
+                outcome.new_cost_ms <= prev_cost + 1e-9,
+                "{label}: not monotone"
+            );
+            prev_cost = outcome.new_cost_ms;
+
+            let plan = plan_migration(
+                &current,
+                &outcome.layout,
+                &disks,
+                &fx.workload,
+                &CostModel::default(),
+            )
+            .unwrap_or_else(|e| panic!("{label}: planning failed: {e}"));
+
+            if budget == Some(0) {
+                assert!(
+                    plan.steps.is_empty(),
+                    "{label}: zero budget must be identity"
+                );
+                assert_eq!(plan.total_moved_blocks, 0, "{label}");
+            }
+            replay(&plan, &current, &outcome.layout, &disks, &label);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Differential tests for `dblayout-relayout`'s windowed access-graph
+//! maintenance: at `decay = 1.0` the epoch machinery must be *bit-identical*
+//! to the plain accumulating `extend_access_graph` path — same serialized
+//! graph, same advised layout, down to the fraction bit patterns — across
+//! seeded WK-DRIFT workloads. And the budgeted recommendation must be
+//! byte-identical at any thread count (the `dblayout-par` contract).
+
+use dblayout_catalog::resolve_catalog;
+use dblayout_core::costmodel::decompose_workload;
+use dblayout_core::tsgreedy::{ts_greedy, TsGreedyConfig};
+use dblayout_core::{extend_access_graph, Layout};
+use dblayout_disksim::paper_disks;
+use dblayout_integration::sizes;
+use dblayout_partition::Graph;
+use dblayout_planner::{plan_statement, PhysicalPlan};
+use dblayout_relayout::{advance_epoch, graph_bytes, recommend_budgeted, BudgetConfig};
+use dblayout_sql::parse_statement;
+use dblayout_workloads::wkctrl::wk_drift;
+use proptest::prelude::*;
+
+fn plan_epochs(
+    catalog: &dblayout_catalog::Catalog,
+    epochs: &[Vec<String>],
+) -> Vec<Vec<(PhysicalPlan, f64)>> {
+    epochs
+        .iter()
+        .map(|sqls| {
+            sqls.iter()
+                .map(|sql| {
+                    let stmt =
+                        parse_statement(sql).unwrap_or_else(|e| panic!("parse `{sql}`: {e}"));
+                    (
+                        plan_statement(catalog, &stmt)
+                            .unwrap_or_else(|e| panic!("plan `{sql}`: {e}")),
+                        1.0,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn layout_bits(l: &Layout) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for i in 0..l.object_count() {
+        for j in 0..l.disk_count() {
+            bits.push(l.fraction(i, j).to_bits());
+        }
+    }
+    bits
+}
+
+/// The satellite property, spelled out: decayed maintenance at 1.0 over any
+/// epoching == one plain accumulation, and so is everything downstream.
+fn assert_decay_one_is_identity(seed: u64, epochs: usize, queries: usize) {
+    let catalog = resolve_catalog("tpch:0.1").expect("tpch catalog");
+    let disks = paper_disks();
+    let n = catalog.objects().len();
+    let per_epoch = plan_epochs(&catalog, &wk_drift(epochs, queries, seed));
+
+    // Epoch-bucketed path at decay 1.0: advance, then fold, per epoch.
+    let mut decayed = Graph::new(n);
+    for plans in &per_epoch {
+        advance_epoch(&mut decayed, 1.0);
+        extend_access_graph(&mut decayed, plans);
+    }
+
+    // Plain accumulating path: one extend over the concatenation.
+    let all: Vec<(PhysicalPlan, f64)> = per_epoch.into_iter().flatten().collect();
+    let mut plain = Graph::new(n);
+    extend_access_graph(&mut plain, &all);
+
+    assert_eq!(
+        graph_bytes(&decayed),
+        graph_bytes(&plain),
+        "decay=1.0 graph diverged from extend_access_graph (seed {seed})"
+    );
+
+    // And the advised layouts are bit-identical too.
+    let sizes = sizes(&catalog);
+    let workload = decompose_workload(&all);
+    let cfg = TsGreedyConfig::default();
+    let a = ts_greedy(&sizes, &decayed, &workload, &disks, &cfg).expect("search on decayed graph");
+    let b = ts_greedy(&sizes, &plain, &workload, &disks, &cfg).expect("search on plain graph");
+    assert_eq!(layout_bits(&a.layout), layout_bits(&b.layout));
+    assert_eq!(a.final_cost.to_bits(), b.final_cost.to_bits());
+}
+
+#[test]
+fn decay_one_matches_plain_extension_on_four_seeded_workloads() {
+    for seed in [11, 42, 977, 31337] {
+        assert_decay_one_is_identity(seed, 4, 10);
+    }
+}
+
+proptest! {
+    /// Randomized seeds and epoch shapes: the cheap half of the identity
+    /// (serialized graph bytes) holds for *any* WK-DRIFT workload. The
+    /// expensive half (advised-layout bits) is covered by the four seeded
+    /// workloads above — running a full search 128 times would drown CI.
+    #[test]
+    fn decay_one_graph_bytes_match_for_any_seed(seed in 0u64..u64::MAX, epochs in 1usize..5) {
+        let catalog = resolve_catalog("tpch:0.1").expect("tpch catalog");
+        let n = catalog.objects().len();
+        let per_epoch = plan_epochs(&catalog, &wk_drift(epochs, 6, seed));
+        let mut decayed = Graph::new(n);
+        for plans in &per_epoch {
+            advance_epoch(&mut decayed, 1.0);
+            extend_access_graph(&mut decayed, plans);
+        }
+        let all: Vec<(PhysicalPlan, f64)> = per_epoch.into_iter().flatten().collect();
+        let mut plain = Graph::new(n);
+        extend_access_graph(&mut plain, &all);
+        prop_assert_eq!(graph_bytes(&decayed), graph_bytes(&plain));
+    }
+}
+
+/// The budgeted recommendation inherits determinism-at-any-thread-count
+/// from the seeded TS-GREEDY search: identical layouts, costs, movement,
+/// and strategy at 1, 2, 4, and 8 workers.
+#[test]
+fn budgeted_recommendation_is_identical_at_any_thread_count() {
+    let catalog = resolve_catalog("tpch:0.1").expect("tpch catalog");
+    let disks = paper_disks();
+    let n = catalog.objects().len();
+    let per_epoch = plan_epochs(&catalog, &wk_drift(3, 12, 7));
+    let all: Vec<(PhysicalPlan, f64)> = per_epoch.into_iter().flatten().collect();
+    let mut graph = Graph::new(n);
+    extend_access_graph(&mut graph, &all);
+    let sizes = sizes(&catalog);
+    let workload = decompose_workload(&all);
+    let current = Layout::full_striping(sizes.clone(), &disks);
+
+    let mut reference: Option<(Vec<u64>, u64, u64, &'static str)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = BudgetConfig {
+            budget_blocks: Some(4096),
+            min_improvement_pct: 0.0,
+            search: TsGreedyConfig {
+                threads,
+                ..Default::default()
+            },
+        };
+        let outcome = recommend_budgeted(&sizes, &graph, &workload, &disks, &current, &cfg)
+            .expect("budgeted search succeeds");
+        let fingerprint = (
+            layout_bits(&outcome.layout),
+            outcome.new_cost_ms.to_bits(),
+            outcome.moved_blocks,
+            outcome.strategy.as_str(),
+        );
+        match &reference {
+            None => reference = Some(fingerprint),
+            Some(r) => assert_eq!(r, &fingerprint, "thread count {threads} diverged"),
+        }
+    }
+}

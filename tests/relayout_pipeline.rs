@@ -1,0 +1,160 @@
+//! End-to-end continuous-relayout pipeline against the in-process engine,
+//! exactly the loop the CI `relayout-pipeline` job drives: open a decayed
+//! session, ingest the early WK-DRIFT epochs, take a baseline
+//! recommendation, watch the hot set migrate, see `drift` fire, get a
+//! budgeted re-recommendation that meets its improvement floor within its
+//! movement budget, plan + apply the migration, and verify the loop closes
+//! (drift goes quiet again). Writes the plan artifact the CI job uploads.
+
+use std::path::PathBuf;
+
+use dblayout_server::{parse_request, ApiError, Engine, RuntimeInfo};
+use dblayout_workloads::wkctrl::wk_drift;
+use serde_json::{Value, ValueExt};
+
+const BUDGET_MB: u64 = 500;
+const MIN_IMPROVEMENT_PCT: f64 = 5.0;
+
+fn execute(engine: &Engine, line: &str) -> Result<Value, ApiError> {
+    engine.execute(parse_request(line)?, &RuntimeInfo::default())
+}
+
+fn must(engine: &Engine, line: &str) -> Value {
+    execute(engine, line).unwrap_or_else(|e| panic!("`{line}` failed: {e:?}"))
+}
+
+fn f64_of(v: &Value, key: &str) -> f64 {
+    v.get(key)
+        .and_then(|x| x.as_f64())
+        .unwrap_or_else(|| panic!("result lacks numeric `{key}`: {v:?}"))
+}
+
+fn u64_of(v: &Value, key: &str) -> u64 {
+    v.get(key)
+        .and_then(|x| x.as_u64())
+        .unwrap_or_else(|| panic!("result lacks integer `{key}`: {v:?}"))
+}
+
+fn bool_of(v: &Value, key: &str) -> bool {
+    v.get(key)
+        .and_then(|x| x.as_bool())
+        .unwrap_or_else(|| panic!("result lacks boolean `{key}`: {v:?}"))
+}
+
+fn ingest_epochs(engine: &Engine, session: u64, epochs: &[Vec<String>]) {
+    for epoch in epochs {
+        let sql = epoch
+            .iter()
+            .map(|q| format!("{q};"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let line = serde_json::to_string(&Value::Map(vec![
+            ("op".into(), Value::Str("add_statements".into())),
+            ("session".into(), Value::U64(session)),
+            ("sql".into(), Value::Str(sql)),
+        ]))
+        .expect("serialize add_statements");
+        must(engine, &line);
+    }
+}
+
+#[test]
+fn drift_budget_migrate_loop_closes() {
+    let engine = Engine::new(8, 256);
+    let opened = must(
+        &engine,
+        r#"{"op":"open_session","catalog":"tpch:0.1","threads":2,"decay":0.5}"#,
+    );
+    let session = u64_of(&opened, "session");
+    let epochs = wk_drift(6, 10, 42);
+
+    // Phase 1: the early hot set (lineitem ⨝ orders) arrives and the
+    // baseline budgeted recommendation snapshots the advised graph.
+    // (Snapshot after two epochs: the lineitem⨝orders pair carries ~5×
+    // the block mass of partsupp⨝part, so the advised distribution must
+    // be taken while still early-dominated for the normalized distance
+    // to show the hot-set migration clearly.)
+    ingest_epochs(&engine, session, &epochs[..2]);
+    let baseline = must(
+        &engine,
+        &format!(r#"{{"op":"recommend_budgeted","session":{session}}}"#),
+    );
+    assert!(f64_of(&baseline, "improvement_pct") >= 0.0);
+
+    // Freshly advised: drift must be quiet.
+    let quiet = must(&engine, &format!(r#"{{"op":"drift","session":{session}}}"#));
+    assert!(
+        !bool_of(&quiet, "drifted"),
+        "drift fired immediately after advising: {quiet:?}"
+    );
+
+    // Phase 2: the hot set migrates to partsupp ⨝ part; drift must fire.
+    ingest_epochs(&engine, session, &epochs[2..]);
+    let fired = must(&engine, &format!(r#"{{"op":"drift","session":{session}}}"#));
+    assert!(
+        bool_of(&fired, "drifted"),
+        "hot-set migration went undetected: {fired:?}"
+    );
+    assert!(f64_of(&fired, "edge_distance") > f64_of(&quiet, "edge_distance"));
+
+    // Phase 3: budgeted re-advice — the CI acceptance bar: improvement at
+    // least the floor, movement within the budget.
+    let readvice = must(
+        &engine,
+        &format!(
+            r#"{{"op":"recommend_budgeted","session":{session},"budget_mb":{BUDGET_MB},"min_improvement_pct":{MIN_IMPROVEMENT_PCT}}}"#
+        ),
+    );
+    assert!(
+        bool_of(&readvice, "meets_improvement"),
+        "budgeted advice below the {MIN_IMPROVEMENT_PCT}% floor: {readvice:?}"
+    );
+    assert!(f64_of(&readvice, "improvement_pct") >= MIN_IMPROVEMENT_PCT);
+    assert!(u64_of(&readvice, "moved_bytes") <= BUDGET_MB * 1_048_576);
+
+    // Phase 4: plan + apply the migration to the stored target.
+    let plan = must(
+        &engine,
+        &format!(r#"{{"op":"plan_migration","session":{session},"apply":true}}"#),
+    );
+    assert!(bool_of(&plan, "applied"));
+    assert_eq!(
+        u64_of(&plan, "total_moved_blocks"),
+        u64_of(&readvice, "moved_blocks"),
+        "the plan must move exactly what the advice promised"
+    );
+    assert!(u64_of(&plan, "total_moved_bytes") <= BUDGET_MB * 1_048_576);
+    assert!(u64_of(&plan, "step_count") >= 1);
+    let steps = plan
+        .get("steps")
+        .and_then(|s| s.as_array())
+        .expect("plan carries steps");
+    assert_eq!(steps.len() as u64, u64_of(&plan, "step_count"));
+    for step in steps {
+        // Every intermediate is priced through the drive model.
+        assert!(f64_of(step, "intermediate_cost_ms") > 0.0);
+        assert!(f64_of(step, "step_ms") > 0.0);
+    }
+    let worst = f64_of(&plan, "worst_intermediate_cost_ms");
+    assert!(worst >= f64_of(&plan, "start_cost_ms") - 1e-9);
+    assert!(worst >= f64_of(&plan, "final_cost_ms") - 1e-9);
+
+    // Applying re-snapshots the advised graph: the loop is closed.
+    let closed = must(&engine, &format!(r#"{{"op":"drift","session":{session}}}"#));
+    assert!(
+        !bool_of(&closed, "drifted"),
+        "drift still firing after the migration applied: {closed:?}"
+    );
+
+    // The artifact the CI relayout-pipeline job uploads.
+    let artifact = Value::Map(vec![
+        ("drift".into(), fired),
+        ("recommendation".into(), readvice),
+        ("plan".into(), plan),
+    ]);
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("relayout_plan.json");
+    let text = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
+    std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
