@@ -96,7 +96,7 @@ pub fn apportion(size: u64, fractions: &[f64]) -> Vec<u64> {
     let mut assigned = 0u64;
     for (j, &w) in fractions.iter().enumerate() {
         let exact = size as f64 * (w / total);
-        let floor = exact.floor() as u64;
+        let floor = exact.floor() as u64; // dblayout::allow(R8, reason = "largest-remainder apportionment: exact is in [0, size], flooring is the method")
         shares.push(floor);
         assigned += floor;
         remainders.push((j, exact - floor as f64));

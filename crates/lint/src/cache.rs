@@ -1,0 +1,172 @@
+//! The incremental-analysis cache: `results/lint_cache.json`.
+//!
+//! Scan results are pure functions of one file's text (plus the analyzer
+//! version), so the cache maps `path → (content hash, FileSummary)`. On a
+//! warm run, an unchanged file skips lex/parse/scan and reuses its cached
+//! summary; cross-file *finish* rules always re-run because they are
+//! cheap joins over the (possibly cached) facts. Suppression matching and
+//! unused-suppression detection also re-run every time — they depend on
+//! the whole finding set, not on one file.
+//!
+//! The cache is versioned: [`CACHE_VERSION`] bumps whenever a rule, the
+//! lexer, the parser, or the summary schema changes behavior, which
+//! atomically invalidates every entry (a stale summary must never
+//! masquerade as a fresh scan). A missing, unreadable, or malformed cache
+//! file degrades to a cold run — the cache is an accelerator, never a
+//! correctness dependency.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use serde_json::{Value, ValueExt};
+
+use crate::summary::FileSummary;
+
+/// Bump on any behavior change in lexing, parsing, scanning, or the
+/// summary schema.
+pub const CACHE_VERSION: u64 = 1;
+
+/// FNV-1a 64 over the file text — fast, dependency-free, and stable
+/// across runs/platforms (unlike `DefaultHasher`, which is randomly
+/// seeded per process).
+pub fn content_hash(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// In-memory cache: path → summary (which carries its own content hash).
+#[derive(Debug, Clone, Default)]
+pub struct LintCache {
+    entries: BTreeMap<String, FileSummary>,
+}
+
+impl LintCache {
+    /// A cached summary for `path`, valid only if the hash still matches.
+    pub fn lookup(&self, path: &str, hash: u64) -> Option<&FileSummary> {
+        self.entries.get(path).filter(|s| s.hash == hash)
+    }
+
+    /// Records a fresh summary.
+    pub fn store(&mut self, summary: FileSummary) {
+        self.entries.insert(summary.path.clone(), summary);
+    }
+
+    /// Number of cached files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes the whole cache (versioned envelope).
+    pub fn to_json(&self) -> Value {
+        Value::Map(vec![
+            ("version".to_string(), Value::U64(CACHE_VERSION)),
+            (
+                "entries".to_string(),
+                Value::Seq(self.entries.values().map(FileSummary::to_value).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a cache file's text. Wrong version or malformed shape →
+    /// empty cache (a full re-scan, not an error).
+    pub fn from_json_text(text: &str) -> LintCache {
+        let Ok(v) = serde_json::from_str::<Value>(text) else {
+            return LintCache::default();
+        };
+        if v.get("version").and_then(|x| x.as_u64()) != Some(CACHE_VERSION) {
+            return LintCache::default();
+        }
+        let mut cache = LintCache::default();
+        for e in v
+            .get("entries")
+            .and_then(|x| x.as_array())
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+        {
+            if let Some(s) = FileSummary::from_value(e) {
+                cache.entries.insert(s.path.clone(), s);
+            }
+        }
+        cache
+    }
+
+    /// Loads from disk; any failure degrades to an empty cache.
+    pub fn load(path: &Path) -> LintCache {
+        match std::fs::read_to_string(path) {
+            Ok(text) => LintCache::from_json_text(&text),
+            Err(_) => LintCache::default(),
+        }
+    }
+
+    /// Persists to disk (creating parent directories).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let text = serde_json::to_string_pretty(&self.to_json())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Facts;
+
+    fn summary(path: &str, hash: u64) -> FileSummary {
+        FileSummary {
+            path: path.into(),
+            hash,
+            lex_error: None,
+            findings: vec![],
+            suppressions: vec![],
+            facts: Facts::default(),
+        }
+    }
+
+    #[test]
+    fn hash_is_stable_and_content_sensitive() {
+        assert_eq!(content_hash("fn f() {}"), content_hash("fn f() {}"));
+        assert_ne!(content_hash("fn f() {}"), content_hash("fn g() {}"));
+        // Known FNV-1a 64 vector.
+        assert_eq!(content_hash(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn lookup_requires_matching_hash() {
+        let mut c = LintCache::default();
+        c.store(summary("a.rs", 42));
+        assert!(c.lookup("a.rs", 42).is_some());
+        assert!(c.lookup("a.rs", 43).is_none(), "stale hash is a miss");
+        assert!(c.lookup("b.rs", 42).is_none());
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let mut c = LintCache::default();
+        c.store(summary("a.rs", 1));
+        c.store(summary("b.rs", 2));
+        let text = serde_json::to_string(&c.to_json()).unwrap();
+        let back = LintCache::from_json_text(&text);
+        assert_eq!(back.len(), 2);
+        assert!(back.lookup("a.rs", 1).is_some());
+    }
+
+    #[test]
+    fn wrong_version_or_garbage_degrades_to_empty() {
+        assert!(LintCache::from_json_text("{\"version\": 999, \"entries\": []}").is_empty());
+        assert!(LintCache::from_json_text("not json").is_empty());
+        assert!(LintCache::from_json_text("{}").is_empty());
+    }
+}

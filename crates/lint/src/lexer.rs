@@ -268,6 +268,14 @@ impl<'a> Lexer<'a> {
                 is_float = true;
                 self.bump();
                 self.take_while(|b| b.is_ascii_digit() || b == b'_');
+            } else if self.peek() == Some(b'.')
+                && !matches!(self.peek_at(1), Some(b) if b == b'.' || is_ident_start(b))
+            {
+                // Trailing-dot float (`1.`, `1.,`, `(1.)`): rustc keeps the
+                // dot in the number token when neither `..` (range) nor an
+                // identifier (`1.max(2)` method-call split) follows.
+                is_float = true;
+                self.bump();
             }
             // Exponent, only when a digit (or signed digit) follows.
             if matches!(self.peek(), Some(b'e') | Some(b'E')) {
@@ -593,6 +601,36 @@ mod tests {
                 TokKind::Int("7".into()),
             ]
         );
+    }
+
+    #[test]
+    fn trailing_dot_floats() {
+        // `1.` is a float in Rust when neither `..` nor an identifier
+        // follows; `1..2` stays a range and `1.max(2)` stays an int plus a
+        // method call (the rustc split).
+        assert_eq!(
+            kinds("let x = 1.;"),
+            vec![
+                TokKind::Ident("let".into()),
+                TokKind::Ident("x".into()),
+                TokKind::Punct("=".into()),
+                TokKind::Float("1.".into()),
+                TokKind::Punct(";".into()),
+            ]
+        );
+        assert_eq!(kinds("(2.)")[1], TokKind::Float("2.".into()));
+        assert_eq!(
+            kinds("1.max(2)")[..3],
+            [
+                TokKind::Int("1".into()),
+                TokKind::Punct(".".into()),
+                TokKind::Ident("max".into()),
+            ]
+        );
+        // Tuple-field chains keep rustc's token-level behavior: `x.0.1`
+        // lexes the `0.1` as one float token (the parser-side split is a
+        // rustc hack this lexer does not replicate).
+        assert_eq!(kinds("x.0.1")[2], TokKind::Float("0.1".into()));
     }
 
     #[test]

@@ -1,123 +1,358 @@
-//! dblayout-lint: a workspace static-analysis pass for panic-safety, lock
-//! discipline, and float hygiene.
+//! dblayout-lint: a syntax-aware workspace static-analysis pass for
+//! panic-safety, lock discipline, float hygiene, and — since
+//! `dblayout-sema` — determinism and registry coherence.
 //!
-//! PR 1's review rounds kept finding the same three defect families by
-//! hand: panic shortcuts on the request-serving path, bare
-//! `Mutex::lock().unwrap()` that re-raises poisoning the server was
-//! explicitly designed to absorb, and NaN-unsafe float comparisons in the
-//! Figure-7 cost model. This crate turns those review rules into a
-//! mechanical gate: it tokenizes the workspace's own Rust sources with a
-//! small hand-written lexer (in the spirit of `dblayout-sql`'s SQL lexer)
-//! and runs five rules over the per-file token streams plus a cross-file
-//! lock-acquisition graph:
+//! PR 2 turned three hand-found defect families into token-stream rules;
+//! `dblayout-sema` grows the analyzer a lightweight parser (items, fn
+//! signatures, bodies, call/method-chain expressions — no full Rust
+//! grammar) and five semantic rules guarding the workspace's headline
+//! property: TS-GREEDY layouts, costs, counters, and migration plans are
+//! byte-identical at any thread count.
 //!
-//! | id | rule |
-//! |----|------|
-//! | R1 | no unwrap/expect/panic-macros (and no index expressions in the server) in hot-path code |
-//! | R2 | every `Mutex::lock()` in `crates/server` recovers poisoning (`lock_unpoisoned`) |
-//! | R3 | no `partial_cmp`, no `==`/`!=` against float literals |
-//! | R4 | lock-acquisition order across `crates/server` is cycle-free |
-//! | R5 | every `Request` variant is dispatched in `engine.rs` and documented in `DESIGN.md` |
+//! | id  | rule |
+//! |-----|------|
+//! | R1  | no unwrap/expect/panic-macros (and no index expressions in the server) in hot-path code |
+//! | R2  | every `Mutex::lock()` in `crates/server` recovers poisoning (`lock_unpoisoned`) |
+//! | R3  | no `partial_cmp`, no `==`/`!=` against float literals |
+//! | R4  | lock-acquisition order across `crates/server` is cycle-free |
+//! | R5  | every `Request` variant is dispatched in `engine.rs` and documented in `DESIGN.md` |
+//! | R6  | no hash-order iteration / wall-clock values / thread identity reachable from the deterministic paths |
+//! | R7  | raw atomics only in sanctioned zones, `Ordering`s per the declared policy table |
+//! | R8  | float→int / f64→f32 casts in the numeric kernels carry a range argument |
+//! | R9  | no `let _ =` / statement-`.ok()` error discards on server/planner/relayout paths |
+//! | R10 | the `obs::counters` registry, Prometheus op, `explain`, and DESIGN.md §8 agree |
+//!
+//! ## Two-phase engine and the cache
+//!
+//! Every rule runs a per-file **scan** (local findings + cross-file
+//! facts; a pure function of the file text) and a whole-workspace
+//! **finish** (graph joins over the facts). Scan results are cached in
+//! `results/lint_cache.json` keyed by content hash, so a warm run
+//! re-lexes/re-parses only changed files — the finish phase, suppression
+//! matching, and unused-suppression detection always re-run (they are
+//! cheap and depend on the whole workspace). `--diff <base>` keeps the
+//! same full-fidelity analysis but splits the report into in-scope
+//! diagnostics (changed files + cross-file rules whose declared
+//! dependencies changed) and `out_of_scope` ones, so CI on a PR can gate
+//! on what the PR touched while still recording everything.
 //!
 //! Findings are warnings (fatal under `--deny-warnings`); infrastructure
 //! problems — an unlexable file, a malformed suppression — are errors and
 //! always fatal. A finding is silenced inline with
-//! `// dblayout::allow(R3, reason = "...")`; the reason is mandatory and
-//! suppressions are carried into the JSON report so they stay auditable.
+//! `// dblayout::allow(R3, reason = "...")`; the reason is mandatory,
+//! suppressions are carried into the JSON report, and a suppression that
+//! no longer silences anything is itself flagged (`unused-suppression`)
+//! so the audit trail cannot rot.
 //!
 //! Entry points: [`lint_workspace`] walks `crates/*/src` + `DESIGN.md`
-//! from a workspace root; [`analyze`] runs on in-memory sources (the
-//! fixture tests use this). The CLI front-end is
-//! `dblayout lint [--deny-warnings] [--json]`.
+//! from a workspace root; [`analyze`] / [`analyze_with`] run on in-memory
+//! sources (the fixture tests use these). The CLI front-end is
+//! `dblayout lint [--deny-warnings] [--json] [--sarif <path>] [--diff <base>] [--no-cache]`.
 
+pub mod cache;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod sarif;
+pub mod sema;
+pub mod summary;
 pub mod suppress;
 pub mod workspace;
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::Path;
+use std::time::Instant;
 
-pub use report::{Diagnostic, LintReport, Severity};
+pub use cache::LintCache;
+pub use report::{Diagnostic, FileTiming, LintReport, RuleTiming, Severity};
 pub use workspace::InputFile;
 
 use report::Severity::{Error, Warning};
-use rules::{all_rules, Ctx};
-use workspace::{build_file_ctx, FileCtx};
+use rules::{all_rules, FinishCtx, Rule, ScanCtx, RULE_IDS};
+use summary::{Facts, FileSummary, RawFinding};
+use workspace::build_file_ctx;
 
-/// Runs every rule over in-memory sources.
+/// Knobs for [`analyze_with`].
+#[derive(Default)]
+pub struct AnalyzeOptions<'a> {
+    /// Prior-run cache; files whose content hash matches skip the scan.
+    pub cache: Option<&'a LintCache>,
+    /// Diff scope: workspace-relative paths changed vs the base. When
+    /// set, diagnostics outside the scope move to `out_of_scope`.
+    pub changed: Option<&'a [String]>,
+    /// Label for the diff base (report metadata only).
+    pub diff_base: Option<String>,
+}
+
+/// Runs every rule over in-memory sources (cold, uncached).
 ///
-/// `design_md` is `DESIGN.md`'s text when available; without it R5's
-/// documentation check is skipped. Files that fail to lex and malformed
-/// suppression directives surface as error diagnostics rather than
-/// aborting the run.
+/// `design_md` is `DESIGN.md`'s text when available; without it the
+/// documentation checks (R5, R10) are skipped. Files that fail to lex and
+/// malformed suppression directives surface as error diagnostics rather
+/// than aborting the run.
 pub fn analyze(files: &[InputFile], design_md: Option<&str>) -> LintReport {
+    analyze_with(files, design_md, &AnalyzeOptions::default()).0
+}
+
+/// [`analyze`] with cache reuse and diff scoping. Returns the report and
+/// the refreshed cache (every file's current summary) for persisting.
+pub fn analyze_with(
+    files: &[InputFile],
+    design_md: Option<&str>,
+    opts: &AnalyzeOptions<'_>,
+) -> (LintReport, LintCache) {
+    let wall_start = Instant::now();
+    let rules = all_rules();
     let mut report = LintReport::default();
-    let mut ctxs: Vec<FileCtx> = Vec::with_capacity(files.len());
+    let mut next_cache = LintCache::default();
+    let mut scan_micros: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut finish_micros: BTreeMap<&'static str, u64> = BTreeMap::new();
+
+    // Scan phase (cache-accelerated).
+    let mut summaries: Vec<FileSummary> = Vec::with_capacity(files.len());
     for f in files {
-        match build_file_ctx(f) {
-            Ok(ctx) => ctxs.push(ctx),
-            Err(msg) => report.diagnostics.push(Diagnostic {
+        let hash = cache::content_hash(&f.text);
+        if let Some(hit) = opts.cache.and_then(|c| c.lookup(&f.path, hash)) {
+            report.file_timings.push(FileTiming {
+                path: f.path.clone(),
+                micros: 0,
+                cached: true,
+            });
+            next_cache.store(hit.clone());
+            summaries.push(hit.clone());
+            continue;
+        }
+        let t0 = Instant::now();
+        let summary = scan_file(f, hash, &rules, &mut scan_micros);
+        report.file_timings.push(FileTiming {
+            path: f.path.clone(),
+            micros: t0.elapsed().as_micros() as u64,
+            cached: false,
+        });
+        next_cache.store(summary.clone());
+        summaries.push(summary);
+    }
+    report.files_scanned = summaries.iter().filter(|s| s.lex_error.is_none()).count();
+
+    // Infrastructure errors: unlexable files, malformed suppressions.
+    for s in &summaries {
+        if let Some(err) = &s.lex_error {
+            report.diagnostics.push(Diagnostic {
                 rule: "lint",
                 severity: Error,
-                file: f.path.clone(),
+                file: s.path.clone(),
                 line: 1,
-                message: format!("cannot analyze file: {msg}"),
-            }),
+                message: format!("cannot analyze file: {err}"),
+            });
         }
-    }
-    report.files_scanned = ctxs.len();
-    for ctx in &ctxs {
-        for s in &ctx.suppressions {
-            if let Some(err) = &s.error {
+        for sup in &s.suppressions {
+            if let Some(err) = &sup.error {
                 report.diagnostics.push(Diagnostic {
                     rule: "lint",
                     severity: Error,
-                    file: ctx.path.clone(),
-                    line: s.line,
+                    file: s.path.clone(),
+                    line: sup.line,
                     message: format!("malformed suppression: {err}"),
                 });
             }
         }
     }
-    let rule_ctx = Ctx {
-        files: &ctxs,
-        design_md,
-    };
-    for rule in all_rules() {
-        for finding in rule.check(&rule_ctx) {
-            let suppression = ctxs.iter().find(|c| c.path == finding.file).and_then(|c| {
-                c.suppressions
-                    .iter()
-                    .find(|s| s.covers(rule.id(), finding.line))
-            });
-            let diag = |message| Diagnostic {
-                rule: rule.id(),
-                severity: Warning,
-                file: finding.file.clone(),
-                line: finding.line,
-                message,
-            };
-            match suppression {
-                Some(s) => report
-                    .suppressed
-                    .push(diag(format!("{} [allowed: {}]", finding.message, s.reason))),
-                None => report.diagnostics.push(diag(finding.message.clone())),
+
+    // Collect rule findings: scan-phase (from summaries, possibly cached)
+    // then finish-phase.
+    let mut findings: Vec<(&'static str, rules::Finding)> = Vec::new();
+    for s in &summaries {
+        for rf in &s.findings {
+            // A rule id the current binary doesn't know (stale cache
+            // schema) is dropped — the versioned cache should prevent
+            // this, but a stale finding must never resurface silently.
+            if let Some(id) = intern_rule(&rf.rule) {
+                findings.push((
+                    id,
+                    rules::Finding {
+                        file: s.path.clone(),
+                        line: rf.line,
+                        message: rf.message.clone(),
+                    },
+                ));
             }
         }
     }
+    let finish_ctx = FinishCtx {
+        files: &summaries,
+        design_md,
+    };
+    for rule in &rules {
+        let t0 = Instant::now();
+        for f in rule.finish(&finish_ctx) {
+            findings.push((rule.id(), f));
+        }
+        *finish_micros.entry(rule.id()).or_insert(0) += t0.elapsed().as_micros() as u64;
+    }
+
+    // Suppression matching, tracking which directives earn their keep.
+    let mut used: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (rule_id, finding) in &findings {
+        let hit = summaries.iter().enumerate().find_map(|(si, s)| {
+            if s.path != finding.file {
+                return None;
+            }
+            s.suppressions
+                .iter()
+                .position(|sup| sup.covers(rule_id, finding.line))
+                .map(|pi| (si, pi))
+        });
+        let diag = |message| Diagnostic {
+            rule: rule_id,
+            severity: Warning,
+            file: finding.file.clone(),
+            line: finding.line,
+            message,
+        };
+        match hit {
+            Some((si, pi)) => {
+                used.insert((si, pi));
+                let reason = &summaries[si].suppressions[pi].reason;
+                report
+                    .suppressed
+                    .push(diag(format!("{} [allowed: {}]", finding.message, reason)));
+            }
+            None => report.diagnostics.push(diag(finding.message.clone())),
+        }
+    }
+
+    // Unused-suppression detection: a well-formed directive that silenced
+    // nothing is stale audit trail. Not itself suppressible — the fix is
+    // deleting a line.
+    for (si, s) in summaries.iter().enumerate() {
+        for (pi, sup) in s.suppressions.iter().enumerate() {
+            if sup.error.is_none() && !used.contains(&(si, pi)) {
+                report.diagnostics.push(Diagnostic {
+                    rule: "unused-suppression",
+                    severity: Warning,
+                    file: s.path.clone(),
+                    line: sup.line,
+                    message: format!(
+                        "suppression for {} no longer silences any finding; remove it (reason \
+                         was: {})",
+                        sup.rule, sup.reason
+                    ),
+                });
+            }
+        }
+    }
+
+    // Diff scoping: real findings in untouched files (whose rules also
+    // have no changed cross-file dependency) move aside. Errors always
+    // stay in scope — infrastructure rot fails the run regardless.
+    if let Some(changed) = opts.changed {
+        let mut in_scope = Vec::new();
+        for d in std::mem::take(&mut report.diagnostics) {
+            let dep_changed = rules
+                .iter()
+                .find(|r| r.id() == d.rule)
+                .map(|r| {
+                    let deps = r.global_deps();
+                    !deps.is_empty()
+                        && changed
+                            .iter()
+                            .any(|c| deps.iter().any(|dep| c.starts_with(dep)))
+                })
+                .unwrap_or(false);
+            if d.severity == Error || changed.contains(&d.file) || dep_changed {
+                in_scope.push(d);
+            } else {
+                report.out_of_scope.push(d);
+            }
+        }
+        report.diagnostics = in_scope;
+    }
+    report.diff_base = opts.diff_base.clone();
+
     let key = |d: &Diagnostic| (d.file.clone(), d.line, d.rule);
     report.diagnostics.sort_by_key(key);
     report.suppressed.sort_by_key(key);
-    report
+    report.out_of_scope.sort_by_key(key);
+    report.rule_timings = rules
+        .iter()
+        .map(|r| RuleTiming {
+            rule: r.id(),
+            scan_micros: scan_micros.get(r.id()).copied().unwrap_or(0),
+            finish_micros: finish_micros.get(r.id()).copied().unwrap_or(0),
+        })
+        .collect();
+    report.wall_micros = wall_start.elapsed().as_micros() as u64;
+    (report, next_cache)
+}
+
+/// Lexes, parses, and runs every rule's scan phase over one file.
+fn scan_file(
+    f: &InputFile,
+    hash: u64,
+    rules: &[Box<dyn Rule>],
+    scan_micros: &mut BTreeMap<&'static str, u64>,
+) -> FileSummary {
+    let ctx = match build_file_ctx(f) {
+        Ok(ctx) => ctx,
+        Err(msg) => {
+            return FileSummary {
+                path: f.path.clone(),
+                hash,
+                lex_error: Some(msg),
+                findings: Vec::new(),
+                suppressions: Vec::new(),
+                facts: Facts::default(),
+            }
+        }
+    };
+    let parsed = parse::parse(&ctx.toks);
+    let scan_ctx = ScanCtx {
+        file: &ctx,
+        parsed: &parsed,
+    };
+    let mut facts = Facts::default();
+    let mut findings: Vec<RawFinding> = Vec::new();
+    for rule in rules {
+        let t0 = Instant::now();
+        let mut local = Vec::new();
+        rule.scan(&scan_ctx, &mut facts, &mut local);
+        *scan_micros.entry(rule.id()).or_insert(0) += t0.elapsed().as_micros() as u64;
+        findings.extend(local.into_iter().map(|l| RawFinding {
+            rule: rule.id().to_string(),
+            line: l.line,
+            message: l.message,
+        }));
+    }
+    FileSummary {
+        path: f.path.clone(),
+        hash,
+        lex_error: None,
+        findings,
+        suppressions: ctx.suppressions.clone(),
+        facts,
+    }
+}
+
+fn intern_rule(s: &str) -> Option<&'static str> {
+    RULE_IDS.iter().find(|r| **r == s).copied()
 }
 
 /// Lints a workspace on disk: every `.rs` under `<root>/crates/*/src`
-/// plus `<root>/DESIGN.md`.
+/// plus `<root>/DESIGN.md` (cold, uncached).
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     let (files, design_md) = workspace::load_workspace(root)?;
     Ok(analyze(&files, design_md.as_deref()))
+}
+
+/// [`lint_workspace`] with cache reuse and diff scoping.
+pub fn lint_workspace_with(
+    root: &Path,
+    opts: &AnalyzeOptions<'_>,
+) -> io::Result<(LintReport, LintCache)> {
+    let (files, design_md) = workspace::load_workspace(root)?;
+    Ok(analyze_with(&files, design_md.as_deref(), opts))
 }
 
 #[cfg(test)]
@@ -191,7 +426,84 @@ mod tests {
             "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // dblayout::allow(R3, reason = \"wrong rule\")\n}\n",
         )];
         let r = analyze(&files, None);
-        assert_eq!(r.warnings(), 1);
+        // The R1 finding stays active, and the mismatched R3 directive is
+        // itself flagged as unused.
+        assert_eq!(r.warnings(), 2);
         assert!(r.suppressed.is_empty());
+        assert!(r.diagnostics.iter().any(|d| d.rule == "unused-suppression"));
+    }
+
+    #[test]
+    fn unused_suppression_is_flagged_and_used_one_is_not() {
+        let files = [file(
+            "crates/server/src/bad.rs",
+            "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // dblayout::allow(R1, reason = \"validated\")\n}\n\
+             // dblayout::allow(R1, reason = \"stale: the unwrap below was removed\")\nfn g() -> u32 { 0 }\n",
+        )];
+        let r = analyze(&files, None);
+        assert_eq!(r.suppressed.len(), 1, "{}", r.render());
+        let unused: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "unused-suppression")
+            .collect();
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].line, 4);
+        assert!(unused[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn warm_run_reuses_cache_and_reports_identical_findings() {
+        let files = [
+            file(
+                "crates/server/src/bad.rs",
+                "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+            ),
+            file(
+                "crates/core/src/ok.rs",
+                "pub fn add(a: u64, b: u64) -> u64 { a + b }\n",
+            ),
+        ];
+        let (cold, cache) = analyze_with(&files, None, &AnalyzeOptions::default());
+        assert!(cold.file_timings.iter().all(|t| !t.cached));
+        let opts = AnalyzeOptions {
+            cache: Some(&cache),
+            ..AnalyzeOptions::default()
+        };
+        let (warm, _) = analyze_with(&files, None, &opts);
+        assert!(warm.file_timings.iter().all(|t| t.cached), "all files warm");
+        let key = |d: &Diagnostic| (d.rule, d.file.clone(), d.line, d.message.clone());
+        assert_eq!(
+            cold.diagnostics.iter().map(key).collect::<Vec<_>>(),
+            warm.diagnostics.iter().map(key).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn diff_scope_moves_untouched_findings_aside() {
+        let files = [
+            file(
+                "crates/server/src/bad.rs",
+                "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+            ),
+            file(
+                "crates/relayout/src/also_bad.rs",
+                "fn g(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+            ),
+        ];
+        let changed = vec!["crates/server/src/bad.rs".to_string()];
+        let opts = AnalyzeOptions {
+            changed: Some(&changed),
+            diff_base: Some("origin/main".into()),
+            ..AnalyzeOptions::default()
+        };
+        let (r, _) = analyze_with(&files, None, &opts);
+        assert_eq!(r.warnings(), 1);
+        assert_eq!(r.out_of_scope.len(), 1);
+        assert_eq!(r.out_of_scope[0].file, "crates/relayout/src/also_bad.rs");
+        // Union equals the cold run's findings.
+        let cold = analyze(&files, None);
+        assert_eq!(cold.warnings(), r.warnings() + r.out_of_scope.len());
+        assert_eq!(r.diff_base.as_deref(), Some("origin/main"));
     }
 }

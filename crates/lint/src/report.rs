@@ -37,6 +37,29 @@ pub struct Diagnostic {
     pub message: String,
 }
 
+/// Per-file analysis timing — the evidence that a warm incremental run
+/// re-analyzed only what changed.
+#[derive(Debug, Clone)]
+pub struct FileTiming {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Scan wall time in microseconds (0 for cache hits).
+    pub micros: u64,
+    /// Whether the summary came from `results/lint_cache.json`.
+    pub cached: bool,
+}
+
+/// Per-rule analysis timing across both phases.
+#[derive(Debug, Clone)]
+pub struct RuleTiming {
+    /// Rule id.
+    pub rule: &'static str,
+    /// Total scan-phase time across all (non-cached) files, microseconds.
+    pub scan_micros: u64,
+    /// Finish-phase time, microseconds.
+    pub finish_micros: u64,
+}
+
 /// The outcome of a lint run.
 #[derive(Debug, Clone, Default)]
 pub struct LintReport {
@@ -46,8 +69,22 @@ pub struct LintReport {
     /// justification appended — kept for the JSON report so suppressions
     /// stay auditable.
     pub suppressed: Vec<Diagnostic>,
+    /// Diagnostics outside the `--diff` scope: real findings in files the
+    /// diff did not touch (and whose rules have no changed dependency).
+    /// Kept so a diff-scoped run still records the whole picture — the
+    /// union of `diagnostics` and `out_of_scope` is bit-identical to a
+    /// full run's `diagnostics`.
+    pub out_of_scope: Vec<Diagnostic>,
     /// Number of Rust files analyzed.
     pub files_scanned: usize,
+    /// Per-file scan timing (cache hits included, marked).
+    pub file_timings: Vec<FileTiming>,
+    /// Per-rule timing across scan and finish phases.
+    pub rule_timings: Vec<RuleTiming>,
+    /// Total analysis wall time in microseconds.
+    pub wall_micros: u64,
+    /// The `--diff` base ref, when diff scoping was active.
+    pub diff_base: Option<String>,
 }
 
 impl LintReport {
@@ -73,6 +110,11 @@ impl LintReport {
         self.errors() == 0 && (!deny_warnings || self.warnings() == 0)
     }
 
+    /// Number of files whose summary came from the cache.
+    pub fn cached_files(&self) -> usize {
+        self.file_timings.iter().filter(|t| t.cached).count()
+    }
+
     /// Human-readable report.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -87,12 +129,20 @@ impl LintReport {
             ));
         }
         out.push_str(&format!(
-            "dblayout-lint: {} file(s) scanned, {} warning(s), {} error(s), {} suppressed\n",
+            "dblayout-lint: {} file(s) scanned ({} cached), {} warning(s), {} error(s), {} suppressed",
             self.files_scanned,
+            self.cached_files(),
             self.warnings(),
             self.errors(),
             self.suppressed.len()
         ));
+        if let Some(base) = &self.diff_base {
+            out.push_str(&format!(
+                ", {} out-of-scope vs {base}",
+                self.out_of_scope.len()
+            ));
+        }
+        out.push('\n');
         out
     }
 
@@ -112,8 +162,20 @@ impl LintReport {
                 "files_scanned".into(),
                 Value::U64(self.files_scanned as u64),
             ),
+            (
+                "cached_files".into(),
+                Value::U64(self.cached_files() as u64),
+            ),
             ("warnings".into(), Value::U64(self.warnings() as u64)),
             ("errors".into(), Value::U64(self.errors() as u64)),
+            ("wall_micros".into(), Value::U64(self.wall_micros)),
+            (
+                "diff_base".into(),
+                match &self.diff_base {
+                    Some(b) => Value::Str(b.clone()),
+                    None => Value::Null,
+                },
+            ),
             (
                 "diagnostics".into(),
                 Value::Seq(self.diagnostics.iter().map(diag).collect()),
@@ -121,6 +183,45 @@ impl LintReport {
             (
                 "suppressed".into(),
                 Value::Seq(self.suppressed.iter().map(diag).collect()),
+            ),
+            (
+                "out_of_scope".into(),
+                Value::Seq(self.out_of_scope.iter().map(diag).collect()),
+            ),
+            (
+                "timings".into(),
+                Value::Map(vec![
+                    (
+                        "files".into(),
+                        Value::Seq(
+                            self.file_timings
+                                .iter()
+                                .map(|t| {
+                                    Value::Map(vec![
+                                        ("path".into(), Value::Str(t.path.clone())),
+                                        ("micros".into(), Value::U64(t.micros)),
+                                        ("cached".into(), Value::Bool(t.cached)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "rules".into(),
+                        Value::Seq(
+                            self.rule_timings
+                                .iter()
+                                .map(|t| {
+                                    Value::Map(vec![
+                                        ("rule".into(), Value::Str(t.rule.to_string())),
+                                        ("scan_micros".into(), Value::U64(t.scan_micros)),
+                                        ("finish_micros".into(), Value::U64(t.finish_micros)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
             ),
         ])
     }
@@ -151,6 +252,7 @@ mod tests {
             ],
             suppressed: vec![],
             files_scanned: 2,
+            ..LintReport::default()
         }
     }
 

@@ -15,8 +15,9 @@
 //!   equality is occasionally right (bit-exact zero filters) and must then
 //!   say so via suppression.
 
-use super::{is_ident, is_punct, Ctx, Finding, Rule};
+use super::{is_ident, is_punct, Finding, Rule, ScanCtx};
 use crate::lexer::TokKind;
+use crate::summary::Facts;
 use crate::workspace::FileCtx;
 
 /// See module docs.
@@ -31,15 +32,10 @@ impl Rule for FloatHygiene {
         "no partial_cmp (use f64::total_cmp) and no ==/!= against float literals"
     }
 
-    fn check(&self, ctx: &Ctx<'_>) -> Vec<Finding> {
-        let mut findings = Vec::new();
-        for file in ctx.files {
-            if !file.path.starts_with("crates/") {
-                continue;
-            }
-            check_file(file, &mut findings);
+    fn scan(&self, ctx: &ScanCtx<'_>, _facts: &mut Facts, findings: &mut Vec<Finding>) {
+        if ctx.file.path.starts_with("crates/") {
+            check_file(ctx.file, findings);
         }
-        findings
     }
 }
 

@@ -20,7 +20,8 @@
 
 use std::collections::BTreeMap;
 
-use super::{ident_text, is_ident, is_punct, Ctx, Finding, Rule};
+use super::{ident_text, is_ident, is_punct, Finding, FinishCtx, Rule, ScanCtx};
+use crate::summary::{Facts, LockEdge};
 use crate::workspace::FileCtx;
 
 /// See module docs.
@@ -35,16 +36,32 @@ impl Rule for LockOrder {
         "lock-acquisition order over crates/server must be cycle-free (deadlock freedom)"
     }
 
-    fn check(&self, ctx: &Ctx<'_>) -> Vec<Finding> {
-        // edge (from, to) -> first provenance seen.
+    fn scan(&self, ctx: &ScanCtx<'_>, facts: &mut Facts, _findings: &mut Vec<Finding>) {
+        if ctx.file.path.starts_with("crates/server/src/") {
+            let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+            collect_edges(ctx.file, &mut edges);
+            facts.lock_edges = edges
+                .into_iter()
+                .map(|((from, to), (_, line))| LockEdge { from, to, line })
+                .collect();
+        }
+    }
+
+    fn finish(&self, ctx: &FinishCtx<'_>) -> Vec<Finding> {
+        // edge (from, to) -> first provenance seen (file order = path order).
         let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
         for file in ctx.files {
-            if !file.path.starts_with("crates/server/src/") {
-                continue;
+            for e in &file.facts.lock_edges {
+                edges
+                    .entry((e.from.clone(), e.to.clone()))
+                    .or_insert_with(|| (file.path.clone(), e.line));
             }
-            collect_edges(file, &mut edges);
         }
         find_cycles(&edges)
+    }
+
+    fn global_deps(&self) -> &'static [&'static str] {
+        &["crates/server/"]
     }
 }
 

@@ -1,0 +1,192 @@
+//! R8 — lossy-cast hygiene in the numeric kernels.
+//!
+//! The Figure-7 cost model, the disk simulator, and the index/partition
+//! planners all move between float math (costs, selectivities, seek
+//! fractions) and integer units (blocks, rows, bytes). A bare `as` on
+//! that boundary truncates silently: `(-0.4f64) as u64` is 0, `1e20 as
+//! u64` saturates, `f64 as f32` quietly drops half the mantissa — and a
+//! cost model that truncates differently than the paper's arithmetic
+//! intends skews every layout comparison downstream.
+//!
+//! Inside the kernel zone (`core::costmodel`, `crates/disksim`,
+//! `crates/planner`), every cast whose *source* is syntactically float —
+//! a float literal, the result of a rounding-family method
+//! (`floor`/`ceil`/`round`/`trunc`/`sqrt`/`fract`/`exp`/`ln`/`log2`/
+//! `log10`/`powf`/`powi`), or a binding/param/field whose declared type
+//! head is `f64`/`f32` — and whose target is an integer type (or `f32`,
+//! the narrowing float) must either be rewritten (checked conversion,
+//! explicit clamp) or carry a suppression whose reason documents the
+//! value-range argument for why truncation is intended. Test regions are
+//! exempt.
+//!
+//! The source detection is syntactic and conservative: a cast the parser
+//! cannot see a float source for is *not* flagged (int→int narrowing is
+//! out of scope — it is ubiquitous, loss-free in this codebase's ranges,
+//! and flagging it would bury the real signal).
+
+use super::{ident_text, is_ident, is_punct, Finding, Rule, ScanCtx};
+use crate::lexer::TokKind;
+use crate::summary::Facts;
+
+/// See module docs.
+pub struct LossyCast;
+
+const INT_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Methods whose result is float-typed on the workspace's numeric types.
+const FLOAT_RESULT_METHODS: &[&str] = &[
+    "floor", "ceil", "round", "trunc", "fract", "sqrt", "exp", "ln", "log2", "log10", "powf",
+    "powi", "mul_add",
+];
+
+fn in_kernel_zone(path: &str) -> bool {
+    path == "crates/core/src/costmodel.rs"
+        || path.starts_with("crates/disksim/src/")
+        || path.starts_with("crates/planner/src/")
+}
+
+impl Rule for LossyCast {
+    fn id(&self) -> &'static str {
+        "R8"
+    }
+
+    fn description(&self) -> &'static str {
+        "float->int and f64->f32 `as` casts in the cost/disksim/planner kernels need a \
+         documented range argument (suppression) or a checked conversion"
+    }
+
+    fn scan(&self, ctx: &ScanCtx<'_>, _facts: &mut Facts, findings: &mut Vec<Finding>) {
+        if !in_kernel_zone(&ctx.file.path) {
+            return;
+        }
+        let toks = &ctx.file.toks;
+        for i in 0..toks.len() {
+            if !is_ident(&toks[i], "as") || ctx.file.in_tests(toks[i].line) {
+                continue;
+            }
+            let Some(target) = toks.get(i + 1).and_then(ident_text) else {
+                continue;
+            };
+            let to_int = INT_TARGETS.contains(&target);
+            let to_f32 = target == "f32";
+            if !to_int && !to_f32 {
+                continue;
+            }
+            let Some(source) = float_source(ctx, i) else {
+                continue;
+            };
+            // f32 -> f32 is a no-op; only a *wider* float source narrows.
+            if to_f32 && source.width == FloatWidth::F32 {
+                continue;
+            }
+            let loss = if to_int {
+                "truncates toward zero (and saturates out-of-range/NaN)"
+            } else {
+                "silently drops mantissa precision"
+            };
+            findings.push(Finding {
+                file: ctx.file.path.clone(),
+                line: toks[i].line,
+                message: format!(
+                    "`{} as {target}` {loss} in a numeric kernel; use a checked conversion \
+                     or an explicit clamp, or suppress with the value-range reason why \
+                     truncation is intended",
+                    source.describe
+                ),
+            });
+        }
+    }
+}
+
+#[derive(PartialEq)]
+enum FloatWidth {
+    F32,
+    F64,
+    Unknown,
+}
+
+struct FloatSource {
+    describe: String,
+    width: FloatWidth,
+}
+
+/// Classifies the expression immediately before the `as` at token `i` as
+/// float-sourced, or `None` when no float evidence exists.
+fn float_source(ctx: &ScanCtx<'_>, i: usize) -> Option<FloatSource> {
+    let toks = &ctx.file.toks;
+    let prev = toks.get(i.checked_sub(1)?)?;
+    match &prev.kind {
+        TokKind::Float(text) => Some(FloatSource {
+            describe: format!("float literal `{text}`"),
+            width: FloatWidth::Unknown,
+        }),
+        TokKind::Punct(p) if p == ")" => {
+            // `expr.method(...) as T` — walk back over the call's parens to
+            // the method name.
+            let mut depth = 0usize;
+            let mut j = i - 1;
+            loop {
+                let t = &toks[j];
+                if is_punct(t, ")") {
+                    depth += 1;
+                } else if is_punct(t, "(") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j = j.checked_sub(1)?;
+            }
+            let name = j
+                .checked_sub(1)
+                .and_then(|k| toks.get(k))
+                .and_then(ident_text)?;
+            let is_method = j >= 2 && is_punct(&toks[j - 2], ".");
+            if is_method && FLOAT_RESULT_METHODS.contains(&name) {
+                Some(FloatSource {
+                    describe: format!("`.{name}()` result"),
+                    width: FloatWidth::Unknown,
+                })
+            } else {
+                None
+            }
+        }
+        TokKind::Ident(name) => {
+            // A binding/param/field with a declared float type head.
+            let f = ctx.parsed.enclosing_fn(i)?;
+            let ty = f
+                .locals
+                .iter()
+                .chain(f.params.iter())
+                .chain(ctx.parsed.fields.iter())
+                .find(|t| &t.name == name)
+                .map(|t| t.type_head.as_str())?;
+            let width = match ty {
+                "f64" => FloatWidth::F64,
+                "f32" => FloatWidth::F32,
+                _ => return None,
+            };
+            Some(FloatSource {
+                describe: format!("`{name}: {ty}`"),
+                width,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::in_kernel_zone;
+
+    #[test]
+    fn zone_covers_the_numeric_kernels_only() {
+        assert!(in_kernel_zone("crates/core/src/costmodel.rs"));
+        assert!(in_kernel_zone("crates/disksim/src/layout.rs"));
+        assert!(in_kernel_zone("crates/planner/src/optimizer.rs"));
+        assert!(!in_kernel_zone("crates/core/src/tsgreedy.rs"));
+        assert!(!in_kernel_zone("crates/server/src/engine.rs"));
+    }
+}

@@ -1,30 +1,57 @@
-//! The rule engine: the [`Rule`] trait, the registry, and shared
-//! token-matching helpers.
+//! The rule engine: the two-phase [`Rule`] trait, the registry, and
+//! shared token-matching helpers.
 //!
-//! Each rule sees the whole workspace at once (some rules are cross-file:
-//! R4 builds a lock-acquisition graph over every `crates/server` source,
-//! R5 joins `protocol.rs` against `engine.rs` and `DESIGN.md`), scopes
-//! itself by path, and returns findings. The engine in [`crate`] applies
-//! suppressions afterwards, so rules never need to think about them.
+//! Since `dblayout-sema`, every rule runs in two phases:
+//!
+//! * **scan** — per file, seeing only that file's tokens, parsed syntax,
+//!   and test regions. Scan output (local findings + cross-file [`Facts`])
+//!   is a pure function of the file text, which is what makes it cacheable
+//!   in `results/lint_cache.json`.
+//! * **finish** — once, over every file's facts. Cross-file rules (R4
+//!   lock-order graph, R5 protocol join, R6 determinism-zone reachability,
+//!   R10 registry coherence) do their joins here; purely local rules keep
+//!   the default empty finish.
+//!
+//! A cross-file rule also declares [`Rule::global_deps`] — the path
+//! prefixes whose changes can move its verdict — so `--diff` mode knows
+//! which finish-phase findings a changed file can affect. The engine in
+//! [`crate`] applies suppressions after both phases, so rules never need
+//! to think about them.
 
 use crate::lexer::{Tok, TokKind};
+use crate::parse::ParsedFile;
+use crate::summary::{Facts, FileSummary};
 use crate::workspace::FileCtx;
 
+mod atomic_hygiene;
+mod determinism_zone;
 mod float_hygiene;
 mod lock_order;
+mod lossy_cast;
 mod no_panic;
 mod poison_lock;
 mod protocol_exhaustive;
+mod registry_coherence;
+mod swallowed_errors;
 
 /// Every known rule id, in catalog order (also the set the suppression
 /// parser accepts).
-pub const RULE_IDS: &[&str] = &["R1", "R2", "R3", "R4", "R5"];
+pub const RULE_IDS: &[&str] = &["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"];
 
-/// Everything a rule may look at.
-pub struct Ctx<'a> {
-    /// Lexed workspace files, sorted by path.
-    pub files: &'a [FileCtx],
-    /// `DESIGN.md` text when available (R5's wire-protocol table check).
+/// What a rule's scan phase sees: one lexed + parsed file.
+pub struct ScanCtx<'a> {
+    /// Lexed file with test regions and suppressions.
+    pub file: &'a FileCtx,
+    /// Recovered syntax (items, fns, calls, bindings).
+    pub parsed: &'a ParsedFile,
+}
+
+/// What a rule's finish phase sees: every file's summary (facts included)
+/// plus `DESIGN.md`.
+pub struct FinishCtx<'a> {
+    /// Per-file summaries, sorted by path.
+    pub files: &'a [FileSummary],
+    /// `DESIGN.md` text when available (R5/R10 documentation joins).
     pub design_md: Option<&'a str>,
 }
 
@@ -41,12 +68,23 @@ pub struct Finding {
 
 /// A lint rule.
 pub trait Rule {
-    /// Stable id (`R1`..`R5`).
+    /// Stable id (`R1`..`R10`).
     fn id(&self) -> &'static str;
     /// One-line summary for reports and docs.
     fn description(&self) -> &'static str;
-    /// Runs the rule over the workspace.
-    fn check(&self, ctx: &Ctx<'_>) -> Vec<Finding>;
+    /// Per-file phase: local findings into `findings`, cross-file facts
+    /// into `facts`. Must depend only on `ctx` (cacheability contract).
+    fn scan(&self, ctx: &ScanCtx<'_>, facts: &mut Facts, findings: &mut Vec<Finding>);
+    /// Whole-workspace phase over the collected facts.
+    fn finish(&self, ctx: &FinishCtx<'_>) -> Vec<Finding> {
+        let _ = ctx;
+        Vec::new()
+    }
+    /// Path prefixes whose changes can alter this rule's finish-phase
+    /// verdict (diff-mode dependency scoping). Empty for local rules.
+    fn global_deps(&self) -> &'static [&'static str] {
+        &[]
+    }
 }
 
 /// The shipped rule set, in catalog order.
@@ -57,6 +95,11 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(float_hygiene::FloatHygiene),
         Box::new(lock_order::LockOrder),
         Box::new(protocol_exhaustive::ProtocolExhaustiveness),
+        Box::new(determinism_zone::DeterminismZone),
+        Box::new(atomic_hygiene::AtomicHygiene),
+        Box::new(lossy_cast::LossyCast),
+        Box::new(swallowed_errors::SwallowedErrors),
+        Box::new(registry_coherence::RegistryCoherence),
     ]
 }
 
@@ -78,6 +121,23 @@ pub(crate) fn ident_text(t: &Tok) -> Option<&str> {
         TokKind::Ident(s) => Some(s),
         _ => None,
     }
+}
+
+/// `WhatifCost` → `whatif_cost` — the wire-op / metric naming convention
+/// shared by R5 (protocol ops) and R10 (counter names).
+pub(crate) fn camel_to_snake(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
 }
 
 /// Rust keywords that can precede `[` without it being an index

@@ -22,8 +22,9 @@
 //! `assert!`-family invariant checks and the non-panicking `unwrap_or*`
 //! variants are allowed by design.
 
-use super::{ident_text, is_punct, Ctx, Finding, Rule, NON_INDEX_KEYWORDS};
+use super::{ident_text, is_punct, Finding, Rule, ScanCtx, NON_INDEX_KEYWORDS};
 use crate::lexer::TokKind;
+use crate::summary::Facts;
 use crate::workspace::FileCtx;
 
 /// See module docs.
@@ -53,15 +54,10 @@ impl Rule for NoPanicInHotPath {
         "no unwrap/expect/panic! (and, in the server, no index expressions) in hot-path code"
     }
 
-    fn check(&self, ctx: &Ctx<'_>) -> Vec<Finding> {
-        let mut findings = Vec::new();
-        for file in ctx.files {
-            if !in_panic_zone(&file.path) {
-                continue;
-            }
-            check_file(file, &mut findings);
+    fn scan(&self, ctx: &ScanCtx<'_>, _facts: &mut Facts, findings: &mut Vec<Finding>) {
+        if in_panic_zone(&ctx.file.path) {
+            check_file(ctx.file, findings);
         }
-        findings
     }
 }
 

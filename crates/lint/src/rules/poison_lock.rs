@@ -13,7 +13,8 @@
 //! too: the drain path runs during tests as well, and a test that poisons
 //! a mutex on purpose still acquires it through the helper first.
 
-use super::{is_ident, is_punct, Ctx, Finding, Rule};
+use super::{is_ident, is_punct, Finding, Rule, ScanCtx};
+use crate::summary::Facts;
 use crate::workspace::FileCtx;
 
 /// See module docs.
@@ -28,15 +29,10 @@ impl Rule for PoisonSafeLocking {
         "every Mutex::lock() in crates/server must recover poisoning (lock_unpoisoned helper)"
     }
 
-    fn check(&self, ctx: &Ctx<'_>) -> Vec<Finding> {
-        let mut findings = Vec::new();
-        for file in ctx.files {
-            if !file.path.starts_with("crates/server/src/") {
-                continue;
-            }
-            check_file(file, &mut findings);
+    fn scan(&self, ctx: &ScanCtx<'_>, _facts: &mut Facts, findings: &mut Vec<Finding>) {
+        if ctx.file.path.starts_with("crates/server/src/") {
+            check_file(ctx.file, findings);
         }
-        findings
     }
 }
 

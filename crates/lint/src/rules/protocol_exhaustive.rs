@@ -10,7 +10,8 @@
 //! snake_case op name somewhere in `DESIGN.md`. When `protocol.rs` is not
 //! among the scanned files (fixture runs) the rule is inert.
 
-use super::{ident_text, is_ident, is_punct, Ctx, Finding, Rule};
+use super::{camel_to_snake, ident_text, is_ident, is_punct, Finding, FinishCtx, Rule, ScanCtx};
+use crate::summary::{Facts, FileSummary};
 use crate::workspace::FileCtx;
 
 /// See module docs.
@@ -25,16 +26,24 @@ impl Rule for ProtocolExhaustiveness {
         "every Request variant has a dispatch arm in engine.rs and a DESIGN.md table entry"
     }
 
-    fn check(&self, ctx: &Ctx<'_>) -> Vec<Finding> {
+    fn scan(&self, ctx: &ScanCtx<'_>, facts: &mut Facts, _findings: &mut Vec<Finding>) {
+        if ctx.file.path.ends_with("server/src/protocol.rs") {
+            facts.request_variants = request_variants(ctx.file);
+        }
+        if ctx.file.path.ends_with("server/src/engine.rs") {
+            facts.dispatched = dispatched_variants(ctx.file);
+        }
+    }
+
+    fn finish(&self, ctx: &FinishCtx<'_>) -> Vec<Finding> {
         let Some(protocol) = find_file(ctx, "server/src/protocol.rs") else {
             return Vec::new();
         };
-        let variants = request_variants(protocol);
         let engine = find_file(ctx, "server/src/engine.rs");
         let mut findings = Vec::new();
-        for (variant, line) in &variants {
+        for (variant, line) in &protocol.facts.request_variants {
             if let Some(engine) = engine {
-                if !dispatches(engine, variant) {
+                if !engine.facts.dispatched.iter().any(|d| d == variant) {
                     findings.push(Finding {
                         file: engine.path.clone(),
                         line: 1,
@@ -61,9 +70,17 @@ impl Rule for ProtocolExhaustiveness {
         }
         findings
     }
+
+    fn global_deps(&self) -> &'static [&'static str] {
+        &[
+            "crates/server/src/protocol.rs",
+            "crates/server/src/engine.rs",
+            "DESIGN.md",
+        ]
+    }
 }
 
-fn find_file<'a>(ctx: &Ctx<'a>, suffix: &str) -> Option<&'a FileCtx> {
+fn find_file<'a>(ctx: &FinishCtx<'a>, suffix: &str) -> Option<&'a FileSummary> {
     ctx.files.iter().find(|f| f.path.ends_with(suffix))
 }
 
@@ -125,28 +142,21 @@ fn request_variants(file: &FileCtx) -> Vec<(String, u32)> {
     variants
 }
 
-/// Whether `engine.rs` mentions `Request::<variant>` outside tests.
-fn dispatches(engine: &FileCtx, variant: &str) -> bool {
+/// Every `Request::<Variant>` path mentioned outside tests (the dispatch
+/// arms, as facts for the finish join).
+fn dispatched_variants(engine: &FileCtx) -> Vec<String> {
     let toks = &engine.toks;
-    (0..toks.len()).any(|i| {
-        is_ident(&toks[i], "Request")
+    let mut out: Vec<String> = Vec::new();
+    for i in 0..toks.len() {
+        if is_ident(&toks[i], "Request")
             && !engine.in_tests(toks[i].line)
             && toks.get(i + 1).is_some_and(|t| is_punct(t, "::"))
-            && toks.get(i + 2).is_some_and(|t| is_ident(t, variant))
-    })
-}
-
-/// `WhatifCost` → `whatif_cost` — the wire op naming convention.
-fn camel_to_snake(name: &str) -> String {
-    let mut out = String::with_capacity(name.len() + 4);
-    for (i, c) in name.chars().enumerate() {
-        if c.is_ascii_uppercase() {
-            if i > 0 {
-                out.push('_');
+        {
+            if let Some(v) = toks.get(i + 2).and_then(ident_text) {
+                if !out.iter().any(|o| o == v) {
+                    out.push(v.to_string());
+                }
             }
-            out.push(c.to_ascii_lowercase());
-        } else {
-            out.push(c);
         }
     }
     out
@@ -154,7 +164,7 @@ fn camel_to_snake(name: &str) -> String {
 
 #[cfg(test)]
 mod tests {
-    use super::camel_to_snake;
+    use super::super::camel_to_snake;
 
     #[test]
     fn snake_casing() {

@@ -1,0 +1,98 @@
+//! R9 — swallowed errors on the service and planning paths.
+//!
+//! `let _ = fallible()` and `fallible().ok();` compile the `#[must_use]`
+//! warning away — which is sometimes exactly right (best-effort wakeup
+//! pokes, socket-option hints) and sometimes a bug that surfaces as a
+//! silently wrong migration plan or a half-written response. On the paths
+//! where a dropped error has consequences — the request-serving path
+//! (`crates/server`), the index/partition planners (`crates/planner`),
+//! and the continuous-relayout/migration layer (`crates/relayout`) — the
+//! discard must be explicit and audited: handle the error, propagate it,
+//! or keep the discard with a suppression whose reason says why
+//! best-effort is correct there. Test regions are exempt.
+//!
+//! Both shapes are purely syntactic: `let _ =` with the wildcard pattern
+//! exactly (a named `_guard` binding is a lifetime extension, not a
+//! discard), and `.ok()` as a statement terminator (`.ok()?` or a
+//! consumed `.ok()` feed the value onward and are fine).
+
+use super::{is_ident, is_punct, Finding, Rule, ScanCtx};
+use crate::summary::Facts;
+
+/// See module docs.
+pub struct SwallowedErrors;
+
+fn in_error_zone(path: &str) -> bool {
+    path.starts_with("crates/server/src/")
+        || path.starts_with("crates/planner/src/")
+        || path.starts_with("crates/relayout/src/")
+}
+
+impl Rule for SwallowedErrors {
+    fn id(&self) -> &'static str {
+        "R9"
+    }
+
+    fn description(&self) -> &'static str {
+        "no `let _ =` / statement-level `.ok()` discarding Results in server, planner, and \
+         relayout paths without a documented best-effort reason"
+    }
+
+    fn scan(&self, ctx: &ScanCtx<'_>, _facts: &mut Facts, findings: &mut Vec<Finding>) {
+        if !in_error_zone(&ctx.file.path) {
+            return;
+        }
+        let toks = &ctx.file.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if ctx.file.in_tests(t.line) {
+                continue;
+            }
+            // `let _ = ...` — wildcard discard.
+            if is_ident(t, "let")
+                && toks.get(i + 1).is_some_and(|n| is_ident(n, "_"))
+                && toks.get(i + 2).is_some_and(|n| is_punct(n, "="))
+            {
+                findings.push(Finding {
+                    file: ctx.file.path.clone(),
+                    line: t.line,
+                    message: "`let _ =` discards a Result on a path where a dropped error has \
+                              consequences; handle or propagate it, or suppress with the \
+                              reason best-effort is correct here"
+                        .into(),
+                });
+                continue;
+            }
+            // `....ok();` — statement-level Result-to-Option discard.
+            if is_ident(t, "ok")
+                && i > 0
+                && is_punct(&toks[i - 1], ".")
+                && toks.get(i + 1).is_some_and(|n| is_punct(n, "("))
+                && toks.get(i + 2).is_some_and(|n| is_punct(n, ")"))
+                && toks.get(i + 3).is_some_and(|n| is_punct(n, ";"))
+            {
+                findings.push(Finding {
+                    file: ctx.file.path.clone(),
+                    line: t.line,
+                    message: "statement-level `.ok()` swallows the error; handle or propagate \
+                              it, or suppress with the reason best-effort is correct here"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::in_error_zone;
+
+    #[test]
+    fn zone_covers_service_and_planning_paths() {
+        assert!(in_error_zone("crates/server/src/server.rs"));
+        assert!(in_error_zone("crates/planner/src/explain.rs"));
+        assert!(in_error_zone("crates/relayout/src/planner.rs"));
+        assert!(!in_error_zone("crates/core/src/tsgreedy.rs"));
+        assert!(!in_error_zone("crates/bench/src/observatory.rs"));
+    }
+}

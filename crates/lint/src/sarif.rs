@@ -1,0 +1,167 @@
+//! SARIF 2.1.0 rendering for CI annotation.
+//!
+//! GitHub's code-scanning upload understands SARIF natively, turning lint
+//! findings into inline PR annotations. Only the subset the upload needs
+//! is emitted: one run with the tool's rule catalog, one `result` per
+//! diagnostic (active and out-of-scope alike — the latter marked by a
+//! property so a diff-scoped CI run still records the full picture), with
+//! `warning`/`error` levels and physical locations.
+
+use serde_json::Value;
+
+use crate::report::{Diagnostic, LintReport, Severity};
+use crate::rules::all_rules;
+
+fn map(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn result_for(d: &Diagnostic, in_scope: bool) -> Value {
+    let level = match d.severity {
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    };
+    map(vec![
+        ("ruleId", Value::Str(d.rule.to_string())),
+        ("level", Value::Str(level.to_string())),
+        (
+            "message",
+            map(vec![("text", Value::Str(d.message.clone()))]),
+        ),
+        (
+            "locations",
+            Value::Seq(vec![map(vec![(
+                "physicalLocation",
+                map(vec![
+                    (
+                        "artifactLocation",
+                        map(vec![("uri", Value::Str(d.file.clone()))]),
+                    ),
+                    (
+                        "region",
+                        map(vec![("startLine", Value::U64(u64::from(d.line.max(1))))]),
+                    ),
+                ]),
+            )])]),
+        ),
+        (
+            "properties",
+            map(vec![("inDiffScope", Value::Bool(in_scope))]),
+        ),
+    ])
+}
+
+/// Renders the report as a SARIF 2.1.0 document.
+pub fn to_sarif(report: &LintReport) -> Value {
+    let rules: Vec<Value> = all_rules()
+        .iter()
+        .map(|r| {
+            map(vec![
+                ("id", Value::Str(r.id().to_string())),
+                (
+                    "shortDescription",
+                    map(vec![("text", Value::Str(r.description().to_string()))]),
+                ),
+            ])
+        })
+        .collect();
+    let mut results: Vec<Value> = report
+        .diagnostics
+        .iter()
+        .map(|d| result_for(d, true))
+        .collect();
+    results.extend(report.out_of_scope.iter().map(|d| result_for(d, false)));
+    map(vec![
+        (
+            "$schema",
+            Value::Str(
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+                    .to_string(),
+            ),
+        ),
+        ("version", Value::Str("2.1.0".to_string())),
+        (
+            "runs",
+            Value::Seq(vec![map(vec![
+                (
+                    "tool",
+                    map(vec![(
+                        "driver",
+                        map(vec![
+                            ("name", Value::Str("dblayout-lint".to_string())),
+                            ("informationUri", Value::Str("DESIGN.md".to_string())),
+                            ("rules", Value::Seq(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Value::Seq(results)),
+            ])]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::ValueExt;
+
+    #[test]
+    fn sarif_shape_and_levels() {
+        let report = LintReport {
+            diagnostics: vec![Diagnostic {
+                rule: "R1",
+                severity: Severity::Warning,
+                file: "crates/server/src/x.rs".into(),
+                line: 3,
+                message: "bare unwrap".into(),
+            }],
+            out_of_scope: vec![Diagnostic {
+                rule: "R4",
+                severity: Severity::Warning,
+                file: "crates/server/src/y.rs".into(),
+                line: 9,
+                message: "cycle".into(),
+            }],
+            ..LintReport::default()
+        };
+        let v = to_sarif(&report);
+        assert_eq!(v.get("version").and_then(|x| x.as_str()), Some("2.1.0"));
+        let runs = v.get("runs").and_then(|x| x.as_array()).unwrap();
+        let results = runs[0].get("results").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("ruleId").and_then(|x| x.as_str()),
+            Some("R1")
+        );
+        assert_eq!(
+            results[0]
+                .get("properties")
+                .and_then(|p| p.get("inDiffScope"))
+                .and_then(|x| x.as_bool()),
+            Some(true)
+        );
+        assert_eq!(
+            results[1]
+                .get("properties")
+                .and_then(|p| p.get("inDiffScope"))
+                .and_then(|x| x.as_bool()),
+            Some(false)
+        );
+        // Rule catalog covers R1..R10.
+        let driver_rules = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(|x| x.as_array())
+            .unwrap();
+        assert_eq!(driver_rules.len(), 10);
+        // SARIF must parse back as JSON.
+        let text = serde_json::to_string(&v).unwrap();
+        let _: serde_json::Value = serde_json::from_str(&text).unwrap();
+    }
+}

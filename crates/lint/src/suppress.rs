@@ -15,9 +15,9 @@ use crate::lexer::Comment;
 use crate::rules::RULE_IDS;
 
 /// One parsed `dblayout::allow(...)` directive.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Suppression {
-    /// Uppercased rule id (`R1`..`R5`).
+    /// Uppercased rule id (`R1`..`R10`).
     pub rule: String,
     /// The mandatory justification (empty when malformed; see `error`).
     pub reason: String,
@@ -138,7 +138,7 @@ mod tests {
             "// dblayout::allow(R3)",
             "// dblayout::allow(R3, reason = \"\")",
             "// dblayout::allow(R3, because = \"x\")",
-            "// dblayout::allow(R9, reason = \"x\")",
+            "// dblayout::allow(R99, reason = \"x\")",
             "// dblayout::allow R3",
         ] {
             let s = parse(bad);

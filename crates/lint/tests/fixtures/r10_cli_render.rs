@@ -1,0 +1,14 @@
+//! Minimal explain-rendering stand-in: calls `.deterministic_pairs()`
+//! outside tests. Analyzed at `crates/cli/src/explain.rs`.
+use dblayout_obs::counters::CounterSnapshot;
+
+pub fn render(snapshot: &CounterSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in snapshot.deterministic_pairs() {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,22 @@
+//! Clean twin of `r10_registry_drift.rs`: COUNT, ALL, and the scheduling
+//! class all agree with the variant list. Analyzed at
+//! `crates/obs/src/counters.rs`.
+#[derive(Clone, Copy)]
+pub enum Counter {
+    GraphNodeUpdates = 0,
+    GraphEdgeUpdates = 1,
+    ParChunkItems = 2,
+}
+
+impl Counter {
+    pub const COUNT: usize = 3;
+    pub const ALL: [Counter; 3] = [
+        Counter::GraphNodeUpdates,
+        Counter::GraphEdgeUpdates,
+        Counter::ParChunkItems,
+    ];
+
+    pub fn is_deterministic(self) -> bool {
+        !matches!(self, Counter::ParChunkItems)
+    }
+}

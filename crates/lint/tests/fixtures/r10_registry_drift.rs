@@ -1,0 +1,19 @@
+//! Seeded R10 violations, analyzed at `crates/obs/src/counters.rs`:
+//! `COUNT` lags the variant list, `ALL` is missing a variant (so every
+//! generic renderer silently skips it), and the scheduling class excludes
+//! a variant that no longer exists.
+#[derive(Clone, Copy)]
+pub enum Counter {
+    GraphNodeUpdates = 0,
+    GraphEdgeUpdates = 1,
+    ParChunkItems = 2,
+}
+
+impl Counter {
+    pub const COUNT: usize = 2;
+    pub const ALL: [Counter; 2] = [Counter::GraphNodeUpdates, Counter::GraphEdgeUpdates];
+
+    pub fn is_deterministic(self) -> bool {
+        !matches!(self, Counter::ParChunkItems | Counter::ParPoolFallbacks)
+    }
+}

@@ -1,0 +1,14 @@
+//! Minimal Prometheus exposition stand-in: calls `.pairs()` outside
+//! tests. Analyzed at `crates/server/src/metrics.rs`.
+use dblayout_obs::counters::CounterSnapshot;
+
+pub fn render(snapshot: &CounterSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in snapshot.pairs() {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}

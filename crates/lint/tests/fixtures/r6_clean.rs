@@ -1,0 +1,12 @@
+//! Clean twin of `r6_det_zone.rs`: the fold runs over a `BTreeMap`, whose
+//! iteration order is the key order — stable across processes and thread
+//! counts. Analyzed at `crates/core/src/tsgreedy.rs`.
+use std::collections::BTreeMap;
+
+pub fn ts_greedy(weights: &BTreeMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, w) in weights.iter() {
+        total += w;
+    }
+    total
+}

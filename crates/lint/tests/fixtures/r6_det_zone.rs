@@ -1,0 +1,23 @@
+//! Seeded R6 violations: hash-order iteration inside the deterministic
+//! zone, plus a wall-clock read reachable from it through another file
+//! (see `r6_time_helper.rs`). Analyzed at `crates/core/src/tsgreedy.rs`.
+use std::collections::HashMap;
+
+pub fn ts_greedy(weights: &HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, w) in weights.iter() {
+        total += w;
+    }
+    total + crate::costmodel::score_candidates(3) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_iteration_in_tests_is_exempt() {
+        let m: HashMap<u64, u64> = HashMap::new();
+        for _ in m.iter() {}
+    }
+}

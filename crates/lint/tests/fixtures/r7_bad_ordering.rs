@@ -1,0 +1,11 @@
+//! Seeded R7 violation: an ordering outside the declared policy for the
+//! zone. Analyzed at `crates/obs/src/fixture.rs`, where atomics are
+//! sanctioned but the policy table allows only `Relaxed` (monotonic
+//! counters; snapshots tolerate tearing by design).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    HITS.fetch_add(1, Ordering::AcqRel);
+}

@@ -1,0 +1,9 @@
+//! Clean twin of `r7_bad_ordering.rs`: `Relaxed` is the declared policy
+//! for the obs zone. Analyzed at `crates/obs/src/fixture.rs`.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}

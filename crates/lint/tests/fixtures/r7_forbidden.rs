@@ -1,0 +1,14 @@
+//! Seeded R7 violations: raw atomics outside the sanctioned zones.
+//! Analyzed at `crates/catalog/src/fixture.rs`, where the policy is
+//! Forbidden — shared state belongs behind the obs registry or a lock.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Stats {
+    hits: AtomicU64,
+}
+
+impl Stats {
+    pub fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,7 @@
+//! Clean twin of `r8_lossy.rs`: int→float widening casts are exact for
+//! block counts, and the one intentional truncation carries a reasoned
+//! suppression. Analyzed at `crates/disksim/src/fixture.rs`.
+pub fn blocks(frac: f64, total: u64) -> u64 {
+    let exact = total as f64 * frac;
+    exact.ceil() as u64 // dblayout::allow(R8, reason = "frac is in [0,1], so exact is at most total; ceil keeps partial blocks")
+}

@@ -1,0 +1,6 @@
+//! Seeded R8 violations: a float→int truncation and an f64→f32 narrowing
+//! in a numeric kernel. Analyzed at `crates/disksim/src/fixture.rs`.
+pub fn blocks(frac: f64, total: u64) -> u64 {
+    let narrow = frac as f32;
+    (total as f64 * narrow as f64 * frac).ceil() as u64
+}

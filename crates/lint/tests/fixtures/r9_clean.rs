@@ -1,0 +1,10 @@
+//! Clean twin of `r9_swallowed.rs`: the error is propagated, and the
+//! named `_guard`-style binding is a lifetime extension, not a discard.
+//! Analyzed at `crates/relayout/src/fixture.rs`.
+use std::fs::File;
+
+pub fn persist(path: &str) -> std::io::Result<()> {
+    let _removed = std::fs::remove_file(path);
+    File::create(path)?;
+    Ok(())
+}

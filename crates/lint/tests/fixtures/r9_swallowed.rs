@@ -1,0 +1,17 @@
+//! Seeded R9 violations: a wildcard discard and a statement-level `.ok()`
+//! on the migration path. Analyzed at `crates/relayout/src/fixture.rs`.
+use std::fs::File;
+
+pub fn persist(path: &str) {
+    let _ = std::fs::remove_file(path);
+    File::create(path).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn discards_in_tests_are_exempt() {
+        let _ = std::fs::remove_file("scratch");
+        std::fs::File::create("scratch").ok();
+    }
+}

@@ -1,0 +1,169 @@
+//! Cache correctness: a warm run must reuse every unchanged file's
+//! summary and still produce bit-identical findings; editing one file
+//! re-scans exactly that file; diff scoping never loses a finding (the
+//! union of in-scope and out-of-scope diagnostics equals the cold run).
+
+use dblayout_lint::{analyze, analyze_with, AnalyzeOptions, Diagnostic, InputFile, LintReport};
+
+fn file(path: &str, text: &str) -> InputFile {
+    InputFile {
+        path: path.into(),
+        text: text.into(),
+    }
+}
+
+fn corpus() -> Vec<InputFile> {
+    vec![
+        file(
+            "crates/server/src/a.rs",
+            "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        ),
+        file(
+            "crates/server/src/b.rs",
+            "pub fn g(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        ),
+        file(
+            "crates/core/src/clean.rs",
+            "pub fn add(a: u64, b: u64) -> u64 { a + b }\n",
+        ),
+    ]
+}
+
+fn keys(diags: &[Diagnostic]) -> Vec<(&'static str, String, u32, String)> {
+    diags
+        .iter()
+        .map(|d| (d.rule, d.file.clone(), d.line, d.message.clone()))
+        .collect()
+}
+
+fn sorted_union(r: &LintReport) -> Vec<(&'static str, String, u32, String)> {
+    let mut all = keys(&r.diagnostics);
+    all.extend(keys(&r.out_of_scope));
+    all.sort();
+    all
+}
+
+#[test]
+fn warm_run_is_bit_identical_and_fully_cached() {
+    let files = corpus();
+    let (cold, cache) = analyze_with(&files, None, &AnalyzeOptions::default());
+    assert!(cold.file_timings.iter().all(|t| !t.cached));
+    assert_eq!(cold.warnings(), 2);
+
+    let opts = AnalyzeOptions {
+        cache: Some(&cache),
+        ..AnalyzeOptions::default()
+    };
+    let (warm, _) = analyze_with(&files, None, &opts);
+    assert!(
+        warm.file_timings.iter().all(|t| t.cached),
+        "every unchanged file comes from the cache"
+    );
+    assert_eq!(keys(&cold.diagnostics), keys(&warm.diagnostics));
+    assert_eq!(keys(&cold.suppressed), keys(&warm.suppressed));
+}
+
+#[test]
+fn editing_one_file_rescans_exactly_that_file() {
+    let files = corpus();
+    let (_, cache) = analyze_with(&files, None, &AnalyzeOptions::default());
+
+    let mut edited = corpus();
+    edited[0].text = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0)\n}\n".into();
+    let opts = AnalyzeOptions {
+        cache: Some(&cache),
+        ..AnalyzeOptions::default()
+    };
+    let (warm, next_cache) = analyze_with(&edited, None, &opts);
+    let rescanned: Vec<&str> = warm
+        .file_timings
+        .iter()
+        .filter(|t| !t.cached)
+        .map(|t| t.path.as_str())
+        .collect();
+    assert_eq!(rescanned, ["crates/server/src/a.rs"]);
+    // The fix in a.rs lands; b.rs's cached finding survives.
+    assert_eq!(warm.warnings(), 1);
+    assert_eq!(warm.diagnostics[0].file, "crates/server/src/b.rs");
+
+    // The refreshed cache makes the next run fully warm.
+    let opts = AnalyzeOptions {
+        cache: Some(&next_cache),
+        ..AnalyzeOptions::default()
+    };
+    let (warm2, _) = analyze_with(&edited, None, &opts);
+    assert!(warm2.file_timings.iter().all(|t| t.cached));
+}
+
+#[test]
+fn diff_scope_partitions_without_losing_findings() {
+    let files = corpus();
+    let cold = analyze(&files, None);
+
+    let changed = vec!["crates/server/src/a.rs".to_string()];
+    let opts = AnalyzeOptions {
+        changed: Some(&changed),
+        diff_base: Some("main".into()),
+        ..AnalyzeOptions::default()
+    };
+    let (scoped, _) = analyze_with(&files, None, &opts);
+    assert_eq!(scoped.warnings(), 1, "{}", scoped.render());
+    assert_eq!(scoped.diagnostics[0].file, "crates/server/src/a.rs");
+    assert_eq!(scoped.out_of_scope.len(), 1);
+    assert_eq!(scoped.out_of_scope[0].file, "crates/server/src/b.rs");
+
+    let mut cold_keys = keys(&cold.diagnostics);
+    cold_keys.sort();
+    assert_eq!(
+        sorted_union(&scoped),
+        cold_keys,
+        "diff scoping only partitions; it never drops"
+    );
+}
+
+#[test]
+fn cold_warm_and_diff_report_the_same_union() {
+    let files = corpus();
+    let cold = analyze(&files, None);
+    let mut cold_keys = keys(&cold.diagnostics);
+    cold_keys.sort();
+
+    let (_, cache) = analyze_with(&files, None, &AnalyzeOptions::default());
+    let changed = vec!["crates/core/src/clean.rs".to_string()];
+    let opts = AnalyzeOptions {
+        cache: Some(&cache),
+        changed: Some(&changed),
+        diff_base: Some("main".into()),
+    };
+    let (warm_diff, _) = analyze_with(&files, None, &opts);
+    assert!(warm_diff.file_timings.iter().all(|t| t.cached));
+    assert_eq!(sorted_union(&warm_diff), cold_keys);
+}
+
+#[test]
+fn cross_file_rules_stay_in_scope_when_a_dependency_changes() {
+    // The R5 protocol join: engine.rs is untouched, but the finding stays
+    // in scope because protocol.rs (a declared dependency of R5) changed.
+    let files = [
+        file(
+            "crates/server/src/protocol.rs",
+            "pub enum Request {\n    OpenSession,\n    Shutdown,\n}\n",
+        ),
+        file(
+            "crates/server/src/engine.rs",
+            "use super::protocol::Request;\npub fn dispatch(r: &Request) -> &'static str {\n    match r {\n        Request::OpenSession => \"open\",\n        _ => \"dropped\",\n    }\n}\n",
+        ),
+    ];
+    let changed = vec!["crates/server/src/protocol.rs".to_string()];
+    let opts = AnalyzeOptions {
+        changed: Some(&changed),
+        diff_base: Some("main".into()),
+        ..AnalyzeOptions::default()
+    };
+    let (scoped, _) = analyze_with(&files, None, &opts);
+    assert!(
+        scoped.diagnostics.iter().any(|d| d.rule == "R5"),
+        "undispatched Shutdown must not hide behind diff scoping: {}",
+        scoped.render()
+    );
+}

@@ -231,3 +231,235 @@ fn suppression_without_reason_is_fatal() {
         .iter()
         .any(|d| d.severity == Severity::Error && d.message.contains("reason")));
 }
+
+#[test]
+fn r6_hash_iteration_and_reachable_wall_clock() {
+    let files = [
+        file(
+            "crates/core/src/tsgreedy.rs",
+            include_str!("fixtures/r6_det_zone.rs"),
+        ),
+        file(
+            "crates/core/src/costmodel.rs",
+            include_str!("fixtures/r6_time_helper.rs"),
+        ),
+    ];
+    let report = analyze(&files, None);
+    // One HashMap iteration in the seed file, one Instant::now in the
+    // helper it calls — and nothing from the #[cfg(test)] module.
+    assert_eq!(rules_hit(&report), ["R6", "R6"], "{}", report.render());
+    let clock = report
+        .diagnostics
+        .iter()
+        .find(|d| d.file.ends_with("costmodel.rs"))
+        .expect("wall-clock finding");
+    assert!(
+        clock.message.contains("ts_greedy -> score_candidates"),
+        "finding explains the zone membership: {}",
+        clock.message
+    );
+
+    let clean = analyze(
+        &[file(
+            "crates/core/src/tsgreedy.rs",
+            include_str!("fixtures/r6_clean.rs"),
+        )],
+        None,
+    );
+    assert!(clean.is_clean(true), "{}", clean.render());
+}
+
+#[test]
+fn r6_is_scoped_to_the_deterministic_zone() {
+    // The same hash iteration outside the zone (no seed file defines or
+    // reaches it) is not R6's business.
+    let report = analyze(
+        &[file(
+            "crates/catalog/src/fixture.rs",
+            include_str!("fixtures/r6_det_zone.rs"),
+        )],
+        None,
+    );
+    assert!(report.is_clean(true), "{}", report.render());
+}
+
+#[test]
+fn r7_atomics_forbidden_outside_sanctioned_zones() {
+    let report = analyze(
+        &[file(
+            "crates/catalog/src/fixture.rs",
+            include_str!("fixtures/r7_forbidden.rs"),
+        )],
+        None,
+    );
+    // The AtomicU64 field and the fetch_add's Ordering, one per line.
+    assert_eq!(rules_hit(&report), ["R7", "R7"], "{}", report.render());
+}
+
+#[test]
+fn r7_ordering_policy_per_zone() {
+    let report = analyze(
+        &[file(
+            "crates/obs/src/fixture.rs",
+            include_str!("fixtures/r7_bad_ordering.rs"),
+        )],
+        None,
+    );
+    // Atomics are sanctioned in obs, but only Relaxed is in the policy.
+    assert_eq!(rules_hit(&report), ["R7"], "{}", report.render());
+    assert!(report.diagnostics[0].message.contains("AcqRel"));
+
+    let clean = analyze(
+        &[file(
+            "crates/obs/src/fixture.rs",
+            include_str!("fixtures/r7_clean.rs"),
+        )],
+        None,
+    );
+    assert!(clean.is_clean(true), "{}", clean.render());
+}
+
+#[test]
+fn r8_lossy_casts_in_numeric_kernels() {
+    let report = analyze(
+        &[file(
+            "crates/disksim/src/fixture.rs",
+            include_str!("fixtures/r8_lossy.rs"),
+        )],
+        None,
+    );
+    // The f64→f32 narrowing and the .ceil() as u64 truncation; the
+    // int→float widenings are exact and exempt.
+    assert_eq!(rules_hit(&report), ["R8", "R8"], "{}", report.render());
+
+    let clean = analyze(
+        &[file(
+            "crates/disksim/src/fixture.rs",
+            include_str!("fixtures/r8_clean.rs"),
+        )],
+        None,
+    );
+    assert!(clean.is_clean(true), "{}", clean.render());
+    assert_eq!(clean.suppressed.len(), 1, "the reasoned truncation");
+}
+
+#[test]
+fn r8_is_scoped_to_kernels() {
+    // The same casts in the catalog builder are not R8's business.
+    let report = analyze(
+        &[file(
+            "crates/catalog/src/fixture.rs",
+            include_str!("fixtures/r8_lossy.rs"),
+        )],
+        None,
+    );
+    assert!(report.is_clean(true), "{}", report.render());
+}
+
+#[test]
+fn r9_swallowed_errors_on_migration_paths() {
+    let report = analyze(
+        &[file(
+            "crates/relayout/src/fixture.rs",
+            include_str!("fixtures/r9_swallowed.rs"),
+        )],
+        None,
+    );
+    // `let _ =` and the statement-level `.ok()`; the test module copy of
+    // both is exempt.
+    assert_eq!(rules_hit(&report), ["R9", "R9"], "{}", report.render());
+
+    let clean = analyze(
+        &[file(
+            "crates/relayout/src/fixture.rs",
+            include_str!("fixtures/r9_clean.rs"),
+        )],
+        None,
+    );
+    assert!(clean.is_clean(true), "{}", clean.render());
+}
+
+#[test]
+fn r10_registry_drift_is_caught() {
+    let files = [
+        file(
+            "crates/obs/src/counters.rs",
+            include_str!("fixtures/r10_registry_drift.rs"),
+        ),
+        file(
+            "crates/server/src/metrics.rs",
+            include_str!("fixtures/r10_server_render.rs"),
+        ),
+        file(
+            "crates/cli/src/explain.rs",
+            include_str!("fixtures/r10_cli_render.rs"),
+        ),
+    ];
+    // COUNT lags, ALL is missing ParChunkItems, the scheduling class
+    // names a ghost variant, and DESIGN.md lacks par_chunk_items.
+    let report = analyze(&files, Some("graph_node_updates graph_edge_updates"));
+    assert_eq!(
+        rules_hit(&report),
+        ["R10", "R10", "R10", "R10"],
+        "{}",
+        report.render()
+    );
+    let all = report.render();
+    assert!(all.contains("COUNT"), "{all}");
+    assert!(all.contains("ParChunkItems"), "{all}");
+    assert!(all.contains("ParPoolFallbacks"), "{all}");
+    assert!(all.contains("par_chunk_items"), "{all}");
+}
+
+#[test]
+fn r10_coherent_registry_is_clean_and_rule_is_inert_without_it() {
+    let files = [
+        file(
+            "crates/obs/src/counters.rs",
+            include_str!("fixtures/r10_registry_clean.rs"),
+        ),
+        file(
+            "crates/server/src/metrics.rs",
+            include_str!("fixtures/r10_server_render.rs"),
+        ),
+        file(
+            "crates/cli/src/explain.rs",
+            include_str!("fixtures/r10_cli_render.rs"),
+        ),
+    ];
+    let report = analyze(
+        &files,
+        Some("graph_node_updates graph_edge_updates par_chunk_items"),
+    );
+    assert!(report.is_clean(true), "{}", report.render());
+
+    // Dropping the render surfaces turns them into findings.
+    let report = analyze(
+        &files[..1],
+        Some("graph_node_updates graph_edge_updates par_chunk_items"),
+    );
+    assert_eq!(rules_hit(&report), ["R10", "R10"], "{}", report.render());
+
+    // Fixture runs without counters.rs see nothing from R10.
+    let report = analyze(&files[1..], None);
+    assert!(report.is_clean(true), "{}", report.render());
+}
+
+#[test]
+fn unused_suppression_is_a_finding() {
+    let report = analyze(
+        &[file(
+            "crates/server/src/fixture.rs",
+            include_str!("fixtures/unused_suppression.rs"),
+        )],
+        None,
+    );
+    assert_eq!(
+        rules_hit(&report),
+        ["unused-suppression"],
+        "{}",
+        report.render()
+    );
+    assert!(report.diagnostics[0].message.contains("R1"));
+    assert!(!report.is_clean(true), "stale directives fail CI");
+}

@@ -130,7 +130,7 @@ impl Collector {
             };
         };
         let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
-        let started = inner.timing.then(Instant::now);
+        let started = inner.timing.then(Instant::now); // dblayout::allow(R6, reason = "span timestamps are observability-only and gated off on deterministic collectors; they never feed layout decisions")
         self.emit(Record {
             seq: 0, // assigned in emit
             kind: RecordKind::SpanStart,

@@ -105,7 +105,7 @@ pub fn cardenas_blocks(k: f64, blocks: u64) -> u64 {
     }
     let b = blocks as f64;
     let touched = b * (1.0 - (1.0 - 1.0 / b).powf(k));
-    (touched.ceil() as u64).clamp(1, blocks)
+    (touched.ceil() as u64).clamp(1, blocks) // dblayout::allow(R8, reason = "Cardenas estimate: touched is in [0, blocks] by construction and clamped right here")
 }
 
 #[cfg(test)]

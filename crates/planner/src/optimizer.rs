@@ -645,7 +645,7 @@ impl<'a> Optimizer<'a> {
                 .map(|e| predicate_selectivity(table, e))
                 .product();
             if key_sel < 0.999 {
-                let blocks = ((table_blocks as f64 * key_sel).ceil() as u64).max(1);
+                let blocks = ((table_blocks as f64 * key_sel).ceil() as u64).max(1); // dblayout::allow(R8, reason = "key_sel is in [0,1], so the product is at most table_blocks; ceil keeps partial blocks")
                 let scanned = table.row_count as f64 * key_sel;
                 out.push(Cand {
                     node: with_filter(
@@ -677,7 +677,7 @@ impl<'a> Optimizer<'a> {
                 continue;
             }
             let idx_object = self.catalog.object_id(&idx.name).expect("index registered");
-            let leaf_blocks = ((idx.size_blocks() as f64 * key_sel).ceil() as u64).max(1);
+            let leaf_blocks = ((idx.size_blocks() as f64 * key_sel).ceil() as u64).max(1); // dblayout::allow(R8, reason = "key_sel is in [0,1], so the product is at most the index size; ceil keeps partial blocks")
             let match_rows = table.row_count as f64 * key_sel;
             let covering = needed.as_ref().is_some_and(|cols| {
                 cols.iter()
@@ -1117,7 +1117,7 @@ impl<'a> Optimizer<'a> {
             }
             InsertSource::Query(q) => {
                 let planned = self.plan_select(q, &[])?;
-                let write_blocks = blocks_for_rows(planned.rows.ceil() as u64, t.row_bytes).max(1);
+                let write_blocks = blocks_for_rows(planned.rows.ceil() as u64, t.row_bytes).max(1); // dblayout::allow(R8, reason = "rows is a non-negative cardinality estimate far below 2^53; ceil rounds up partial rows")
                 Ok(PlanNode::Insert {
                     object,
                     name: t.name.clone(),

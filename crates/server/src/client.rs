@@ -15,7 +15,7 @@ impl Client {
     /// Connects to `addr` (`host:port`).
     pub fn connect(addr: &str) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
+        stream.set_nodelay(true).ok(); // dblayout::allow(R9, reason = "nodelay is a best-effort latency hint; the connection works without it")
         let writer = stream.try_clone()?;
         Ok(Self {
             reader: BufReader::new(stream),

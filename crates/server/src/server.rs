@@ -145,13 +145,13 @@ impl ServerHandle {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Unblock the acceptor with a throwaway connection; it re-checks the
         // flag after every accept.
-        let _ = TcpStream::connect(self.addr);
+        let _ = TcpStream::connect(self.addr); // dblayout::allow(R9, reason = "throwaway self-connection only unblocks accept(); the acceptor re-checks the shutdown flag either way")
         if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+            let _ = acceptor.join(); // dblayout::allow(R9, reason = "join error means the acceptor panicked; at shutdown there is nothing left to recover")
         }
         self.shared.available.notify_all();
         for worker in self.workers.drain(..) {
-            let _ = worker.join();
+            let _ = worker.join(); // dblayout::allow(R9, reason = "join error means the worker panicked; at shutdown there is nothing left to recover")
         }
     }
 }
@@ -254,11 +254,11 @@ fn execute_guarded(
 fn reply_and_close(mut stream: TcpStream, error: &ApiError) {
     let mut line = err_line(error);
     line.push('\n');
-    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(line.as_bytes()); // dblayout::allow(R9, reason = "best-effort error reply on a connection being closed; the peer may already be gone")
 }
 
 fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
+    let _ = stream.set_read_timeout(Some(shared.config.idle_timeout)); // dblayout::allow(R9, reason = "idle timeout is a best-effort hygiene hint; a session without it still serves correctly")
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
