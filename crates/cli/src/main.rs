@@ -25,6 +25,7 @@ USAGE:
     dblayout benchdiff <base> <cur>     compare two BENCH_*.json histories
     dblayout drift [drift-options]      detect workload drift vs the advised graph
     dblayout migrate [migrate-options]  budgeted relayout + ordered migration plan
+    dblayout audit [audit-options]      inspect and replay recorded decisions
 
 INPUTS (paper Figure 3):
     --database <spec>     built-in catalog: tpch[:sf] | tpch-n:<sf>:<n> | apb | sales
@@ -41,13 +42,51 @@ OPTIONS:
     --script <dbname>     print the filegroup deployment script
     --json <file>         write the recommendation as JSON
     --trace-out <file>    also record the search as raw trace JSONL
+    --audit-dir <dir>     decision-log directory (default results/decisions)
+    --no-audit            do not append a decision record
     --help                this text
+
+Every recommendation appends a replayable decision record to the audit
+log (see `dblayout audit --help`) unless --no-audit is given.
 
 See `dblayout explain --help` for the search narrative, `dblayout serve
 --help` and `dblayout client --help` for the service, `dblayout lint
 --help` for the static-analysis pass, `dblayout benchdiff --help`
-for the benchmark-regression gate, and `dblayout drift --help` /
-`dblayout migrate --help` for the continuous-relayout tools.
+for the benchmark-regression gate, `dblayout drift --help` /
+`dblayout migrate --help` for the continuous-relayout tools, and
+`dblayout audit --help` for the decision log.
+";
+
+const AUDIT_USAGE: &str = "\
+dblayout audit — inspect and replay recorded layout decisions
+
+USAGE:
+    dblayout audit list   [--audit-dir <dir>]
+    dblayout audit show   <id> [--audit-dir <dir>]
+    dblayout audit diff   <id-a> <id-b> [--audit-dir <dir>]
+    dblayout audit replay <id> [--audit-dir <dir>] [options]
+
+Every `dblayout recommend`/`migrate` run (and every server recommend op)
+appends a self-contained decision record — input digests, the advised
+access graph, search settings, predicted cost breakdowns, and the chosen
+layout — to a rotating JSONL log. `replay` re-derives the layout from the
+record alone and bit-compares it against what was recorded, then runs the
+recorded layout through the event simulator and reports the
+predicted-vs-simulated relative error (DESIGN.md, \"Decision provenance\").
+
+Exit status: 0 on success; `replay` exits 3 when the layout fails to
+reproduce bit-identically, the record is corrupt, or the error exceeds
+--threshold-pct; 1 on other errors.
+
+OPTIONS:
+    --audit-dir <dir>     decision-log directory (default results/decisions)
+    --threshold-pct <f>   max predicted-vs-simulated relative error percent
+                          before replay fails (default: report only)
+    --threads <n>         search threads for the re-run (default: the
+                          recorded count; results are identical at any value)
+    --perturb <f>         multiply the recomputed prediction by <f> — a
+                          fault-injection hook proving the threshold bites
+    --help                this text
 ";
 
 const DRIFT_USAGE: &str = "\
@@ -103,6 +142,8 @@ OPTIONS:
     --min-improvement <f>   required cost improvement percent (default 0;
                             shortfall is reported, not fatal)
     --json <file>           artifact path (default results/migration_plan.json)
+    --audit-dir <dir>       decision-log directory (default results/decisions)
+    --no-audit              do not append a decision record
     --help                  this text
 ";
 
@@ -215,6 +256,10 @@ OPTIONS:
     --deadline-ms <n>   per-request queue-wait deadline (default 30000)
     --sessions <n>      max concurrently open sessions (default 64)
     --cache <n>         max memoized what-if costs (default 1024)
+    --audit-dir <dir>   decision-record log directory (default
+                        results/decisions); every recommend op appends a
+                        replayable record, served by audit_list/audit_get
+    --no-audit          disable decision recording entirely
     --help              this text
 ";
 
@@ -236,6 +281,9 @@ OPTIONS:
     --help              this text
 ";
 
+/// Where decision records land unless `--audit-dir` says otherwise.
+const DEFAULT_AUDIT_DIR: &str = "results/decisions";
+
 struct Args {
     database: String,
     workload: String,
@@ -246,6 +294,8 @@ struct Args {
     script: Option<String>,
     json: Option<String>,
     trace_out: Option<String>,
+    audit_dir: String,
+    no_audit: bool,
 }
 
 impl Args {
@@ -269,6 +319,8 @@ fn parse_args(argv: &[String], usage: &str, allow_outputs: bool) -> Result<Args,
         script: None,
         json: None,
         trace_out: None,
+        audit_dir: DEFAULT_AUDIT_DIR.to_string(),
+        no_audit: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -295,6 +347,8 @@ fn parse_args(argv: &[String], usage: &str, allow_outputs: bool) -> Result<Args,
             "--script" if allow_outputs => args.script = Some(value("--script")?),
             "--json" if allow_outputs => args.json = Some(value("--json")?),
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--audit-dir" => args.audit_dir = value("--audit-dir")?,
+            "--no-audit" => args.no_audit = true,
             "--help" | "-h" => return Err(usage.to_string()),
             other => return Err(format!("unknown flag `{other}`\n\n{usage}")),
         }
@@ -311,6 +365,8 @@ struct Inputs {
     workload_text: String,
     disks: Vec<dblayout_disksim::DiskSpec>,
     constraints: dblayout_core::constraints::Constraints,
+    /// Raw constraints file text, kept for decision-record provenance.
+    constraints_text: Option<String>,
 }
 
 fn load_inputs(args: &Args) -> Result<Inputs, String> {
@@ -325,11 +381,14 @@ fn load_inputs(args: &Args) -> Result<Inputs, String> {
         }
         None => default_disks(),
     };
+    let mut constraints_text = None;
     let constraints = match &args.constraints {
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read constraints `{path}`: {e}"))?;
-            parse_constraints_file(&text, &catalog, &disks)?
+            let parsed = parse_constraints_file(&text, &catalog, &disks)?;
+            constraints_text = Some(text);
+            parsed
         }
         None => dblayout_core::constraints::Constraints::none(),
     };
@@ -338,6 +397,7 @@ fn load_inputs(args: &Args) -> Result<Inputs, String> {
         workload_text,
         disks,
         constraints,
+        constraints_text,
     })
 }
 
@@ -365,6 +425,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         workload_text,
         disks,
         constraints,
+        constraints_text,
     } = inputs;
 
     let mut cfg = AdvisorConfig {
@@ -374,16 +435,18 @@ fn run(argv: &[String]) -> Result<(), String> {
             constraints,
             ..Default::default()
         },
-        prof: Default::default(),
+        prof: dblayout_obs::prof::PhaseTimer::new(),
     };
     let ring = std::sync::Arc::new(dblayout_obs::RingSink::new(usize::MAX));
     if args.trace_out.is_some() {
         cfg.search.collector = dblayout_obs::Collector::deterministic(ring.clone());
     }
     let advisor = Advisor::new(&catalog, &disks);
+    let counters_before = dblayout_obs::counters::snapshot();
     let rec = advisor
         .recommend_sql(&workload_text, &cfg)
         .map_err(|e| e.to_string())?;
+    let counters_delta = dblayout_obs::counters::snapshot().delta(&counters_before);
 
     println!("statements analyzed : {}", rec.plans.len());
     println!(
@@ -441,7 +504,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 .collect(),
         };
         let json = serde_json::to_string_pretty(&out).map_err(|e| e.to_string())?;
-        std::fs::write(path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        write_text(path, &json)?;
         println!("\n(JSON written to {path})");
     }
 
@@ -449,6 +512,26 @@ fn run(argv: &[String]) -> Result<(), String> {
         write_trace(path, &ring.drain())?;
         warn_on_trace_loss(&ring);
         println!("(trace written to {path})");
+    }
+
+    if !args.no_audit {
+        let record = dblayout_audit::record_recommendation(
+            &dblayout_audit::RecordInputs {
+                source: "cli.recommend",
+                catalog_spec: &args.database,
+                workload_sql: &workload_text,
+                constraints_text: constraints_text.as_deref(),
+                disks: &disks,
+                k: args.k,
+                threads: args.search_threads(),
+                ts_unix_ms: now_unix_ms(),
+            },
+            &rec,
+            &cfg.prof.rows(),
+            &counters_delta,
+        );
+        let id = append_decision(&args.audit_dir, record)?;
+        println!("(decision recorded as id {id} in {})", args.audit_dir);
     }
     Ok(())
 }
@@ -473,6 +556,7 @@ fn run_explain(argv: &[String]) -> Result<(), String> {
         workload_text,
         disks,
         constraints,
+        constraints_text: _,
     } = inputs;
 
     let ring = std::sync::Arc::new(dblayout_obs::RingSink::new(usize::MAX));
@@ -588,7 +672,11 @@ fn run_benchdiff(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn run_serve(args: &[String]) -> Result<(), String> {
-    let mut cfg = ServerConfig::default();
+    let mut cfg = ServerConfig {
+        // Decision recording is on by default; --no-audit opts out.
+        audit_dir: Some(DEFAULT_AUDIT_DIR.to_string()),
+        ..ServerConfig::default()
+    };
     let mut port: u16 = 7437;
     let mut host = "127.0.0.1".to_string();
     let mut it = args.iter();
@@ -631,6 +719,8 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad --cache: {e}"))?
             }
+            "--audit-dir" => cfg.audit_dir = Some(value("--audit-dir")?),
+            "--no-audit" => cfg.audit_dir = None,
             "--help" | "-h" => return Err(SERVE_USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n\n{SERVE_USAGE}")),
         }
@@ -645,6 +735,10 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         cfg.queue_capacity,
         cfg.session_capacity
     );
+    match &cfg.audit_dir {
+        Some(dir) => println!("decision records append to {dir} (audit_list / audit_get ops)"),
+        None => println!("decision recording disabled (--no-audit)"),
+    }
     println!("one JSON request per line; try: {{\"op\":\"stats\"}}");
     // Serve until the process is killed.
     loop {
@@ -842,6 +936,33 @@ fn write_json_value(path: &str, value: &serde_json::Value) -> Result<(), String>
     std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))
 }
 
+/// Writes text to a file, creating missing parent directories; errors name
+/// the path that failed.
+fn write_text(path: &str, text: &str) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))
+}
+
+/// Wall-clock milliseconds since the Unix epoch, for decision timestamps
+/// (the audit crate itself never reads a clock).
+fn now_unix_ms() -> Option<u64> {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .ok()
+        .map(|d| d.as_millis() as u64)
+}
+
+/// Appends `record` to the decision log at `dir` and returns its id.
+fn append_decision(dir: &str, mut record: dblayout_audit::DecisionRecord) -> Result<u64, String> {
+    let mut log = dblayout_audit::DecisionLog::open(dir).map_err(|e| e.to_string())?;
+    log.append(&mut record).map_err(|e| e.to_string())
+}
+
 fn parse_unit_fraction(text: &str, name: &str) -> Result<f64, String> {
     let v: f64 = text.parse().map_err(|e| format!("bad {name}: {e}"))?;
     if !(0.0..=1.0).contains(&v) {
@@ -980,6 +1101,7 @@ fn run_migrate(argv: &[String]) -> Result<(), String> {
         workload_text,
         disks,
         constraints,
+        constraints_text,
     } = load_inputs(&args)?;
 
     let plans =
@@ -1002,9 +1124,11 @@ fn run_migrate(argv: &[String]) -> Result<(), String> {
             ..Default::default()
         },
     };
+    let counters_before = dblayout_obs::counters::snapshot();
     let outcome = recommend_budgeted(&sizes, &graph, &workload, &disks, &current, &cfg)
         .map_err(|e| e.to_string())?;
-    let plan = plan_migration(
+    let counters_delta = dblayout_obs::counters::snapshot().delta(&counters_before);
+    let mut plan = plan_migration(
         &current,
         &outcome.layout,
         &disks,
@@ -1054,6 +1178,31 @@ fn run_migrate(argv: &[String]) -> Result<(), String> {
         plan.start_cost_ms, plan.worst_intermediate_cost_ms, plan.final_cost_ms
     );
 
+    if !args.no_audit {
+        let record = dblayout_audit::record_budgeted(
+            &dblayout_audit::RecordInputs {
+                source: "cli.migrate",
+                catalog_spec: &args.database,
+                workload_sql: &workload_text,
+                constraints_text: constraints_text.as_deref(),
+                disks: &disks,
+                k: args.k,
+                threads: args.search_threads(),
+                ts_unix_ms: now_unix_ms(),
+            },
+            &outcome,
+            &current,
+            &graph,
+            &workload,
+            min_improvement,
+            &[],
+            &counters_delta,
+        );
+        let id = append_decision(&args.audit_dir, record)?;
+        plan.decision_id = Some(id);
+        println!("(decision recorded as id {id} in {})", args.audit_dir);
+    }
+
     let artifact = serde_json::Value::Map(vec![
         ("recommendation".to_string(), outcome.to_json()),
         ("plan".to_string(), plan.to_json()),
@@ -1061,6 +1210,201 @@ fn run_migrate(argv: &[String]) -> Result<(), String> {
     write_json_value(&json_out, &artifact)?;
     println!("(plan artifact written to {json_out})");
     Ok(())
+}
+
+fn run_audit(args: &[String]) -> Result<ExitCode, String> {
+    use dblayout_audit::{replay, DecisionLog, ReplayConfig};
+
+    let mut audit_dir = DEFAULT_AUDIT_DIR.to_string();
+    let mut threshold_pct: Option<f64> = None;
+    let mut threads: Option<usize> = None;
+    let mut perturb = 1.0f64;
+    let mut words: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--audit-dir" => audit_dir = value("--audit-dir")?,
+            "--threshold-pct" => {
+                let t: f64 = value("--threshold-pct")?
+                    .parse()
+                    .map_err(|e| format!("bad --threshold-pct: {e}"))?;
+                if !(t.is_finite() && t >= 0.0) {
+                    return Err("--threshold-pct must be a finite non-negative percent".into());
+                }
+                threshold_pct = Some(t);
+            }
+            "--threads" => {
+                let t: usize = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                threads = Some(t);
+            }
+            "--perturb" => {
+                perturb = value("--perturb")?
+                    .parse()
+                    .map_err(|e| format!("bad --perturb: {e}"))?;
+                if !(perturb.is_finite() && perturb > 0.0) {
+                    return Err("--perturb must be a finite positive factor".into());
+                }
+            }
+            "--help" | "-h" => return Err(AUDIT_USAGE.to_string()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`\n\n{AUDIT_USAGE}"))
+            }
+            word => words.push(word.to_string()),
+        }
+    }
+    let parse_id = |s: &str| -> Result<u64, String> {
+        s.parse().map_err(|e| format!("bad decision id `{s}`: {e}"))
+    };
+
+    match words
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
+        ["list"] => {
+            let log = DecisionLog::open(&audit_dir).map_err(|e| e.to_string())?;
+            let summaries = log.list().map_err(|e| e.to_string())?;
+            if summaries.is_empty() {
+                println!("no decisions recorded in {audit_dir}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            println!(
+                "{:>6}  {:<19}  {:<16}  {:>12}  {:>8}  {:<20}  git_rev",
+                "id", "kind", "strategy", "predicted_ms", "impr_pct", "source"
+            );
+            for s in &summaries {
+                println!(
+                    "{:>6}  {:<19}  {:<16}  {:>12.1}  {:>8.2}  {:<20}  {}",
+                    s.id,
+                    s.kind,
+                    s.strategy,
+                    s.predicted_cost_ms,
+                    s.improvement_pct,
+                    s.source,
+                    s.git_rev
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        ["show", id] => {
+            let log = DecisionLog::open(&audit_dir).map_err(|e| e.to_string())?;
+            let record = log.get(parse_id(id)?).map_err(|e| e.to_string())?;
+            let text =
+                serde_json::to_string_pretty(&record.to_json()).map_err(|e| e.to_string())?;
+            println!("{text}");
+            Ok(ExitCode::SUCCESS)
+        }
+        ["diff", a, b] => {
+            let log = DecisionLog::open(&audit_dir).map_err(|e| e.to_string())?;
+            let ra = log.get(parse_id(a)?).map_err(|e| e.to_string())?;
+            let rb = log.get(parse_id(b)?).map_err(|e| e.to_string())?;
+            println!("decision {} vs decision {}:", ra.id, rb.id);
+            let digest_rows = [
+                ("catalog", &ra.digests.catalog, &rb.digests.catalog),
+                ("workload", &ra.digests.workload, &rb.digests.workload),
+                ("disks", &ra.digests.disks, &rb.digests.disks),
+                ("config", &ra.digests.config, &rb.digests.config),
+                ("graph", &ra.digests.graph, &rb.digests.graph),
+            ];
+            for (name, da, db) in digest_rows {
+                if da == db {
+                    println!("  {name:<9} digest: identical ({da})");
+                } else {
+                    println!("  {name:<9} digest: DIFFERS   ({da} vs {db})");
+                }
+            }
+            println!(
+                "  strategy        : {} vs {}",
+                ra.outcome.strategy, rb.outcome.strategy
+            );
+            println!(
+                "  predicted cost  : {:.1} ms vs {:.1} ms",
+                ra.outcome.predicted_cost_ms, rb.outcome.predicted_cost_ms
+            );
+            println!(
+                "  improvement     : {:.2}% vs {:.2}%",
+                ra.outcome.improvement_pct, rb.outcome.improvement_pct
+            );
+            let cells_a: usize = ra.outcome.fractions.iter().map(Vec::len).sum();
+            let diverged = if ra.outcome.fractions == rb.outcome.fractions {
+                0
+            } else {
+                ra.outcome
+                    .fractions
+                    .iter()
+                    .flatten()
+                    .zip(rb.outcome.fractions.iter().flatten())
+                    .filter(|(x, y)| x.to_bits() != y.to_bits())
+                    .count()
+                    .max(1)
+            };
+            println!("  layout          : {diverged} of {cells_a} fraction cells differ");
+            Ok(ExitCode::SUCCESS)
+        }
+        ["replay", id] => {
+            let log = DecisionLog::open(&audit_dir).map_err(|e| e.to_string())?;
+            let record = log.get(parse_id(id)?).map_err(|e| e.to_string())?;
+            let cfg = ReplayConfig {
+                threads,
+                error_threshold_pct: threshold_pct.unwrap_or(f64::INFINITY),
+                predicted_scale: perturb,
+            };
+            let report = replay(&record, &cfg).map_err(|e| e.to_string())?;
+            println!(
+                "replaying decision {} ({}, recorded by {}) with {} thread(s)",
+                record.id, report.kind, record.git_rev, report.threads
+            );
+            if report.layout_matches {
+                println!("layout reproduction : bit-identical");
+            } else {
+                println!(
+                    "layout reproduction : DIVERGED — {} fraction cell(s) differ",
+                    report.mismatched_cells
+                );
+            }
+            println!(
+                "record integrity    : graph digest {}",
+                if report.graph_digest_ok {
+                    "ok"
+                } else {
+                    "MISMATCH (record corrupted)"
+                }
+            );
+            println!("recorded prediction : {:.1} ms", report.recorded_cost_ms);
+            println!("replayed prediction : {:.1} ms", report.predicted_cost_ms);
+            println!("simulated           : {:.1} ms", report.simulated_ms);
+            match threshold_pct {
+                Some(t) => println!(
+                    "relative error      : {:.2}%  (threshold {t}%)",
+                    report.relative_error_pct
+                ),
+                None => println!("relative error      : {:.2}%", report.relative_error_pct),
+            }
+            if report.passed() {
+                println!("verdict: PASSED");
+                Ok(ExitCode::SUCCESS)
+            } else {
+                println!("verdict: FAILED");
+                Ok(ExitCode::from(3))
+            }
+        }
+        [] => Err(AUDIT_USAGE.to_string()),
+        other => Err(format!(
+            "unknown audit command `{}`\n\n{AUDIT_USAGE}",
+            other.join(" ")
+        )),
+    }
 }
 
 fn main() -> ExitCode {
@@ -1073,6 +1417,7 @@ fn main() -> ExitCode {
         Some("benchdiff") => run_benchdiff(&args[1..]),
         Some("drift") => run_drift(&args[1..]),
         Some("migrate") => run_migrate(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("audit") => run_audit(&args[1..]),
         _ => run(&args).map(|()| ExitCode::SUCCESS),
     };
     match outcome {

@@ -135,6 +135,38 @@ impl Layout {
         }
     }
 
+    /// Rebuilds a layout from raw fraction rows, adopting each row
+    /// bit-for-bit with **no renormalization** — the exact inverse of
+    /// reading [`Layout::fractions_of`] row by row. This is what a
+    /// serialized layout (e.g. a `dblayout-audit` decision record) needs
+    /// to round-trip bit-identically; [`Layout::place`] would divide by
+    /// the row sum and perturb the last bits. Only the matrix shape is
+    /// checked here; call [`Layout::validate`] for Definition-2 validity.
+    pub fn from_fractions(
+        object_sizes: Vec<u64>,
+        fractions: Vec<Vec<f64>>,
+    ) -> Result<Self, LayoutError> {
+        if fractions.len() != object_sizes.len() {
+            return Err(LayoutError::DimensionMismatch {
+                layout_disks: fractions.len(),
+                actual_disks: object_sizes.len(),
+            });
+        }
+        let disks = fractions.first().map_or(0, |r| r.len());
+        for row in &fractions {
+            if row.len() != disks {
+                return Err(LayoutError::DimensionMismatch {
+                    layout_disks: row.len(),
+                    actual_disks: disks,
+                });
+            }
+        }
+        Ok(Self {
+            fractions,
+            object_sizes,
+        })
+    }
+
     /// FULL STRIPING: every object striped across all drives with fractions
     /// proportional to read transfer rates (paper §6 footnote 1).
     pub fn full_striping(object_sizes: Vec<u64>, disks: &[DiskSpec]) -> Self {

@@ -36,6 +36,7 @@ fn in_panic_zone(path: &str) -> bool {
     path.starts_with("crates/server/src/")
         || path.starts_with("crates/obs/src/")
         || path.starts_with("crates/relayout/src/")
+        || path.starts_with("crates/audit/src/")
         || path == "crates/core/src/costmodel.rs"
         || path == "crates/core/src/tsgreedy.rs"
         || path == "crates/core/src/par.rs"
@@ -141,6 +142,9 @@ mod tests {
             "crates/relayout/src/budget.rs",
             "crates/relayout/src/planner.rs",
             "crates/relayout/src/decay.rs",
+            "crates/audit/src/record.rs",
+            "crates/audit/src/log.rs",
+            "crates/audit/src/replay.rs",
         ] {
             assert!(in_panic_zone(path), "{path} must be R1-zoned");
         }

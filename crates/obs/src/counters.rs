@@ -81,10 +81,15 @@ pub enum Counter {
     MigrationStepsPlanned = 14,
     /// Blocks relocated across all planned migration steps.
     MigrationBlocksPlanned = 15,
+    /// Decision records appended to the audit log (`dblayout-audit`).
+    AuditRecordsWritten = 16,
+    /// Malformed/truncated JSONL lines skipped by the lenient trace
+    /// parser (`parse_trace_lenient`).
+    TraceParseErrors = 17,
 }
 
 /// Number of registered counters (slots in the backing array).
-pub const COUNT: usize = 16;
+pub const COUNT: usize = 18;
 
 impl Counter {
     /// Every counter, in declaration (= exposition) order.
@@ -105,6 +110,8 @@ impl Counter {
         Counter::RelayoutDriftChecks,
         Counter::MigrationStepsPlanned,
         Counter::MigrationBlocksPlanned,
+        Counter::AuditRecordsWritten,
+        Counter::TraceParseErrors,
     ];
 
     /// Static snake_case name. Renderers add their own affixes (the
@@ -127,6 +134,8 @@ impl Counter {
             Counter::RelayoutDriftChecks => "relayout_drift_checks",
             Counter::MigrationStepsPlanned => "migration_steps_planned",
             Counter::MigrationBlocksPlanned => "migration_blocks_planned",
+            Counter::AuditRecordsWritten => "audit_records_written",
+            Counter::TraceParseErrors => "trace_parse_errors",
         }
     }
 

@@ -58,7 +58,10 @@ mod record;
 mod sink;
 
 pub use collector::{Collector, Span};
-pub use record::{f, parse_trace, FieldValue, Record, RecordKind, TraceParseError};
+pub use record::{
+    f, parse_trace, parse_trace_lenient, FieldValue, LenientTrace, Record, RecordKind,
+    TraceParseError,
+};
 pub use sink::{JsonlSink, RingSink, Sink};
 
 #[cfg(test)]

@@ -71,7 +71,7 @@ impl PhaseTimer {
         PhaseGuard {
             inner: self.0.clone(),
             name,
-            started: Instant::now(),
+            started: Instant::now(), // dblayout::allow(R6, reason = "wall time feeds only profiling rows, which are documented as non-deterministic and excluded from every fingerprint; it never influences search results")
             done: self.0.is_none(),
         }
     }

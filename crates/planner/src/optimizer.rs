@@ -166,7 +166,7 @@ impl<'a> Optimizer<'a> {
         }
         for size in 2..=n {
             let mut masks: Vec<u64> = dp
-                .keys()
+                .keys() // dblayout::allow(R6, reason = "the collected keys are sorted with sort_unstable two lines below before any order-sensitive use")
                 .copied()
                 .filter(|m| m.count_ones() as usize == size - 1)
                 .collect();
@@ -204,6 +204,7 @@ impl<'a> Optimizer<'a> {
             // Connected extensions may fail for disconnected join graphs; the
             // cartesian candidates (links empty → sel 1.0) cover that, so
             // every mask of this size is populated.
+            // dblayout::allow(R6, reason = "order-insensitive merge: each mask key is distinct, so dp's final content is identical under any iteration order")
             for (mask, cands) in next {
                 dp.insert(mask, cands);
             }

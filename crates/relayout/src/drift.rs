@@ -63,12 +63,16 @@ pub struct DriftReport {
     pub advised_total_weight: f64,
     /// Whether either metric crossed its threshold.
     pub drifted: bool,
+    /// Id of the decision record that produced the advised graph, when the
+    /// caller tracks provenance (`dblayout-audit`); `None` for one-shot
+    /// comparisons with no recorded advice.
+    pub decision_id: Option<u64>,
 }
 
 impl DriftReport {
     /// Machine-readable rendering for the `drift` op and CLI artifacts.
     pub fn to_json(&self) -> Value {
-        Value::Map(vec![
+        let mut entries = vec![
             ("edge_distance".into(), Value::F64(self.edge_distance)),
             ("node_distance".into(), Value::F64(self.node_distance)),
             ("rank_churn".into(), Value::F64(self.rank_churn)),
@@ -82,7 +86,11 @@ impl DriftReport {
                 Value::F64(self.advised_total_weight),
             ),
             ("drifted".into(), Value::Bool(self.drifted)),
-        ])
+        ];
+        if let Some(id) = self.decision_id {
+            entries.push(("decision_id".into(), Value::U64(id)));
+        }
+        Value::Map(entries)
     }
 }
 
@@ -170,6 +178,7 @@ pub fn detect_drift(current: &Graph, advised: &Graph, cfg: &DriftConfig) -> Drif
         current_total_weight: current.total_edge_weight(),
         advised_total_weight: advised.total_edge_weight(),
         drifted,
+        decision_id: None,
     }
 }
 
@@ -259,9 +268,14 @@ mod tests {
     #[test]
     fn json_shape_is_stable() {
         let g = graph_with(&[(0, 1, 10.0)]);
-        let v = detect_drift(&g, &g.clone(), &DriftConfig::default()).to_json();
-        let text = serde_json::to_string(&v).unwrap();
+        let mut report = detect_drift(&g, &g.clone(), &DriftConfig::default());
+        let text = serde_json::to_string(&report.to_json()).unwrap();
         assert!(text.contains("\"edge_distance\""));
         assert!(text.contains("\"drifted\":false"));
+        // No provenance by default; the id appears only when attributed.
+        assert!(!text.contains("decision_id"));
+        report.decision_id = Some(7);
+        let text = serde_json::to_string(&report.to_json()).unwrap();
+        assert!(text.contains("\"decision_id\":7"));
     }
 }

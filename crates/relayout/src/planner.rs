@@ -137,13 +137,16 @@ pub struct MigrationPlan {
     /// The worst workload cost over the start and every intermediate
     /// layout — the degradation ceiling during migration (ms).
     pub worst_intermediate_cost_ms: f64,
+    /// Id of the decision record whose recommendation this plan migrates
+    /// toward, when the caller tracks provenance (`dblayout-audit`).
+    pub decision_id: Option<u64>,
 }
 
 impl MigrationPlan {
     /// The machine-readable plan artifact (the `plan_migration` wire
     /// result and the `dblayout migrate` output document).
     pub fn to_json(&self) -> Value {
-        Value::Map(vec![
+        let mut entries = vec![
             ("step_count".into(), Value::U64(self.steps.len() as u64)),
             (
                 "total_moved_blocks".into(),
@@ -160,11 +163,15 @@ impl MigrationPlan {
                 "worst_intermediate_cost_ms".into(),
                 Value::F64(self.worst_intermediate_cost_ms),
             ),
-            (
-                "steps".into(),
-                Value::Seq(self.steps.iter().map(|s| s.to_json()).collect()),
-            ),
-        ])
+        ];
+        if let Some(id) = self.decision_id {
+            entries.push(("decision_id".into(), Value::U64(id)));
+        }
+        entries.push((
+            "steps".into(),
+            Value::Seq(self.steps.iter().map(|s| s.to_json()).collect()),
+        ));
+        Value::Map(entries)
     }
 }
 
@@ -339,6 +346,7 @@ pub fn plan_migration(
         start_cost_ms: start_cost,
         final_cost_ms: final_cost,
         worst_intermediate_cost_ms: worst_cost,
+        decision_id: None,
     })
 }
 
@@ -483,11 +491,17 @@ mod tests {
         let current = Layout::full_striping(sizes.clone(), &disks);
         let mut target = Layout::empty(sizes, 3);
         target.place_proportional(0, &[0], &disks);
-        let plan = plan_migration(&current, &target, &disks, &[], &CostModel::default()).unwrap();
+        let mut plan =
+            plan_migration(&current, &target, &disks, &[], &CostModel::default()).unwrap();
         let text = serde_json::to_string(&plan.to_json()).unwrap();
         assert!(text.contains("\"step_count\":1"));
         assert!(text.contains("\"steps\":["));
         assert!(text.contains("\"from_disks\":[0,1,2]"));
         assert!(text.contains("\"to_disks\":[0]"));
+        // Provenance rides along only when the caller attributes the plan.
+        assert!(!text.contains("decision_id"));
+        plan.decision_id = Some(3);
+        let text = serde_json::to_string(&plan.to_json()).unwrap();
+        assert!(text.contains("\"decision_id\":3"));
     }
 }

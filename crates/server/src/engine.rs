@@ -8,6 +8,10 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use dblayout_audit::{
+    record_budgeted, record_recommendation, replay, AuditError, DecisionLog, DecisionRecord,
+    RecordInputs, ReplayConfig,
+};
 use dblayout_catalog::resolve_catalog;
 use dblayout_core::advisor::{Advisor, AdvisorConfig, AdvisorError};
 use dblayout_core::costmodel::CostModel;
@@ -54,6 +58,12 @@ pub struct Engine {
     /// build-graph / search / cost accumulate here across requests (the
     /// transport adds `serialize`); the `profile` op reads it.
     pub prof: PhaseTimer,
+    /// Decision-record log (`dblayout-audit`): when enabled, every
+    /// `recommend`/`recommend_budgeted` appends one replayable
+    /// provenance record and the `audit_list`/`audit_get` ops read them
+    /// back. `None` (the default) keeps recording off and answers the
+    /// audit ops with `audit_disabled`.
+    audit: Option<Mutex<DecisionLog>>,
 }
 
 impl Engine {
@@ -77,7 +87,31 @@ impl Engine {
             collector: Collector::new(trace.clone()),
             trace,
             prof: PhaseTimer::new(),
+            audit: None,
         }
+    }
+
+    /// Enables decision recording into a [`DecisionLog`] rooted at `dir`
+    /// (created when missing). Once on, every recommendation op appends a
+    /// record and tags its response with the assigned `decision_id`.
+    pub fn enable_audit(&mut self, dir: impl AsRef<std::path::Path>) -> Result<(), AuditError> {
+        let log = DecisionLog::open(dir)?;
+        self.audit = Some(Mutex::new(log));
+        Ok(())
+    }
+
+    /// Whether decision recording is active.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit.is_some()
+    }
+
+    /// Appends a freshly built record to the decision log. Only called on
+    /// paths that already checked `self.audit.is_some()`.
+    fn append_record(&self, mut record: DecisionRecord) -> Result<u64, ApiError> {
+        let log = self.audit.as_ref().ok_or_else(audit_disabled)?;
+        crate::lock_unpoisoned(log)
+            .append(&mut record)
+            .map_err(audit_api_error)
     }
 
     /// Sets (or clears) the max-idle session TTL; idle sessions are swept
@@ -117,12 +151,18 @@ impl Engine {
                 threads,
                 decay,
             } => {
-                let catalog = resolve_catalog(&catalog).map_err(ApiError::bad_request)?;
-                let disks = resolve_disks(&disks)?;
-                let objects = catalog.objects().len() as u64;
-                let n_disks = disks.len() as u64;
-                let id = crate::lock_unpoisoned(&self.registry)
-                    .open(Session::with_relayout(catalog, disks, threads, decay))?;
+                let resolved_catalog = resolve_catalog(&catalog).map_err(ApiError::bad_request)?;
+                let resolved_disks = resolve_disks(&disks)?;
+                let objects = resolved_catalog.objects().len() as u64;
+                let n_disks = resolved_disks.len() as u64;
+                let mut session =
+                    Session::with_relayout(resolved_catalog, resolved_disks, threads, decay);
+                // Keep the raw spec strings: decision records must name the
+                // inputs as the caller supplied them so a replay can
+                // re-resolve from the record alone.
+                session.catalog_spec = catalog;
+                session.disks_spec = disks;
+                let id = crate::lock_unpoisoned(&self.registry).open(session)?;
                 Ok(obj(vec![
                     ("session", Value::U64(id)),
                     ("objects", Value::U64(objects)),
@@ -202,7 +242,7 @@ impl Engine {
             }
             Request::Recommend { session, k } => {
                 let handle = crate::lock_unpoisoned(&self.registry).get(session)?;
-                let s = crate::lock_unpoisoned(&handle);
+                let mut s = crate::lock_unpoisoned(&handle);
                 let cfg = AdvisorConfig {
                     search: TsGreedyConfig {
                         k,
@@ -212,6 +252,7 @@ impl Engine {
                     prof: self.prof.clone(),
                 };
                 let advisor = Advisor::new(&s.catalog, &s.disks);
+                let counters_before = counters::snapshot();
                 let rec = advisor
                     .recommend_prepared(s.plans.clone(), s.graph.clone(), &s.workload, &cfg)
                     .map_err(|e| match e {
@@ -220,7 +261,31 @@ impl Engine {
                         }
                         other => ApiError::new("search_error", other.to_string()),
                     })?;
-                Ok(recommendation_result(&s.catalog, &s.disks, &rec))
+                let mut result = recommendation_result(&s.catalog, &s.disks, &rec);
+                if self.audit.is_some() {
+                    let delta = counters::snapshot().delta(&counters_before);
+                    let record = record_recommendation(
+                        &RecordInputs {
+                            source: "server.recommend",
+                            catalog_spec: &s.catalog_spec,
+                            workload_sql: &s.sql_text,
+                            constraints_text: None,
+                            disks: &s.disks,
+                            k,
+                            threads: s.threads,
+                            ts_unix_ms: now_unix_ms(),
+                        },
+                        &rec,
+                        &self.prof.rows(),
+                        &delta,
+                    );
+                    let id = self.append_record(record)?;
+                    s.last_decision = Some(id);
+                    if let Value::Map(pairs) = &mut result {
+                        pairs.push(("decision_id".to_string(), Value::U64(id)));
+                    }
+                }
+                Ok(result)
             }
             Request::Drift {
                 session,
@@ -236,7 +301,10 @@ impl Engine {
                     distance_threshold: distance_threshold.unwrap_or(defaults.distance_threshold),
                     churn_threshold: churn_threshold.unwrap_or(defaults.churn_threshold),
                 };
-                let report = detect_drift(&s.graph, &s.advised_graph, &cfg);
+                let mut report = detect_drift(&s.graph, &s.advised_graph, &cfg);
+                // Provenance: tie the report to the decision whose advised
+                // graph it drifted from (absent when nothing was recorded).
+                report.decision_id = s.last_decision;
                 let mut pairs = vec![
                     ("epoch".to_string(), Value::U64(s.epoch)),
                     ("version".to_string(), Value::U64(s.version)),
@@ -271,20 +339,52 @@ impl Engine {
                     },
                 };
                 let sizes = s.object_sizes();
+                let counters_before = counters::snapshot();
                 let outcome = {
                     let _phase = self.prof.phase("search");
                     recommend_budgeted(&sizes, &s.graph, &s.workload, &s.disks, &s.deployed, &cfg)
                         .map_err(|e| ApiError::new("search_error", e.to_string()))?
                 };
+                let decision_id = if self.audit.is_some() {
+                    let delta = counters::snapshot().delta(&counters_before);
+                    let record = record_budgeted(
+                        &RecordInputs {
+                            source: "server.recommend_budgeted",
+                            catalog_spec: &s.catalog_spec,
+                            workload_sql: &s.sql_text,
+                            constraints_text: None,
+                            disks: &s.disks,
+                            k,
+                            threads: s.threads,
+                            ts_unix_ms: now_unix_ms(),
+                        },
+                        &outcome,
+                        &s.deployed,
+                        &s.graph,
+                        &s.workload,
+                        min_improvement_pct,
+                        &self.prof.rows(),
+                        &delta,
+                    );
+                    Some(self.append_record(record)?)
+                } else {
+                    None
+                };
                 // The recommendation becomes the implicit migration target,
                 // and the advised-graph snapshot resets to now.
                 s.last_target = Some(outcome.layout.clone());
                 s.advised_graph = s.graph.clone();
+                if let Some(id) = decision_id {
+                    s.last_decision = Some(id);
+                }
                 let mut pairs = Vec::new();
                 if let Value::Map(outcome_pairs) = outcome.to_json() {
                     pairs.extend(outcome_pairs);
                 }
                 pairs.push(("layout".to_string(), fraction_rows(&outcome.layout)));
+                if let Some(id) = decision_id {
+                    pairs.push(("decision_id".to_string(), Value::U64(id)));
+                }
                 Ok(Value::Map(pairs))
             }
             Request::PlanMigration {
@@ -304,7 +404,7 @@ impl Engine {
                         )
                     })?,
                 };
-                let plan = {
+                let mut plan = {
                     let _phase = self.prof.phase("migrate");
                     plan_migration(
                         &s.deployed,
@@ -321,6 +421,9 @@ impl Engine {
                         ApiError::new(code, e.to_string())
                     })?
                 };
+                // Provenance: the plan migrates toward the last recorded
+                // recommendation (absent when nothing was recorded).
+                plan.decision_id = s.last_decision;
                 if apply {
                     s.deployed = target_layout;
                     s.advised_graph = s.graph.clone();
@@ -404,6 +507,46 @@ impl Engine {
                     .collect();
                 Ok(obj(vec![("phases", Value::Seq(phases))]))
             }
+            Request::AuditList { limit } => {
+                let log = self.audit.as_ref().ok_or_else(audit_disabled)?;
+                let mut summaries = crate::lock_unpoisoned(log)
+                    .list()
+                    .map_err(audit_api_error)?;
+                // `list` returns ascending ids; a limit keeps the most
+                // recent N (the ones an operator asks about).
+                if let Some(n) = limit {
+                    let skip = summaries.len().saturating_sub(n);
+                    summaries.drain(..skip);
+                }
+                Ok(obj(vec![
+                    ("count", Value::U64(summaries.len() as u64)),
+                    (
+                        "decisions",
+                        Value::Seq(summaries.iter().map(|d| d.to_json()).collect()),
+                    ),
+                ]))
+            }
+            Request::AuditGet {
+                id,
+                replay: run_replay,
+            } => {
+                let log = self.audit.as_ref().ok_or_else(audit_disabled)?;
+                let record = crate::lock_unpoisoned(log)
+                    .get(id)
+                    .map_err(audit_api_error)?;
+                let mut pairs = vec![("record".to_string(), record.to_json())];
+                if run_replay {
+                    let report = {
+                        let _phase = self.prof.phase("replay");
+                        replay(&record, &ReplayConfig::default()).map_err(audit_api_error)?
+                    };
+                    self.metrics
+                        .audit_replay_error_ppm
+                        .observe_us(error_ppm(report.relative_error_pct));
+                    pairs.push(("replay".to_string(), report.to_json()));
+                }
+                Ok(Value::Map(pairs))
+            }
             Request::CloseSession { session } => {
                 crate::lock_unpoisoned(&self.registry).close(session)?;
                 crate::lock_unpoisoned(&self.cache).invalidate_session(session);
@@ -416,6 +559,47 @@ impl Engine {
 /// Whole megabytes → 64 KB blocks (16 blocks per MB).
 fn mb_to_blocks(mb: u64) -> u64 {
     mb.saturating_mul(1_048_576 / dblayout_catalog::BLOCK_BYTES)
+}
+
+/// Wall-clock milliseconds since the Unix epoch, `None` if the clock sits
+/// before it (records stay replayable either way — the timestamp is
+/// provenance, not an input to the search).
+fn now_unix_ms() -> Option<u64> {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .ok()
+        .and_then(|d| u64::try_from(d.as_millis()).ok())
+}
+
+/// A relative error percentage as parts-per-million for the replay-error
+/// histogram (non-finite or negative readings saturate high so they show
+/// up as outliers, not as zeros).
+fn error_ppm(pct: f64) -> u64 {
+    if pct.is_finite() && pct >= 0.0 {
+        (pct * 10_000.0).round() as u64
+    } else {
+        crate::metrics::LAST_BUCKET_BOUND_US
+    }
+}
+
+/// The audit ops' answer when the engine has no decision log attached.
+fn audit_disabled() -> ApiError {
+    ApiError::new(
+        "audit_disabled",
+        "decision recording is disabled; start the server with an audit directory",
+    )
+}
+
+/// Maps decision-log failures onto wire error codes: a missing id is the
+/// client's problem (`not_found`), everything else is the log's
+/// (`audit_error`).
+fn audit_api_error(e: AuditError) -> ApiError {
+    match e {
+        AuditError::NotFound(id) => {
+            ApiError::new("not_found", format!("no decision record with id {id}"))
+        }
+        other => ApiError::new("audit_error", other.to_string()),
+    }
 }
 
 /// A layout's full fraction matrix as an array of per-object rows.
@@ -591,6 +775,126 @@ mod tests {
             again.get("events").and_then(|v| v.as_array()).map(Vec::len),
             Some(0)
         );
+    }
+
+    #[test]
+    fn audit_ops_without_a_log_answer_audit_disabled() {
+        let engine = Engine::new(4, 16);
+        for req in [
+            Request::AuditList { limit: None },
+            Request::AuditGet {
+                id: 1,
+                replay: false,
+            },
+        ] {
+            let err = engine.execute(req, &RuntimeInfo::default()).unwrap_err();
+            assert_eq!(err.code, "audit_disabled");
+        }
+    }
+
+    /// The audited round trip: recommend tags its response with a decision
+    /// id, the record lists and fetches back, a server-side replay
+    /// reproduces the layout bit-identically, and downstream drift/plan
+    /// responses inherit the provenance id.
+    #[test]
+    fn audited_recommend_emits_a_replayable_record() {
+        let dir =
+            std::env::temp_dir().join(format!("dblayout_server_audit_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut engine = Engine::new(4, 16);
+        engine.enable_audit(&dir).expect("open decision log");
+        assert!(engine.audit_enabled());
+        let open = exec(
+            &engine,
+            Request::OpenSession {
+                catalog: "tpch:0.01".into(),
+                disks: "paper".into(),
+                threads: 2,
+                decay: 1.0,
+            },
+        );
+        let sid = open.get("session").and_then(|v| v.as_u64()).unwrap();
+        exec(
+            &engine,
+            Request::AddStatements {
+                session: sid,
+                sql: "SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;".into(),
+            },
+        );
+        let rec = exec(&engine, Request::Recommend { session: sid, k: 2 });
+        let id = rec
+            .get("decision_id")
+            .and_then(|v| v.as_u64())
+            .expect("recommend tags its decision id");
+
+        let list = exec(&engine, Request::AuditList { limit: Some(8) });
+        assert_eq!(list.get("count").and_then(|v| v.as_u64()), Some(1));
+
+        let got = exec(&engine, Request::AuditGet { id, replay: true });
+        let record = got.get("record").expect("record present");
+        assert_eq!(
+            record.get("source").and_then(|v| v.as_str()),
+            Some("server.recommend")
+        );
+        assert_eq!(
+            record.get("catalog_spec").and_then(|v| v.as_str()),
+            Some("tpch:0.01")
+        );
+        let report = got.get("replay").expect("replay report present");
+        assert_eq!(
+            report.get("layout_matches").and_then(|v| v.as_bool()),
+            Some(true)
+        );
+        assert_eq!(report.get("passed").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(engine.metrics.audit_replay_error_ppm.snapshot().count, 1);
+
+        // Budgeted recommendations record too, and drift/migration
+        // responses carry the latest decision id.
+        let budgeted = exec(
+            &engine,
+            Request::RecommendBudgeted {
+                session: sid,
+                k: 2,
+                budget_mb: None,
+                min_improvement_pct: 0.0,
+            },
+        );
+        let bid = budgeted
+            .get("decision_id")
+            .and_then(|v| v.as_u64())
+            .expect("budgeted recommend tags its decision id");
+        assert!(bid > id, "ids are monotone: {id} then {bid}");
+        let drift = exec(
+            &engine,
+            Request::Drift {
+                session: sid,
+                top_k: None,
+                distance_threshold: None,
+                churn_threshold: None,
+            },
+        );
+        assert_eq!(drift.get("decision_id").and_then(|v| v.as_u64()), Some(bid));
+        let plan = exec(
+            &engine,
+            Request::PlanMigration {
+                session: sid,
+                target: None,
+                apply: false,
+            },
+        );
+        assert_eq!(plan.get("decision_id").and_then(|v| v.as_u64()), Some(bid));
+
+        let missing = engine
+            .execute(
+                Request::AuditGet {
+                    id: 9_999,
+                    replay: false,
+                },
+                &RuntimeInfo::default(),
+            )
+            .unwrap_err();
+        assert_eq!(missing.code, "not_found");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use dblayout_obs::counters::{self, CounterSnapshot};
+use dblayout_obs::counters::{self, Counter, CounterSnapshot};
 
 /// Histogram bucket count. Bucket `i` holds observations whose value in
 /// microseconds `v` satisfies `floor(log2(max(v, 1))) == i`; the last bucket
@@ -177,6 +177,10 @@ pub struct Metrics {
     pub stage_compute: Histogram,
     /// Stage: response line construction.
     pub stage_serialize: Histogram,
+    /// Predicted-vs-simulated relative error of audit replays, in parts
+    /// per million (1 % = 10 000 ppm). Fed by the `audit_get` op when the
+    /// client asks for a replay; empty until someone audits.
+    pub audit_replay_error_ppm: Histogram,
 }
 
 impl Default for Metrics {
@@ -193,6 +197,7 @@ impl Default for Metrics {
             stage_queue: Histogram::default(),
             stage_compute: Histogram::default(),
             stage_serialize: Histogram::default(),
+            audit_replay_error_ppm: Histogram::default(),
         }
     }
 }
@@ -229,6 +234,8 @@ pub struct MetricsSnapshot {
     pub stage_compute: HistogramSnapshot,
     /// Serialize stage histogram reading.
     pub stage_serialize: HistogramSnapshot,
+    /// Audit replay-error histogram reading (ppm).
+    pub audit_replay_error_ppm: HistogramSnapshot,
     /// Connections currently waiting for a worker.
     pub queue_depth: u64,
     /// Sessions currently open.
@@ -285,6 +292,7 @@ impl Metrics {
             stage_queue: self.stage_queue.snapshot(),
             stage_compute: self.stage_compute.snapshot(),
             stage_serialize: self.stage_serialize.snapshot(),
+            audit_replay_error_ppm: self.audit_replay_error_ppm.snapshot(),
             queue_depth: gauges.queue_depth,
             sessions_open: gauges.sessions_open,
             sessions_evicted_total: gauges.sessions_evicted_total,
@@ -336,11 +344,38 @@ fn push_summary(out: &mut String, name: &str, h: &HistogramSnapshot) {
     ));
 }
 
+/// A label value that is safe inside the single-sample-per-line exposition
+/// this module emits: escaped per the text format, with whitespace folded
+/// to `_` so every non-comment line stays exactly two space-separated
+/// tokens (a property the format tests — and simple scrapers — rely on).
+fn sanitize_label_value(v: &str) -> String {
+    let folded: String = v
+        .chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect();
+    escape_label_value(&folded)
+}
+
+/// Renders the `dblayout_build_info` identity gauge: always-1, with the
+/// build's git revision (`DBLAYOUT_GIT_REV`, `unknown` when unset) and
+/// crate version as labels — the join key that lets dashboards slice the
+/// replay-error series by the code that produced the decisions.
+fn push_build_info(out: &mut String) {
+    let revision = std::env::var("DBLAYOUT_GIT_REV").unwrap_or_else(|_| "unknown".to_string());
+    out.push_str(&format!(
+        "# TYPE dblayout_build_info gauge\n\
+         dblayout_build_info{{revision=\"{}\",version=\"{}\"}} 1\n",
+        sanitize_label_value(&revision),
+        sanitize_label_value(env!("CARGO_PKG_VERSION")),
+    ));
+}
+
 /// Renders a snapshot in Prometheus text exposition format (the `metrics`
 /// wire op's payload). Deterministic key order; quantiles are
 /// bucket-resolution, in microseconds.
 pub fn render_prometheus(s: &MetricsSnapshot) -> String {
     let mut out = String::new();
+    push_build_info(&mut out);
     push_counter(&mut out, "dblayout_requests_total", s.requests_total);
     push_counter(&mut out, "dblayout_errors_total", s.errors_total);
     push_counter(&mut out, "dblayout_connections_total", s.connections_total);
@@ -367,6 +402,14 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
         "dblayout_trace_write_errors_total",
         s.trace_write_errors_total,
     );
+    // The decision-log family under its documented wire name (the
+    // registry also exports the raw counter as
+    // `dblayout_audit_records_written_total` below).
+    push_counter(
+        &mut out,
+        "dblayout_audit_records_total",
+        s.work.get(Counter::AuditRecordsWritten),
+    );
     // The workspace-wide work-unit registry (obs::counters), in its fixed
     // exposition order.
     for (name, value) in s.work.pairs() {
@@ -379,6 +422,11 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
     push_summary(&mut out, "dblayout_stage_queue_us", &s.stage_queue);
     push_summary(&mut out, "dblayout_stage_compute_us", &s.stage_compute);
     push_summary(&mut out, "dblayout_stage_serialize_us", &s.stage_serialize);
+    push_summary(
+        &mut out,
+        "dblayout_audit_replay_error_ppm",
+        &s.audit_replay_error_ppm,
+    );
     out
 }
 
@@ -592,6 +640,45 @@ mod tests {
             );
         }
         assert!(!typed.is_empty());
+    }
+
+    /// The build-identity gauge and both audit families render with type
+    /// lines, and every emitted line keeps the two-token shape even with
+    /// the labeled build_info sample present.
+    #[test]
+    fn exposition_includes_build_info_and_audit_families() {
+        let m = Metrics::default();
+        m.audit_replay_error_ppm.observe_us(25);
+        let text = render_prometheus(&m.snapshot());
+        assert!(
+            text.contains("# TYPE dblayout_build_info gauge\n"),
+            "{text}"
+        );
+        assert!(text.contains("dblayout_build_info{revision=\""), "{text}");
+        assert!(text.contains(&format!("version=\"{}\"}} 1\n", env!("CARGO_PKG_VERSION"))));
+        assert!(
+            text.contains("# TYPE dblayout_audit_records_total counter\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dblayout_audit_replay_error_ppm_count 1\n"),
+            "{text}"
+        );
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# ") || line.split(' ').count() == 2,
+                "malformed line: {line}"
+            );
+        }
+    }
+
+    /// Label sanitation folds whitespace (which would break the
+    /// one-sample-per-line shape) and still escapes quotes/backslashes.
+    #[test]
+    fn sanitized_labels_contain_no_whitespace() {
+        assert_eq!(sanitize_label_value("a b\tc"), "a_b_c");
+        assert_eq!(sanitize_label_value("a\"b"), "a\\\"b");
+        assert_eq!(sanitize_label_value("v0.1.0"), "v0.1.0");
     }
 
     #[test]

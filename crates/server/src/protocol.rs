@@ -26,6 +26,10 @@
 //! |                      | unbounded), `min_improvement_pct`? (default 0)   |
 //! | `plan_migration`     | `session`, `target`? (fraction matrix; default   |
 //! |                      | the last budgeted recommendation), `apply`?      |
+//! | `audit_list`         | `limit`? (most recent N decision summaries;      |
+//! |                      | default all retained)                            |
+//! | `audit_get`          | `id`, `replay`? (re-derive the decision and      |
+//! |                      | report predicted-vs-simulated error)             |
 //! | `stats`              | —                                                |
 //! | `metrics`            | — (Prometheus text exposition under `text`)      |
 //! | `trace`              | — (drains the server's span ring buffer)         |
@@ -146,6 +150,19 @@ pub enum Request {
         /// re-snapshots the advised graph.
         apply: bool,
     },
+    /// Summaries of retained decision records (dblayout-audit).
+    AuditList {
+        /// Most recent records to return; `None` returns every retained one.
+        limit: Option<usize>,
+    },
+    /// One decision record, optionally replayed for verification.
+    AuditGet {
+        /// Decision id as assigned by the log.
+        id: u64,
+        /// When true, also re-derive the decision and report reproduction
+        /// fidelity plus predicted-vs-simulated error.
+        replay: bool,
+    },
     /// Server metrics snapshot.
     Stats,
     /// Server metrics in Prometheus text exposition format.
@@ -173,6 +190,8 @@ impl Request {
             Request::Drift { .. } => "drift",
             Request::RecommendBudgeted { .. } => "recommend_budgeted",
             Request::PlanMigration { .. } => "plan_migration",
+            Request::AuditList { .. } => "audit_list",
+            Request::AuditGet { .. } => "audit_get",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
             Request::Trace => "trace",
@@ -371,6 +390,25 @@ pub fn parse_request(line: &str) -> Result<Request, ApiError> {
                     .unwrap_or(false),
             })
         }
+        "audit_list" => {
+            let limit = match value.get("limit") {
+                None => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    ApiError::bad_request("`limit` must be a non-negative integer")
+                })? as usize),
+            };
+            Ok(Request::AuditList { limit })
+        }
+        "audit_get" => Ok(Request::AuditGet {
+            id: value
+                .get("id")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| ApiError::bad_request("audit_get needs integer `id`"))?,
+            replay: value
+                .get("replay")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false),
+        }),
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
         "trace" => Ok(Request::Trace),
@@ -660,6 +698,28 @@ mod tests {
                 apply: true
             }
         );
+        assert_eq!(
+            parse_request(r#"{"op":"audit_list"}"#).unwrap(),
+            Request::AuditList { limit: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"audit_list","limit":5}"#).unwrap(),
+            Request::AuditList { limit: Some(5) }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"audit_get","id":7}"#).unwrap(),
+            Request::AuditGet {
+                id: 7,
+                replay: false
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"audit_get","id":7,"replay":true}"#).unwrap(),
+            Request::AuditGet {
+                id: 7,
+                replay: true
+            }
+        );
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
         assert_eq!(
             parse_request(r#"{"op":"metrics"}"#).unwrap(),
@@ -721,6 +781,9 @@ mod tests {
             r#"{"op":"recommend_budgeted","session":1,"budget_mb":-3}"#,
             r#"{"op":"recommend_budgeted","session":1,"min_improvement_pct":-1}"#,
             r#"{"op":"plan_migration","session":1,"target":"whatever"}"#,
+            r#"{"op":"audit_list","limit":"many"}"#,
+            r#"{"op":"audit_get"}"#,
+            r#"{"op":"audit_get","id":"first"}"#,
         ] {
             assert_eq!(parse_request(bad).unwrap_err().code, "bad_request", "{bad}");
         }

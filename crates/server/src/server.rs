@@ -54,6 +54,10 @@ pub struct ServerConfig {
     /// Max-idle session TTL; sessions untouched for longer are evicted on
     /// the next request. `None` (the default) keeps sessions until closed.
     pub session_idle_ttl: Option<Duration>,
+    /// Decision-log directory: when set, every recommendation op appends
+    /// a replayable provenance record there and the `audit_list` /
+    /// `audit_get` ops serve it. `None` (the default) disables recording.
+    pub audit_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +72,7 @@ impl Default for ServerConfig {
             cache_capacity: 1024,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             session_idle_ttl: None,
+            audit_dir: None,
         }
     }
 }
@@ -98,15 +103,21 @@ impl Server {
     pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let mut engine = Engine::with_trace_capacity(
+            config.session_capacity,
+            config.cache_capacity,
+            config.trace_capacity,
+        );
+        if let Some(dir) = &config.audit_dir {
+            engine
+                .enable_audit(dir)
+                .map_err(|e| std::io::Error::other(format!("opening decision log {dir}: {e}")))?;
+        }
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            engine: Engine::with_trace_capacity(
-                config.session_capacity,
-                config.cache_capacity,
-                config.trace_capacity,
-            ),
+            engine,
             config,
         });
         shared

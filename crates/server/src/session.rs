@@ -72,6 +72,18 @@ pub struct Session {
     /// The most recent budgeted recommendation — the implicit target of a
     /// `plan_migration` request that names none.
     pub last_target: Option<Layout>,
+    /// The catalog spec string the session was opened with, kept verbatim
+    /// for decision-record provenance (dblayout-audit).
+    pub catalog_spec: String,
+    /// The disk spec string the session was opened with (`paper`,
+    /// `uniform:...`), for decision-record provenance.
+    pub disks_spec: String,
+    /// The accumulated workload SQL exactly as ingested (weight comments
+    /// included) — the value-complete workload a decision record embeds.
+    pub sql_text: String,
+    /// Id of the most recent decision recorded for this session; stamped
+    /// onto DriftReports and MigrationPlans so they name their provenance.
+    pub last_decision: Option<u64>,
     /// Full-striping baseline layout, built once at open — object sizes and
     /// disks are fixed for the life of the session, so what-if requests
     /// against the baseline never rebuild it.
@@ -126,6 +138,10 @@ impl Session {
             deployed: fs_layout.clone(),
             advised_graph: Graph::new(n),
             last_target: None,
+            catalog_spec: String::new(),
+            disks_spec: String::new(),
+            sql_text: String::new(),
+            last_decision: None,
             fs_layout,
             fs_hash,
         }
@@ -183,6 +199,12 @@ impl Session {
         self.workload.extend(decompose_workload(&new_plans));
         let added = new_plans.len();
         self.plans.extend(new_plans);
+        // Only after everything succeeded: the recorded SQL must describe
+        // exactly the statements the session actually holds.
+        if !self.sql_text.is_empty() {
+            self.sql_text.push('\n');
+        }
+        self.sql_text.push_str(sql);
         self.version += 1;
         Ok(added)
     }
@@ -296,7 +318,7 @@ impl SessionRegistry {
         let id = self.next_id;
         self.next_id += 1;
         self.sessions
-            .insert(id, (Arc::new(Mutex::new(session)), Instant::now()));
+            .insert(id, (Arc::new(Mutex::new(session)), Instant::now())); // dblayout::allow(R6, reason = "the timestamp only drives idle-TTL eviction, never advisory results; the zone edge is a name collision between DecisionLog file opens and this registry open")
         Ok(id)
     }
 
