@@ -20,6 +20,7 @@
 //! | WK-SCALE(N) workload-size scaling          | [`wkscale_bench`] | `wkscale` |
 //! | Concurrency extension (§2.2/§9)            | [`extension_concurrency`] | `extension_concurrency` |
 //! | Sequential vs parallel search (dblayout-par) | [`search_bench`] | `search_bench` |
+//! | Mega-scale differential bench (WK-MEGA)    | [`megascale`] | `megascale_bench` |
 //!
 //! [`observatory`] is not a paper artifact: it appends every
 //! `search_bench`/server-bench run to the repo-root `BENCH_*.json`
@@ -32,6 +33,7 @@ pub mod extension_concurrency;
 pub mod figure10;
 pub mod figure11;
 pub mod figure12;
+pub mod megascale;
 pub mod observatory;
 pub mod search_bench;
 pub mod table2;

@@ -158,6 +158,12 @@ pub struct DiffOptions {
     pub ignore_counters: bool,
     /// Both medians must exceed this for a timing to count (noise floor).
     pub min_ms: f64,
+    /// Speedup gates: `(fast, slow)` metric-name pairs asserting that in
+    /// the *current* history, `fast`'s windowed median is not slower than
+    /// `slow`'s beyond [`DiffOptions::tolerance`] — "parallelism pays"
+    /// as a regression gate rather than a one-off claim. A gate naming a
+    /// metric the current history lacks is a hard failure.
+    pub not_slower: Vec<(String, String)>,
 }
 
 impl Default for DiffOptions {
@@ -167,6 +173,7 @@ impl Default for DiffOptions {
             window: 5,
             ignore_counters: false,
             min_ms: 1.0,
+            not_slower: Vec::new(),
         }
     }
 }
@@ -197,6 +204,23 @@ pub struct CounterDivergence {
     pub current: u64,
 }
 
+/// One evaluated [`DiffOptions::not_slower`] gate.
+#[derive(Debug, Clone)]
+pub struct SpeedupGate {
+    /// Metric expected to be at least as fast.
+    pub fast: String,
+    /// Metric it is measured against.
+    pub slow: String,
+    /// Windowed median of `fast` in the current history, ms.
+    pub fast_ms: f64,
+    /// Windowed median of `slow` in the current history, ms.
+    pub slow_ms: f64,
+    /// `fast / slow` (infinite when `slow` is zero).
+    pub ratio: f64,
+    /// `fast` exceeded `slow` beyond tolerance, above the noise floor.
+    pub violated: bool,
+}
+
 /// The outcome of comparing two bench histories.
 #[derive(Debug, Clone, Default)]
 pub struct DiffReport {
@@ -204,11 +228,15 @@ pub struct DiffReport {
     pub metrics: Vec<MetricDelta>,
     /// Deterministic counters that diverged (always a hard failure).
     pub counter_divergences: Vec<CounterDivergence>,
-    /// Whether the counter gate ran (same config, not ignored).
+    /// Whether any counter gate ran (matching config group, not ignored).
     pub counters_compared: bool,
     /// Baseline metrics the current history lacks (a hard failure: a
     /// silently dropped measurement must not read as "no regression").
+    /// A whole baseline config group missing from the current history
+    /// lands all of its metrics here.
     pub missing_metrics: Vec<String>,
+    /// Evaluated speedup gates ([`DiffOptions::not_slower`]).
+    pub speedup_gates: Vec<SpeedupGate>,
 }
 
 impl DiffReport {
@@ -217,6 +245,7 @@ impl DiffReport {
         !self.missing_metrics.is_empty()
             || !self.counter_divergences.is_empty()
             || self.metrics.iter().any(|m| m.regressed)
+            || self.speedup_gates.iter().any(|g| g.violated)
     }
 
     /// The human-readable delta table.
@@ -238,6 +267,16 @@ impl DiffReport {
         }
         for name in &self.missing_metrics {
             out.push_str(&format!("{name:<34} missing from current history\n"));
+        }
+        for g in &self.speedup_gates {
+            out.push_str(&format!(
+                "not-slower {:<23} {:>12.2} {:>12.2} {:>7.2}x  {}\n",
+                format!("{} vs {}", g.fast, g.slow),
+                g.fast_ms,
+                g.slow_ms,
+                g.ratio,
+                if g.violated { "VIOLATED" } else { "ok" }
+            ));
         }
         if self.counters_compared {
             if self.counter_divergences.is_empty() {
@@ -272,14 +311,15 @@ fn median(mut xs: Vec<f64>) -> Option<f64> {
     Some(xs[xs.len() / 2])
 }
 
-/// Median of `timings_ms[metric]` over the last `window` entries.
-fn windowed_median(entries: &[Value], metric: &str, window: usize) -> Option<f64> {
-    let tail = &entries[entries.len().saturating_sub(window.max(1))..];
-    median(
-        tail.iter()
-            .filter_map(|e| e.get("timings_ms")?.get(metric)?.as_f64())
-            .collect(),
-    )
+/// Median of `timings_ms[metric]` over the last `window` entries that
+/// actually carry the metric.
+fn windowed_median(entries: &[&Value], metric: &str, window: usize) -> Option<f64> {
+    let values: Vec<f64> = entries
+        .iter()
+        .filter_map(|e| e.get("timings_ms")?.get(metric)?.as_f64())
+        .collect();
+    let tail = &values[values.len().saturating_sub(window.max(1))..];
+    median(tail.to_vec())
 }
 
 /// All timing-metric names of an entry, in file order.
@@ -298,7 +338,31 @@ fn str_field(entry: &Value, key: &str) -> String {
         .to_string()
 }
 
+/// Partitions a history by its entries' config fingerprints, preserving
+/// first-seen order (no hashing — the report must be deterministic).
+/// One history file carries every bench family (tpch_mix, wkmega, ...);
+/// comparing across families would be meaningless.
+fn group_by_config(entries: &[Value]) -> Vec<(String, Vec<&Value>)> {
+    let mut groups: Vec<(String, Vec<&Value>)> = Vec::new();
+    for e in entries {
+        let config = str_field(e, "config");
+        match groups.iter_mut().find(|(c, _)| *c == config) {
+            Some((_, list)) => list.push(e),
+            None => groups.push((config, vec![e])),
+        }
+    }
+    groups
+}
+
 /// Compares two bench histories (arrays of [`HistoryEntry`] objects).
+///
+/// Entries are grouped by config fingerprint and compared group against
+/// group: windowed timing medians within each group, exact counters
+/// between each group's latest entries. A baseline group with no current
+/// counterpart is a hard failure (its metrics report as missing) — a
+/// bench family that silently stopped running must not read as "no
+/// regression". [`DiffOptions::not_slower`] gates are evaluated on the
+/// current history alone.
 ///
 /// Returns an error only for structurally empty inputs; a regression is a
 /// *successful* diff whose [`DiffReport::regressed`] is true.
@@ -307,37 +371,53 @@ pub fn diff(
     current: &[Value],
     opts: &DiffOptions,
 ) -> Result<DiffReport, String> {
-    let base_last = baseline.last().ok_or("baseline history is empty")?;
-    let cur_last = current.last().ok_or("current history is empty")?;
-
-    let mut report = DiffReport::default();
-    for metric in metric_names(base_last) {
-        let Some(baseline_ms) = windowed_median(baseline, &metric, opts.window) else {
-            continue;
-        };
-        let Some(current_ms) = windowed_median(current, &metric, opts.window) else {
-            report.missing_metrics.push(metric);
-            continue;
-        };
-        let ratio = if baseline_ms > 0.0 {
-            current_ms / baseline_ms
-        } else {
-            f64::INFINITY
-        };
-        let above_floor = baseline_ms > opts.min_ms && current_ms > opts.min_ms;
-        report.metrics.push(MetricDelta {
-            metric,
-            baseline_ms,
-            current_ms,
-            ratio,
-            regressed: above_floor && current_ms > baseline_ms * (1.0 + opts.tolerance),
-        });
+    if baseline.is_empty() {
+        return Err("baseline history is empty".to_string());
+    }
+    if current.is_empty() {
+        return Err("current history is empty".to_string());
     }
 
-    let same_config = str_field(base_last, "config") == str_field(cur_last, "config")
-        && !str_field(base_last, "config").is_empty();
-    report.counters_compared = same_config && !opts.ignore_counters;
-    if report.counters_compared {
+    let cur_groups = group_by_config(current);
+    let mut report = DiffReport::default();
+    for (config, base_entries) in group_by_config(baseline) {
+        let cur_entries = cur_groups
+            .iter()
+            .find(|(c, _)| *c == config)
+            .map(|(_, l)| l);
+        let base_last = base_entries[base_entries.len() - 1];
+        let Some(cur_entries) = cur_entries else {
+            report.missing_metrics.extend(metric_names(base_last));
+            continue;
+        };
+        for metric in metric_names(base_last) {
+            let Some(baseline_ms) = windowed_median(&base_entries, &metric, opts.window) else {
+                continue;
+            };
+            let Some(current_ms) = windowed_median(cur_entries, &metric, opts.window) else {
+                report.missing_metrics.push(metric);
+                continue;
+            };
+            let ratio = if baseline_ms > 0.0 {
+                current_ms / baseline_ms
+            } else {
+                f64::INFINITY
+            };
+            let above_floor = baseline_ms > opts.min_ms && current_ms > opts.min_ms;
+            report.metrics.push(MetricDelta {
+                metric,
+                baseline_ms,
+                current_ms,
+                ratio,
+                regressed: above_floor && current_ms > baseline_ms * (1.0 + opts.tolerance),
+            });
+        }
+
+        if config.is_empty() || opts.ignore_counters {
+            continue;
+        }
+        report.counters_compared = true;
+        let cur_last = cur_entries[cur_entries.len() - 1];
         if let (Some(Value::Map(base_c)), Some(cur_c)) =
             (base_last.get("counters"), cur_last.get("counters"))
         {
@@ -353,6 +433,35 @@ pub fn diff(
                 }
             }
         }
+    }
+
+    let all_current: Vec<&Value> = current.iter().collect();
+    for (fast, slow) in &opts.not_slower {
+        let fast_ms = windowed_median(&all_current, fast, opts.window);
+        let slow_ms = windowed_median(&all_current, slow, opts.window);
+        let (Some(fast_ms), Some(slow_ms)) = (fast_ms, slow_ms) else {
+            if fast_ms.is_none() {
+                report.missing_metrics.push(fast.clone());
+            }
+            if slow_ms.is_none() {
+                report.missing_metrics.push(slow.clone());
+            }
+            continue;
+        };
+        let ratio = if slow_ms > 0.0 {
+            fast_ms / slow_ms
+        } else {
+            f64::INFINITY
+        };
+        let above_floor = fast_ms > opts.min_ms && slow_ms > opts.min_ms;
+        report.speedup_gates.push(SpeedupGate {
+            fast: fast.clone(),
+            slow: slow.clone(),
+            fast_ms,
+            slow_ms,
+            ratio,
+            violated: above_floor && fast_ms > slow_ms * (1.0 + opts.tolerance),
+        });
     }
     Ok(report)
 }
@@ -420,19 +529,98 @@ mod tests {
     }
 
     #[test]
-    fn ignore_counters_and_config_mismatch_skip_the_counter_gate() {
+    fn ignore_counters_skips_the_counter_gate() {
         let base = history(&[entry("c", 100.0, 42)]);
         let cur = history(&[entry("c", 100.0, 43)]);
         let opts = DiffOptions {
             ignore_counters: true,
             ..DiffOptions::default()
         };
-        assert!(!diff(&base, &cur, &opts).unwrap().regressed());
-        // Different config fingerprints: counters are incomparable.
-        let other = history(&[entry("d", 100.0, 43)]);
-        let report = diff(&base, &other, &DiffOptions::default()).unwrap();
+        let report = diff(&base, &cur, &opts).unwrap();
         assert!(!report.counters_compared);
         assert!(!report.regressed());
+    }
+
+    #[test]
+    fn baseline_config_group_missing_from_current_is_a_hard_failure() {
+        // The baseline measured config "c"; the current history only ever
+        // ran config "d" — a bench family that silently stopped running.
+        let base = history(&[entry("c", 100.0, 42)]);
+        let other = history(&[entry("d", 100.0, 43)]);
+        let report = diff(&base, &other, &DiffOptions::default()).unwrap();
+        assert!(report.regressed());
+        assert!(report
+            .missing_metrics
+            .contains(&"incremental/t4".to_string()));
+    }
+
+    #[test]
+    fn config_groups_are_compared_independently() {
+        // Interleaved families in one file: tpch entries around a mega
+        // entry. Grouping must compare c-entries to c-entries (median 100)
+        // and the lone m-entry to its counterpart, not mix the medians.
+        let mut mega = entry("m", 500.0, 7);
+        mega.timings_ms = vec![("mega/serial".to_string(), 500.0)];
+        let base = history(&[
+            entry("c", 100.0, 42),
+            mega.clone(),
+            entry("c", 100.0, 42),
+            entry("c", 100.0, 42),
+        ]);
+        let cur = history(&[entry("c", 110.0, 42), mega.clone(), entry("c", 110.0, 42)]);
+        let report = diff(&base, &cur, &DiffOptions::default()).unwrap();
+        assert!(!report.regressed(), "{}", report.render());
+        assert!(report.counters_compared);
+        let mega_metric = report
+            .metrics
+            .iter()
+            .find(|m| m.metric == "mega/serial")
+            .unwrap();
+        assert!((mega_metric.ratio - 1.0).abs() < 1e-9);
+        // Divergent counters in the mega group alone are still caught.
+        let mut mega_diverged = mega.clone();
+        mega_diverged.counters = vec![("tsgreedy_candidates_enumerated".to_string(), 8)];
+        let cur2 = history(&[entry("c", 100.0, 42), mega_diverged, entry("c", 100.0, 42)]);
+        let report2 = diff(&base, &cur2, &DiffOptions::default()).unwrap();
+        assert!(report2.regressed());
+        assert_eq!(report2.counter_divergences.len(), 1);
+    }
+
+    #[test]
+    fn not_slower_gate_passes_within_tolerance_and_fails_beyond() {
+        let mut e = entry("c", 100.0, 42);
+        e.timings_ms = vec![
+            ("search/t4".to_string(), 120.0),
+            ("search/t1".to_string(), 100.0),
+        ];
+        let h = history(&[e]);
+        let gated = |tolerance: f64| DiffOptions {
+            tolerance,
+            not_slower: vec![("search/t4".to_string(), "search/t1".to_string())],
+            ..DiffOptions::default()
+        };
+        // 1.2x is within the 50% tolerance...
+        let report = diff(&h, &h, &gated(0.5)).unwrap();
+        assert!(!report.regressed(), "{}", report.render());
+        assert_eq!(report.speedup_gates.len(), 1);
+        assert!((report.speedup_gates[0].ratio - 1.2).abs() < 1e-9);
+        // ...but not within 10%.
+        let report = diff(&h, &h, &gated(0.1)).unwrap();
+        assert!(report.regressed());
+        assert!(report.speedup_gates[0].violated);
+        assert!(report.render().contains("VIOLATED"));
+    }
+
+    #[test]
+    fn not_slower_gate_with_missing_metric_is_a_hard_failure() {
+        let h = history(&[entry("c", 100.0, 42)]);
+        let opts = DiffOptions {
+            not_slower: vec![("search/t4".to_string(), "incremental/t4".to_string())],
+            ..DiffOptions::default()
+        };
+        let report = diff(&h, &h, &opts).unwrap();
+        assert!(report.regressed());
+        assert!(report.missing_metrics.contains(&"search/t4".to_string()));
     }
 
     #[test]

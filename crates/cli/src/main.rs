@@ -235,6 +235,13 @@ OPTIONS:
     --ignore-counters   skip the exact counter gate (use for histories
                         from adaptive-iteration benches, e.g.
                         BENCH_server.json)
+    --require-not-slower <fast>,<slow>
+                        assert metric <fast> is not slower than metric
+                        <slow> (median over the current history's last
+                        --window entries, --tolerance headroom, sub-ms
+                        medians exempt). Repeatable. E.g.
+                        `--require-not-slower incremental/t4,incremental/t1`
+                        gates \"parallelism pays\".
     --help              this text
 ";
 
@@ -648,6 +655,20 @@ fn run_benchdiff(args: &[String]) -> Result<ExitCode, String> {
                 }
             }
             "--ignore-counters" => opts.ignore_counters = true,
+            "--require-not-slower" => {
+                let pair = value("--require-not-slower")?;
+                let Some((fast, slow)) = pair.split_once(',') else {
+                    return Err(format!(
+                        "bad --require-not-slower `{pair}`: expected <fast>,<slow>"
+                    ));
+                };
+                if fast.is_empty() || slow.is_empty() {
+                    return Err(format!(
+                        "bad --require-not-slower `{pair}`: expected <fast>,<slow>"
+                    ));
+                }
+                opts.not_slower.push((fast.to_string(), slow.to_string()));
+            }
             "--help" | "-h" => return Err(BENCHDIFF_USAGE.to_string()),
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`\n\n{BENCHDIFF_USAGE}"))

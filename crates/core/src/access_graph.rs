@@ -13,7 +13,7 @@
 use dblayout_obs::counters::{self, Counter};
 use dblayout_obs::{f, Collector};
 use dblayout_partition::Graph;
-use dblayout_planner::PhysicalPlan;
+use dblayout_planner::{PhysicalPlan, Subplan};
 
 /// Builds the access graph over `n_objects` catalog objects from the
 /// workload's execution plans and weights.
@@ -26,6 +26,41 @@ use dblayout_planner::PhysicalPlan;
 pub fn build_access_graph(n_objects: usize, plans: &[(PhysicalPlan, f64)]) -> Graph {
     let mut g = Graph::new(n_objects);
     extend_access_graph(&mut g, plans);
+    g
+}
+
+/// Builds the access graph directly from pre-decomposed sub-plans — the
+/// entry point for synthetic workloads (the `wkmega` mega-scale family)
+/// whose statements are generated as sub-plan sets without a SQL text or
+/// a plan tree. The accumulation arithmetic is exactly Figure 6, matching
+/// [`build_access_graph`] step for step: node weights from every access,
+/// pairwise edges within each non-blocking sub-plan, both scaled by the
+/// statement weight `w_Q`.
+pub fn build_access_graph_subplans(n_objects: usize, workload: &[(Vec<Subplan>, f64)]) -> Graph {
+    let mut g = Graph::new(n_objects);
+    for (subplans, weight) in workload {
+        let mut node_updates = 0usize;
+        let mut edge_updates = 0usize;
+        for sub in subplans {
+            for access in &sub.accesses {
+                g.add_node_weight(access.object.index(), weight * access.blocks as f64);
+                node_updates += 1;
+            }
+        }
+        for sub in subplans {
+            let objects = sub.objects();
+            for (a_pos, &u) in objects.iter().enumerate() {
+                for &v in &objects[a_pos + 1..] {
+                    let bu = sub.blocks_of(u);
+                    let bv = sub.blocks_of(v);
+                    g.add_edge(u.index(), v.index(), weight * (bu + bv) as f64);
+                    edge_updates += 1;
+                }
+            }
+        }
+        counters::add(Counter::GraphNodeUpdates, node_updates as u64);
+        counters::add(Counter::GraphEdgeUpdates, edge_updates as u64);
+    }
     g
 }
 
@@ -296,6 +331,38 @@ mod tests {
             .find(|r| r.kind == RecordKind::SpanEnd)
             .unwrap();
         assert_eq!(end.field_u64("edges"), Some(1));
+    }
+
+    #[test]
+    fn subplan_builder_matches_plan_builder_bit_for_bit() {
+        let mk = |a: u32, b: u32, ba: u64, bb: u64| {
+            PhysicalPlan::new(PlanNode::MergeJoin {
+                on: "x".into(),
+                rows: 1.0,
+                left: Box::new(scan(a, ba)),
+                right: Box::new(scan(b, bb)),
+            })
+        };
+        let plans = vec![
+            (mk(0, 1, 137, 251), 1.25),
+            (mk(1, 2, 89, 17), 0.75),
+            (mk(0, 2, 41, 333), 3.0),
+        ];
+        let via_plans = build_access_graph(4, &plans);
+        let workload: Vec<(Vec<_>, f64)> = plans.iter().map(|(p, w)| (p.subplans(), *w)).collect();
+        let via_subplans = build_access_graph_subplans(4, &workload);
+        for u in 0..4 {
+            assert_eq!(
+                via_plans.node_weight(u).to_bits(),
+                via_subplans.node_weight(u).to_bits()
+            );
+            for v in u + 1..4 {
+                assert_eq!(
+                    via_plans.edge_weight(u, v).to_bits(),
+                    via_subplans.edge_weight(u, v).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

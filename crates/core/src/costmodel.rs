@@ -21,6 +21,8 @@
 //! validation attributes some mis-orderings to exactly that. Enable
 //! [`CostModel::include_temp_io`] to add a tempdb lane (our extension).
 
+use std::sync::Arc;
+
 use dblayout_disksim::{DiskSpec, Layout};
 use dblayout_obs::{f, Collector};
 use dblayout_planner::{PhysicalPlan, Subplan};
@@ -73,9 +75,24 @@ impl CostModel {
     #[inline]
     fn subplan_cost_untraced(&self, sub: &Subplan, layout: &Layout, disks: &[DiskSpec]) -> f64 {
         let totals = object_totals(sub);
+        self.subplan_cost_untraced_with(sub, &totals, layout, disks)
+    }
+
+    /// The innermost cost kernel, taking pre-aggregated per-object totals.
+    /// `totals` must equal `object_totals(sub)` — the [`DeltaEvaluator`]
+    /// caches them per sub-plan (they are layout-independent) so the
+    /// mega-scale scoring loop allocates nothing per candidate.
+    #[inline]
+    fn subplan_cost_untraced_with(
+        &self,
+        sub: &Subplan,
+        totals: &[(u32, u64)],
+        layout: &Layout,
+        disks: &[DiskSpec],
+    ) -> f64 {
         let mut max_cost = 0.0f64;
         for (j, disk) in disks.iter().enumerate() {
-            let (transfer, seek, _) = disk_term(sub, &totals, layout, j, disk);
+            let (transfer, seek, _) = disk_term(sub, totals, layout, j, disk);
             max_cost = max_cost.max(transfer + seek);
         }
         if self.include_temp_io {
@@ -216,6 +233,23 @@ impl CostModel {
                 }
             }
         }
+        // Per-object totals are layout-independent: aggregate them once
+        // into a flat arena so the scoring loop never rebuilds them. The
+        // arena is shared (`Arc`) because the search clones the evaluator
+        // into every per-iteration job snapshot.
+        let mut flat: Vec<(u32, u64)> = Vec::new();
+        let spans: Vec<Vec<(u32, u32)>> = workload
+            .iter()
+            .map(|(subs, _)| {
+                subs.iter()
+                    .map(|sub| {
+                        let start = flat.len() as u32;
+                        flat.extend_from_slice(&object_totals(sub));
+                        (start, flat.len() as u32 - start)
+                    })
+                    .collect()
+            })
+            .collect();
         let mut eval = DeltaEvaluator {
             model: self,
             workload,
@@ -224,9 +258,43 @@ impl CostModel {
             stmt_costs: Vec::new(),
             total: 0.0,
             touching,
+            totals: Arc::new(SubplanTotals { flat, spans }),
         };
         eval.rebase(layout);
         eval
+    }
+}
+
+/// Layout-independent per-object block totals for every sub-plan, stored
+/// as one flat cache-friendly arena plus `(start, len)` spans per
+/// `(statement, sub-plan)`. Built once per [`DeltaEvaluator`]; shared by
+/// clones.
+#[derive(Debug)]
+struct SubplanTotals {
+    flat: Vec<(u32, u64)>,
+    spans: Vec<Vec<(u32, u32)>>,
+}
+
+impl SubplanTotals {
+    #[inline]
+    fn of(&self, s: usize, p: usize) -> &[(u32, u64)] {
+        let (start, len) = self.spans[s][p];
+        &self.flat[start as usize..(start + len) as usize]
+    }
+}
+
+/// Reusable buffers for [`DeltaEvaluator::cost_of_move`]. One per scoring
+/// worker; holding it outside the candidate loop makes scoring
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    touched: Vec<(u32, u32)>,
+}
+
+impl EvalScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -259,6 +327,8 @@ pub struct DeltaEvaluator<'a> {
     /// For each object id, the sorted unique `(statement, sub-plan)` pairs
     /// whose sub-plan accesses it.
     touching: Vec<Vec<(u32, u32)>>,
+    /// Cached `object_totals` per sub-plan (layout-independent).
+    totals: Arc<SubplanTotals>,
 }
 
 /// The outcome of one [`DeltaEvaluator`] evaluation: the recomputed
@@ -295,12 +365,64 @@ impl DeltaEvaluator<'_> {
         touched.dedup();
         let sub_updates: Vec<(u32, u32, f64)> = touched
             .iter()
-            .map(|&(s, p)| {
-                let sub = &self.workload[s as usize].0[p as usize];
-                (s, p, self.model.subplan_cost(sub, layout, self.disks))
-            })
+            .map(|&(s, p)| (s, p, self.recost_sub(s as usize, p as usize, layout)))
             .collect();
         self.finish(sub_updates)
+    }
+
+    /// Workload cost of `layout` (ms) without materializing a
+    /// [`CostDelta`] — the allocation-free scoring kernel for the search's
+    /// candidate loop. Bit-identical to `evaluate_move(layout,
+    /// moved).total`: it replays the exact same addition order (per-statement
+    /// sub-plan sums in `p` order, then the workload sum in `s` order,
+    /// substituting recomputed terms), it just never stores the updates.
+    /// `scratch` carries the reusable buffers; one per worker.
+    pub fn cost_of_move(&self, layout: &Layout, moved: &[usize], scratch: &mut EvalScratch) -> f64 {
+        scratch.touched.clear();
+        for &obj in moved {
+            if let Some(list) = self.touching.get(obj) {
+                scratch.touched.extend_from_slice(list);
+            }
+        }
+        scratch.touched.sort_unstable();
+        scratch.touched.dedup();
+        let touched = &scratch.touched;
+        let mut total = 0.0f64;
+        let mut i = 0usize;
+        for (s, &stmt_cached) in self.stmt_costs.iter().enumerate() {
+            if touched.get(i).is_none_or(|&(ts, _)| ts != s as u32) {
+                total += stmt_cached;
+                continue;
+            }
+            let w = self.workload[s].1;
+            let mut sum = 0.0f64;
+            for (p, &cached) in self.sub_costs[s].iter().enumerate() {
+                if touched
+                    .get(i)
+                    .is_some_and(|&(ts, tp)| ts == s as u32 && tp == p as u32)
+                {
+                    sum += self.recost_sub(s, p, layout);
+                    i += 1;
+                } else {
+                    sum += cached;
+                }
+            }
+            total += w * sum;
+        }
+        total
+    }
+
+    /// Recomputes one sub-plan's unweighted cost under `layout`, using the
+    /// cached layout-independent object totals. Arithmetic is identical to
+    /// [`CostModel::subplan_cost`] (both funnel into the same kernel).
+    #[inline]
+    fn recost_sub(&self, s: usize, p: usize, layout: &Layout) -> f64 {
+        let sub = &self.workload[s].0[p];
+        if self.model.collector.enabled() {
+            return self.model.subplan_cost_traced(sub, layout, self.disks);
+        }
+        self.model
+            .subplan_cost_untraced_with(sub, self.totals.of(s, p), layout, self.disks)
     }
 
     /// Scores `layout` by recomputing every sub-plan — the fallback for
@@ -309,15 +431,27 @@ impl DeltaEvaluator<'_> {
     pub fn evaluate_full(&self, layout: &Layout) -> CostDelta {
         let mut sub_updates = Vec::new();
         for (s, (subs, _)) in self.workload.iter().enumerate() {
-            for (p, sub) in subs.iter().enumerate() {
-                sub_updates.push((
-                    s as u32,
-                    p as u32,
-                    self.model.subplan_cost(sub, layout, self.disks),
-                ));
+            for (p, _) in subs.iter().enumerate() {
+                sub_updates.push((s as u32, p as u32, self.recost_sub(s, p, layout)));
             }
         }
         self.finish(sub_updates)
+    }
+
+    /// [`DeltaEvaluator::evaluate_full`] without materializing the delta —
+    /// the full-re-evaluation twin of [`DeltaEvaluator::cost_of_move`],
+    /// used by the reference engine's scoring loop. Bit-identical to
+    /// `evaluate_full(layout).total`.
+    pub fn cost_of_full(&self, layout: &Layout) -> f64 {
+        let mut total = 0.0f64;
+        for (s, (subs, w)) in self.workload.iter().enumerate() {
+            let mut sum = 0.0f64;
+            for (p, _) in subs.iter().enumerate() {
+                sum += self.recost_sub(s, p, layout);
+            }
+            total += w * sum;
+        }
+        total
     }
 
     /// Installs a previously evaluated delta as the new base (call after
@@ -401,10 +535,10 @@ impl DeltaEvaluator<'_> {
 /// totals (built once — [`CostModel::subplan_cost`] is the search's hot
 /// loop), while transfer is charged at each access's own rate.
 #[inline]
-fn object_totals(sub: &Subplan) -> Vec<(usize, u64)> {
-    let mut totals: Vec<(usize, u64)> = Vec::with_capacity(sub.accesses.len());
+fn object_totals(sub: &Subplan) -> Vec<(u32, u64)> {
+    let mut totals: Vec<(u32, u64)> = Vec::with_capacity(sub.accesses.len());
     for access in &sub.accesses {
-        let idx = access.object.index();
+        let idx = access.object.0;
         match totals.iter_mut().find(|(o, _)| *o == idx) {
             Some((_, t)) => *t += access.blocks,
             None => totals.push((idx, access.blocks)),
@@ -419,7 +553,7 @@ fn object_totals(sub: &Subplan) -> Vec<(usize, u64)> {
 #[inline]
 fn disk_term(
     sub: &Subplan,
-    totals: &[(usize, u64)],
+    totals: &[(u32, u64)],
     layout: &Layout,
     j: usize,
     disk: &DiskSpec,
@@ -427,7 +561,7 @@ fn disk_term(
     let mut k = 0usize;
     let mut min_share = f64::INFINITY;
     for &(obj, total_blocks) in totals {
-        let x = layout.fraction(obj, j);
+        let x = layout.fraction(obj as usize, j);
         if x <= 0.0 || total_blocks == 0 {
             continue;
         }
@@ -691,6 +825,30 @@ mod tests {
         // The explicit full-evaluation fallback agrees too.
         let via_full = eval.evaluate_full(&trial);
         assert_eq!(via_full.total.to_bits(), full.to_bits());
+    }
+
+    #[test]
+    fn cost_of_move_is_bit_identical_to_evaluate_move() {
+        let (workload, disks, layout) = delta_fixture();
+        let model = CostModel::default();
+        let eval = model.delta_evaluator(&workload, &layout, &disks);
+        let mut scratch = EvalScratch::new();
+        for (moved, split) in [
+            (vec![1usize], vec![(0usize, 1.0), (1, 1.0), (2, 1.0)]),
+            (vec![0], vec![(2, 1.0)]),
+            (vec![2], vec![(0, 1.0), (1, 1.0)]),
+            (vec![0, 1], vec![(1, 1.0)]),
+        ] {
+            let mut trial = layout.clone();
+            for &obj in &moved {
+                trial.place(obj, &split);
+            }
+            let fast = eval.cost_of_move(&trial, &moved, &mut scratch);
+            let slow = eval.evaluate_move(&trial, &moved);
+            assert_eq!(fast.to_bits(), slow.total.to_bits(), "moved {moved:?}");
+            let full = eval.cost_of_full(&trial);
+            assert_eq!(full.to_bits(), eval.evaluate_full(&trial).total.to_bits());
+        }
     }
 
     #[test]

@@ -59,16 +59,21 @@ pub mod explain;
 pub mod par;
 pub mod tsgreedy;
 
-pub use access_graph::{build_access_graph, extend_access_graph, extend_access_graph_traced};
+pub use access_graph::{
+    build_access_graph, build_access_graph_subplans, extend_access_graph,
+    extend_access_graph_traced,
+};
 pub use advisor::{Advisor, AdvisorConfig, AdvisorError, Recommendation};
 pub use concurrency::{
     build_concurrent_access_graph, concurrent_cost_workload, ConcurrentWorkload,
 };
 pub use constraints::{ConstraintViolation, Constraints};
-pub use costmodel::{statement_cost, workload_cost, CostDelta, CostModel, DeltaEvaluator};
+pub use costmodel::{
+    statement_cost, workload_cost, CostDelta, CostModel, DeltaEvaluator, EvalScratch,
+};
 pub use dblayout_disksim::{Layout, LayoutError};
 pub use deploy::{compile_filegroups, render_script, DeploymentPlan, Filegroup};
 pub use exhaustive::exhaustive_search;
 pub use explain::{render_narrative, NarrativeNames};
 pub use par::{available_parallelism, with_pool};
-pub use tsgreedy::{ts_greedy, TsGreedyConfig, TsGreedyResult};
+pub use tsgreedy::{ts_greedy, Partitioner, TsGreedyConfig, TsGreedyResult};

@@ -41,6 +41,28 @@ pub fn available_parallelism() -> usize {
         .unwrap_or(1)
 }
 
+/// Adaptive chunking: how many of `threads` workers to actually engage for
+/// `items` units of work.
+///
+/// At small scale the two channel hops per worker cost more than the work
+/// itself (the tpch_mix 4-thread regression: ~70 candidates per iteration
+/// split four ways lost to the 1-thread run), so dispatch width scales
+/// with the work: one worker per `min_chunk` items, clamped to
+/// `[1, threads]`. `min_chunk == 0` disables adaptation and always engages
+/// every worker (the escape hatch for tests that exercise the full fan-out
+/// on small fixtures). Deterministic: a pure function of its inputs, so a
+/// given instance sees the same dispatch widths at every thread count —
+/// and a 1-thread run is unaffected entirely.
+pub fn effective_workers(items: usize, threads: usize, min_chunk: usize) -> usize {
+    if threads <= 1 {
+        return 1;
+    }
+    if min_chunk == 0 {
+        return threads;
+    }
+    (items / min_chunk).clamp(1, threads)
+}
+
 /// The contiguous slice of `0..len` owned by worker `w` of `workers`.
 ///
 /// Balanced to within one item, deterministic in its inputs, and covering:
@@ -90,16 +112,30 @@ impl<J, O> Pool<'_, J, O> {
     /// returned vector always has `threads()` entries with identical
     /// content to an all-healthy run.
     pub fn dispatch(&self, job: Arc<J>) -> Vec<O> {
-        if self.lanes.is_empty() {
+        self.dispatch_to(job, self.threads)
+    }
+
+    /// [`Pool::dispatch`] restricted to the first `workers` lanes — the
+    /// adaptive-chunking entry point (see [`effective_workers`]).
+    ///
+    /// `workers` is clamped to `[1, threads()]`. With `workers == 1` the
+    /// closure runs inline as worker 0 with zero channel hops even when
+    /// the pool has live workers — small iterations fall back to exactly
+    /// the serial path. The returned vector has `workers` entries; the
+    /// caller's `process` must derive chunk ownership from the job (which
+    /// therefore carries the engaged-worker count, not the pool width).
+    pub fn dispatch_to(&self, job: Arc<J>, workers: usize) -> Vec<O> {
+        let workers = workers.clamp(1, self.threads);
+        if self.lanes.is_empty() || workers == 1 {
             return vec![(self.process)(0, &job)];
         }
-        let delivered: Vec<bool> = self
-            .lanes
+        let engaged = &self.lanes[..workers];
+        let delivered: Vec<bool> = engaged
             .iter()
             .map(|lane| lane.job_tx.send(job.clone()).is_ok())
             .collect();
-        let mut outputs = Vec::with_capacity(self.lanes.len());
-        for (w, lane) in self.lanes.iter().enumerate() {
+        let mut outputs = Vec::with_capacity(workers);
+        for (w, lane) in engaged.iter().enumerate() {
             let out = if delivered[w] {
                 lane.result_rx.recv().ok()
             } else {
@@ -270,6 +306,35 @@ mod tests {
             // Worker 1 is gone; its chunk keeps being served inline.
             let second: u64 = pool.dispatch(Arc::new(items)).into_iter().sum();
             assert_eq!(second, expected);
+        });
+    }
+
+    #[test]
+    fn effective_workers_scales_with_work() {
+        assert_eq!(effective_workers(0, 4, 256), 1);
+        assert_eq!(effective_workers(255, 4, 256), 1);
+        assert_eq!(effective_workers(512, 4, 256), 2);
+        assert_eq!(effective_workers(10_000, 4, 256), 4);
+        // 0 disables adaptation; 1 thread is always inline.
+        assert_eq!(effective_workers(1, 4, 0), 4);
+        assert_eq!(effective_workers(1_000_000, 1, 256), 1);
+    }
+
+    #[test]
+    fn dispatch_to_engages_only_requested_lanes() {
+        type Job = (Vec<u64>, usize);
+        let sum = |w: usize, job: &Job| -> u64 {
+            chunk_range(job.0.len(), job.1, w).map(|i| job.0[i]).sum()
+        };
+        with_pool(4, &sum, |pool| {
+            let items: Vec<u64> = (0..41).collect();
+            let expected: u64 = items.iter().sum();
+            for workers in [1usize, 2, 3, 4, 9] {
+                let eff = workers.clamp(1, 4);
+                let outs = pool.dispatch_to(Arc::new((items.clone(), eff)), workers);
+                assert_eq!(outs.len(), eff, "workers={workers}");
+                assert_eq!(outs.iter().sum::<u64>(), expected, "workers={workers}");
+            }
         });
     }
 

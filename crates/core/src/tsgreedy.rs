@@ -18,17 +18,49 @@
 //! drives, and a data-movement bound rejects moves that stray too far from
 //! the current layout.
 
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use dblayout_disksim::{DiskSpec, Layout};
 use dblayout_obs::counters::{self, Counter};
 use dblayout_obs::{f, Collector, Span};
-use dblayout_partition::{max_cut_partition, Graph};
+use dblayout_partition::{
+    max_cut_partition, multilevel_max_cut, multilevel_max_cut_with, Graph, MultilevelConfig,
+};
 use dblayout_planner::Subplan;
 
 use crate::constraints::Constraints;
-use crate::costmodel::{CostDelta, CostModel, DeltaEvaluator};
+use crate::costmodel::{CostModel, DeltaEvaluator, EvalScratch};
 use crate::par;
+
+/// Step-1 partitioning engine (see DESIGN.md §11).
+#[derive(Debug, Clone)]
+pub enum Partitioner {
+    /// KL directly on the (contracted) access graph — the paper's
+    /// algorithm, O(n²·deg) per pass. Fine to hundreds of nodes.
+    Direct,
+    /// The multilevel V-cycle: heavy-edge coarsen, KL on the coarsest
+    /// graph, uncoarsen with boundary refinement. Near-linear, built for
+    /// the mega-scale family.
+    Multilevel(MultilevelConfig),
+    /// [`Partitioner::Direct`] at or below `threshold` graph nodes,
+    /// [`Partitioner::Multilevel`] (default config) above. The default:
+    /// paper-scale searches stay bit-identical to Direct (multilevel
+    /// never engages), mega-scale searches get the near-linear path.
+    Auto {
+        /// Largest node count still sent to Direct.
+        threshold: usize,
+    },
+}
+
+impl Default for Partitioner {
+    fn default() -> Self {
+        // Below ~200 nodes a KL pass is microseconds — coarsening
+        // overhead isn't worth buying back, and Direct keeps the
+        // committed paper-scale results bit-identical.
+        Partitioner::Auto { threshold: 192 }
+    }
+}
 
 /// Search configuration.
 #[derive(Debug, Clone)]
@@ -64,6 +96,30 @@ pub struct TsGreedyConfig {
     /// to go. `None` (the default) is the paper's two-step search,
     /// bit-identical to the pre-seeding behaviour.
     pub seed: Option<Layout>,
+    /// Step-1 partitioning engine. The default ([`Partitioner::Auto`])
+    /// keeps paper-scale instances on the direct KL path bit-for-bit and
+    /// switches to multilevel coarsening above its node threshold.
+    pub partitioner: Partitioner,
+    /// Pruned widening: re-score only the `prune_width` groups with the
+    /// highest stale gain each iteration (priority-queue selection,
+    /// gain-descending with group-id-ascending ties; unexamined groups
+    /// rank +∞). `0` (the default) scores every group every iteration —
+    /// the paper's exact greedy, and the bit-compatible baseline. When
+    /// the pruned frontier finds no improving move, one full sweep
+    /// decides between adopting and terminating, so a pruned search never
+    /// stops while the unpruned one would keep going.
+    pub prune_width: usize,
+    /// Adaptive dispatch: engage one worker per `min_chunk` candidates,
+    /// clamped to `[1, threads]` ([`par::effective_workers`]). Iterations
+    /// below the threshold run inline — the fix for small-instance
+    /// parallel regressions where two channel hops per worker outweighed
+    /// the scoring work. `0` always engages every worker. Either setting
+    /// yields byte-identical results at any thread count.
+    pub min_chunk: usize,
+    /// Stop after this many adopted moves (`0` = run to convergence).
+    /// A measurement budget for benchmarks on mega-scale instances; the
+    /// prefix of adopted moves is identical to an unbudgeted run's.
+    pub max_iterations: usize,
 }
 
 impl Default for TsGreedyConfig {
@@ -76,6 +132,13 @@ impl Default for TsGreedyConfig {
             threads: 1,
             full_reevaluation: false,
             seed: None,
+            partitioner: Partitioner::default(),
+            prune_width: 0,
+            // One chunk ≈ the work that amortizes a dispatch round-trip
+            // (measured on tpch_mix, where 4-thread dispatch of ~70
+            // candidates lost to the serial scan).
+            min_chunk: 256,
+            max_iterations: 0,
         }
     }
 }
@@ -227,6 +290,7 @@ pub fn ts_greedy(
             &members,
             &eligible,
             &group_index,
+            &cfg.partitioner,
             &search_span,
         )
     };
@@ -276,16 +340,28 @@ pub fn ts_greedy(
         ConstraintViolation,
         Costed(f64),
     }
-    /// A chunk's earliest strictly-improving minimum, ready to adopt.
+    /// A chunk's earliest strictly-improving minimum. Workers report only
+    /// the winning index and cost; the dispatcher re-derives the winning
+    /// layout and its cost delta once per *adopted* iteration, so the hot
+    /// scoring loop never clones a layout or materializes a delta.
     struct ChunkBest {
         index: usize,
         cost: f64,
-        trial: Layout,
-        delta: CostDelta,
     }
     struct Chunk {
         outcomes: Vec<Scored>,
         best: Option<ChunkBest>,
+    }
+    /// Reusable per-worker scratch: the cost evaluator's touched-set
+    /// buffer plus the incremental validity check's usage/apportionment
+    /// buffers. One per chunk invocation; every allocation in the
+    /// candidate loop lives here.
+    #[derive(Default)]
+    struct WorkerScratch {
+        eval: EvalScratch,
+        usage: Vec<u64>,
+        row: Vec<u64>,
+        apportion: Vec<(usize, f64)>,
     }
     /// Immutable per-iteration snapshot shipped to every worker.
     struct Job<'a> {
@@ -294,10 +370,14 @@ pub fn ts_greedy(
         cost: f64,
         current_sets: Vec<Vec<usize>>,
         moves: Vec<Move>,
+        /// Engaged worker count for this dispatch (adaptive chunking);
+        /// chunk ownership derives from this, not the pool width.
+        workers: usize,
         /// `layout.disk_count() == disks.len()` (Definition 2 dimensions).
         dims_ok: bool,
-        /// `layout.blocks_on(i)` for every object (incremental engine only).
-        base_blocks: Vec<Vec<u64>>,
+        /// `layout.blocks_on(i)` for every object, flattened with stride
+        /// `disks.len()` (incremental engine only).
+        base_blocks: Vec<u64>,
         /// `layout.disk_usage()` (incremental engine only).
         base_usage: Vec<u64>,
         /// Per-object row verdicts of `layout` (incremental engine only).
@@ -314,7 +394,13 @@ pub fn ts_greedy(
         /// the moved objects' old block counts for their new ones — exact
         /// integer arithmetic (`blocks_on` is deterministic per row), so
         /// the capacity comparison is bit-for-bit the full scan's.
-        fn trial_is_valid(&self, trial: &Layout, moved: &[usize], disks: &[DiskSpec]) -> bool {
+        fn trial_is_valid(
+            &self,
+            trial: &Layout,
+            moved: &[usize],
+            disks: &[DiskSpec],
+            scratch: &mut WorkerScratch,
+        ) -> bool {
             if !self.dims_ok {
                 return false;
             }
@@ -325,16 +411,21 @@ pub fn ts_greedy(
             if !moved.iter().all(|&i| trial.row_is_valid(i)) {
                 return false;
             }
-            let mut usage = self.base_usage.clone();
+            let m = disks.len();
+            scratch.usage.clear();
+            scratch.usage.extend_from_slice(&self.base_usage);
             for &i in moved {
-                for (j, b) in trial.blocks_on(i).into_iter().enumerate() {
-                    // `usage[j]` still includes `base_blocks[i][j]` (each
-                    // moved object is swapped out exactly once), so the
+                trial.blocks_on_into(i, &mut scratch.row, &mut scratch.apportion);
+                let base = &self.base_blocks[i * m..(i + 1) * m];
+                for (j, &b) in base.iter().enumerate() {
+                    // `usage[j]` still includes `base[j]` (each moved
+                    // object is swapped out exactly once), so the
                     // subtraction cannot underflow.
-                    usage[j] = usage[j] - self.base_blocks[i][j] + b;
+                    scratch.usage[j] = scratch.usage[j] - b + scratch.row[j];
                 }
             }
-            usage
+            scratch
+                .usage
                 .iter()
                 .zip(disks)
                 .all(|(&used, d)| used <= d.capacity_blocks)
@@ -357,11 +448,12 @@ pub fn ts_greedy(
         }
     };
     let score = |w: usize, job: &Job<'_>| -> Chunk {
-        let range = par::chunk_range(job.moves.len(), threads, w);
+        let range = par::chunk_range(job.moves.len(), job.workers, w);
         // Scheduling-class accounting: one relaxed add per chunk, so the
         // per-candidate loop below stays free of atomics. Chunk sizes
         // (and re-scored chunks after a dead-worker fallback) depend on
-        // the thread count, so this never joins the deterministic set.
+        // the engaged-worker count, so this never joins the deterministic
+        // set.
         counters::add(Counter::ParChunkItems, range.len() as u64);
         let mut outcomes = Vec::with_capacity(range.len());
         let mut best: Option<ChunkBest> = None;
@@ -380,43 +472,38 @@ pub fn ts_greedy(
                     outcomes.push(Scored::ConstraintViolation);
                     continue;
                 }
-                let delta = job.eval.evaluate_full(&trial);
-                let c = delta.total;
+                let c = job.eval.cost_of_full(&trial);
                 outcomes.push(Scored::Costed(c));
                 if c < job.cost - 1e-9 && best.as_ref().is_none_or(|b| c < b.cost) {
                     best = Some(ChunkBest {
                         index: idx,
                         cost: c,
-                        trial,
-                        delta,
                     });
                 }
             }
         } else {
             // Incremental engine: one scratch layout per chunk. Each
             // candidate rewrites only the moved group's rows, is validated
-            // incrementally against the snapshot, and restores the rows
-            // afterwards — no per-candidate layout clone, no O(objects)
-            // validation. A full clone happens only when a candidate
-            // becomes the chunk's running best.
+            // incrementally against the snapshot, scored through the
+            // allocation-free kernel, and restores the rows afterwards —
+            // no per-candidate layout clone, no O(objects) validation, no
+            // delta materialization.
             let mut trial = job.layout.clone();
+            let mut scratch = WorkerScratch::default();
             for idx in range {
                 let mv = &job.moves[idx];
                 let moved: &[usize] = &members_ref[mv.group];
                 widen(&mut trial, job, mv);
-                let outcome = if !job.trial_is_valid(&trial, moved, disks) {
+                let outcome = if !job.trial_is_valid(&trial, moved, disks, &mut scratch) {
                     Scored::InvalidLayout
                 } else if constraints.check(&trial, disks).is_err() {
                     Scored::ConstraintViolation
                 } else {
-                    let delta = job.eval.evaluate_move(&trial, moved);
-                    let c = delta.total;
+                    let c = job.eval.cost_of_move(&trial, moved, &mut scratch.eval);
                     if c < job.cost - 1e-9 && best.as_ref().is_none_or(|b| c < b.cost) {
                         best = Some(ChunkBest {
                             index: idx,
                             cost: c,
-                            trial: trial.clone(),
-                            delta,
                         });
                     }
                     Scored::Costed(c)
@@ -430,6 +517,35 @@ pub fn ts_greedy(
         Chunk { outcomes, best }
     };
 
+    // Validity snapshot for the incremental engine's O(moved) checks,
+    // maintained across iterations: adopting a move refreshes only the
+    // moved rows. (The full engine re-derives everything per candidate.)
+    let mut base_blocks: Vec<u64> = Vec::new(); // flat, stride m
+    let mut base_usage: Vec<u64> = vec![0u64; m];
+    let mut row_bad: Vec<bool> = Vec::new();
+    let mut bad_rows = 0usize;
+    let mut rowbuf: Vec<u64> = Vec::new();
+    let mut rembuf: Vec<(usize, f64)> = Vec::new();
+    if !full_reevaluation {
+        base_blocks = vec![0u64; n * m];
+        for i in 0..n {
+            layout.blocks_on_into(i, &mut rowbuf, &mut rembuf);
+            base_blocks[i * m..(i + 1) * m].copy_from_slice(&rowbuf);
+            for (j, b) in rowbuf.iter().enumerate() {
+                base_usage[j] += b;
+            }
+        }
+        row_bad = (0..n).map(|i| !layout.row_is_valid(i)).collect();
+        bad_rows = row_bad.iter().filter(|&&b| b).count();
+    }
+
+    // Pruned widening state: optimistic (+∞) stale gains until a group is
+    // first examined, then its best observed cost improvement. A full
+    // sweep arbitrates before any termination.
+    let mut group_gain: Vec<f64> = vec![f64::INFINITY; g_count];
+    let mut force_full = false;
+    let prune = cfg.prune_width;
+
     let mut iterations = 0usize;
     par::with_pool(threads, &score, |pool| loop {
         let iter_span = search_span.child(
@@ -440,13 +556,40 @@ pub fn ts_greedy(
                 Vec::new()
             },
         );
+        // Priority-queue pruning: pick the `prune` groups with the best
+        // stale gains (descending, ties to the smaller group id — the
+        // heap's ordering is total, so the active set is deterministic).
+        let pruning = prune > 0 && prune < g_count && !force_full;
+        let active: Vec<bool> = if pruning {
+            let mut heap: BinaryHeap<GroupRank> = (0..g_count)
+                .map(|g| GroupRank {
+                    gain: group_gain[g],
+                    group: g,
+                })
+                .collect();
+            let mut act = vec![false; g_count];
+            for _ in 0..prune {
+                if let Some(top) = heap.pop() {
+                    act[top.group] = true;
+                }
+            }
+            act
+        } else {
+            vec![true; g_count]
+        };
         // Enumerate this iteration's moves in the canonical sequential
         // order (group-major, combination order preserved) — chunk indices
-        // and the reduction below both key off this ordering.
+        // and the reduction below both key off this ordering. Pruned-out
+        // groups contribute no moves but keep their `current_sets` slot
+        // (move records index into it by group id).
         let mut current_sets: Vec<Vec<usize>> = Vec::with_capacity(g_count);
         let mut moves: Vec<Move> = Vec::new();
         for g in 0..g_count {
             let current_set = layout.disks_of(members[g][0]);
+            if !active[g] {
+                current_sets.push(current_set);
+                continue;
+            }
             let candidates: Vec<usize> = eligible[g]
                 .iter()
                 .copied()
@@ -483,35 +626,24 @@ pub fn ts_greedy(
             }
             current_sets.push(current_set);
         }
-        // Validity snapshot for the incremental engine's O(moved) checks;
-        // the full engine re-derives all of it per candidate instead.
-        let (base_blocks, base_usage, row_bad, bad_rows) = if full_reevaluation {
-            (Vec::new(), Vec::new(), Vec::new(), 0)
-        } else {
-            let blocks: Vec<Vec<u64>> = (0..n).map(|i| layout.blocks_on(i)).collect();
-            let mut usage = vec![0u64; m];
-            for row in &blocks {
-                for (j, b) in row.iter().enumerate() {
-                    usage[j] += b;
-                }
-            }
-            let bad: Vec<bool> = (0..n).map(|i| !layout.row_is_valid(i)).collect();
-            let count = bad.iter().filter(|&&b| b).count();
-            (blocks, usage, bad, count)
-        };
+        // Adaptive dispatch width: a pure function of the candidate count,
+        // so it is identical at every thread count (and trivially so for
+        // a 1-thread pool).
+        let workers = par::effective_workers(moves.len(), threads, cfg.min_chunk);
         let job = Arc::new(Job {
             layout: layout.clone(),
             eval: eval.clone(),
             cost,
             current_sets,
             moves,
+            workers,
             dims_ok: layout.disk_count() == disks.len(),
-            base_blocks,
-            base_usage,
-            row_bad,
+            base_blocks: base_blocks.clone(),
+            base_usage: base_usage.clone(),
+            row_bad: row_bad.clone(),
             bad_rows,
         });
-        let chunks = pool.dispatch(job.clone());
+        let chunks = pool.dispatch_to(job.clone(), workers);
 
         // Deterministic reduction. Concatenating chunk outcomes in worker
         // order replays the candidate enumeration exactly, so trace events
@@ -605,6 +737,31 @@ pub fn ts_greedy(
             scored as u64,
         );
 
+        // Refresh pruning gains for every group examined this iteration:
+        // a group's stale gain becomes its best observed improvement
+        // (negative when nothing improves, -∞ when nothing was even
+        // costable), so exhausted groups sink in the priority queue.
+        if prune > 0 {
+            for (g, gain) in group_gain.iter_mut().enumerate() {
+                if active[g] {
+                    *gain = f64::NEG_INFINITY;
+                }
+            }
+            let mut idx = 0usize;
+            for chunk in &chunks {
+                for outcome in &chunk.outcomes {
+                    let g = job.moves[idx].group;
+                    idx += 1;
+                    if let Scored::Costed(c) = outcome {
+                        let gain = cost - *c;
+                        if gain > group_gain[g] {
+                            group_gain[g] = gain;
+                        }
+                    }
+                }
+            }
+        }
+
         let mut best: Option<ChunkBest> = None;
         for chunk in chunks {
             if let Some(b) = chunk.best {
@@ -629,14 +786,61 @@ pub fn ts_greedy(
                     fields.push(f("delta_ms", b.cost - cost));
                     iter_span.event("tsgreedy.adopt", fields);
                 }
-                layout = b.trial;
-                eval.apply(&b.delta);
+                // Re-derive the winning trial and its delta — once per
+                // *adopted* iteration rather than inside every chunk's
+                // running-best update. `widen` is deterministic, so this
+                // is bit-for-bit the layout the worker scored.
+                let mut trial = job.layout.clone();
+                widen(&mut trial, &job, mv);
+                let delta = if full_reevaluation {
+                    counters::incr(Counter::CostmodelFullRecosts);
+                    eval.evaluate_full(&trial)
+                } else {
+                    counters::incr(Counter::CostmodelDeltaRecosts);
+                    eval.evaluate_move(&trial, &members[mv.group])
+                };
+                evals += 1;
+                debug_assert_eq!(delta.total.to_bits(), b.cost.to_bits());
+                layout = trial;
+                eval.apply(&delta);
                 cost = b.cost;
                 iterations += 1;
                 counters::incr(Counter::TsgreedyCandidatesAdopted);
+                force_full = false;
+                // Patch the validity snapshot's moved rows in place.
+                if !full_reevaluation {
+                    for &i in &members[mv.group] {
+                        layout.blocks_on_into(i, &mut rowbuf, &mut rembuf);
+                        let old = &base_blocks[i * m..(i + 1) * m];
+                        for (j, (&b_new, &b_old)) in rowbuf.iter().zip(old.iter()).enumerate() {
+                            base_usage[j] = base_usage[j] - b_old + b_new;
+                        }
+                        base_blocks[i * m..(i + 1) * m].copy_from_slice(&rowbuf);
+                        let was = row_bad[i];
+                        let now = !layout.row_is_valid(i);
+                        bad_rows -= usize::from(was);
+                        bad_rows += usize::from(now);
+                        row_bad[i] = now;
+                    }
+                }
                 iter_span.end();
+                if cfg.max_iterations != 0 && iterations >= cfg.max_iterations {
+                    break;
+                }
             }
             None => {
+                if pruning {
+                    // The pruned frontier is dry; one full sweep decides
+                    // between another adoption and termination, so pruning
+                    // never stops a search the full enumeration would
+                    // still be improving.
+                    if iter_span.enabled() {
+                        iter_span.event("tsgreedy.prune_dry", vec![f("cost_ms", cost)]);
+                    }
+                    iter_span.end();
+                    force_full = true;
+                    continue;
+                }
                 if iter_span.enabled() {
                     iter_span.event("tsgreedy.no_move", vec![f("cost_ms", cost)]);
                 }
@@ -667,11 +871,37 @@ pub fn ts_greedy(
     })
 }
 
+/// Priority-queue entry for pruned widening: max-heap on stale gain with
+/// ascending-group-id ties, so the active set is a deterministic function
+/// of the gain table.
+#[derive(PartialEq)]
+struct GroupRank {
+    gain: f64,
+    group: usize,
+}
+
+impl Eq for GroupRank {}
+
+impl Ord for GroupRank {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.group.cmp(&self.group))
+    }
+}
+
+impl PartialOrd for GroupRank {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// Step 1 of TS-GREEDY (Figure 9): max-cut partition the contracted group
 /// graph, assign partitions (heaviest first) to the smallest fastest-first
 /// prefix of unused drives that fits, merge with the least co-accessed
 /// placed partition when drives run out, and stripe eligible-wide as a
 /// last-resort repair if the result is invalid.
+#[allow(clippy::too_many_arguments)] // internal plumbing for ts_greedy only
 fn step1_layout(
     sizes: &[u64],
     disks: &[DiskSpec],
@@ -679,12 +909,23 @@ fn step1_layout(
     members: &[Vec<usize>],
     eligible: &[Vec<usize>],
     group_index: &[usize],
+    partitioner: &Partitioner,
     search_span: &Span,
 ) -> Layout {
     let m = disks.len();
     let g_count = members.len();
     let p = m.min(g_count).max(1);
-    let assignment = max_cut_partition(cg, p);
+    let (assignment, method) = match partitioner {
+        Partitioner::Direct => (max_cut_partition(cg, p), "direct"),
+        Partitioner::Multilevel(ml) => (multilevel_max_cut_with(cg, p, ml), "multilevel"),
+        Partitioner::Auto { threshold } => {
+            if cg.len() > *threshold {
+                (multilevel_max_cut(cg, p), "multilevel")
+            } else {
+                (max_cut_partition(cg, p), "direct")
+            }
+        }
+    };
     let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); p]; // group ids
     for (gi, &part) in assignment.iter().enumerate() {
         partitions[part].push(gi);
@@ -716,7 +957,11 @@ fn step1_layout(
     if search_span.enabled() {
         search_span.event(
             "tsgreedy.partition",
-            vec![f("parts", partitions.len()), f("groups", g_count)],
+            vec![
+                f("parts", partitions.len()),
+                f("groups", g_count),
+                f("method", method),
+            ],
         );
     }
 
@@ -1190,26 +1435,32 @@ mod tests {
             "fixture too easy to exercise chunking"
         );
         for threads in [2usize, 3, 4, 8] {
-            let r = ts_greedy(
-                &sizes,
-                &graph,
-                &workload,
-                &disks,
-                &TsGreedyConfig {
-                    threads,
-                    ..Default::default()
-                },
-            )
-            .unwrap();
-            assert_eq!(
-                layout_bits(&r.layout),
-                layout_bits(&reference.layout),
-                "threads={threads}"
-            );
-            assert_eq!(r.final_cost.to_bits(), reference.final_cost.to_bits());
-            assert_eq!(r.initial_cost.to_bits(), reference.initial_cost.to_bits());
-            assert_eq!(r.iterations, reference.iterations);
-            assert_eq!(r.cost_evaluations, reference.cost_evaluations);
+            // min_chunk 0 forces real fan-out on this small fixture; the
+            // adaptive default must land on the same bits via its serial
+            // fallback.
+            for min_chunk in [0usize, 256] {
+                let r = ts_greedy(
+                    &sizes,
+                    &graph,
+                    &workload,
+                    &disks,
+                    &TsGreedyConfig {
+                        threads,
+                        min_chunk,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    layout_bits(&r.layout),
+                    layout_bits(&reference.layout),
+                    "threads={threads} min_chunk={min_chunk}"
+                );
+                assert_eq!(r.final_cost.to_bits(), reference.final_cost.to_bits());
+                assert_eq!(r.initial_cost.to_bits(), reference.initial_cost.to_bits());
+                assert_eq!(r.iterations, reference.iterations);
+                assert_eq!(r.cost_evaluations, reference.cost_evaluations);
+            }
         }
     }
 
@@ -1235,6 +1486,7 @@ mod tests {
             &TsGreedyConfig {
                 full_reevaluation: true,
                 threads: 2,
+                min_chunk: 0,
                 ..Default::default()
             },
         )
@@ -1288,6 +1540,7 @@ mod tests {
             let ring = Arc::new(RingSink::new(usize::MAX));
             let cfg = TsGreedyConfig {
                 threads,
+                min_chunk: 0, // real fan-out, not the serial fallback
                 collector: Collector::deterministic(ring.clone()),
                 ..Default::default()
             };
@@ -1306,6 +1559,153 @@ mod tests {
         }
     }
 
+    /// Pruned widening with a width covering every group takes the exact
+    /// unpruned code path — bit-identical results.
+    #[test]
+    fn prune_width_covering_all_groups_is_bit_identical_to_unpruned() {
+        let (sizes, graph, workload, disks) = parallel_fixture();
+        let unpruned = ts_greedy(
+            &sizes,
+            &graph,
+            &workload,
+            &disks,
+            &TsGreedyConfig::default(),
+        )
+        .unwrap();
+        let wide = ts_greedy(
+            &sizes,
+            &graph,
+            &workload,
+            &disks,
+            &TsGreedyConfig {
+                prune_width: 64, // ≥ group count: pruning never engages
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(layout_bits(&wide.layout), layout_bits(&unpruned.layout));
+        assert_eq!(wide.final_cost.to_bits(), unpruned.final_cost.to_bits());
+        assert_eq!(wide.cost_evaluations, unpruned.cost_evaluations);
+    }
+
+    /// A genuinely pruned search (width < groups) still terminates at a
+    /// full-sweep local optimum, stays valid, and is thread-invariant.
+    #[test]
+    fn pruned_widening_is_thread_invariant_and_locally_optimal() {
+        let (sizes, graph, workload, disks) = parallel_fixture();
+        let run = |threads: usize| {
+            ts_greedy(
+                &sizes,
+                &graph,
+                &workload,
+                &disks,
+                &TsGreedyConfig {
+                    prune_width: 2,
+                    threads,
+                    min_chunk: 0,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let reference = run(1);
+        assert!(reference.final_cost <= reference.initial_cost + 1e-9);
+        reference.layout.validate(&disks).unwrap();
+        // Termination required a full sweep that found nothing: re-seeding
+        // an unpruned search from the pruned result must adopt no moves.
+        let resumed = ts_greedy(
+            &sizes,
+            &graph,
+            &workload,
+            &disks,
+            &TsGreedyConfig {
+                seed: Some(reference.layout.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Seeded mode also enumerates narrow/swap moves, so allow equal-
+        // cost wandering but never a pure-widening improvement miss.
+        assert!(resumed.final_cost >= reference.final_cost - 1e-9);
+        for threads in [2usize, 4, 8] {
+            let r = run(threads);
+            assert_eq!(
+                layout_bits(&r.layout),
+                layout_bits(&reference.layout),
+                "threads={threads}"
+            );
+            assert_eq!(r.final_cost.to_bits(), reference.final_cost.to_bits());
+            assert_eq!(r.cost_evaluations, reference.cost_evaluations);
+        }
+    }
+
+    /// `max_iterations` caps adopted moves, and the capped run's layout is
+    /// the uncapped run's prefix (same greedy trajectory, stopped early).
+    #[test]
+    fn max_iterations_caps_adopted_moves() {
+        let disks = uniform_disks(6, 100_000, 10.0, 20.0);
+        let sizes = vec![600u64];
+        let plans = vec![(PhysicalPlan::new(scan(0, 600)), 1.0)];
+        let graph = build_access_graph(1, &plans);
+        let workload = decompose_workload(&plans);
+        let capped = ts_greedy(
+            &sizes,
+            &graph,
+            &workload,
+            &disks,
+            &TsGreedyConfig {
+                max_iterations: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(capped.iterations, 2);
+        // Widening one drive at a time from a 1-disk start: after two
+        // adoptions the object spans exactly 3 drives.
+        assert_eq!(capped.layout.disks_of(0).len(), 3);
+    }
+
+    /// Forcing the multilevel partitioner on a paper-scale graph matches
+    /// Direct bit-for-bit (no coarsening levels engage below the floor),
+    /// and Auto's threshold selects between the same two paths.
+    #[test]
+    fn multilevel_partitioner_matches_direct_at_small_scale() {
+        let (sizes, graph, workload, disks) = parallel_fixture();
+        let run = |partitioner: Partitioner| {
+            ts_greedy(
+                &sizes,
+                &graph,
+                &workload,
+                &disks,
+                &TsGreedyConfig {
+                    partitioner,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let direct = run(Partitioner::Direct);
+        let auto_default = run(Partitioner::default());
+        let multilevel = run(Partitioner::Multilevel(Default::default()));
+        let auto_forced = run(Partitioner::Auto { threshold: 0 });
+        for (name, r) in [
+            ("auto", &auto_default),
+            ("multilevel", &multilevel),
+            ("auto-forced", &auto_forced),
+        ] {
+            assert_eq!(
+                layout_bits(&r.layout),
+                layout_bits(&direct.layout),
+                "{name}"
+            );
+            assert_eq!(
+                r.final_cost.to_bits(),
+                direct.final_cost.to_bits(),
+                "{name}"
+            );
+        }
+    }
+
     /// Timed collectors do get the per-worker scheduling event.
     #[test]
     fn timed_trace_records_per_worker_candidate_counts() {
@@ -1314,6 +1714,7 @@ mod tests {
         let ring = Arc::new(RingSink::new(usize::MAX));
         let cfg = TsGreedyConfig {
             threads: 4,
+            min_chunk: 0, // force full fan-out on this small fixture
             collector: Collector::new(ring.clone()),
             ..Default::default()
         };

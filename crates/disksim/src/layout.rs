@@ -87,32 +87,48 @@ impl std::error::Error for LayoutError {}
 /// the shares sum exactly to `size`. Weights must be non-negative; an
 /// all-zero weight vector yields all-zero shares.
 pub fn apportion(size: u64, fractions: &[f64]) -> Vec<u64> {
+    let mut shares = Vec::with_capacity(fractions.len());
+    apportion_into(size, fractions, &mut shares, &mut Vec::new());
+    shares
+}
+
+/// [`apportion`] into caller-owned buffers: `shares` receives the result
+/// (cleared first), `scratch` holds the remainder table. The search's
+/// incremental validity check runs this once per moved object per
+/// candidate, so the allocation-free form matters; the arithmetic is the
+/// allocating path's, bit for bit ([`apportion`] delegates here).
+pub fn apportion_into(
+    size: u64,
+    fractions: &[f64],
+    shares: &mut Vec<u64>,
+    scratch: &mut Vec<(usize, f64)>,
+) {
+    shares.clear();
+    scratch.clear();
     let total: f64 = fractions.iter().sum();
     if total <= 0.0 || size == 0 {
-        return vec![0; fractions.len()];
+        shares.resize(fractions.len(), 0);
+        return;
     }
-    let mut shares: Vec<u64> = Vec::with_capacity(fractions.len());
-    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(fractions.len());
     let mut assigned = 0u64;
     for (j, &w) in fractions.iter().enumerate() {
         let exact = size as f64 * (w / total);
         let floor = exact.floor() as u64; // dblayout::allow(R8, reason = "largest-remainder apportionment: exact is in [0, size], flooring is the method")
         shares.push(floor);
         assigned += floor;
-        remainders.push((j, exact - floor as f64));
+        scratch.push((j, exact - floor as f64));
     }
     // Hand out the leftover blocks to the largest remainders (ties by index
     // for determinism).
-    remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    scratch.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let mut left = size - assigned;
-    for (j, _) in remainders {
+    for &(j, _) in scratch.iter() {
         if left == 0 {
             break;
         }
         shares[j] += 1;
         left -= 1;
     }
-    shares
 }
 
 /// A database layout (paper Definition 1).
@@ -230,10 +246,23 @@ impl Layout {
 
     /// Places `object` across `disks` proportionally to their read rates
     /// (the footnote-1 rule used by both FULL STRIPING and TS-GREEDY).
+    /// Allocation-free — the search's candidate loop rewrites rows with
+    /// this — and bit-identical to `place` with `(id, read_mb_s)` weights.
+    ///
+    /// # Panics
+    /// Panics if the rate sum is not positive or any rate is negative.
     pub fn place_proportional(&mut self, object: usize, disk_ids: &[usize], specs: &[DiskSpec]) {
-        let weights: Vec<(usize, f64)> =
-            disk_ids.iter().map(|&j| (j, specs[j].read_mb_s)).collect();
-        self.place(object, &weights);
+        let total: f64 = disk_ids.iter().map(|&j| specs[j].read_mb_s).sum();
+        assert!(
+            total > 0.0 && disk_ids.iter().all(|&j| specs[j].read_mb_s >= 0.0),
+            "placement weights must be non-negative with a positive sum"
+        );
+        for f in self.fractions[object].iter_mut() {
+            *f = 0.0;
+        }
+        for &j in disk_ids {
+            self.fractions[object][j] = specs[j].read_mb_s / total;
+        }
     }
 
     /// Overwrites `object`'s fraction row with the same row of `other`.
@@ -262,6 +291,22 @@ impl Layout {
     /// apportionment of `|R_i|` over the fraction row; sums to `|R_i|`).
     pub fn blocks_on(&self, object: usize) -> Vec<u64> {
         apportion(self.object_sizes[object], &self.fractions[object])
+    }
+
+    /// [`Layout::blocks_on`] into caller-owned buffers — see
+    /// [`apportion_into`] for the buffer contract and identity guarantee.
+    pub fn blocks_on_into(
+        &self,
+        object: usize,
+        shares: &mut Vec<u64>,
+        scratch: &mut Vec<(usize, f64)>,
+    ) {
+        apportion_into(
+            self.object_sizes[object],
+            &self.fractions[object],
+            shares,
+            scratch,
+        );
     }
 
     /// Total blocks each disk holds under this layout.
@@ -355,6 +400,29 @@ mod tests {
 
     fn disks3() -> Vec<DiskSpec> {
         uniform_disks(3, 1_000, 10.0, 20.0)
+    }
+
+    #[test]
+    fn apportion_into_matches_apportion_with_reused_buffers() {
+        let mut shares = Vec::new();
+        let mut scratch = Vec::new();
+        for size in [0u64, 1, 7, 100, 999] {
+            for fractions in [vec![0.3, 0.3, 0.4], vec![0.0, 0.0], vec![1.0]] {
+                apportion_into(size, &fractions, &mut shares, &mut scratch);
+                assert_eq!(shares, apportion(size, &fractions), "size={size}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_on_into_matches_blocks_on() {
+        let disks = disks3();
+        let layout = Layout::full_striping(vec![300, 151, 0], &disks);
+        let (mut shares, mut scratch) = (Vec::new(), Vec::new());
+        for i in 0..layout.object_count() {
+            layout.blocks_on_into(i, &mut shares, &mut scratch);
+            assert_eq!(shares, layout.blocks_on(i));
+        }
     }
 
     #[test]

@@ -29,16 +29,21 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use crate::summary::FileSummary;
 
 /// Files whose functions seed the deterministic zone: the sequential and
-/// parallel TS-GREEDY drivers, the continuous-relayout layer, the
-/// deterministic counter registry, and the decision-audit crate (replay
-/// must re-derive recorded layouts bit-identically, so nothing in it may
-/// read a clock or other ambient state — timestamps are caller-supplied).
+/// parallel TS-GREEDY drivers, the multilevel coarsening pipeline (its
+/// matching/projection determinism argument is load-bearing for the
+/// byte-identity contract, DESIGN.md §11), the continuous-relayout layer,
+/// the deterministic counter registry, and the decision-audit crate
+/// (replay must re-derive recorded layouts bit-identically, so nothing in
+/// it may read a clock or other ambient state — timestamps are
+/// caller-supplied).
 pub fn is_seed_file(path: &str) -> bool {
     path == "crates/core/src/tsgreedy.rs"
         || path == "crates/core/src/par.rs"
         || path.starts_with("crates/relayout/src/")
         || path.starts_with("crates/audit/src/")
         || path == "crates/obs/src/counters.rs"
+        || path == "crates/partition/src/coarsen.rs"
+        || path == "crates/partition/src/multilevel.rs"
 }
 
 /// Method/function names too ubiquitous to link by bare name.

@@ -1,0 +1,240 @@
+//! Heavy-edge matching and graph contraction — the coarsening half of the
+//! multilevel max-cut pipeline (`multilevel.rs`).
+//!
+//! METIS-style multilevel partitioning makes KL-family search scale: match
+//! pairs of nodes along heavy edges, contract each matched pair into one
+//! coarse node, repeat until the graph is small enough for the O(n²)
+//! direct search, then project the coarse partition back down and repair
+//! locally. This module provides the two primitives — `heavy_edge_matching`
+//! and `contract` — plus the `coarsen` convenience that chains them.
+//!
+//! Everything here is deterministic by construction: nodes are visited in
+//! ascending id order, candidate mates are scanned in the sorted neighbor
+//! order `Graph` guarantees, ties break to the smallest id, and contraction
+//! accumulates weights in the sorted `edges()` order. Given the same graph,
+//! every run on every host produces bit-identical coarse graphs (the code
+//! sits in the R1 no-panic and R6 determinism lint zones).
+
+use crate::graph::Graph;
+
+/// Result of contracting one level: the coarse graph, the fine→coarse node
+/// map, and the total weight of fine edges that collapsed *inside* coarse
+/// nodes (dropped from the coarse edge set, reported so callers can verify
+/// exact weight conservation: `graph.total_edge_weight() + internal_weight`
+/// equals the fine graph's total edge weight).
+#[derive(Debug, Clone)]
+pub struct Coarsening {
+    /// The contracted graph.
+    pub graph: Graph,
+    /// `map[u]` = coarse node containing fine node `u`.
+    pub map: Vec<usize>,
+    /// Total weight of fine edges whose endpoints merged into one coarse
+    /// node (these become internal, not coarse self-loops).
+    pub internal_weight: f64,
+}
+
+/// Computes a maximal matching preferring heavy edges.
+///
+/// Returns `mate` with `mate[u] == v` when `u` and `v` are matched and
+/// `mate[u] == u` when `u` stays single. Deterministic: nodes are visited
+/// in ascending id order; each unmatched node takes its heaviest unmatched
+/// neighbor, breaking weight ties to the smallest neighbor id (weights are
+/// compared exactly — no epsilon — so the choice is a pure function of the
+/// edge list).
+pub fn heavy_edge_matching(g: &Graph) -> Vec<usize> {
+    let n = g.len();
+    let mut mate: Vec<usize> = (0..n).collect();
+    let mut matched = vec![false; n];
+    for u in 0..n {
+        if matched[u] {
+            continue;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (v, w) in g.neighbors(u) {
+            if matched[v] || v == u {
+                continue;
+            }
+            // Strictly heavier wins; sorted neighbor order means the first
+            // (= smallest-id) neighbor at the maximum weight is kept.
+            let better = match best {
+                None => true,
+                Some((_, bw)) => w > bw,
+            };
+            if better {
+                best = Some((v, w));
+            }
+        }
+        if let Some((v, _)) = best {
+            mate[u] = v;
+            mate[v] = u;
+            matched[u] = true;
+            matched[v] = true;
+        }
+    }
+    mate
+}
+
+/// Contracts `g` along a matching, merging each matched pair into one
+/// coarse node.
+///
+/// Coarse ids are assigned in ascending order of each pair's smaller fine
+/// id, so the coarse node numbering is a pure function of the matching.
+/// Node weights accumulate in fine id order; edge weights accumulate in
+/// the sorted `edges()` order — with the deterministic matching above this
+/// makes repeated contractions of the same graph bit-identical.
+///
+/// # Panics
+/// Panics (via `assert!`) when `mate` is not an involution over `0..n`.
+pub fn contract(g: &Graph, mate: &[usize]) -> Coarsening {
+    let n = g.len();
+    assert_eq!(mate.len(), n, "matching length must equal node count");
+    let mut map = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for u in 0..n {
+        let v = mate[u];
+        assert!(v < n, "matching partner out of range");
+        assert_eq!(mate[v], u, "matching must be an involution");
+        if map[u] != usize::MAX {
+            continue;
+        }
+        map[u] = next;
+        if v != u {
+            map[v] = next;
+        }
+        next += 1;
+    }
+    let mut coarse = Graph::new(next);
+    for (u, &cu) in map.iter().enumerate() {
+        coarse.add_node_weight(cu, g.node_weight(u));
+    }
+    let mut internal_weight = 0.0;
+    for (u, v, w) in g.edges() {
+        let (cu, cv) = (map[u], map[v]);
+        if cu == cv {
+            internal_weight += w;
+        } else {
+            coarse.add_edge(cu, cv, w);
+        }
+    }
+    Coarsening {
+        graph: coarse,
+        map,
+        internal_weight,
+    }
+}
+
+/// One full coarsening level: heavy-edge matching followed by contraction.
+pub fn coarsen(g: &Graph) -> Coarsening {
+    contract(g, &heavy_edge_matching(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        // 0 -5- 1 -9- 2 -5- 3
+        let mut g = Graph::new(4);
+        g.add_node_weight(0, 1.0);
+        g.add_node_weight(1, 2.0);
+        g.add_node_weight(2, 3.0);
+        g.add_node_weight(3, 4.0);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(1, 2, 9.0);
+        g.add_edge(2, 3, 5.0);
+        g
+    }
+
+    #[test]
+    fn matching_is_an_involution_and_prefers_heavy_edges() {
+        let g = path4();
+        let mate = heavy_edge_matching(&g);
+        for (u, &v) in mate.iter().enumerate() {
+            assert_eq!(mate[v], u);
+        }
+        // Node 0 goes first and takes its only neighbor 1 (greedy maximal
+        // matching is id-ordered, not globally optimal), leaving 2-3.
+        assert_eq!(mate[0], 1);
+        assert_eq!(mate[2], 3);
+    }
+
+    #[test]
+    fn heaviest_neighbor_wins_with_ties_to_smallest_id() {
+        let mut g = Graph::new(4);
+        g.add_edge(1, 0, 7.0);
+        g.add_edge(1, 2, 9.0);
+        g.add_edge(1, 3, 9.0);
+        // Visit order starts at node 0, which grabs its only neighbor 1?
+        // No — node 0's heaviest neighbor is 1 (weight 7), so 0 matches 1
+        // before node 1 is ever visited.
+        let mate = heavy_edge_matching(&g);
+        assert_eq!(mate[0], 1);
+        // Isolated-after-matching nodes stay single.
+        assert_eq!(mate[2], 2);
+        assert_eq!(mate[3], 3);
+
+        // Starting from node 1 instead: equal 9.0 ties break to id 2.
+        let mut h = Graph::new(4);
+        h.add_edge(1, 2, 9.0);
+        h.add_edge(1, 3, 9.0);
+        let mate = heavy_edge_matching(&h);
+        assert_eq!(mate[0], 0);
+        assert_eq!(mate[1], 2);
+        assert_eq!(mate[3], 3);
+    }
+
+    #[test]
+    fn contract_preserves_node_and_edge_weight_exactly() {
+        let g = path4();
+        let c = coarsen(&g);
+        let fine_nodes: f64 = (0..g.len()).map(|u| g.node_weight(u)).sum();
+        let coarse_nodes: f64 = (0..c.graph.len()).map(|u| c.graph.node_weight(u)).sum();
+        assert_eq!(fine_nodes, coarse_nodes);
+        assert_eq!(
+            g.total_edge_weight(),
+            c.graph.total_edge_weight() + c.internal_weight
+        );
+        // {0,1} and {2,3} merge: coarse edge (0,1) carries the old 1-2 edge.
+        assert_eq!(c.graph.len(), 2);
+        assert_eq!(c.graph.edge_weight(0, 1), 9.0);
+        assert_eq!(c.internal_weight, 10.0);
+    }
+
+    #[test]
+    fn coarse_ids_follow_smallest_fine_id_order() {
+        let g = path4();
+        let c = coarsen(&g);
+        assert_eq!(c.map, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn singleton_nodes_survive_contraction() {
+        let mut g = Graph::new(3);
+        g.add_node_weight(2, 7.0);
+        g.add_edge(0, 1, 1.0);
+        let c = coarsen(&g);
+        assert_eq!(c.graph.len(), 2);
+        assert_eq!(c.map, vec![0, 0, 1]);
+        assert_eq!(c.graph.node_weight(1), 7.0);
+        assert_eq!(c.internal_weight, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "involution")]
+    fn non_involution_matching_is_rejected() {
+        let g = path4();
+        contract(&g, &[1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn projected_cut_equals_coarse_cut() {
+        let g = path4();
+        let c = coarsen(&g);
+        let coarse_assign = vec![0, 1];
+        let fine_assign: Vec<usize> = c.map.iter().map(|&cu| coarse_assign[cu]).collect();
+        assert_eq!(
+            g.cut_weight(&fine_assign),
+            c.graph.cut_weight(&coarse_assign)
+        );
+    }
+}

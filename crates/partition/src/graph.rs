@@ -1,17 +1,22 @@
 //! Undirected weighted graph with node weights.
 
-use std::collections::HashMap;
-
 /// An undirected graph over nodes `0..n` with `f64` node and edge weights.
 ///
 /// In the advisor's access graph, node weights are total blocks accessed for
 /// an object and edge weights are total blocks co-accessed between two
 /// objects (paper §4.1). Parallel `add_edge` calls accumulate, matching how
 /// Figure 6 increments edge weights per statement.
+///
+/// Adjacency is a flat sorted vector per node (not a hash map): neighbor
+/// iteration order is then a pure function of the edge set, so every float
+/// accumulation downstream (KL gain sums, coarsening contractions) replays
+/// in the same order on every run and every host — a prerequisite for the
+/// R6 determinism zone that `coarsen`/`multilevel` live in — and the scan
+/// is cache-friendly at mega-graph sizes.
 #[derive(Debug, Clone)]
 pub struct Graph {
     node_weights: Vec<f64>,
-    adj: Vec<HashMap<usize, f64>>,
+    adj: Vec<Vec<(usize, f64)>>,
 }
 
 impl Graph {
@@ -19,7 +24,7 @@ impl Graph {
     pub fn new(n: usize) -> Self {
         Self {
             node_weights: vec![0.0; n],
-            adj: vec![HashMap::new(); n],
+            adj: vec![Vec::new(); n],
         }
     }
 
@@ -51,18 +56,30 @@ impl Graph {
     pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
         assert_ne!(u, v, "self-loops are not allowed");
         assert!(u < self.len() && v < self.len(), "node out of range");
-        *self.adj[u].entry(v).or_insert(0.0) += w;
-        *self.adj[v].entry(u).or_insert(0.0) += w;
+        Self::accumulate(&mut self.adj[u], v, w);
+        Self::accumulate(&mut self.adj[v], u, w);
+    }
+
+    /// Adds `w` to the slot for neighbor `v` in a sorted adjacency row,
+    /// inserting the slot if absent.
+    fn accumulate(row: &mut Vec<(usize, f64)>, v: usize, w: f64) {
+        match row.binary_search_by_key(&v, |&(n, _)| n) {
+            Ok(i) => row[i].1 += w,
+            Err(i) => row.insert(i, (v, w)),
+        }
     }
 
     /// Weight of edge `(u, v)`; 0 when absent.
     pub fn edge_weight(&self, u: usize, v: usize) -> f64 {
-        self.adj[u].get(&v).copied().unwrap_or(0.0)
+        match self.adj[u].binary_search_by_key(&v, |&(n, _)| n) {
+            Ok(i) => self.adj[u][i].1,
+            Err(_) => 0.0,
+        }
     }
 
-    /// Neighbors of `u` with edge weights.
+    /// Neighbors of `u` with edge weights, in ascending neighbor id order.
     pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.adj[u].iter().map(|(&v, &w)| (v, w))
+        self.adj[u].iter().copied()
     }
 
     /// Node degree (number of incident edges).
@@ -70,17 +87,16 @@ impl Graph {
         self.adj[u].len()
     }
 
-    /// All edges `(u, v, w)` with `u < v`.
+    /// All edges `(u, v, w)` with `u < v`, sorted by `(u, v)`.
     pub fn edges(&self) -> Vec<(usize, usize, f64)> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.edge_count());
         for (u, nbrs) in self.adj.iter().enumerate() {
-            for (&v, &w) in nbrs {
+            for &(v, w) in nbrs {
                 if u < v {
                     out.push((u, v, w));
                 }
             }
         }
-        out.sort_by_key(|a| (a.0, a.1));
         out
     }
 
@@ -107,8 +123,8 @@ impl Graph {
             *w *= factor;
         }
         for nbrs in &mut self.adj {
-            for w in nbrs.values_mut() {
-                *w *= factor;
+            for slot in nbrs.iter_mut() {
+                slot.1 *= factor;
             }
         }
     }
@@ -198,6 +214,18 @@ mod tests {
     fn edges_sorted_and_deduped() {
         let g = triangle();
         assert_eq!(g.edges(), vec![(0, 1, 10.0), (0, 2, 30.0), (1, 2, 20.0)]);
+    }
+
+    #[test]
+    fn neighbors_iterate_in_ascending_id_order() {
+        let mut g = Graph::new(5);
+        // Insert out of order; iteration must still be sorted.
+        g.add_edge(2, 4, 1.0);
+        g.add_edge(2, 0, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(2, 1, 1.0);
+        let ids: Vec<usize> = g.neighbors(2).map(|(v, _)| v).collect();
+        assert_eq!(ids, vec![0, 1, 3, 4]);
     }
 
     #[test]

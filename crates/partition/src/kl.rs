@@ -132,10 +132,29 @@ pub fn max_cut_partition(g: &Graph, parts: usize) -> Vec<usize> {
         return vec![0; n];
     }
 
-    // --- Greedy seeding ---
-    // Order nodes by descending node weight (ties by id for determinism):
-    // heavy objects claim empty partitions first, mirroring step 2-3 of
-    // Figure 9 which assigns partitions in descending node-weight order.
+    let mut assignment = greedy_seed(g, parts);
+
+    // --- KL-style refinement ---
+    loop {
+        if !multiway_pass(g, parts, &mut assignment) {
+            break;
+        }
+    }
+    assignment
+}
+
+/// Greedy seeding: the opening phase of [`max_cut_partition`], exposed so
+/// the multilevel pipeline can use it as a deterministic quality-floor
+/// challenger without paying for the O(n²) refinement passes.
+///
+/// Orders nodes by descending node weight (ties by id for determinism):
+/// heavy objects claim empty partitions first, mirroring step 2-3 of
+/// Figure 9 which assigns partitions in descending node-weight order. Each
+/// node lands in the partition with the smallest co-access to it (ties →
+/// smallest partition id).
+pub fn greedy_seed(g: &Graph, parts: usize) -> Vec<usize> {
+    assert!(parts >= 1, "need at least one partition");
+    let n = g.len();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
         g.node_weight(b)
@@ -144,8 +163,6 @@ pub fn max_cut_partition(g: &Graph, parts: usize) -> Vec<usize> {
     });
     let mut assignment = vec![usize::MAX; n];
     for &u in &order {
-        // Put u in the partition with the smallest co-access to u; prefer
-        // partitions round-robin on ties so seeds spread out.
         let mut best_p = 0;
         let mut best_cost = f64::INFINITY;
         for p in 0..parts {
@@ -160,13 +177,6 @@ pub fn max_cut_partition(g: &Graph, parts: usize) -> Vec<usize> {
             }
         }
         assignment[u] = best_p;
-    }
-
-    // --- KL-style refinement ---
-    loop {
-        if !multiway_pass(g, parts, &mut assignment) {
-            break;
-        }
     }
     assignment
 }

@@ -11,14 +11,18 @@
 //! | WK-CTRL1    | 5           | [`wkctrl`] — two-table `COUNT(*)` joins touching almost all data |
 //! | WK-CTRL2    | 10          | [`wkctrl`] — mixed single-/multi-table with simple aggregation |
 //! | WK-DRIFT    | per-epoch   | [`wkctrl::wk_drift`] — time-varying epochs whose hot set migrates (continuous relayout) |
+//! | WK-MEGA     | thousands   | [`wkmega`] — mega-scale: thousands of objects × 64–256 disks, Zipfian co-access (multilevel/pruned search) |
 //!
 //! Plus [`qgen`], the qgen-style random query generator behind WK-SCALE,
 //! the 25-query synthetic validation workloads (§7.2), and the TPCH-88-N
 //! workloads of Figure 12 ([`tpch22::tpch88_n`]).
 //!
-//! All generators emit SQL strings in the `dblayout-sql` dialect and are
-//! deterministic for a given seed; [`parse_all`] turns them into weighted
-//! statements ready for the advisor.
+//! All generators except WK-MEGA emit SQL strings in the `dblayout-sql`
+//! dialect and are deterministic for a given seed; [`parse_all`] turns
+//! them into weighted statements ready for the advisor. WK-MEGA skips the
+//! SQL round-trip and emits weighted sub-plan sets directly (planning
+//! thousands of synthetic joins would dominate the very search-time
+//! measurements the family exists for).
 
 pub mod apb800;
 pub mod qgen;
@@ -26,6 +30,7 @@ pub mod sales45;
 pub mod subst;
 pub mod tpch22;
 pub mod wkctrl;
+pub mod wkmega;
 pub mod wkscale;
 
 use dblayout_sql::{parse_statement, ParseError, Statement};

@@ -15,14 +15,16 @@ use dblayout_catalog::tpch::tpch_catalog;
 use dblayout_catalog::ObjectId;
 use dblayout_core::costmodel::{decompose_workload, CostModel};
 use dblayout_core::{
-    build_access_graph, exhaustive_search, render_narrative, ts_greedy, NarrativeNames,
-    TsGreedyConfig, TsGreedyResult,
+    build_access_graph, build_access_graph_subplans, exhaustive_search, render_narrative,
+    ts_greedy, NarrativeNames, Partitioner, TsGreedyConfig, TsGreedyResult,
 };
 use dblayout_disksim::{paper_disks, uniform_disks, DiskSpec, Layout};
 use dblayout_obs::{Collector, RingSink};
+use dblayout_partition::MultilevelConfig;
 use dblayout_planner::{plan_statement, PhysicalPlan, PlanNode, Subplan};
 use dblayout_workloads::parse_all;
 use dblayout_workloads::qgen::generate;
+use dblayout_workloads::wkmega::{generate as generate_mega, MegaConfig};
 
 /// Every placement fraction's bit pattern — byte-level layout identity.
 fn layout_bits(l: &Layout) -> Vec<u64> {
@@ -66,11 +68,31 @@ fn observe(
     disks: &[DiskSpec],
     threads: usize,
 ) -> Observed {
+    observe_with(
+        sizes,
+        graph,
+        workload,
+        disks,
+        TsGreedyConfig {
+            threads,
+            ..Default::default()
+        },
+    )
+}
+
+/// [`observe`] with a caller-supplied configuration (the collector is
+/// overwritten with a deterministic ring).
+fn observe_with(
+    sizes: &[u64],
+    graph: &dblayout_partition::Graph,
+    workload: &[(Vec<Subplan>, f64)],
+    disks: &[DiskSpec],
+    cfg: TsGreedyConfig,
+) -> Observed {
     let ring = Arc::new(RingSink::new(usize::MAX));
     let cfg = TsGreedyConfig {
-        threads,
         collector: Collector::deterministic(ring.clone()),
-        ..Default::default()
+        ..cfg
     };
     let guard = COUNTER_ISOLATION.lock().unwrap_or_else(|e| e.into_inner());
     let before = counters::snapshot();
@@ -139,6 +161,57 @@ fn seeded_matrix_is_byte_identical_across_thread_counts() {
                     "seed {seed} × {disk_name} × threads {threads} diverged"
                 );
             }
+        }
+    }
+}
+
+/// The mega-family row of the matrix: a WK-MEGA instance driven through
+/// the mega-scale configuration (multilevel step 1, pruned widening,
+/// adaptive chunking) must stay byte-identical — layouts, cost bits,
+/// search counters, trace, and deterministic work counters — across
+/// thread counts {1, 2, 4, 8}, and across the chunking policy
+/// (`min_chunk: 1` forces full fan-out; the adaptive default may collapse
+/// small iterations to fewer workers — neither may move a bit).
+#[test]
+fn mega_family_row_is_byte_identical_across_thread_counts() {
+    let instance = generate_mega(&MegaConfig::scaled(200, 10, 21));
+    let graph = build_access_graph_subplans(instance.sizes.len(), &instance.workload);
+    let mega_cfg = |threads: usize, min_chunk: usize| TsGreedyConfig {
+        threads,
+        min_chunk,
+        partitioner: Partitioner::Multilevel(MultilevelConfig::default()),
+        prune_width: 4,
+        max_iterations: 10,
+        ..Default::default()
+    };
+    let reference = observe_with(
+        &instance.sizes,
+        &graph,
+        &instance.workload,
+        &instance.disks,
+        mega_cfg(1, 1),
+    );
+    assert!(reference.iterations >= 1, "mega search adopted no move");
+    assert!(
+        reference
+            .trace
+            .iter()
+            .any(|l| l.contains("\"method\":\"multilevel\"")),
+        "step 1 did not route through the multilevel partitioner"
+    );
+    for threads in [2usize, 4, 8] {
+        for min_chunk in [1usize, 256] {
+            let got = observe_with(
+                &instance.sizes,
+                &graph,
+                &instance.workload,
+                &instance.disks,
+                mega_cfg(threads, min_chunk),
+            );
+            assert_eq!(
+                got, reference,
+                "mega row: threads {threads} × min_chunk {min_chunk} diverged"
+            );
         }
     }
 }
