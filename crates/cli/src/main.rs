@@ -23,6 +23,7 @@ USAGE:
     dblayout client [client-options]    talk to a running service
     dblayout lint [lint-options]        static-analyze the workspace sources
     dblayout benchdiff <base> <cur>     compare two BENCH_*.json histories
+    dblayout loadtest [load-options]    drive the service with measured load
     dblayout drift [drift-options]      detect workload drift vs the advised graph
     dblayout migrate [migrate-options]  budgeted relayout + ordered migration plan
     dblayout audit [audit-options]      inspect and replay recorded decisions
@@ -232,9 +233,14 @@ OPTIONS:
                         regresses (default 0.5 = 50%)
     --window <n>        history entries whose median is compared
                         (default 5)
-    --ignore-counters   skip the exact counter gate (use for histories
-                        from adaptive-iteration benches, e.g.
-                        BENCH_server.json)
+    --ignore-counters   skip the exact counter gate entirely (use for
+                        histories that are adaptive-iteration only)
+    --ignore-counters-for <substr>
+                        skip the counter gate only for config groups whose
+                        config string contains <substr>; repeatable. Lets
+                        BENCH_server.json mix criterion rows (ignored via
+                        `adaptive_iterations`) with loadtest rows whose
+                        mix counters gate exactly
     --require-not-slower <fast>,<slow>
                         assert metric <fast> is not slower than metric
                         <slow> (median over the current history's last
@@ -242,6 +248,47 @@ OPTIONS:
                         medians exempt). Repeatable. E.g.
                         `--require-not-slower incremental/t4,incremental/t1`
                         gates \"parallelism pays\".
+    --help              this text
+";
+
+const LOADTEST_USAGE: &str = "\
+dblayout loadtest — coordinated-omission-safe load against the service
+
+USAGE:
+    dblayout loadtest [--addr <host:port>] [options]
+
+Drives the newline-delimited JSON protocol with a deterministic op
+schedule (seeded LCG; same --seed → same op sequence and mix counters on
+every host) and records latency into log-linear histograms with ≤12.5%
+relative error. Without --addr, an in-process loopback server is started
+with one worker thread per connection.
+
+Two pacing modes (DESIGN.md §12):
+  open loop (--rate)   requests arrive at a fixed rate; latency is charged
+                       from each request's *intended* send time, so server
+                       stalls inflate the tail instead of being
+                       coordinated away (HdrHistogram/wrk2 correction)
+  closed loop          each connection sends as soon as the previous reply
+                       lands; measures single-caller service time only
+
+Exit status: 0 on a clean run, 1 when any request errored or a transport
+failure occurred.
+
+OPTIONS:
+    --addr <host:port>  target a running service (default: loopback server)
+    --requests <n>      total requests across connections (default 100000)
+    --connections <n>   concurrent connections; each needs a server worker
+                        thread (default 4)
+    --rate <r>          open-loop offered load, requests/second
+                        (default: closed loop)
+    --seed <n>          schedule seed (default 42)
+    --mix <a,b,c,d>     op weights open_session,add_statements,recommend,
+                        stats (default 1,20,2,977)
+    --catalog <spec>    session catalog (default tpch:0.01)
+    --json <file>       write the machine-readable report
+    --history <file>    append a gateable row (per-op p50/p99/p999 timings
+                        + exact mix counters) to an observatory history,
+                        e.g. BENCH_server.json
     --help              this text
 ";
 
@@ -655,6 +702,13 @@ fn run_benchdiff(args: &[String]) -> Result<ExitCode, String> {
                 }
             }
             "--ignore-counters" => opts.ignore_counters = true,
+            "--ignore-counters-for" => {
+                let pat = value("--ignore-counters-for")?;
+                if pat.is_empty() {
+                    return Err("--ignore-counters-for needs a non-empty substring".to_string());
+                }
+                opts.ignore_counters_for.push(pat);
+            }
             "--require-not-slower" => {
                 let pair = value("--require-not-slower")?;
                 let Some((fast, slow)) = pair.split_once(',') else {
@@ -686,6 +740,151 @@ fn run_benchdiff(args: &[String]) -> Result<ExitCode, String> {
     let report = diff(&base, &cur, &opts)?;
     print!("{}", report.render());
     Ok(if report.regressed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn run_loadtest(args: &[String]) -> Result<ExitCode, String> {
+    use dblayout_loadgen::{run_load, LoadConfig, Mode};
+
+    let mut cfg = LoadConfig::default();
+    let mut rate: Option<f64> = None;
+    let mut json_out: Option<String> = None;
+    let mut history_out: Option<String> = None;
+    let mut mix_text = cfg.weights.encode();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--requests" => {
+                cfg.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("bad --requests: {e}"))?;
+                if cfg.requests == 0 {
+                    return Err("--requests must be at least 1".to_string());
+                }
+            }
+            "--connections" => {
+                cfg.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("bad --connections: {e}"))?;
+                if cfg.connections == 0 {
+                    return Err("--connections must be at least 1".to_string());
+                }
+            }
+            "--rate" => {
+                let r: f64 = value("--rate")?
+                    .parse()
+                    .map_err(|e| format!("bad --rate: {e}"))?;
+                if !(r.is_finite() && r > 0.0) {
+                    return Err("--rate must be a positive number".to_string());
+                }
+                rate = Some(r);
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--mix" => {
+                mix_text = value("--mix")?;
+                cfg.weights =
+                    dblayout_loadgen::MixWeights::parse_weights(&mix_text).ok_or_else(|| {
+                        format!(
+                            "bad --mix `{mix_text}`: expected four comma-separated \
+                             integers with a positive sum"
+                        )
+                    })?;
+            }
+            "--catalog" => cfg.catalog = value("--catalog")?,
+            "--json" => json_out = Some(value("--json")?),
+            "--history" => history_out = Some(value("--history")?),
+            "--help" | "-h" => return Err(LOADTEST_USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n\n{LOADTEST_USAGE}")),
+        }
+    }
+    cfg.mode = match rate {
+        Some(rate_per_sec) => Mode::Open { rate_per_sec },
+        None => Mode::Closed,
+    };
+
+    // Without --addr, stand up a loopback server sized so every loadgen
+    // connection gets a dedicated worker thread (the server parks one
+    // thread per connection for its whole lifetime).
+    let embedded = if cfg.addr.is_empty() {
+        let server_cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: cfg.connections.max(2),
+            queue_capacity: cfg.connections + 8,
+            audit_dir: None,
+            ..ServerConfig::default()
+        };
+        let handle =
+            Server::start(server_cfg).map_err(|e| format!("cannot start loopback server: {e}"))?;
+        cfg.addr = handle.addr().to_string();
+        eprintln!("loadtest: loopback server on {}", cfg.addr);
+        Some(handle)
+    } else {
+        None
+    };
+
+    let report = run_load(&cfg).map_err(|e| format!("load run failed: {e}"))?;
+    print!("{}", report.render());
+
+    if let Some(path) = json_out {
+        let text = serde_json::to_string_pretty(&report.to_json())
+            .map_err(|e| format!("cannot serialize report: {e}"))?;
+        std::fs::write(&path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("report written to {path}");
+    }
+    if let Some(path) = history_out {
+        use dblayout_bench::observatory::{append_history, git_rev, HistoryEntry};
+        // The config fingerprint uses the raw flag values so identical
+        // invocations group (and gate) across revisions.
+        let config = format!(
+            "loadtest;mode={};requests={};rate={};conns={};seed={};catalog={};mix={}",
+            report.mode_name(),
+            cfg.requests,
+            rate.map(|r| format!("{r}"))
+                .unwrap_or_else(|| "-".to_string()),
+            cfg.connections,
+            cfg.seed,
+            cfg.catalog,
+            mix_text,
+        );
+        let mut timings_ms: Vec<(String, f64)> = Vec::new();
+        for (op, snap) in &report.per_op {
+            if snap.count == 0 {
+                continue;
+            }
+            for (tag, q) in [("p50", 0.50), ("p99", 0.99), ("p999", 0.999)] {
+                timings_ms.push((format!("load/{op}/{tag}"), snap.quantile(q) as f64 / 1000.0));
+            }
+        }
+        let mut counters = report.mix.counter_pairs();
+        counters.push(("load_errors_total".to_string(), report.errors));
+        counters.push(("load_shed_total".to_string(), report.shed));
+        let entry = HistoryEntry {
+            rev: git_rev(std::path::Path::new(".")),
+            config,
+            threads: vec![cfg.connections],
+            timings_ms,
+            phases_ms: vec![("wall".to_string(), report.wall.as_secs_f64() * 1000.0)],
+            counters,
+        };
+        let n = append_history(std::path::Path::new(&path), &entry)?;
+        println!("history row appended to {path} ({n} entries)");
+    }
+    drop(embedded);
+    Ok(if report.errors > 0 {
+        eprintln!("loadtest: {} requests errored", report.errors);
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
@@ -1436,6 +1635,7 @@ fn main() -> ExitCode {
         Some("client") => run_client(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("lint") => run_lint(&args[1..]),
         Some("benchdiff") => run_benchdiff(&args[1..]),
+        Some("loadtest") => run_loadtest(&args[1..]),
         Some("drift") => run_drift(&args[1..]),
         Some("migrate") => run_migrate(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("audit") => run_audit(&args[1..]),

@@ -25,7 +25,7 @@ use crate::summary::FileSummary;
 
 /// Bump on any behavior change in lexing, parsing, scanning, or the
 /// summary schema.
-pub const CACHE_VERSION: u64 = 1;
+pub const CACHE_VERSION: u64 = 2;
 
 /// FNV-1a 64 over the file text — fast, dependency-free, and stable
 /// across runs/platforms (unlike `DefaultHasher`, which is randomly

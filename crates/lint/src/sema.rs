@@ -32,10 +32,12 @@ use crate::summary::FileSummary;
 /// parallel TS-GREEDY drivers, the multilevel coarsening pipeline (its
 /// matching/projection determinism argument is load-bearing for the
 /// byte-identity contract, DESIGN.md §11), the continuous-relayout layer,
-/// the deterministic counter registry, and the decision-audit crate
+/// the deterministic counter registry, the decision-audit crate
 /// (replay must re-derive recorded layouts bit-identically, so nothing in
 /// it may read a clock or other ambient state — timestamps are
-/// caller-supplied).
+/// caller-supplied), and the load-harness schedule (same seed must yield
+/// the same op mix on every host so `BENCH_server.json` mix counters gate
+/// exactly — the driver's pacing may read clocks, the schedule may not).
 pub fn is_seed_file(path: &str) -> bool {
     path == "crates/core/src/tsgreedy.rs"
         || path == "crates/core/src/par.rs"
@@ -44,6 +46,7 @@ pub fn is_seed_file(path: &str) -> bool {
         || path == "crates/obs/src/counters.rs"
         || path == "crates/partition/src/coarsen.rs"
         || path == "crates/partition/src/multilevel.rs"
+        || path == "crates/loadgen/src/schedule.rs"
 }
 
 /// Method/function names too ubiquitous to link by bare name.

@@ -1,0 +1,470 @@
+//! HDR-style log-linear histogram with bounded relative error.
+//!
+//! The power-of-two bucketing the server started with is cheap but coarse:
+//! a p99 of "somewhere in 32..64 ms" carries up to 2× relative error
+//! exactly where tail latencies live. This module keeps the lock-free,
+//! fixed-memory shape but splits every power-of-two octave into
+//! `2^SUB_BITS` linear sub-buckets (à la HdrHistogram), so any reported
+//! quantile overstates the true value by at most `2^-SUB_BITS` — 12.5%
+//! at the default resolution — while the whole structure stays a flat
+//! array of [`AtomicU64`] counters.
+//!
+//! Layout of the bucket array for `SUB_BITS = 3`:
+//!
+//! * values `0..8` are exact (one bucket each);
+//! * each octave `[2^k, 2^(k+1))` for `k = 3..=62` splits into 8 linear
+//!   sub-buckets of width `2^(k-3)`;
+//! * values at or above `2^63` clamp into the last bucket, whose bound is
+//!   [`MAX_BOUND`] (`2^63 - 1`) — a saturated reading still looks like a
+//!   duration, never a `u64::MAX` sentinel.
+//!
+//! Recording is wait-free (one `fetch_add` plus a `fetch_max` for the
+//! exact maximum, all `Relaxed` — these are monitors, not synchronization
+//! edges). [`Snapshot`]s are plain data: mergeable across histograms
+//! (per-worker recorders fold into one), and quantile extraction walks the
+//! counts without touching the live atomics again.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: each power-of-two octave splits into
+/// `2^SUB_BITS` linear sub-buckets, bounding the relative error of any
+/// reported quantile by `2^-SUB_BITS` (12.5% at 3 bits).
+pub const SUB_BITS: u32 = 3;
+
+/// Linear sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+
+/// Octaves covered log-linearly: exponents `SUB_BITS..=62`.
+const OCTAVES: usize = 63 - SUB_BITS as usize;
+
+/// Total bucket count: `SUB` exact small-value buckets plus
+/// `OCTAVES * SUB` log-linear ones (488 at 3 sub-bits — ~4 KiB of
+/// counters per histogram).
+pub const NUM_BUCKETS: usize = SUB + OCTAVES * SUB;
+
+/// Upper bound of the last bucket (`2^63 - 1`): the largest value a
+/// quantile can report, and the answer when a rank overshoots racing
+/// counts (relaxed-atomic skew between a total and a later scan).
+pub const MAX_BOUND: u64 = u64::MAX >> 1;
+
+/// The bucket index holding value `v`.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let k = 63 - v.leading_zeros() as usize;
+    if k >= 63 {
+        return NUM_BUCKETS - 1;
+    }
+    let sub_bits = SUB_BITS as usize;
+    // The sub-bucket is the SUB_BITS bits directly below the leading bit.
+    let sub = ((v >> (k - sub_bits)) as usize) & (SUB - 1);
+    SUB + (k - sub_bits) * SUB + sub
+}
+
+/// Inclusive upper bound of bucket `i` — the value quantiles report.
+pub fn bucket_bound(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let i = i.min(NUM_BUCKETS - 1);
+    let sub_bits = SUB_BITS as usize;
+    let k = sub_bits + (i - SUB) / SUB;
+    let sub = ((i - SUB) % SUB) as u64 + 1;
+    (1u64 << k) + (sub << (k - sub_bits)) - 1
+}
+
+/// Finds the bucket containing the observation of the given 1-based rank
+/// and returns its upper bound. When `rank` exceeds everything the scan
+/// sees — which relaxed-atomic skew between a recorded total and a later
+/// per-bucket read can produce — the answer is [`MAX_BOUND`], the last
+/// finite bucket bound, never a `u64::MAX` sentinel.
+pub fn rank_value(counts: &[u64], rank: u64) -> u64 {
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen = seen.saturating_add(c);
+        if seen >= rank {
+            return bucket_bound(i);
+        }
+    }
+    MAX_BOUND
+}
+
+/// A lock-free log-linear histogram of `u64` observations (microseconds,
+/// by convention, but the structure is unit-agnostic).
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &s.count)
+            .field("sum", &s.sum)
+            .field("max", &s.max)
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Records one observation. Wait-free; `Relaxed` ordering throughout
+    /// (monitoring, not synchronization).
+    pub fn record(&self, v: u64) {
+        if let Some(b) = self.buckets.get(bucket_index(v)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        // Saturating sum: a wrapped total must not masquerade as small.
+        let prev = self.sum.fetch_add(v, Ordering::Relaxed);
+        if prev.checked_add(v).is_none() {
+            self.sum.store(u64::MAX, Ordering::Relaxed);
+        }
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds (saturating past `u64` µs).
+    pub fn record_duration_us(&self, d: Duration) {
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Reads a consistent-enough point-in-time copy of the counters.
+    /// Concurrent writers may land between bucket reads; the quantile
+    /// walk tolerates that (see [`rank_value`]).
+    pub fn snapshot(&self) -> Snapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = counts.iter().fold(0u64, |a, &c| a.saturating_add(c));
+        Snapshot {
+            counts,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time reading of one [`Histogram`]: plain mergeable data.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    counts: Vec<u64>,
+    /// Observations recorded (sum of bucket counts at snapshot time).
+    pub count: u64,
+    /// Saturating sum of all observed values.
+    pub sum: u64,
+    /// Exact maximum observed value (not bucket-rounded).
+    pub max: u64,
+}
+
+impl Snapshot {
+    /// Folds another snapshot into this one (per-worker recorders into a
+    /// run total). Associative and commutative on the counts.
+    pub fn merge(&mut self, other: &Snapshot) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The q-quantile as the upper bound of the bucket holding the
+    /// rank-`ceil(q * count)` observation: at most `2^-SUB_BITS` above
+    /// the true value. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.count as f64 * q).ceil() as u64).max(1);
+        rank_value(&self.counts, rank)
+    }
+
+    /// Arithmetic mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw per-bucket counts (index `i` bounded by
+    /// [`bucket_bound`]`(i)`).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A seed-stable splitmix64 for value sweeps: the tests are property
+    /// tests over deterministic pseudo-random inputs, not flaky samples.
+    struct Sweep(u64);
+
+    impl Sweep {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A value whose magnitude spans 0..2^60 with log-uniform-ish
+        /// spread (small and huge values both exercised).
+        fn value(&mut self) -> u64 {
+            let shift = self.next() % 61;
+            self.next() >> (63 - shift.min(63)).min(63)
+        }
+    }
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_ordered() {
+        for i in 0..NUM_BUCKETS - 1 {
+            let top = bucket_bound(i);
+            assert_eq!(bucket_index(top), i, "bound of bucket {i} maps back");
+            assert_eq!(
+                bucket_index(top + 1),
+                i + 1,
+                "first value past bucket {i}'s bound starts bucket {}",
+                i + 1
+            );
+            assert!(top < bucket_bound(i + 1));
+        }
+        assert_eq!(bucket_bound(NUM_BUCKETS - 1), MAX_BOUND);
+        assert_eq!(bucket_index(MAX_BOUND), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_bound(0), 0);
+    }
+
+    /// The headline property: for every representable value below the
+    /// clamp, the reported bound overstates it by at most `2^-SUB_BITS`.
+    #[test]
+    fn relative_error_is_bounded_by_sub_bucket_resolution() {
+        let tolerance = 1.0 / (1u64 << SUB_BITS) as f64;
+        let mut sweep = Sweep(0xD1CE);
+        let mut checked = 0u32;
+        for _ in 0..200_000 {
+            let v = sweep.value();
+            if v == 0 || v > MAX_BOUND {
+                continue;
+            }
+            let bound = bucket_bound(bucket_index(v));
+            assert!(bound >= v, "bound {bound} below value {v}");
+            let err = (bound - v) as f64 / v as f64;
+            assert!(err <= tolerance, "value {v}: bound {bound}, err {err}");
+            checked += 1;
+        }
+        assert!(checked > 100_000, "sweep degenerated: {checked} values");
+        // Exact boundaries: powers of two sit at the bottom of an octave.
+        for k in SUB_BITS..63 {
+            let v = 1u64 << k;
+            let bound = bucket_bound(bucket_index(v));
+            assert_eq!(bound, v + (1u64 << (k - SUB_BITS)) - 1);
+            assert_eq!(bucket_bound(bucket_index(v - 1)), v - 1, "octave top");
+        }
+    }
+
+    /// Quantiles against exact order statistics on a seeded sweep: the
+    /// estimate must sit at or above the true value, within resolution.
+    #[test]
+    fn quantile_error_is_bounded_against_exact_order_statistics() {
+        let tolerance = 1.0 / (1u64 << SUB_BITS) as f64;
+        for seed in [1u64, 42, 0xFEED] {
+            let mut sweep = Sweep(seed);
+            let h = Histogram::default();
+            let mut values: Vec<u64> = Vec::new();
+            for _ in 0..20_000 {
+                let v = (sweep.value() % MAX_BOUND).max(1);
+                h.record(v);
+                values.push(v);
+            }
+            values.sort_unstable();
+            let s = h.snapshot();
+            assert_eq!(s.count, values.len() as u64);
+            for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let rank = ((values.len() as f64 * q).ceil() as usize).max(1);
+                let exact = values[rank - 1];
+                let est = s.quantile(q);
+                assert!(est >= exact, "seed {seed} q{q}: est {est} < exact {exact}");
+                let err = (est - exact) as f64 / exact as f64;
+                assert!(
+                    err <= tolerance,
+                    "seed {seed} q{q}: est {est}, exact {exact}, err {err}"
+                );
+            }
+            assert_eq!(s.max, *values.last().unwrap_or(&0));
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut sweep = Sweep(7);
+        let h = Histogram::default();
+        for _ in 0..5_000 {
+            h.record(sweep.value());
+        }
+        let s = h.snapshot();
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0];
+        for pair in qs.windows(2) {
+            assert!(
+                s.quantile(pair[0]) <= s.quantile(pair[1]),
+                "quantile not monotone at {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_concatenation() {
+        let mut sweep = Sweep(99);
+        let parts: Vec<Histogram> = (0..3).map(|_| Histogram::default()).collect();
+        let whole = Histogram::default();
+        for (i, part) in parts.iter().enumerate() {
+            for _ in 0..(1000 * (i + 1)) {
+                let v = sweep.value();
+                part.record(v);
+                whole.record(v);
+            }
+        }
+        let [a, b, c]: [Snapshot; 3] = [
+            parts[0].snapshot(),
+            parts[1].snapshot(),
+            parts[2].snapshot(),
+        ];
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = b.clone();
+        right_tail.merge(&c);
+        let mut right = a.clone();
+        right.merge(&right_tail);
+        assert_eq!(left, right, "merge must be associative");
+        // ⊕ over parts == one histogram fed the concatenated stream.
+        assert_eq!(left, whole.snapshot());
+        for q in [0.5, 0.99, 0.999] {
+            assert_eq!(left.quantile(q), whole.snapshot().quantile(q));
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a0 = {
+            let h = Histogram::default();
+            h.record(3);
+            h.record(900);
+            h.snapshot()
+        };
+        let b0 = {
+            let h = Histogram::default();
+            h.record(1_000_000);
+            h.snapshot()
+        };
+        let mut ab = a0.clone();
+        ab.merge(&b0);
+        let mut ba = b0.clone();
+        ba.merge(&a0);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 3);
+        assert_eq!(ab.max, 1_000_000);
+    }
+
+    /// Concurrent writers: snapshots taken mid-storm stay internally
+    /// consistent (count never decreases, quantiles never cross), and the
+    /// final reading is exact.
+    #[test]
+    fn concurrent_writers_keep_snapshots_monotonic() {
+        use std::sync::Arc;
+        const WRITERS: u64 = 4;
+        const PER_WRITER: u64 = 25_000;
+        let h = Arc::new(Histogram::default());
+        let workers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    let mut sweep = Sweep(w + 1);
+                    for _ in 0..PER_WRITER {
+                        h.record((sweep.value() % 1_000_000).max(1));
+                    }
+                })
+            })
+            .collect();
+        let mut last_count = 0u64;
+        loop {
+            let s = h.snapshot();
+            assert!(s.count >= last_count, "count went backwards");
+            last_count = s.count;
+            assert!(s.quantile(0.5) <= s.quantile(0.99));
+            assert!(s.quantile(0.99) <= s.quantile(0.999));
+            if s.count >= WRITERS * PER_WRITER {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        for w in workers {
+            w.join().expect("writer thread");
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, WRITERS * PER_WRITER);
+        assert!(s.max >= s.quantile(1.0) / 2, "max is a real observation");
+    }
+
+    #[test]
+    fn rank_overshoot_returns_last_finite_bound() {
+        let counts = [3u64, 2, 0, 1]; // total 6
+        assert_eq!(rank_value(&counts, 7), MAX_BOUND);
+        assert_ne!(rank_value(&counts, 7), u64::MAX);
+        assert_eq!(rank_value(&counts, 1), bucket_bound(0));
+        assert_eq!(rank_value(&counts, 4), bucket_bound(1));
+        assert_eq!(rank_value(&counts, 6), bucket_bound(3));
+        assert_eq!(rank_value(&[], 1), MAX_BOUND);
+    }
+
+    #[test]
+    fn saturation_and_empty_edges() {
+        let h = Histogram::default();
+        assert_eq!(h.snapshot().quantile(0.5), 0, "empty reads as zero");
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), MAX_BOUND, "clamped, not a sentinel");
+        assert_eq!(s.max, u64::MAX, "max keeps the exact value");
+        h.record_duration_us(Duration::MAX);
+        assert_eq!(h.snapshot().count, 2);
+        // Sum saturates rather than wrapping.
+        assert_eq!(h.snapshot().sum, u64::MAX);
+    }
+
+    #[test]
+    fn mean_is_exact_from_the_saturating_sum() {
+        let h = Histogram::default();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.sum, 60);
+        assert!((s.mean() - 20.0).abs() < 1e-12);
+    }
+}

@@ -46,11 +46,16 @@
 //!   ([`prof::PhaseTimer`]): analyze / build-graph / search / cost /
 //!   serialize totals for explain output, the server `profile` op, and
 //!   bench history entries.
+//! * [`hist`] — an HDR-style log-linear latency histogram (lock-free
+//!   atomic counts, ≤12.5% relative error per bucket, mergeable
+//!   snapshots) backing both the server's stage/latency metrics and the
+//!   `dblayout-loadgen` client-side recorders.
 //!
-//! Both live under lint rule R1's no-panic zone like the rest of this
-//! crate.
+//! All of them live under lint rule R1's no-panic zone like the rest of
+//! this crate.
 
 pub mod counters;
+pub mod hist;
 pub mod prof;
 
 mod collector;

@@ -455,9 +455,11 @@ impl Engine {
                     ("cache_misses", Value::U64(m.cache_misses)),
                     ("cache_hit_rate", Value::F64(m.cache_hit_rate)),
                     ("queue_depth", Value::U64(m.queue_depth)),
+                    ("queue_depth_highwater", Value::U64(m.queue_depth_highwater)),
                     ("threads", Value::U64(runtime.threads)),
                     ("latency_p50_us", Value::U64(m.latency_p50_us)),
                     ("latency_p99_us", Value::U64(m.latency_p99_us)),
+                    ("latency_p999_us", Value::U64(m.latency.p999_us)),
                     ("stage_queue_p50_us", Value::U64(m.stage_queue.p50_us)),
                     ("stage_queue_p99_us", Value::U64(m.stage_queue.p99_us)),
                     ("stage_compute_p50_us", Value::U64(m.stage_compute.p50_us)),

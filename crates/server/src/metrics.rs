@@ -1,45 +1,67 @@
-//! Server metrics: lock-free counters plus log-bucketed latency histograms
-//! good enough for p50/p99 without keeping per-request samples.
+//! Server metrics: lock-free counters plus log-linear latency histograms
+//! good enough for p50/p99/p999 without keeping per-request samples.
 //!
 //! Besides the overall request latency, three *stage* histograms break each
 //! request's wall-clock into where it went: `queue` (connection admission
 //! wait), `compute` (parse + engine execution), and `serialize` (response
-//! line construction). The `metrics` wire op renders everything in
-//! Prometheus text exposition format (see [`render_prometheus`]).
+//! line construction) — plus a per-op family keyed by the wire vocabulary
+//! ([`OP_NAMES`]). The `metrics` wire op renders everything in Prometheus
+//! text exposition format (see [`render_prometheus`]).
+//!
+//! Histograms are [`dblayout_obs::hist`] log-linear: 8 linear sub-buckets
+//! per power-of-two octave, so every reported quantile overstates the true
+//! value by at most 12.5% (the old power-of-two bucketing carried up to 2×
+//! error exactly where p99/p999 live). The [`Histogram`] wrapper here
+//! keeps the historical server semantics on top: observations clamp to at
+//! least 1 µs, and quantiles report bucket upper bounds.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use dblayout_obs::counters::{self, Counter, CounterSnapshot};
-
-/// Histogram bucket count. Bucket `i` holds observations whose value in
-/// microseconds `v` satisfies `floor(log2(max(v, 1))) == i`; the last bucket
-/// absorbs everything slower (`2^62 µs` is far beyond any deadline).
-const BUCKETS: usize = 63;
-
-/// Upper bound in µs of bucket `i`: `2^(i+1) - 1`.
-fn bucket_bound_us(i: usize) -> u64 {
-    (1u64 << (i + 1).min(63)).wrapping_sub(1)
-}
+use dblayout_obs::hist;
 
 /// The largest value a percentile estimate can report: the upper bound of
-/// the last bucket (`2^63 - 1` µs). Returned instead of a sentinel when a
-/// rank overshoots the scanned counts (relaxed-atomic skew).
-pub const LAST_BUCKET_BOUND_US: u64 = u64::MAX >> 1;
+/// the last histogram bucket (`2^63 - 1` µs). Returned instead of a
+/// sentinel when a rank overshoots the scanned counts (relaxed-atomic
+/// skew).
+pub const LAST_BUCKET_BOUND_US: u64 = hist::MAX_BOUND;
 
-/// A lock-free log2-bucketed histogram of microsecond observations.
-pub struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
-    sum_us: AtomicU64,
+/// The wire-op vocabulary for the per-op latency family, mirroring
+/// [`crate::protocol::Request::op_name`] plus the `invalid` slot that
+/// unparseable requests land in.
+pub const OP_NAMES: [&str; 15] = [
+    "open_session",
+    "add_statements",
+    "whatif_cost",
+    "recommend",
+    "drift",
+    "recommend_budgeted",
+    "plan_migration",
+    "audit_list",
+    "audit_get",
+    "stats",
+    "metrics",
+    "trace",
+    "profile",
+    "close_session",
+    "invalid",
+];
+
+/// Index of `op` in [`OP_NAMES`]; unknown names share the `invalid` slot.
+fn op_index(op: &str) -> usize {
+    OP_NAMES
+        .iter()
+        .position(|n| *n == op)
+        .unwrap_or(OP_NAMES.len() - 1)
 }
 
-impl Default for Histogram {
-    fn default() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            sum_us: AtomicU64::new(0),
-        }
-    }
+/// A lock-free log-linear histogram of microsecond observations (a thin
+/// wrapper over [`dblayout_obs::hist::Histogram`] with the server's
+/// clamp-to-1µs convention).
+#[derive(Default)]
+pub struct Histogram {
+    inner: hist::Histogram,
 }
 
 /// A point-in-time reading of one [`Histogram`].
@@ -51,8 +73,14 @@ pub struct HistogramSnapshot {
     pub sum_us: u64,
     /// Median (µs, bucket upper bound; 0 when empty).
     pub p50_us: u64,
+    /// 90th percentile (µs, bucket upper bound; 0 when empty).
+    pub p90_us: u64,
     /// 99th percentile (µs, bucket upper bound; 0 when empty).
     pub p99_us: u64,
+    /// 99.9th percentile (µs, bucket upper bound; 0 when empty).
+    pub p999_us: u64,
+    /// Exact maximum observed value (µs, not bucket-rounded).
+    pub max_us: u64,
 }
 
 impl Histogram {
@@ -64,58 +92,27 @@ impl Histogram {
 
     /// Records one microsecond value.
     pub fn observe_us(&self, us: u64) {
-        let us = us.max(1);
-        let bucket = (63 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        if let Some(b) = self.buckets.get(bucket) {
-            b.fetch_add(1, Ordering::Relaxed);
-        }
-        // Saturating sum: fetch_add wraps, so clamp via compare loop only
-        // when near the top — in practice fetch_add is fine for monitoring,
-        // but don't let a wrapped sum masquerade as small.
-        let prev = self.sum_us.fetch_add(us, Ordering::Relaxed);
-        if prev.checked_add(us).is_none() {
-            self.sum_us.store(u64::MAX, Ordering::Relaxed);
-        }
-    }
-
-    /// Reads the per-bucket counts.
-    fn counts(&self) -> [u64; BUCKETS] {
-        std::array::from_fn(|i| match self.buckets.get(i) {
-            Some(b) => b.load(Ordering::Relaxed),
-            None => 0,
-        })
+        self.inner.record(us.max(1));
     }
 
     /// Bucket-resolution percentile: the upper bound of the bucket
-    /// containing the q-quantile observation (0 when empty).
+    /// containing the q-quantile observation (0 when empty), at most
+    /// 12.5% above the true value.
     pub fn percentile_us(&self, q: f64) -> u64 {
-        let counts = self.counts();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((total as f64 * q).ceil() as u64).max(1);
-        percentile_from_counts(&counts, rank)
+        self.inner.snapshot().quantile(q)
     }
 
     /// Reads count, sum, and the standard percentiles at once.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let counts = self.counts();
-        let total: u64 = counts.iter().sum();
-        let rank = |q: f64| ((total as f64 * q).ceil() as u64).max(1);
+        let s = self.inner.snapshot();
         HistogramSnapshot {
-            count: total,
-            sum_us: self.sum_us.load(Ordering::Relaxed),
-            p50_us: if total == 0 {
-                0
-            } else {
-                percentile_from_counts(&counts, rank(0.50))
-            },
-            p99_us: if total == 0 {
-                0
-            } else {
-                percentile_from_counts(&counts, rank(0.99))
-            },
+            count: s.count,
+            sum_us: s.sum,
+            p50_us: s.quantile(0.50),
+            p90_us: s.quantile(0.90),
+            p99_us: s.quantile(0.99),
+            p999_us: s.quantile(0.999),
+            max_us: s.max,
         }
     }
 }
@@ -126,15 +123,9 @@ impl Histogram {
 /// produce — the answer is the **last finite bucket bound**
 /// ([`LAST_BUCKET_BOUND_US`]), never a `u64::MAX` sentinel that would
 /// poison latency dashboards.
+#[cfg(test)]
 fn percentile_from_counts(counts: &[u64], rank: u64) -> u64 {
-    let mut seen = 0u64;
-    for (i, &c) in counts.iter().enumerate() {
-        seen = seen.saturating_add(c);
-        if seen >= rank {
-            return bucket_bound_us(i);
-        }
-    }
-    LAST_BUCKET_BOUND_US
+    hist::rank_value(counts, rank)
 }
 
 /// Gauges sampled at snapshot time by whoever owns the live structures (the
@@ -161,10 +152,13 @@ pub struct Metrics {
     pub errors_total: AtomicU64,
     /// Connections accepted.
     pub connections_total: AtomicU64,
-    /// Connections rejected because the queue was full.
+    /// Connections rejected because the queue was full (busy sheds).
     pub rejected_total: AtomicU64,
     /// Requests dropped because their deadline passed while queued.
     pub deadline_expired_total: AtomicU64,
+    /// Highest queue depth ever observed at admission time — how close
+    /// the bounded queue has come to shedding.
+    pub queue_depth_highwater: AtomicU64,
     /// What-if cost cache hits.
     pub cache_hits: AtomicU64,
     /// What-if cost cache misses.
@@ -181,6 +175,8 @@ pub struct Metrics {
     /// per million (1 % = 10 000 ppm). Fed by the `audit_get` op when the
     /// client asks for a replay; empty until someone audits.
     pub audit_replay_error_ppm: Histogram,
+    /// End-to-end latency split by wire op ([`OP_NAMES`] order).
+    per_op: [Histogram; OP_NAMES.len()],
 }
 
 impl Default for Metrics {
@@ -191,6 +187,7 @@ impl Default for Metrics {
             connections_total: AtomicU64::new(0),
             rejected_total: AtomicU64::new(0),
             deadline_expired_total: AtomicU64::new(0),
+            queue_depth_highwater: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             latency: Histogram::default(),
@@ -198,6 +195,7 @@ impl Default for Metrics {
             stage_compute: Histogram::default(),
             stage_serialize: Histogram::default(),
             audit_replay_error_ppm: Histogram::default(),
+            per_op: std::array::from_fn(|_| Histogram::default()),
         }
     }
 }
@@ -212,10 +210,12 @@ pub struct MetricsSnapshot {
     pub errors_total: u64,
     /// Connections accepted.
     pub connections_total: u64,
-    /// Connections rejected at admission.
+    /// Connections rejected at admission (busy sheds).
     pub rejected_total: u64,
     /// Requests expired in the queue.
     pub deadline_expired_total: u64,
+    /// Highest queue depth observed at admission time.
+    pub queue_depth_highwater: u64,
     /// Cache hits.
     pub cache_hits: u64,
     /// Cache misses.
@@ -236,6 +236,8 @@ pub struct MetricsSnapshot {
     pub stage_serialize: HistogramSnapshot,
     /// Audit replay-error histogram reading (ppm).
     pub audit_replay_error_ppm: HistogramSnapshot,
+    /// Per-op end-to-end latency readings, [`OP_NAMES`] order.
+    pub per_op_latency: [HistogramSnapshot; OP_NAMES.len()],
     /// Connections currently waiting for a worker.
     pub queue_depth: u64,
     /// Sessions currently open.
@@ -261,6 +263,15 @@ impl Metrics {
         self.latency.observe(took);
     }
 
+    /// Records one served request's end-to-end latency against both the
+    /// overall histogram and its wire-op family.
+    pub fn observe_op_latency(&self, op: &str, took: Duration) {
+        self.latency.observe(took);
+        if let Some(h) = self.per_op.get(op_index(op)) {
+            h.observe(took);
+        }
+    }
+
     /// Reads every counter with zeroed gauges (in-process callers have no
     /// queue or registry to sample).
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -279,6 +290,7 @@ impl Metrics {
             connections_total: self.connections_total.load(Ordering::Relaxed),
             rejected_total: self.rejected_total.load(Ordering::Relaxed),
             deadline_expired_total: self.deadline_expired_total.load(Ordering::Relaxed),
+            queue_depth_highwater: self.queue_depth_highwater.load(Ordering::Relaxed),
             cache_hits: hits,
             cache_misses: misses,
             cache_hit_rate: if lookups > 0 {
@@ -293,6 +305,12 @@ impl Metrics {
             stage_compute: self.stage_compute.snapshot(),
             stage_serialize: self.stage_serialize.snapshot(),
             audit_replay_error_ppm: self.audit_replay_error_ppm.snapshot(),
+            per_op_latency: std::array::from_fn(|i| {
+                self.per_op
+                    .get(i)
+                    .map(Histogram::snapshot)
+                    .unwrap_or_default()
+            }),
             queue_depth: gauges.queue_depth,
             sessions_open: gauges.sessions_open,
             sessions_evicted_total: gauges.sessions_evicted_total,
@@ -330,9 +348,21 @@ fn escape_label_value(v: &str) -> String {
     out
 }
 
+/// The quantile series of one histogram reading, including the exact max
+/// as `quantile="1"`.
+fn quantile_series(h: &HistogramSnapshot) -> [(&'static str, u64); 5] {
+    [
+        ("0.5", h.p50_us),
+        ("0.9", h.p90_us),
+        ("0.99", h.p99_us),
+        ("0.999", h.p999_us),
+        ("1", h.max_us),
+    ]
+}
+
 fn push_summary(out: &mut String, name: &str, h: &HistogramSnapshot) {
     out.push_str(&format!("# TYPE {name} summary\n"));
-    for (q, v) in [("0.5", h.p50_us), ("0.99", h.p99_us)] {
+    for (q, v) in quantile_series(h) {
         out.push_str(&format!(
             "{name}{{quantile=\"{}\"}} {v}\n",
             escape_label_value(q)
@@ -342,6 +372,25 @@ fn push_summary(out: &mut String, name: &str, h: &HistogramSnapshot) {
         "{name}_sum {}\n{name}_count {}\n",
         h.sum_us, h.count
     ));
+}
+
+/// The per-op latency family: one `# TYPE` line, then quantile samples
+/// labeled `op="..."` for every op that has served at least one request
+/// (empty ops are elided to keep the exposition small).
+fn push_per_op_summaries(out: &mut String, s: &MetricsSnapshot) {
+    let name = "dblayout_request_latency_by_op_us";
+    out.push_str(&format!("# TYPE {name} summary\n"));
+    for (op, h) in OP_NAMES.iter().zip(s.per_op_latency.iter()) {
+        if h.count == 0 {
+            continue;
+        }
+        let op = sanitize_label_value(op);
+        for (q, v) in quantile_series(h) {
+            out.push_str(&format!("{name}{{op=\"{op}\",quantile=\"{q}\"}} {v}\n"));
+        }
+        out.push_str(&format!("{name}_sum{{op=\"{op}\"}} {}\n", h.sum_us));
+        out.push_str(&format!("{name}_count{{op=\"{op}\"}} {}\n", h.count));
+    }
 }
 
 /// A label value that is safe inside the single-sample-per-line exposition
@@ -380,6 +429,13 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
     push_counter(&mut out, "dblayout_errors_total", s.errors_total);
     push_counter(&mut out, "dblayout_connections_total", s.connections_total);
     push_counter(&mut out, "dblayout_rejected_total", s.rejected_total);
+    // The same busy-shed count under its documented load-test name; the
+    // legacy `dblayout_rejected_total` family stays for old dashboards.
+    push_counter(
+        &mut out,
+        "dblayout_requests_rejected_total",
+        s.rejected_total,
+    );
     push_counter(
         &mut out,
         "dblayout_deadline_expired_total",
@@ -416,6 +472,11 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
         push_counter(&mut out, &format!("dblayout_{name}_total"), value);
     }
     push_gauge(&mut out, "dblayout_queue_depth", s.queue_depth);
+    push_gauge(
+        &mut out,
+        "dblayout_queue_depth_highwater",
+        s.queue_depth_highwater,
+    );
     push_gauge(&mut out, "dblayout_sessions_open", s.sessions_open);
     push_gauge(&mut out, "dblayout_cache_entries", s.cache_entries);
     push_summary(&mut out, "dblayout_request_latency_us", &s.latency);
@@ -427,12 +488,14 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
         "dblayout_audit_replay_error_ppm",
         &s.audit_replay_error_ppm,
     );
+    push_per_op_summaries(&mut out, s);
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dblayout_obs::hist::{bucket_bound, bucket_index, SUB_BITS};
 
     #[test]
     fn empty_metrics_report_zero() {
@@ -442,23 +505,29 @@ mod tests {
         assert_eq!(s.latency_p50_us, 0);
         assert_eq!(s.cache_hit_rate, 0.0);
         assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.queue_depth_highwater, 0);
         assert_eq!(s.stage_compute.count, 0);
+        assert!(s.per_op_latency.iter().all(|h| h.count == 0));
     }
 
     #[test]
     fn percentiles_track_bucket_bounds() {
         let m = Metrics::default();
         for _ in 0..99 {
-            m.observe_latency(Duration::from_micros(100)); // bucket 6: 64..128
+            // 100 µs: octave 6 (64..128), sub-bucket [96, 104) — bound 103.
+            m.observe_latency(Duration::from_micros(100));
         }
         m.observe_latency(Duration::from_millis(50)); // far slower outlier
         let s = m.snapshot();
-        assert_eq!(s.latency_p50_us, 127);
-        assert!(s.latency_p99_us <= 127, "p99 is still the common case");
+        assert_eq!(s.latency_p50_us, 103);
+        assert!(s.latency_p99_us <= 103, "p99 is still the common case");
+        // Log-linear resolution: p50 within 12.5% of the true 100 µs.
+        assert!((s.latency_p50_us as f64) <= 100.0 * 1.125);
         for _ in 0..100 {
             m.observe_latency(Duration::from_millis(50));
         }
-        assert!(m.snapshot().latency_p99_us > 10_000);
+        let p99 = m.snapshot().latency_p99_us;
+        assert!(p99 >= 50_000 && (p99 as f64) <= 50_000.0 * 1.125, "{p99}");
     }
 
     #[test]
@@ -469,25 +538,32 @@ mod tests {
         assert_eq!(m.snapshot().cache_hit_rate, 0.75);
     }
 
-    /// Exact powers of two sit at the *bottom* of their bucket: `2^i` µs
-    /// lands in bucket `i`, whose reported bound is `2^(i+1) - 1`.
+    /// Exact powers of two sit at the *bottom* of their octave's first
+    /// sub-bucket: `2^k` µs reports `2^k + 2^(k-3) - 1`, and `2^k - 1`
+    /// is the exact top of the previous octave.
     #[test]
     fn power_of_two_boundaries_land_in_their_bucket() {
-        for i in 0..BUCKETS {
+        for k in SUB_BITS..63 {
             let h = Histogram::default();
-            h.observe_us(1u64 << i);
+            h.observe_us(1u64 << k);
             assert_eq!(
                 h.percentile_us(0.5),
-                bucket_bound_us(i),
-                "2^{i} µs should report bucket {i}'s bound"
+                (1u64 << k) + (1u64 << (k - SUB_BITS)) - 1,
+                "2^{k} µs reports its sub-bucket's bound"
             );
-            // One below the power (when distinct from 0) is the previous
-            // bucket's top.
-            if i >= 1 {
-                let h = Histogram::default();
-                h.observe_us((1u64 << i) - 1);
-                assert_eq!(h.percentile_us(0.5), bucket_bound_us(i - 1));
-            }
+            let h = Histogram::default();
+            h.observe_us((1u64 << k) - 1);
+            assert_eq!(
+                h.percentile_us(0.5),
+                (1u64 << k) - 1,
+                "2^{k}-1 µs is an exact octave top"
+            );
+        }
+        // Small values (below one octave of sub-buckets) are exact.
+        for v in 1u64..8 {
+            let h = Histogram::default();
+            h.observe_us(v);
+            assert_eq!(h.percentile_us(0.5), v);
         }
     }
 
@@ -524,18 +600,38 @@ mod tests {
         let counts = [3u64, 2, 0, 1]; // total 6
         assert_eq!(percentile_from_counts(&counts, 7), LAST_BUCKET_BOUND_US);
         assert_ne!(percentile_from_counts(&counts, 7), u64::MAX);
-        // In-range ranks still resolve normally.
-        assert_eq!(percentile_from_counts(&counts, 1), 1);
-        assert_eq!(percentile_from_counts(&counts, 4), 3);
-        assert_eq!(percentile_from_counts(&counts, 6), 15);
+        // In-range ranks still resolve normally (small buckets are exact).
+        assert_eq!(percentile_from_counts(&counts, 1), bucket_bound(0));
+        assert_eq!(percentile_from_counts(&counts, 4), bucket_bound(1));
+        assert_eq!(percentile_from_counts(&counts, 6), bucket_bound(3));
         // Empty counts behave identically.
         assert_eq!(percentile_from_counts(&[], 1), LAST_BUCKET_BOUND_US);
+    }
+
+    /// The extended snapshot percentiles are ordered and max is exact.
+    #[test]
+    fn snapshot_percentiles_are_ordered_with_exact_max() {
+        let h = Histogram::default();
+        for i in 1..=1000u64 {
+            h.observe_us(i);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert!(s.p50_us <= s.p90_us);
+        assert!(s.p90_us <= s.p99_us);
+        assert!(s.p99_us <= s.p999_us);
+        assert!(s.p999_us <= s.max_us.max(bucket_bound(bucket_index(1000))));
+        assert_eq!(s.max_us, 1000, "max is the exact observation");
+        // p50 within resolution of the true median (500).
+        assert!(s.p50_us >= 500 && (s.p50_us as f64) <= 500.0 * 1.125);
     }
 
     #[test]
     fn prometheus_exposition_contains_all_families() {
         let m = Metrics::default();
         m.requests_total.fetch_add(5, Ordering::Relaxed);
+        m.rejected_total.fetch_add(3, Ordering::Relaxed);
+        m.queue_depth_highwater.store(9, Ordering::Relaxed);
         m.observe_latency(Duration::from_micros(100));
         m.stage_queue.observe(Duration::from_micros(10));
         m.stage_compute.observe(Duration::from_micros(80));
@@ -547,7 +643,16 @@ mod tests {
             cache_entries: 4,
         }));
         assert!(text.contains("dblayout_requests_total 5\n"), "{text}");
+        assert!(text.contains("dblayout_rejected_total 3\n"), "{text}");
+        assert!(
+            text.contains("dblayout_requests_rejected_total 3\n"),
+            "{text}"
+        );
         assert!(text.contains("dblayout_queue_depth 2\n"), "{text}");
+        assert!(
+            text.contains("dblayout_queue_depth_highwater 9\n"),
+            "{text}"
+        );
         assert!(text.contains("dblayout_sessions_open 3\n"), "{text}");
         assert!(
             text.contains("dblayout_sessions_evicted_total 6\n"),
@@ -555,7 +660,7 @@ mod tests {
         );
         assert!(text.contains("dblayout_cache_entries 4\n"), "{text}");
         assert!(
-            text.contains("dblayout_request_latency_us{quantile=\"0.5\"} 127\n"),
+            text.contains("dblayout_request_latency_us{quantile=\"0.5\"} 103\n"),
             "{text}"
         );
         for stage in ["queue", "compute", "serialize"] {
@@ -565,6 +670,53 @@ mod tests {
             );
         }
         // Every line is a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# ") || line.split(' ').count() == 2,
+                "malformed line: {line}"
+            );
+        }
+    }
+
+    /// The per-op family renders one TYPE line and labeled samples for
+    /// exactly the ops that served requests, keeping the two-token shape.
+    #[test]
+    fn per_op_latency_family_renders_labeled_quantiles() {
+        let m = Metrics::default();
+        m.observe_op_latency("stats", Duration::from_micros(50));
+        m.observe_op_latency("stats", Duration::from_micros(60));
+        m.observe_op_latency("recommend", Duration::from_millis(3));
+        m.observe_op_latency("nonsense op", Duration::from_micros(10)); // -> invalid
+        let text = render_prometheus(&m.snapshot());
+        assert_eq!(
+            text.matches("# TYPE dblayout_request_latency_by_op_us summary\n")
+                .count(),
+            1
+        );
+        assert!(
+            text.contains("dblayout_request_latency_by_op_us{op=\"stats\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dblayout_request_latency_by_op_us{op=\"recommend\",quantile=\"0.999\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dblayout_request_latency_by_op_us_count{op=\"stats\"} 2\n"),
+            "{text}"
+        );
+        // Unknown names share the invalid slot.
+        assert!(
+            text.contains("dblayout_request_latency_by_op_us_count{op=\"invalid\"} 1\n"),
+            "{text}"
+        );
+        // Ops that never served a request are elided.
+        assert!(!text.contains("{op=\"trace\""), "{text}");
+        // Overall latency saw every observation.
+        assert!(
+            text.contains("dblayout_request_latency_us_count 4\n"),
+            "{text}"
+        );
         for line in text.lines() {
             assert!(
                 line.starts_with("# ") || line.split(' ').count() == 2,
@@ -601,6 +753,7 @@ mod tests {
     fn every_family_has_a_type_line_and_legal_name() {
         let m = Metrics::default();
         m.observe_latency(Duration::from_micros(50));
+        m.observe_op_latency("whatif_cost", Duration::from_micros(120));
         let text = render_prometheus(&m.snapshot());
         let mut typed: Vec<String> = Vec::new();
         for line in text.lines() {
@@ -693,6 +846,7 @@ mod tests {
         let text = render_prometheus(&m.snapshot());
         assert!(text.contains("{quantile=\"0.5\"}"), "{text}");
         assert!(text.contains("{quantile=\"0.99\"}"), "{text}");
+        assert!(text.contains("{quantile=\"0.999\"}"), "{text}");
     }
 
     /// Counter monotonicity across the exposition boundary: registry

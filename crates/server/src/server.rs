@@ -193,6 +193,11 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             continue;
         }
         queue.push_back((stream, Instant::now()));
+        shared
+            .engine
+            .metrics
+            .queue_depth_highwater
+            .fetch_max(queue.len() as u64, Ordering::Relaxed);
         drop(queue);
         shared.available.notify_one();
     }
@@ -330,7 +335,10 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
             .metrics
             .stage_serialize
             .observe(serialize_started.elapsed());
-        shared.engine.metrics.observe_latency(started.elapsed());
+        shared
+            .engine
+            .metrics
+            .observe_op_latency(op, started.elapsed());
         span.end_with(vec![f("op", op), f("ok", ok)]);
         if writer.write_all(response.as_bytes()).is_err() {
             break;
